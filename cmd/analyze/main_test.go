@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"scalefree"
+)
+
+func TestRunInlineReport(t *testing.T) {
+	t.Parallel()
+	var buf strings.Builder
+	err := run([]string{"-n", "600", "-m", "2", "-kc", "20", "-ks-trials", "5"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"== size ==", "nodes=600",
+		"== degree distribution ==", "power-law fit",
+		"load fairness",
+		"== structure ==", "effective diameter", "rich club",
+		"== robustness", "site percolation",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestRunNoRobust(t *testing.T) {
+	t.Parallel()
+	var buf strings.Builder
+	err := run([]string{"-n", "400", "-robust=false", "-ks-trials", "0"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "== robustness") {
+		t.Error("robustness section should be skipped")
+	}
+}
+
+func TestRunFromEdgeFile(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.edges")
+	g, _, err := scalefree.GeneratePA(scalefree.PAConfig{N: 300, M: 2}, scalefree.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WriteEdgeList(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := run([]string{"-in", path, "-robust=false", "-ks-trials", "0"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "nodes=300") {
+		t.Error("report should describe the loaded graph")
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	t.Parallel()
+	var buf strings.Builder
+	if err := run([]string{"-in", "/nonexistent.edges"}, &buf); err == nil {
+		t.Fatal("missing input should fail")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	t.Parallel()
+	var buf strings.Builder
+	if err := run([]string{"-bogus"}, &buf); err == nil {
+		t.Fatal("bad flag should fail")
+	}
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSmoke(t *testing.T) {
+	t.Parallel()
+	var buf strings.Builder
+	err := run([]string{"-n", "300", "-events", "200", "-probes", "4", "-sources", "2"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"churn: N0=300", "event | alive", "totals: joins="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunWritesCSV(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.csv")
+	var buf strings.Builder
+	err := run([]string{"-n", "300", "-events", "100", "-probes", "2", "-sources", "0", "-csv", path}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("trace CSV too short:\n%s", data)
+	}
+	if !strings.HasPrefix(lines[0], "event,alive,mean_degree") {
+		t.Errorf("header: %s", lines[0])
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	t.Parallel()
+	var buf strings.Builder
+	cases := [][]string{
+		{"-pjoin", "1.5"},
+		{"-events", "0"},
+		{"-join", "teleport"},
+		{"-repair", "duct-tape"},
+		{"-no-such-flag"},
+		{"-n", "2", "-m", "2"}, // too small for the seed clique
+	}
+	for _, args := range cases {
+		if err := run(args, &buf); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
+	}
+}
+
+func TestRunUniformNoRepairCrash(t *testing.T) {
+	t.Parallel()
+	var buf strings.Builder
+	err := run([]string{
+		"-n", "300", "-events", "150", "-probes", "3", "-sources", "0",
+		"-join", "uniform", "-repair", "none", "-crash",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "repair-links=0") {
+		t.Errorf("no-repair run should create no repair links:\n%s", buf.String())
+	}
+}

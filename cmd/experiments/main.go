@@ -1,0 +1,152 @@
+// Command experiments regenerates the paper's tables and figures. Each
+// experiment writes one CSV per figure panel into the output directory and
+// prints an ASCII rendering to stdout.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -exp fig6 -scale smoke -outdir results
+//	experiments -exp all  -scale paper -outdir results   # hours at paper scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"scalefree/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		exp    = fs.String("exp", "all", "experiment ID (see -list) or 'all'")
+		scale  = fs.String("scale", "smoke", "experiment scale: smoke|paper")
+		seed   = fs.Uint64("seed", 2007, "RNG seed (the venue year, for luck)")
+		outdir = fs.String("outdir", "results", "directory for CSV output")
+		list   = fs.Bool("list", false, "list available experiments and exit")
+		verify = fs.Bool("verify", false, "check the paper's headline claims and exit")
+		plot   = fs.Bool("plot", true, "print ASCII renderings to stdout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, s := range sim.Registry() {
+			fmt.Fprintf(stdout, "%-10s %-12s %s\n", s.ID, s.Paper, s.Description)
+		}
+		return nil
+	}
+
+	if *verify {
+		return runVerify(stdout, *scale, *seed)
+	}
+
+	var sc sim.Scale
+	switch *scale {
+	case "smoke":
+		sc = sim.SmokeScale
+	case "paper":
+		sc = sim.PaperScale
+	default:
+		return fmt.Errorf("unknown scale %q (want smoke or paper)", *scale)
+	}
+
+	var specs []sim.Spec
+	if *exp == "all" {
+		specs = sim.Registry()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			s, err := sim.Lookup(strings.TrimSpace(id))
+			if err != nil {
+				return err
+			}
+			specs = append(specs, s)
+		}
+	}
+
+	if err := os.MkdirAll(*outdir, 0o755); err != nil {
+		return fmt.Errorf("mkdir %s: %w", *outdir, err)
+	}
+
+	for _, spec := range specs {
+		start := time.Now()
+		fmt.Fprintf(os.Stderr, "running %s (%s: %s)...\n", spec.ID, spec.Paper, spec.Description)
+		figs, err := spec.Run(sc, *seed)
+		if err != nil {
+			return fmt.Errorf("%s: %w", spec.ID, err)
+		}
+		for _, fig := range figs {
+			path := filepath.Join(*outdir, fig.ID+".csv")
+			if err := writeCSV(path, fig); err != nil {
+				return err
+			}
+			if *plot {
+				fmt.Fprintln(stdout, sim.RenderTable(fig))
+				if len(fig.Series) > 0 && len(fig.Series[0].Points) > 1 {
+					fmt.Fprintln(stdout, sim.RenderPlot(fig, 72, 20))
+				}
+			}
+		}
+		fmt.Fprintf(os.Stderr, "%s done in %s (%d panels)\n", spec.ID, time.Since(start).Round(time.Millisecond), len(figs))
+	}
+	return nil
+}
+
+// runVerify checks every machine-checkable paper claim and reports
+// PASS/FAIL; it exits non-zero if any claim fails.
+func runVerify(stdout io.Writer, scale string, seed uint64) error {
+	sc := sim.SmokeScale
+	if scale == "paper" {
+		sc = sim.PaperScale
+	}
+	results := sim.CheckAllClaims(sc, seed)
+	failed := 0
+	for _, r := range results {
+		status := "PASS"
+		if r.Err != nil {
+			status = "ERROR"
+			failed++
+		} else if !r.Pass {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Fprintf(stdout, "[%-5s] %-28s %s\n", status, r.ID, r.Statement)
+		if r.Detail != "" {
+			fmt.Fprintf(stdout, "        measured: %s\n", r.Detail)
+		}
+		if r.Err != nil {
+			fmt.Fprintf(stdout, "        error: %v\n", r.Err)
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d/%d claims failed", failed, len(results))
+	}
+	fmt.Fprintf(stdout, "all %d paper claims verified\n", len(results))
+	return nil
+}
+
+func writeCSV(path string, fig sim.Figure) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", path, err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	return sim.WriteCSV(f, fig)
+}

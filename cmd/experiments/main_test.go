@@ -1,0 +1,84 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	t.Parallel()
+	var buf strings.Builder
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, id := range []string{"fig1a", "fig12", "table1", "strategies", "replication", "churn"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("listing missing %s", id)
+		}
+	}
+}
+
+func TestRunUnknownScale(t *testing.T) {
+	t.Parallel()
+	var buf strings.Builder
+	if err := run([]string{"-scale", "galactic"}, &buf); err == nil {
+		t.Fatal("unknown scale should fail")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	t.Parallel()
+	var buf strings.Builder
+	if err := run([]string{"-exp", "fig99"}, &buf); err == nil {
+		t.Fatal("unknown experiment should fail")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	t.Parallel()
+	var buf strings.Builder
+	if err := run([]string{"-no-such-flag"}, &buf); err == nil {
+		t.Fatal("bad flag should fail")
+	}
+}
+
+func TestRunSingleExperimentWritesCSV(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	var buf strings.Builder
+	if err := run([]string{"-exp", "fig1c", "-outdir", dir, "-plot=false"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig1c.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 4 {
+		t.Errorf("fig1c CSV should have header + data rows:\n%s", data)
+	}
+	if !strings.Contains(lines[0], "series") {
+		t.Errorf("missing header: %s", lines[0])
+	}
+}
+
+func TestRunCommaSeparatedExperiments(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	var buf strings.Builder
+	if err := run([]string{"-exp", "table2, fig1c", "-outdir", dir, "-plot=true"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"table2.csv", "fig1c.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("missing %s: %v", f, err)
+		}
+	}
+	if !strings.Contains(buf.String(), "Table II") && !strings.Contains(buf.String(), "locality") {
+		// RenderTable output should mention the artifact in some form.
+		t.Logf("plot output: %.200s", buf.String())
+	}
+}

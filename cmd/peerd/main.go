@@ -1,0 +1,124 @@
+// Command peerd runs a single live overlay peer on TCP. Peers discover
+// each other and attach with the paper's local join protocols; queries can
+// be issued from the command line of any peer.
+//
+// Start a bootstrap peer:
+//
+//	peerd -listen 127.0.0.1:7001 -keys alpha,beta
+//
+// Join more peers and search:
+//
+//	peerd -listen 127.0.0.1:7002 -bootstrap 127.0.0.1:7001 -join dapa -keys gamma
+//	peerd -listen 127.0.0.1:7003 -bootstrap 127.0.0.1:7001 -join hapa \
+//	      -query alpha -alg fl -ttl 5
+//
+// Without -query, peerd serves until interrupted, printing a status line
+// every -status interval.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"scalefree"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "peerd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("peerd", flag.ContinueOnError)
+	var (
+		listen    = fs.String("listen", "127.0.0.1:7001", "TCP listen address (this peer's identity)")
+		bootstrap = fs.String("bootstrap", "", "bootstrap peer address (empty: start a new overlay)")
+		joinStrat = fs.String("join", "dapa", "join strategy: dapa|hapa|random")
+		m         = fs.Int("m", 2, "links to establish when joining")
+		kc        = fs.Int("kc", 40, "hard degree cutoff (0 = none)")
+		tau       = fs.Int("tau", 4, "discovery TTL tau_sub")
+		keys      = fs.String("keys", "", "comma-separated content keys to share")
+		query     = fs.String("query", "", "issue one query, print hits, and exit")
+		alg       = fs.String("alg", "fl", "query algorithm: fl|nf|rw")
+		ttl       = fs.Int("ttl", 6, "query TTL")
+		window    = fs.Duration("window", 500*time.Millisecond, "reply collection window")
+		status    = fs.Duration("status", 10*time.Second, "status print interval")
+		seed      = fs.Uint64("seed", uint64(os.Getpid()), "RNG seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var strategy scalefree.JoinStrategy
+	switch *joinStrat {
+	case "dapa":
+		strategy = scalefree.JoinDAPA
+	case "hapa":
+		strategy = scalefree.JoinHAPA
+	case "random":
+		strategy = scalefree.JoinRandom
+	default:
+		return fmt.Errorf("unknown join strategy %q", *joinStrat)
+	}
+	var keyList []string
+	if *keys != "" {
+		keyList = strings.Split(*keys, ",")
+	}
+
+	net := scalefree.NewTCPNetwork()
+	defer net.Close()
+	peer, err := scalefree.NewPeer(scalefree.PeerConfig{
+		Addr: *listen, M: *m, KC: *kc, TauSub: *tau,
+		Keys: keyList, Seed: *seed, DiscoverWindow: *window,
+	}, net)
+	if err != nil {
+		return err
+	}
+	defer peer.Leave()
+	fmt.Fprintf(out, "peerd: listening on %s (m=%d kc=%d tau=%d keys=%v)\n", *listen, *m, *kc, *tau, keyList)
+
+	if *bootstrap != "" {
+		made, err := peer.Join(*bootstrap, strategy)
+		if err != nil {
+			return fmt.Errorf("join via %s: %w", *bootstrap, err)
+		}
+		fmt.Fprintf(out, "peerd: joined via %s (%s), %d links\n", *bootstrap, strategy, made)
+	}
+
+	if *query != "" {
+		res, err := peer.Query(*query, scalefree.SearchAlg(*alg), *ttl)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "peerd: query %q (%s, ttl=%d): %d hits in %s\n",
+			*query, *alg, *ttl, len(res.Hits), res.Elapsed.Round(time.Millisecond))
+		for _, h := range res.Hits {
+			fmt.Fprintf(out, "  hit: %s (degree %d)\n", h.Addr, h.Degree)
+		}
+		return nil
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	tick := time.NewTicker(*status)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			st := peer.Stats()
+			fmt.Fprintf(out, "peerd: degree=%d sent=%d recv=%d queries=%d hits-served=%d\n",
+				peer.Degree(), st.Sent, st.Received, st.QueriesSeen, st.HitsServed)
+		case s := <-sig:
+			fmt.Fprintf(out, "peerd: %v, leaving overlay\n", s)
+			return nil
+		}
+	}
+}

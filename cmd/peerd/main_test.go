@@ -1,0 +1,136 @@
+package main
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"scalefree"
+)
+
+// freePort reserves an ephemeral TCP port and returns "127.0.0.1:port".
+func freePort(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return addr
+}
+
+func TestRunBadFlags(t *testing.T) {
+	t.Parallel()
+	var buf strings.Builder
+	if err := run([]string{"-join", "teleport"}, &buf); err == nil {
+		t.Fatal("unknown join strategy should fail")
+	}
+	if err := run([]string{"-definitely-not-a-flag"}, &buf); err == nil {
+		t.Fatal("bad flag should fail")
+	}
+}
+
+func TestRunQueryAgainstBootstrap(t *testing.T) {
+	t.Parallel()
+	// Start a bootstrap peer holding content, on a real TCP transport.
+	bootAddr := freePort(t)
+	bootNet := scalefree.NewTCPNetwork()
+	defer bootNet.Close()
+	boot, err := scalefree.NewPeer(scalefree.PeerConfig{
+		Addr: bootAddr, M: 2, TauSub: 4, Seed: 1,
+		Keys:           []string{"alpha"},
+		DiscoverWindow: 150 * time.Millisecond,
+	}, bootNet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer boot.Close()
+
+	// peerd joins it, queries for the key, and exits.
+	var buf strings.Builder
+	var mu sync.Mutex
+	out := &lockedWriter{mu: &mu, b: &buf}
+	err = run([]string{
+		"-listen", freePort(t),
+		"-bootstrap", bootAddr,
+		"-join", "dapa",
+		"-query", "alpha",
+		"-alg", "fl",
+		"-ttl", "4",
+		"-window", "300ms",
+		"-seed", "7",
+	}, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	got := buf.String()
+	mu.Unlock()
+	if !strings.Contains(got, "joined via") {
+		t.Errorf("peerd should report the join:\n%s", got)
+	}
+	if !strings.Contains(got, "1 hits") {
+		t.Errorf("peerd should find alpha on the bootstrap:\n%s", got)
+	}
+}
+
+func TestRunQueryMiss(t *testing.T) {
+	t.Parallel()
+	bootAddr := freePort(t)
+	bootNet := scalefree.NewTCPNetwork()
+	defer bootNet.Close()
+	boot, err := scalefree.NewPeer(scalefree.PeerConfig{
+		Addr: bootAddr, M: 2, TauSub: 4, Seed: 2,
+		DiscoverWindow: 150 * time.Millisecond,
+	}, bootNet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer boot.Close()
+
+	var buf strings.Builder
+	err = run([]string{
+		"-listen", freePort(t),
+		"-bootstrap", bootAddr,
+		"-query", "no-such-key",
+		"-window", "200ms",
+		"-seed", "8",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "0 hits") {
+		t.Errorf("missing key should yield 0 hits:\n%s", buf.String())
+	}
+}
+
+func TestRunJoinUnreachableBootstrap(t *testing.T) {
+	t.Parallel()
+	var buf strings.Builder
+	err := run([]string{
+		"-listen", freePort(t),
+		"-bootstrap", "127.0.0.1:1", // nothing listens here
+		"-query", "x",
+		"-window", "100ms",
+	}, &buf)
+	if err == nil {
+		t.Fatal("unreachable bootstrap should fail the join")
+	}
+}
+
+// lockedWriter guards a strings.Builder for cross-goroutine writes.
+type lockedWriter struct {
+	mu *sync.Mutex
+	b  *strings.Builder
+}
+
+func (w *lockedWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.Write(p)
+}

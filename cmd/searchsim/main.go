@@ -1,0 +1,124 @@
+// Command searchsim runs search-efficiency experiments on a topology: it
+// loads an edge list (or generates a PA topology inline) and prints mean
+// hits and messages per TTL for flooding, normalized flooding, and the
+// NF-budget random walk, averaged over random sources.
+//
+// Usage:
+//
+//	topogen -model pa -n 10000 -m 2 -kc 40 -o pa.edges
+//	searchsim -in pa.edges -alg nf -kmin 2 -ttl 10 -sources 100
+//	searchsim -n 10000 -m 2 -kc 40 -alg all -ttl 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"scalefree"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "searchsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		in      = flag.String("in", "", "edge-list file (empty: generate PA inline)")
+		n       = flag.Int("n", 10000, "nodes for inline PA generation")
+		m       = flag.Int("m", 2, "stubs for inline PA generation")
+		kc      = flag.Int("kc", 0, "hard cutoff for inline PA generation")
+		alg     = flag.String("alg", "all", "algorithm: fl|nf|rw|all")
+		kmin    = flag.Int("kmin", 0, "NF fan-out (default m)")
+		ttl     = flag.Int("ttl", 10, "maximum TTL")
+		sources = flag.Int("sources", 100, "random sources averaged")
+		seed    = flag.Uint64("seed", 1, "RNG seed")
+	)
+	flag.Parse()
+	if *kmin <= 0 {
+		*kmin = *m
+	}
+
+	g, err := load(*in, *n, *m, *kc, *seed)
+	if err != nil {
+		return err
+	}
+	rng := scalefree.NewRNG(*seed + 1)
+
+	algs := []string{"fl", "nf", "rw"}
+	if *alg != "all" {
+		algs = []string{*alg}
+	}
+	type row struct {
+		hits, msgs []float64
+	}
+	results := map[string]row{}
+	for _, a := range algs {
+		hits := make([]float64, *ttl+1)
+		msgs := make([]float64, *ttl+1)
+		for s := 0; s < *sources; s++ {
+			src := rng.Intn(g.N())
+			var res scalefree.SearchResult
+			switch a {
+			case "fl":
+				res, err = scalefree.Flood(g, src, *ttl)
+			case "nf":
+				res, err = scalefree.NormalizedFlood(g, src, *ttl, *kmin, rng)
+			case "rw":
+				res, _, err = scalefree.RandomWalkWithNFBudget(g, src, *ttl, *kmin, rng)
+			default:
+				return fmt.Errorf("unknown algorithm %q", a)
+			}
+			if err != nil {
+				return err
+			}
+			for t := 0; t <= *ttl; t++ {
+				hits[t] += float64(res.HitsAt(t))
+				msgs[t] += float64(res.MessagesAt(t))
+			}
+		}
+		for t := range hits {
+			hits[t] /= float64(*sources)
+			msgs[t] /= float64(*sources)
+		}
+		results[a] = row{hits, msgs}
+	}
+
+	fmt.Printf("topology: nodes=%d edges=%d maxdeg=%d; %d sources, kmin=%d\n",
+		g.N(), g.M(), g.MaxDegree(), *sources, *kmin)
+	tw := tabwriter.NewWriter(os.Stdout, 4, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "tau")
+	for _, a := range algs {
+		fmt.Fprintf(tw, "\t%s hits\t%s msgs", a, a)
+	}
+	fmt.Fprintln(tw)
+	for t := 1; t <= *ttl; t++ {
+		fmt.Fprintf(tw, "%d", t)
+		for _, a := range algs {
+			fmt.Fprintf(tw, "\t%.1f\t%.1f", results[a].hits[t], results[a].msgs[t])
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+func load(path string, n, m, kc int, seed uint64) (*scalefree.Graph, error) {
+	if path == "" {
+		g, _, err := scalefree.GeneratePA(scalefree.PAConfig{N: n, M: m, KC: kc}, scalefree.NewRNG(seed))
+		return g, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "searchsim: close:", cerr)
+		}
+	}()
+	return scalefree.ReadEdgeList(f)
+}

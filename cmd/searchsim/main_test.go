@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"scalefree"
+)
+
+func TestLoadInlinePA(t *testing.T) {
+	t.Parallel()
+	g, err := load("", 500, 2, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 500 || g.MaxDegree() > 20 {
+		t.Fatalf("N=%d maxdeg=%d", g.N(), g.MaxDegree())
+	}
+}
+
+func TestLoadFromFile(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.edges")
+	g, _, err := scalefree.GeneratePA(scalefree.PAConfig{N: 200, M: 2}, scalefree.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WriteEdgeList(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := load(path, 0, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != 200 || got.M() != g.M() {
+		t.Fatalf("loaded N=%d M=%d, want %d/%d", got.N(), got.M(), g.N(), g.M())
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	t.Parallel()
+	if _, err := load("/nonexistent/file.edges", 0, 0, 0, 0); err == nil {
+		t.Fatal("missing file should error")
+	}
+}

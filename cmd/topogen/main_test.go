@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestGenerateAllModels(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		model string
+		n     int
+	}{
+		{"pa", 500}, {"cm", 500}, {"hapa", 500}, {"dapa", 300},
+		{"grn", 500}, {"mesh", 100}, {"er", 200}, {"ws", 200},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.model, func(t *testing.T) {
+			t.Parallel()
+			g, err := generate(tc.model, tc.n, 2, 20, 2.5, 4, 0, 10, 0.1, 1)
+			if err != nil {
+				t.Fatalf("generate(%s): %v", tc.model, err)
+			}
+			if g.N() < tc.n/2 {
+				t.Fatalf("%s: only %d nodes", tc.model, g.N())
+			}
+		})
+	}
+}
+
+func TestGenerateUnknownModel(t *testing.T) {
+	t.Parallel()
+	if _, err := generate("bogus", 100, 2, 0, 2.5, 4, 0, 10, 0.1, 1); err == nil {
+		t.Fatal("unknown model should error")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	t.Parallel()
+	a, err := generate("pa", 400, 2, 30, 2.5, 4, 0, 10, 0.1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := generate("pa", 400, 2, 30, 2.5, 4, 0, 10, 0.1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.M() != b.M() {
+		t.Fatalf("same seed produced %d vs %d edges", a.M(), b.M())
+	}
+}
+
+func TestGenerateMeshSizing(t *testing.T) {
+	t.Parallel()
+	// -n 10 gives a ceil(sqrt(10))=4-side grid -> 16 nodes.
+	g, err := generate("mesh", 10, 2, 0, 2.5, 4, 0, 10, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 16 {
+		t.Fatalf("mesh N = %d, want 16", g.N())
+	}
+}
+
+func TestDOTFormat(t *testing.T) {
+	t.Parallel()
+	g, err := generate("pa", 50, 2, 10, 2.5, 4, 0, 10, 0.1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf, "pa"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "graph \"pa\" {") {
+		t.Errorf("DOT header missing:\n%.200s", buf.String())
+	}
+}

@@ -1,0 +1,112 @@
+// Visualize: render what a hard cutoff does to an overlay's shape. It
+// generates small instances of the paper's four mechanisms with and
+// without a cutoff and writes Graphviz DOT files (node size scales with
+// degree, so hubs — or their absence — jump out).
+//
+// Run: go run ./examples/visualize [-outdir dot]
+// Then render any file:  sfdp -Tsvg dot/pa-nokc.dot -o pa.svg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"scalefree"
+)
+
+const (
+	nodes  = 400
+	m      = 2
+	hardKC = 8
+	seed   = 2007
+)
+
+func main() {
+	outdir := flag.String("outdir", "dot", "directory for .dot files")
+	flag.Parse()
+	if err := run(*outdir); err != nil {
+		fmt.Fprintln(os.Stderr, "visualize:", err)
+		os.Exit(1)
+	}
+}
+
+func run(outdir string) error {
+	if err := os.MkdirAll(outdir, 0o755); err != nil {
+		return fmt.Errorf("mkdir %s: %w", outdir, err)
+	}
+	type variant struct {
+		name string
+		gen  func(kc int, rng *scalefree.RNG) (*scalefree.Graph, error)
+	}
+	variants := []variant{
+		{"pa", func(kc int, rng *scalefree.RNG) (*scalefree.Graph, error) {
+			g, _, err := scalefree.GeneratePA(scalefree.PAConfig{N: nodes, M: m, KC: kc}, rng)
+			return g, err
+		}},
+		{"cm", func(kc int, rng *scalefree.RNG) (*scalefree.Graph, error) {
+			effKC := kc
+			if effKC == scalefree.NoCutoff {
+				effKC = nodes
+			}
+			g, _, err := scalefree.GenerateCM(scalefree.CMConfig{N: nodes, M: m, KC: effKC, Gamma: 2.5}, rng)
+			return g, err
+		}},
+		{"hapa", func(kc int, rng *scalefree.RNG) (*scalefree.Graph, error) {
+			g, _, err := scalefree.GenerateHAPA(scalefree.HAPAConfig{N: nodes, M: m, KC: kc}, rng)
+			return g, err
+		}},
+		{"dapa", func(kc int, rng *scalefree.RNG) (*scalefree.Graph, error) {
+			sub, _, err := scalefree.GenerateGRN(scalefree.GRNConfig{N: 2 * nodes, MeanDegree: 10}, rng)
+			if err != nil {
+				return nil, err
+			}
+			ov, _, err := scalefree.GenerateDAPA(sub, scalefree.DAPAConfig{
+				NOverlay: nodes, M: m, KC: kc, TauSub: 8,
+			}, rng)
+			if err != nil {
+				return nil, err
+			}
+			return ov.G, nil
+		}},
+	}
+	cutoffs := []struct {
+		slug string
+		kc   int
+	}{
+		{"nokc", scalefree.NoCutoff},
+		{fmt.Sprintf("kc%d", hardKC), hardKC},
+	}
+	for _, v := range variants {
+		for _, c := range cutoffs {
+			g, err := v.gen(c.kc, scalefree.NewRNG(seed))
+			if err != nil {
+				return fmt.Errorf("%s %s: %w", v.name, c.slug, err)
+			}
+			name := fmt.Sprintf("%s-%s", v.name, c.slug)
+			path := filepath.Join(outdir, name+".dot")
+			if err := writeDOT(path, g, name); err != nil {
+				return err
+			}
+			fmt.Printf("%-12s N=%d  max degree %3d  -> %s\n", name, g.N(), g.MaxDegree(), path)
+		}
+	}
+	fmt.Println("\nrender with graphviz, e.g.:  sfdp -Tsvg dot/hapa-nokc.dot -o hapa.svg")
+	fmt.Println("hapa-nokc shows the star-like super-hub core (Fig. 3a); hapa-kc8 shows the")
+	fmt.Println("cutoff dissolving it — the paper's §IV-A observation, visible.")
+	return nil
+}
+
+func writeDOT(path string, g *scalefree.Graph, name string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", path, err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	return g.WriteDOT(f, name)
+}

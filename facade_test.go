@@ -1,0 +1,117 @@
+package scalefree
+
+// Completeness pass over the façade: every re-exported function is called
+// once through the public surface, catching wiring mistakes (wrong
+// internal target, swapped arguments) that the internal tests cannot see.
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFacadeTopologyWrappers(t *testing.T) {
+	t.Parallel()
+	rng := NewRNG(1)
+	if _, _, err := GenerateLocalEvents(LocalEventsConfig{N: 400, M: 2, P: 0.2, Q: 0.1}, rng); err != nil {
+		t.Fatal(err)
+	}
+	g, _, err := GeneratePA(PAConfig{N: 600, M: 2, KC: 30}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gi := DegreeGini(g); gi <= 0 || gi >= 1 {
+		t.Fatalf("DegreeGini = %v", gi)
+	}
+	if ts := TopLoadShare(g, 0.01); ts <= 0 || ts > 1 {
+		t.Fatalf("TopLoadShare = %v", ts)
+	}
+	knn := AverageNeighborDegree(g)
+	if len(knn) == 0 {
+		t.Fatal("AverageNeighborDegree empty")
+	}
+	d := DegreeDistribution(g)
+	if _, err := KSDistance(d, 2.5, 2); err != nil {
+		t.Fatal(err)
+	}
+	if c := GlobalClustering(g); c < 0 || c > 1 {
+		t.Fatalf("clustering %v", c)
+	}
+}
+
+func TestFacadeSearchWrappers(t *testing.T) {
+	t.Parallel()
+	rng := NewRNG(2)
+	g, _, err := GeneratePA(PAConfig{N: 600, M: 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring, err := ExpandingRing(g, 0, func(v int) bool { return v == 100 }, nil, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ring.Found {
+		t.Fatal("expanding ring missed a reachable node")
+	}
+	if _, err := RandomWalk(g, 0, 50, rng); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeLiveWrappers(t *testing.T) {
+	t.Parallel()
+	netw := NewInMemoryNetwork()
+	mk := func(addr string, seed uint64) *Peer {
+		p, err := NewPeer(PeerConfig{
+			Addr: addr, M: 1, TauSub: 2, Seed: seed,
+			DiscoverWindow: 40 * time.Millisecond,
+		}, netw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(p.Close)
+		return p
+	}
+	a := mk("a", 1)
+	b := mk("b", 2)
+	mk("c", 3)
+	if err := a.Connect("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Connect("c"); err != nil {
+		t.Fatal(err)
+	}
+	m := NewMaintainer(a, func() string { return "b" }, JoinDAPA, 10*time.Millisecond)
+	time.Sleep(30 * time.Millisecond)
+	m.Stop()
+
+	// Crawl through the facade type; the crawler excludes its own links,
+	// so from a's vantage the map holds b and c.
+	var res CrawlResult
+	res, err := a.Crawl("b", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.G.N() < 2 {
+		t.Fatalf("crawl found %d peers", res.G.N())
+	}
+}
+
+func TestFacadeTCPWrapper(t *testing.T) {
+	t.Parallel()
+	netw := NewTCPNetwork()
+	t.Cleanup(netw.Close)
+	inbox := make(chan struct {
+		From, To string
+	}, 1)
+	_ = inbox // the TCP transport is exercised end-to-end in internal/p2p
+	p, err := NewPeer(PeerConfig{
+		Addr: "127.0.0.1:0", M: 1, TauSub: 2, Seed: 9,
+		DiscoverWindow: 100 * time.Millisecond,
+	}, netw)
+	if err != nil {
+		// Port-0 identity quirk: the peer registers under the literal
+		// string; dialing it fails but registration must succeed.
+		t.Fatalf("NewPeer over TCP: %v", err)
+	}
+	p.Close()
+}

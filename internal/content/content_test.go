@@ -1,0 +1,320 @@
+package content
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"scalefree/internal/xrand"
+)
+
+func mustCatalog(t testing.TB, items int, alpha float64) *Catalog {
+	t.Helper()
+	c, err := NewCatalog(items, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewCatalogValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := NewCatalog(0, 1); err == nil {
+		t.Error("zero items should fail")
+	}
+	if _, err := NewCatalog(10, -0.5); err == nil {
+		t.Error("negative alpha should fail")
+	}
+	if _, err := NewCatalog(10, math.NaN()); err == nil {
+		t.Error("NaN alpha should fail")
+	}
+}
+
+func TestCatalogWeightsNormalizedAndMonotone(t *testing.T) {
+	t.Parallel()
+	c := mustCatalog(t, 100, 0.8)
+	var sum float64
+	for i := 0; i < c.NumItems(); i++ {
+		q := c.QueryRate(Item(i))
+		if q <= 0 {
+			t.Fatalf("rate %d = %v", i, q)
+		}
+		if i > 0 && q > c.QueryRate(Item(i-1)) {
+			t.Fatalf("popularity not monotone at %d", i)
+		}
+		sum += q
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("rates sum to %v, want 1", sum)
+	}
+}
+
+func TestCatalogAlphaZeroUniform(t *testing.T) {
+	t.Parallel()
+	c := mustCatalog(t, 50, 0)
+	want := 1.0 / 50
+	for i := 0; i < 50; i++ {
+		if math.Abs(c.QueryRate(Item(i))-want) > 1e-12 {
+			t.Fatalf("alpha=0 rate %d = %v, want %v", i, c.QueryRate(Item(i)), want)
+		}
+	}
+}
+
+func TestCatalogQueryRateOutOfRange(t *testing.T) {
+	t.Parallel()
+	c := mustCatalog(t, 5, 1)
+	if c.QueryRate(-1) != 0 || c.QueryRate(5) != 0 {
+		t.Error("out-of-range items should have zero rate")
+	}
+}
+
+func TestSampleQueryMatchesDistribution(t *testing.T) {
+	t.Parallel()
+	c := mustCatalog(t, 20, 1.0)
+	rng := xrand.New(42)
+	const draws = 200000
+	counts := make([]int, c.NumItems())
+	for i := 0; i < draws; i++ {
+		counts[c.SampleQuery(rng)]++
+	}
+	for i := 0; i < c.NumItems(); i++ {
+		want := c.QueryRate(Item(i))
+		got := float64(counts[i]) / draws
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("item %d frequency %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestSampleQueryCoversSupport(t *testing.T) {
+	t.Parallel()
+	// Even the least popular item must be sampleable.
+	c := mustCatalog(t, 4, 2.0)
+	rng := xrand.New(7)
+	seen := make(map[Item]bool)
+	for i := 0; i < 50000; i++ {
+		seen[c.SampleQuery(rng)] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("sampled %d distinct items, want 4", len(seen))
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	t.Parallel()
+	cases := map[Strategy]string{
+		Uniform:      "uniform",
+		Proportional: "proportional",
+		SquareRoot:   "square-root",
+		Strategy(9):  "strategy(9)",
+	}
+	for s, want := range cases {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(s), s.String(), want)
+		}
+	}
+}
+
+func TestReplicateValidation(t *testing.T) {
+	t.Parallel()
+	c := mustCatalog(t, 10, 1)
+	rng := xrand.New(1)
+	if _, err := Replicate(c, 0, 100, Uniform, rng); err == nil {
+		t.Error("zero nodes should fail")
+	}
+	if _, err := Replicate(c, 100, 5, Uniform, rng); err == nil {
+		t.Error("budget below item count should fail")
+	}
+	if _, err := Replicate(c, 100, 50, Strategy(42), rng); err == nil {
+		t.Error("unknown strategy should fail")
+	}
+}
+
+func TestReplicateUniformEqualCopies(t *testing.T) {
+	t.Parallel()
+	c := mustCatalog(t, 20, 1.2)
+	p, err := Replicate(c, 500, 20*7, Uniform, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if got := p.Replicas(Item(i)); got != 7 {
+			t.Errorf("uniform replicas(%d) = %d, want 7", i, got)
+		}
+	}
+	if p.TotalCopies() != 140 {
+		t.Errorf("total copies %d, want 140", p.TotalCopies())
+	}
+}
+
+func TestReplicateProportionalOrdering(t *testing.T) {
+	t.Parallel()
+	c := mustCatalog(t, 30, 1.0)
+	p, err := Replicate(c, 2000, 3000, Proportional, xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replica counts must be non-increasing in rank (popularity order),
+	// and the most popular item must get strictly more than the median.
+	for i := 1; i < 30; i++ {
+		if p.Replicas(Item(i)) > p.Replicas(Item(i-1)) {
+			t.Fatalf("proportional replicas increased at rank %d", i)
+		}
+	}
+	if p.Replicas(0) <= p.Replicas(15) {
+		t.Fatalf("head item %d copies, median %d", p.Replicas(0), p.Replicas(15))
+	}
+}
+
+func TestReplicateSquareRootBetweenUniformAndProportional(t *testing.T) {
+	t.Parallel()
+	// Square-root allocation is flatter than proportional, steeper than
+	// uniform: for the top item, uniform <= sqrt <= proportional.
+	c := mustCatalog(t, 50, 1.0)
+	n, budget := 5000, 10000
+	pu, err := Replicate(c, n, budget, Uniform, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := Replicate(c, n, budget, SquareRoot, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := Replicate(c, n, budget, Proportional, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(pu.Replicas(0) <= ps.Replicas(0) && ps.Replicas(0) <= pp.Replicas(0)) {
+		t.Fatalf("head copies uniform=%d sqrt=%d prop=%d not ordered",
+			pu.Replicas(0), ps.Replicas(0), pp.Replicas(0))
+	}
+	// And the reverse for the least popular item.
+	last := Item(49)
+	if !(pu.Replicas(last) >= ps.Replicas(last) && ps.Replicas(last) >= pp.Replicas(last)) {
+		t.Fatalf("tail copies uniform=%d sqrt=%d prop=%d not ordered",
+			pu.Replicas(last), ps.Replicas(last), pp.Replicas(last))
+	}
+}
+
+func TestReplicateHostsDistinctAndConsistent(t *testing.T) {
+	t.Parallel()
+	c := mustCatalog(t, 15, 0.7)
+	p, err := Replicate(c, 100, 300, SquareRoot, xrand.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 15; i++ {
+		hosts := p.Hosts(Item(i))
+		seen := make(map[int32]bool, len(hosts))
+		for _, h := range hosts {
+			if seen[h] {
+				t.Fatalf("item %d hosted twice on node %d", i, h)
+			}
+			seen[h] = true
+			if !p.HasItem(int(h), Item(i)) {
+				t.Fatalf("HasItem(%d,%d) = false but node is a host", h, i)
+			}
+		}
+	}
+	if p.HasItem(-1, 0) || p.HasItem(1000, 0) {
+		t.Error("out-of-range nodes should not host items")
+	}
+	if p.Replicas(-1) != 0 || p.Hosts(99) != nil {
+		t.Error("out-of-range items should be empty")
+	}
+}
+
+func TestReplicateEveryItemPlaced(t *testing.T) {
+	t.Parallel()
+	// Even with a strongly skewed catalog the floor guarantees one copy.
+	c := mustCatalog(t, 200, 2.5)
+	p, err := Replicate(c, 400, 400, Proportional, xrand.New(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if p.Replicas(Item(i)) < 1 {
+			t.Fatalf("item %d has no replicas", i)
+		}
+	}
+}
+
+func TestReplicateCapsAtN(t *testing.T) {
+	t.Parallel()
+	c := mustCatalog(t, 3, 1.5)
+	p, err := Replicate(c, 5, 1000, Proportional, xrand.New(19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if p.Replicas(Item(i)) > 5 {
+			t.Fatalf("item %d has %d replicas on 5 nodes", i, p.Replicas(Item(i)))
+		}
+	}
+}
+
+func TestReplicateDeterministicWithSeed(t *testing.T) {
+	t.Parallel()
+	c := mustCatalog(t, 25, 0.9)
+	a, err := Replicate(c, 300, 900, SquareRoot, xrand.New(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Replicate(c, 300, 900, SquareRoot, xrand.New(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 25; i++ {
+		ha, hb := a.Hosts(Item(i)), b.Hosts(Item(i))
+		if len(ha) != len(hb) {
+			t.Fatalf("item %d host counts differ", i)
+		}
+		for j := range ha {
+			if ha[j] != hb[j] {
+				t.Fatalf("item %d host %d differs", i, j)
+			}
+		}
+	}
+}
+
+// TestReplicateBudgetProperty property-checks that the realized copy count
+// stays within the floor/cap-adjusted envelope of the requested budget.
+func TestReplicateBudgetProperty(t *testing.T) {
+	t.Parallel()
+	f := func(seed uint64, itemsRaw, nRaw uint8, alphaRaw uint8) bool {
+		items := 1 + int(itemsRaw)%40
+		n := 10 + int(nRaw)%200
+		alpha := float64(alphaRaw%25) / 10
+		c, err := NewCatalog(items, alpha)
+		if err != nil {
+			return false
+		}
+		budget := items * 4
+		p, err := Replicate(c, n, budget, SquareRoot, xrand.New(seed))
+		if err != nil {
+			return false
+		}
+		// Envelope: at least one copy per item, at most n per item, and
+		// rounding keeps the total within items/2 of the budget... rounding
+		// can drift further with tiny catalogs, so allow the loose bound
+		// items + budget.
+		total := p.TotalCopies()
+		return total >= items && total <= items*n && total <= budget+items
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampleDistinctFullRange(t *testing.T) {
+	t.Parallel()
+	rng := xrand.New(29)
+	got := sampleDistinct(nil, 6, 6, rng)
+	if len(got) != 6 {
+		t.Fatalf("want all 6, got %d", len(got))
+	}
+	got = sampleDistinct(nil, 6, 10, rng)
+	if len(got) != 6 {
+		t.Fatalf("r>n should clamp to n, got %d", len(got))
+	}
+}

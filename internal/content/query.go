@@ -1,0 +1,193 @@
+package content
+
+// Query-resolution measurements over a placement: the expected search size
+// of random-walk probing (Cohen & Shenker's objective) and flooding
+// success rates at bounded TTL (the Gnutella deployment reality the paper
+// opens with).
+
+import (
+	"fmt"
+	"sort"
+
+	"scalefree/internal/graph"
+	"scalefree/internal/xrand"
+)
+
+// ErrBadGraph reports a placement/topology size mismatch.
+var ErrBadGraph = fmt.Errorf("content: graph order does not match placement")
+
+// ESSResult aggregates random-walk query resolution over a query workload.
+type ESSResult struct {
+	// Queries is the number of queries issued.
+	Queries int
+	// Found is how many located a replica within the step budget.
+	Found int
+	// MeanSteps is the mean number of probes over successful queries —
+	// the empirical expected search size (ESS).
+	MeanSteps float64
+	// P95Steps is the 95th percentile of successful probe counts.
+	P95Steps int
+}
+
+// SuccessRate returns Found/Queries (0 when no queries ran).
+func (r ESSResult) SuccessRate() float64 {
+	if r.Queries == 0 {
+		return 0
+	}
+	return float64(r.Found) / float64(r.Queries)
+}
+
+// WalkToItem walks from src until it lands on a node hosting the item,
+// counting the source itself as probe 0. It returns the number of probes
+// (walk steps) used and whether the item was found within maxSteps.
+func WalkToItem(g *graph.Graph, p *Placement, src int, item Item, maxSteps int, rng *xrand.RNG) (steps int, found bool) {
+	if p.HasItem(src, item) {
+		return 0, true
+	}
+	cur, prev := src, -1
+	for t := 1; t <= maxSteps; t++ {
+		next := g.RandomNeighborExcluding(cur, prev, rng)
+		if next < 0 {
+			if prev < 0 {
+				return t, false
+			}
+			next = prev
+		}
+		prev, cur = cur, next
+		if p.HasItem(cur, item) {
+			return t, true
+		}
+	}
+	return maxSteps, false
+}
+
+// ExpectedSearchSize issues `queries` popularity-distributed queries from
+// uniformly random sources and resolves each with a non-backtracking
+// random walk bounded by maxSteps, returning the aggregate ESS statistics.
+// This is the measurement Cohen & Shenker optimize: square-root
+// replication minimizes the popularity-weighted mean probe count.
+func ExpectedSearchSize(g *graph.Graph, p *Placement, c *Catalog, queries, maxSteps int, rng *xrand.RNG) (ESSResult, error) {
+	if g.N() != len(p.onNode) {
+		return ESSResult{}, fmt.Errorf("%w: graph %d, placement %d", ErrBadGraph, g.N(), len(p.onNode))
+	}
+	if queries < 1 {
+		return ESSResult{}, fmt.Errorf("content: queries %d must be >= 1", queries)
+	}
+	if rng == nil {
+		rng = xrand.New(0)
+	}
+	res := ESSResult{Queries: queries}
+	var successSteps []int
+	var sum float64
+	for q := 0; q < queries; q++ {
+		item := c.SampleQuery(rng)
+		src := rng.Intn(g.N())
+		steps, found := WalkToItem(g, p, src, item, maxSteps, rng)
+		if !found {
+			continue
+		}
+		res.Found++
+		sum += float64(steps)
+		successSteps = append(successSteps, steps)
+	}
+	if res.Found > 0 {
+		res.MeanSteps = sum / float64(res.Found)
+		res.P95Steps = percentileInt(successSteps, 0.95)
+	}
+	return res, nil
+}
+
+// FloodResult aggregates flooding query resolution over a workload.
+type FloodResult struct {
+	// Queries is the number of queries issued.
+	Queries int
+	// Found is how many located a replica within the TTL.
+	Found int
+	// MeanMessages is the mean flood transmissions per query (successful
+	// or not) — the §V-B2 messaging-complexity axis applied to content.
+	MeanMessages float64
+}
+
+// SuccessRate returns Found/Queries (0 when no queries ran).
+func (r FloodResult) SuccessRate() float64 {
+	if r.Queries == 0 {
+		return 0
+	}
+	return float64(r.Found) / float64(r.Queries)
+}
+
+// FloodForItem floods from src with the given TTL and reports whether any
+// node within the TTL ball hosts the item, plus the messages the flood
+// spent. In a deployed network the flood would stop early on a hit; the
+// message count here is the worst case, as in the paper's FL model (the
+// destination "cannot stop the search", §V-A1).
+func FloodForItem(g *graph.Graph, p *Placement, src int, item Item, ttl int) (found bool, messages int, err error) {
+	if src < 0 || src >= g.N() {
+		return false, 0, fmt.Errorf("content: source %d out of range", src)
+	}
+	// Message accounting matches search.Flood: every covered node forwards
+	// to its neighbors except the sender, unless it sits on the TTL shell.
+	g.BFSWithin(src, ttl, func(node, depth int) bool {
+		if p.HasItem(node, item) {
+			found = true
+		}
+		if depth == ttl {
+			return true
+		}
+		deg := g.Degree(node)
+		if depth == 0 {
+			messages += deg
+		} else if deg > 0 {
+			messages += deg - 1
+		}
+		return true
+	})
+	return found, messages, nil
+}
+
+// FloodSuccess issues popularity-distributed queries resolved by flooding
+// with the given TTL and aggregates success rate and message cost.
+func FloodSuccess(g *graph.Graph, p *Placement, c *Catalog, queries, ttl int, rng *xrand.RNG) (FloodResult, error) {
+	if g.N() != len(p.onNode) {
+		return FloodResult{}, fmt.Errorf("%w: graph %d, placement %d", ErrBadGraph, g.N(), len(p.onNode))
+	}
+	if queries < 1 {
+		return FloodResult{}, fmt.Errorf("content: queries %d must be >= 1", queries)
+	}
+	if rng == nil {
+		rng = xrand.New(0)
+	}
+	res := FloodResult{Queries: queries}
+	var msgSum float64
+	for q := 0; q < queries; q++ {
+		item := c.SampleQuery(rng)
+		src := rng.Intn(g.N())
+		found, msgs, err := FloodForItem(g, p, src, item, ttl)
+		if err != nil {
+			return FloodResult{}, err
+		}
+		if found {
+			res.Found++
+		}
+		msgSum += float64(msgs)
+	}
+	res.MeanMessages = msgSum / float64(queries)
+	return res, nil
+}
+
+// percentileInt returns the q-th percentile of xs (nearest-rank, xs is
+// sorted in place).
+func percentileInt(xs []int, q float64) int {
+	if len(xs) == 0 {
+		return 0
+	}
+	sort.Ints(xs)
+	idx := int(q*float64(len(xs))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(xs) {
+		idx = len(xs) - 1
+	}
+	return xs[idx]
+}

@@ -1,0 +1,197 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"scalefree/internal/stats"
+	"scalefree/internal/xrand"
+)
+
+func TestCMValidation(t *testing.T) {
+	t.Parallel()
+	cases := []CMConfig{
+		{N: 100, M: 0, Gamma: 2.5},
+		{N: 1, M: 1, Gamma: 2.5},
+		{N: 100, M: 1, Gamma: 1.0},
+		{N: 100, M: 3, KC: 2, Gamma: 2.5},
+	}
+	for _, cfg := range cases {
+		if _, _, err := CM(cfg, xrand.New(1)); err == nil {
+			t.Errorf("CM(%+v) should have failed validation", cfg)
+		}
+	}
+}
+
+func TestCMSimpleGraphAfterCleanup(t *testing.T) {
+	t.Parallel()
+	g, st, err := CM(CMConfig{N: 5000, M: 2, KC: 100, Gamma: 2.5}, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < g.N(); u++ {
+		if g.EdgeMultiplicity(u, u) != 0 {
+			t.Fatalf("self-loop survived at %d", u)
+		}
+	}
+	if st.SelfLoopsRemoved == 0 && st.MultiEdgesRemoved == 0 {
+		t.Log("no loops/multi-edges occurred (possible but unusual at this size)")
+	}
+	if g.TotalDegree() != 2*g.M() {
+		t.Fatal("degree sum inconsistent with edge count")
+	}
+}
+
+func TestCMDegreesRespectCutoff(t *testing.T) {
+	t.Parallel()
+	const kc = 40
+	g, _, err := CM(CMConfig{N: 10000, M: 1, KC: kc, Gamma: 2.2}, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.MaxDegree() > kc {
+		t.Fatalf("max degree %d > kc=%d", g.MaxDegree(), kc)
+	}
+}
+
+func TestCMExponentRecovered(t *testing.T) {
+	t.Parallel()
+	// Fig 2: CM "does not allow changes in the degree distribution
+	// exponent" — the generated network must match the prescribed gamma.
+	for _, gamma := range []float64{2.2, 3.0} {
+		var degrees []int
+		for seed := uint64(0); seed < 3; seed++ {
+			g, _, err := CM(CMConfig{N: 20000, M: 1, Gamma: gamma}, xrand.New(10+seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			degrees = append(degrees, g.DegreeSequence()...)
+		}
+		fit, err := stats.FitPowerLawMLE(degrees, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(fit.Gamma-gamma) > 0.35 {
+			t.Errorf("gamma %.1f: generated exponent %.3f", gamma, fit.Gamma)
+		}
+	}
+}
+
+func TestCMSomeDegreesBelowMAfterCleanup(t *testing.T) {
+	t.Parallel()
+	// Paper §III-C: deleting loops/multi-edges "causes some very
+	// negligible number of nodes in the network to have degrees less than
+	// the fixed minimum degree (m) value". With m=2 and no cutoff the
+	// hubs are huge, multi-edges frequent, so at least occasionally nodes
+	// drop below m — and the fraction must stay tiny.
+	below := 0
+	total := 0
+	for seed := uint64(0); seed < 5; seed++ {
+		g, _, err := CM(CMConfig{N: 5000, M: 2, Gamma: 2.2}, xrand.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range g.DegreeSequence() {
+			if k < 2 {
+				below++
+			}
+			total++
+		}
+	}
+	if below == 0 {
+		t.Log("no node dropped below m (acceptable, depends on draw)")
+	}
+	if frac := float64(below) / float64(total); frac > 0.05 {
+		t.Fatalf("%.2f%% of nodes below m — should be negligible", 100*frac)
+	}
+}
+
+func TestCMDisconnectedForM1ConnectedForM2(t *testing.T) {
+	t.Parallel()
+	// Paper §III-C: "the network is not a connected network when m=1 ...
+	// For m>1, the network is almost surely connected".
+	g1, _, err := CM(CMConfig{N: 5000, M: 1, Gamma: 2.6}, xrand.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.IsConnected() {
+		t.Fatal("CM with m=1 should have disconnected components")
+	}
+	g2, _, err := CM(CMConfig{N: 5000, M: 2, KC: 70, Gamma: 2.6}, xrand.New(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	giant := len(g2.GiantComponent())
+	if frac := float64(giant) / float64(g2.N()); frac < 0.98 {
+		t.Fatalf("CM m=2 giant component only %.1f%% of nodes", 100*frac)
+	}
+}
+
+func TestCMDeterminism(t *testing.T) {
+	t.Parallel()
+	cfg := CMConfig{N: 1000, M: 1, KC: 50, Gamma: 2.5}
+	a, _, err := CM(cfg, xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := CM(cfg, xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < a.N(); u++ {
+		if a.Degree(u) != b.Degree(u) {
+			t.Fatalf("degree(%d) differs", u)
+		}
+	}
+}
+
+func TestCMFewerLoopsWithSmallerCutoff(t *testing.T) {
+	t.Parallel()
+	// Paper §IV-C: "applying harder (smaller) cutoffs to the degrees
+	// decreases the probability to have self loops and multiple
+	// connections."
+	removed := func(kc int) int {
+		total := 0
+		for seed := uint64(0); seed < 5; seed++ {
+			_, st, err := CM(CMConfig{N: 5000, M: 1, KC: kc, Gamma: 2.2}, xrand.New(30+seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += st.SelfLoopsRemoved + st.MultiEdgesRemoved
+		}
+		return total
+	}
+	small, large := removed(10), removed(NoCutoff)
+	if small >= large {
+		t.Fatalf("cleanup counts: kc=10 removed %d, no cutoff removed %d — smaller cutoff should remove fewer", small, large)
+	}
+}
+
+func TestPowerLawDegreeSequence(t *testing.T) {
+	t.Parallel()
+	rng := xrand.New(9)
+	for trial := 0; trial < 50; trial++ {
+		n := rng.IntRange(2, 500)
+		seq := PowerLawDegreeSequence(n, 1, 40, 2.5, rng)
+		if len(seq) != n {
+			t.Fatalf("length %d, want %d", len(seq), n)
+		}
+		if sum(seq)%2 != 0 {
+			t.Fatalf("odd stub total %d", sum(seq))
+		}
+		for _, k := range seq {
+			if k < 0 || k > 41 {
+				t.Fatalf("degree %d wildly out of bounds", k)
+			}
+		}
+	}
+}
+
+func TestPowerLawDegreeSequenceDegenerate(t *testing.T) {
+	t.Parallel()
+	// kMin == kMax with odd total: parity repair must still terminate.
+	seq := PowerLawDegreeSequence(3, 1, 1, 2.5, xrand.New(1))
+	if sum(seq)%2 != 0 {
+		t.Fatalf("odd total %v", seq)
+	}
+}

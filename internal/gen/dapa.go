@@ -1,0 +1,227 @@
+package gen
+
+import (
+	"fmt"
+
+	"scalefree/internal/graph"
+	"scalefree/internal/xrand"
+)
+
+// DAPAConfig parameterizes Discover-and-Attempt Preferential Attachment
+// (paper §IV-B, Appendix D).
+type DAPAConfig struct {
+	// NOverlay is the target overlay size N_O (paper: 10⁴ on a substrate
+	// of N_S = 2·10⁴).
+	NOverlay int
+	// M is the number of stubs each joining peer tries to fill.
+	M int
+	// KC is the hard degree cutoff on overlay degree; NoCutoff (0)
+	// disables it.
+	KC int
+	// TauSub is the local time-to-live τ_sub of the substrate discovery
+	// flood: the joining node sees overlay peers at substrate distance
+	// 1..TauSub. Small values make peers "shortsighted" and the overlay
+	// exponential; large values recover a power law (Fig. 4).
+	TauSub int
+	// Seeds is the number of initial overlay nodes (fully connected to
+	// each other); the paper uses 2. Defaults to 2 when zero.
+	Seeds int
+}
+
+func (c DAPAConfig) validate(substrateN int) error {
+	if c.M < 1 {
+		return fmt.Errorf("%w: m=%d", ErrBadStubs, c.M)
+	}
+	if c.KC != NoCutoff && c.KC < c.M {
+		return fmt.Errorf("%w: kc=%d < m=%d", ErrBadCutoff, c.KC, c.M)
+	}
+	if c.TauSub < 1 {
+		return fmt.Errorf("gen: tau_sub must be >= 1, got %d", c.TauSub)
+	}
+	seeds := c.seeds()
+	if c.NOverlay < seeds {
+		return fmt.Errorf("%w: overlay target %d below seed count %d", ErrBadN, c.NOverlay, seeds)
+	}
+	if c.NOverlay > substrateN {
+		return fmt.Errorf("%w: overlay target %d exceeds substrate size %d", ErrBadN, c.NOverlay, substrateN)
+	}
+	return nil
+}
+
+func (c DAPAConfig) seeds() int {
+	if c.Seeds <= 0 {
+		return 2
+	}
+	return c.Seeds
+}
+
+// Overlay is the result of DAPA generation: an overlay graph over dense
+// overlay IDs plus the mapping back to substrate node IDs.
+type Overlay struct {
+	// G is the overlay topology; node IDs are 0..G.N()-1 in join order.
+	G *graph.Graph
+	// SubstrateID maps overlay node ID -> substrate node ID.
+	SubstrateID []int
+	// OverlayID maps substrate node ID -> overlay node ID, or -1 when the
+	// substrate node never joined.
+	OverlayID []int
+}
+
+// dapaAttemptBudget bounds the per-stub preferential rejection loop before
+// an exact weighted draw over the remaining eligible horizon peers.
+const dapaAttemptBudget = 10_000
+
+// DAPA grows an overlay network on a substrate by Discover-and-Attempt
+// Preferential Attachment (Appendix D):
+//
+//  1. Seed the overlay with Seeds random substrate nodes, fully connected.
+//  2. Repeatedly pick a uniform random substrate node not yet in the
+//     overlay; flood the substrate TauSub hops to discover the overlay
+//     peers in its horizon (those below the cutoff).
+//  3. If at most M peers were found, connect to all of them; otherwise
+//     attach M distinct peers preferentially (probability proportional to
+//     overlay degree, re-checking the cutoff as degrees grow).
+//  4. A node joins the overlay iff it connected to at least one peer;
+//     joined peers are never re-selected. Repeat until the overlay has
+//     NOverlay peers.
+//
+// The loop stalls if the substrate has unreachable pockets (e.g. nodes
+// outside the giant component can never see a peer). After
+// 50·N_S consecutive selections without a successful join, DAPA returns
+// the partial overlay wrapped in ErrStalled; Stats.Joined reports how far
+// it got. With the paper's parameters (GRN, k̄=10) this does not happen.
+func DAPA(substrate *graph.Graph, cfg DAPAConfig, rng *xrand.RNG) (*Overlay, Stats, error) {
+	var st Stats
+	if err := cfg.validate(substrate.N()); err != nil {
+		return nil, st, err
+	}
+	rng = defaultRNG(rng)
+	ns := substrate.N()
+
+	ov := &Overlay{
+		G:         graph.New(0),
+		OverlayID: make([]int, ns),
+	}
+	for i := range ov.OverlayID {
+		ov.OverlayID[i] = -1
+	}
+	join := func(substrateNode int) int {
+		id := ov.G.AddNode()
+		ov.SubstrateID = append(ov.SubstrateID, substrateNode)
+		ov.OverlayID[substrateNode] = id
+		st.Joined++
+		return id
+	}
+
+	// Seed peers: random distinct substrate nodes, fully connected in the
+	// overlay (the paper connects its 2 seeds to each other).
+	seeds := cfg.seeds()
+	for len(ov.SubstrateID) < seeds {
+		cand := rng.Intn(ns)
+		if ov.OverlayID[cand] < 0 {
+			join(cand)
+		}
+	}
+	for u := 0; u < seeds; u++ {
+		for v := u + 1; v < seeds; v++ {
+			mustEdge(ov.G, u, v)
+		}
+	}
+
+	stallLimit := 50 * ns
+	consecutiveFailures := 0
+	horizon := make([]int, 0, 256)
+	for st.Joined < cfg.NOverlay {
+		if consecutiveFailures >= stallLimit {
+			return ov, st, fmt.Errorf("%w: overlay stuck at %d/%d peers", ErrStalled, st.Joined, cfg.NOverlay)
+		}
+		node := rng.Intn(ns)
+		if ov.OverlayID[node] >= 0 {
+			consecutiveFailures++
+			continue
+		}
+
+		// Discovery flood: overlay peers within TauSub substrate hops,
+		// below the cutoff (Appendix D lines 4-10).
+		st.HorizonQueries++
+		horizon = horizon[:0]
+		substrate.BFSWithin(node, cfg.TauSub, func(v, depth int) bool {
+			if depth == 0 {
+				return true
+			}
+			oid := ov.OverlayID[v]
+			if oid >= 0 && cutoffOK(ov.G, oid, cfg.KC) {
+				horizon = append(horizon, oid)
+			}
+			return true
+		})
+		if len(horizon) == 0 {
+			st.EmptyHorizons++
+			consecutiveFailures++
+			continue
+		}
+
+		id := join(node)
+		consecutiveFailures = 0
+		if len(horizon) <= cfg.M {
+			// Appendix D lines 11-15: connect to every horizon peer.
+			for _, peer := range horizon {
+				mustEdge(ov.G, id, peer)
+			}
+			continue
+		}
+		dapaPreferential(ov.G, id, horizon, cfg, rng, &st)
+	}
+	return ov, st, nil
+}
+
+// dapaPreferential fills M stubs of overlay node id from the horizon list
+// by preferential attachment with rejection (Appendix D lines 17-29),
+// normalizing acceptance by the horizon's total degree: the repeat-until
+// structure makes the accepted peer distribution proportional to degree
+// among eligible peers regardless of the normalizer, so the horizon total
+// is used for speed (the prose of §IV-B describes exactly this
+// normalization).
+func dapaPreferential(g *graph.Graph, id int, horizon []int, cfg DAPAConfig, rng *xrand.RNG, st *Stats) {
+	kTotal := 0
+	for _, p := range horizon {
+		kTotal += g.Degree(p)
+	}
+	for j := 0; j < cfg.M; j++ {
+		placed := false
+		for attempt := 0; attempt < dapaAttemptBudget; attempt++ {
+			st.Attempts++
+			peer := horizon[rng.Intn(len(horizon))]
+			if g.HasEdge(id, peer) || !cutoffOK(g, peer, cfg.KC) {
+				continue
+			}
+			if kTotal > 0 && rng.Float64() >= float64(g.Degree(peer))/float64(kTotal) {
+				continue
+			}
+			mustEdge(g, id, peer)
+			kTotal++
+			placed = true
+			break
+		}
+		if placed {
+			continue
+		}
+		// Exact weighted draw over whatever remains eligible.
+		var cands []int
+		var weights []float64
+		for _, p := range horizon {
+			if !g.HasEdge(id, p) && cutoffOK(g, p, cfg.KC) {
+				cands = append(cands, p)
+				weights = append(weights, float64(g.Degree(p)))
+			}
+		}
+		idx := rng.Choose(weights)
+		if idx < 0 {
+			st.UnfilledStubs += cfg.M - j
+			return
+		}
+		st.Fallbacks++
+		mustEdge(g, id, cands[idx])
+		kTotal++
+	}
+}

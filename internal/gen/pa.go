@@ -1,0 +1,164 @@
+package gen
+
+import (
+	"fmt"
+
+	"scalefree/internal/graph"
+	"scalefree/internal/xrand"
+)
+
+// PAConfig parameterizes preferential attachment with hard cutoffs
+// (paper §III-B, Appendix A).
+type PAConfig struct {
+	// N is the final number of nodes (including the m+1 seed clique).
+	N int
+	// M is the number of stubs each joining node brings (the paper's m;
+	// also the minimum degree of every non-seed node).
+	M int
+	// KC is the hard degree cutoff; NoCutoff (0) disables it.
+	KC int
+	// LiteralSampling selects the verbatim Appendix A rejection loop:
+	// pick a uniform node, accept with probability k/k_total. It is
+	// statistically identical to the default stub-list sampler but runs
+	// in O(N² m) instead of O(N m); use it only for fidelity
+	// cross-checks at small N (there is an ablation bench for exactly
+	// that).
+	LiteralSampling bool
+}
+
+func (c PAConfig) validate() error { return validateGrowth(c.N, c.M, c.KC) }
+
+// paAttemptBudget bounds each stub's rejection loop before the generator
+// falls back to an exact weighted choice over eligible candidates. The
+// fallback preserves the preferential distribution; the budget only guards
+// against pathological stall (e.g. every candidate saturated at kc).
+const paAttemptBudget = 10_000
+
+// PA generates a Barabási–Albert preferential-attachment network, with the
+// paper's hard-cutoff modification: nodes at degree kc reject further
+// links. Each new node connects to M distinct existing nodes chosen with
+// probability proportional to their degrees among nodes below the cutoff.
+//
+// Without a cutoff this yields P(k) ~ k^-3 asymptotically (γ≈2.85 at
+// N=10^5, Fig. 1a); with a cutoff the distribution accumulates a spike at
+// kc and the fitted exponent drops (Figs. 1b, 1c).
+func PA(cfg PAConfig, rng *xrand.RNG) (*graph.Graph, Stats, error) {
+	var st Stats
+	if err := cfg.validate(); err != nil {
+		return nil, st, err
+	}
+	rng = defaultRNG(rng)
+	g := graph.New(cfg.N)
+	if err := seedClique(g, cfg.M); err != nil {
+		return nil, st, err
+	}
+
+	if cfg.LiteralSampling {
+		err := paLiteral(g, cfg, rng, &st)
+		return g, st, err
+	}
+
+	// Stub list: each node appears once per unit of degree, so a uniform
+	// index draw is a degree-proportional node draw. Rejecting draws that
+	// violate the adjacency/cutoff conditions leaves the conditional
+	// distribution identical to Appendix A's loop.
+	stubs := make([]int32, 0, 2*cfg.M*cfg.N)
+	for u := 0; u < g.N(); u++ {
+		for i := 0; i < g.Degree(u); i++ {
+			stubs = append(stubs, int32(u))
+		}
+	}
+
+	for i := cfg.M + 1; i < cfg.N; i++ {
+		for j := 0; j < cfg.M; j++ {
+			placed := false
+			for attempt := 0; attempt < paAttemptBudget; attempt++ {
+				st.Attempts++
+				cand := int(stubs[rng.Intn(len(stubs))])
+				if cand == i || g.HasEdge(i, cand) || !cutoffOK(g, cand, cfg.KC) {
+					continue
+				}
+				mustEdge(g, i, cand)
+				stubs = append(stubs, int32(i), int32(cand))
+				placed = true
+				break
+			}
+			if placed {
+				continue
+			}
+			// Exact weighted fallback over the (possibly tiny) eligible set.
+			if cand := paFallback(g, i, cfg.KC, rng); cand >= 0 {
+				st.Fallbacks++
+				mustEdge(g, i, cand)
+				stubs = append(stubs, int32(i), int32(cand))
+			} else {
+				st.UnfilledStubs++
+			}
+		}
+	}
+	return g, st, nil
+}
+
+// paLiteral runs Appendix A verbatim: uniform candidate, acceptance
+// probability k_cand/k_total, cutoff and adjacency conditions, repeated
+// until the stub is placed.
+func paLiteral(g *graph.Graph, cfg PAConfig, rng *xrand.RNG, st *Stats) error {
+	for i := cfg.M + 1; i < cfg.N; i++ {
+		for j := 0; j < cfg.M; j++ {
+			placed := false
+			// The literal loop in the paper has no bound; we keep a very
+			// generous one so a saturated network cannot hang the caller.
+			budget := paAttemptBudget * (i + 1)
+			for attempt := 0; attempt < budget; attempt++ {
+				st.Attempts++
+				cand := rng.Intn(i)
+				kTotal := g.TotalDegree()
+				if g.HasEdge(i, cand) || !cutoffOK(g, cand, cfg.KC) {
+					continue
+				}
+				if rng.Float64() >= float64(g.Degree(cand))/float64(kTotal) {
+					continue
+				}
+				mustEdge(g, i, cand)
+				placed = true
+				break
+			}
+			if !placed {
+				if cand := paFallback(g, i, cfg.KC, rng); cand >= 0 {
+					st.Fallbacks++
+					mustEdge(g, i, cand)
+				} else {
+					st.UnfilledStubs++
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// paFallback draws an eligible neighbor for node i exactly proportionally
+// to degree, scanning all nodes below i. Returns -1 if no node is eligible.
+func paFallback(g *graph.Graph, i, kc int, rng *xrand.RNG) int {
+	var cands []int
+	var weights []float64
+	for u := 0; u < i; u++ {
+		if u != i && !g.HasEdge(i, u) && cutoffOK(g, u, kc) && g.Degree(u) > 0 {
+			cands = append(cands, u)
+			weights = append(weights, float64(g.Degree(u)))
+		}
+	}
+	idx := rng.Choose(weights)
+	if idx < 0 {
+		return -1
+	}
+	return cands[idx]
+}
+
+// mustEdge adds an edge that cannot fail by construction (both endpoints
+// already validated); a failure indicates a bug, so it panics rather than
+// silently corrupting the topology.
+func mustEdge(g *graph.Graph, u, v int) {
+	if err := g.AddEdge(u, v); err != nil {
+		panic(fmt.Sprintf("gen: internal edge insertion failed: %v", err))
+	}
+}

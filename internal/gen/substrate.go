@@ -1,0 +1,143 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"scalefree/internal/graph"
+	"scalefree/internal/xrand"
+)
+
+// This file implements the substrate networks DAPA grows its overlay on
+// (paper §IV-B): the geometric random network (GRN) the paper uses for all
+// simulations, and the 2-D regular mesh alternative it mentions.
+
+// Point is a node position in the unit square.
+type Point struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// GRNConfig parameterizes a 2-D geometric random network: N nodes placed
+// uniformly at random in the unit square, any two linked when their
+// Euclidean distance is below R.
+type GRNConfig struct {
+	// N is the number of nodes.
+	N int
+	// R is the connection radius. If zero, it is derived from MeanDegree.
+	R float64
+	// MeanDegree, when R is zero, selects R so the expected degree is
+	// MeanDegree (the paper uses k̄ = 10 with N_S = 2·10⁴).
+	MeanDegree float64
+}
+
+// GRNRadiusForMeanDegree returns the connection radius giving expected mean
+// degree kbar in a unit square with n uniformly placed nodes:
+// kbar = n·π·R² (boundary effects ignored, as in the literature).
+func GRNRadiusForMeanDegree(n int, kbar float64) float64 {
+	if n <= 0 || kbar <= 0 {
+		return 0
+	}
+	return math.Sqrt(kbar / (float64(n) * math.Pi))
+}
+
+// GRN generates a geometric random network and returns the graph together
+// with node coordinates. Pair search uses a uniform grid of cell size R, so
+// construction is O(N·k̄) rather than O(N²).
+//
+// GRNs have Poissonian degree distributions P(k) = e^-k̄ k̄^k / k!; with
+// k̄ = 10 the network has a giant component spanning nearly all nodes,
+// which is what DAPA's discovery protocol relies on.
+func GRN(cfg GRNConfig, rng *xrand.RNG) (*graph.Graph, []Point, error) {
+	if cfg.N < 1 {
+		return nil, nil, fmt.Errorf("%w: n=%d", ErrBadN, cfg.N)
+	}
+	r := cfg.R
+	if r == 0 {
+		if cfg.MeanDegree <= 0 {
+			return nil, nil, fmt.Errorf("gen: GRN needs R or MeanDegree")
+		}
+		r = GRNRadiusForMeanDegree(cfg.N, cfg.MeanDegree)
+	}
+	if r <= 0 || r > math.Sqrt2 {
+		return nil, nil, fmt.Errorf("gen: GRN radius %v out of (0, sqrt(2)]", r)
+	}
+	rng = defaultRNG(rng)
+
+	pts := make([]Point, cfg.N)
+	for i := range pts {
+		pts[i] = Point{X: rng.Float64(), Y: rng.Float64()}
+	}
+
+	// Uniform grid spatial hash with cell size >= r: candidate pairs live
+	// in the same or adjacent cells.
+	cells := int(1 / r)
+	if cells < 1 {
+		cells = 1
+	}
+	cellSize := 1.0 / float64(cells)
+	grid := make(map[int][]int32, cfg.N)
+	cellOf := func(p Point) (int, int) {
+		cx := int(p.X / cellSize)
+		cy := int(p.Y / cellSize)
+		if cx >= cells {
+			cx = cells - 1
+		}
+		if cy >= cells {
+			cy = cells - 1
+		}
+		return cx, cy
+	}
+	for i, p := range pts {
+		cx, cy := cellOf(p)
+		key := cy*cells + cx
+		grid[key] = append(grid[key], int32(i))
+	}
+
+	g := graph.New(cfg.N)
+	r2 := r * r
+	for i, p := range pts {
+		cx, cy := cellOf(p)
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				nx, ny := cx+dx, cy+dy
+				if nx < 0 || ny < 0 || nx >= cells || ny >= cells {
+					continue
+				}
+				for _, j := range grid[ny*cells+nx] {
+					if int(j) <= i {
+						continue // handle each unordered pair once
+					}
+					q := pts[j]
+					ddx, ddy := p.X-q.X, p.Y-q.Y
+					if ddx*ddx+ddy*ddy < r2 {
+						mustEdge(g, i, int(j))
+					}
+				}
+			}
+		}
+	}
+	return g, pts, nil
+}
+
+// Mesh generates a width×height 2-D regular grid where each node links to
+// its four axis-aligned neighbors (no wraparound), the paper's alternative
+// DAPA substrate.
+func Mesh(width, height int) (*graph.Graph, error) {
+	if width < 1 || height < 1 {
+		return nil, fmt.Errorf("%w: mesh %dx%d", ErrBadN, width, height)
+	}
+	g := graph.New(width * height)
+	id := func(x, y int) int { return y*width + x }
+	for y := 0; y < height; y++ {
+		for x := 0; x < width; x++ {
+			if x+1 < width {
+				mustEdge(g, id(x, y), id(x+1, y))
+			}
+			if y+1 < height {
+				mustEdge(g, id(x, y), id(x, y+1))
+			}
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,86 @@
+package graph
+
+// Betweenness centrality via Brandes' algorithm (unweighted, O(V·E)).
+// Betweenness identifies the peers "through which most of the traffic
+// go[es]" (paper §III) — the targets whose removal "can easily shatter
+// the network". metrics.Robustness uses it for the strongest attack
+// variant.
+
+// Betweenness returns each node's (unnormalized) shortest-path betweenness
+// centrality: the sum over all node pairs (s,t) of the fraction of
+// shortest s-t paths passing through the node. For graphs larger than
+// `sampleSources` it estimates by accumulating from that many random
+// source pivots scaled up to N (the standard Brandes–Pich approximation);
+// pass sampleSources >= N (or <= 0) for the exact computation.
+func (g *Graph) Betweenness(sampleSources int, rng randSource) []float64 {
+	n := len(g.adj)
+	bc := make([]float64, n)
+	if n == 0 {
+		return bc
+	}
+	exact := sampleSources <= 0 || sampleSources >= n
+	pivots := n
+	if !exact {
+		pivots = sampleSources
+	}
+
+	// Reusable per-source state.
+	dist := make([]int32, n)
+	sigma := make([]float64, n) // shortest-path counts
+	delta := make([]float64, n) // dependency accumulation
+	order := make([]int32, 0, n)
+	preds := make([][]int32, n)
+
+	for p := 0; p < pivots; p++ {
+		s := p
+		if !exact {
+			s = rng.Intn(n)
+		}
+		// BFS from s tracking predecessors and path counts.
+		for i := range dist {
+			dist[i] = -1
+			sigma[i] = 0
+			delta[i] = 0
+			preds[i] = preds[i][:0]
+		}
+		order = order[:0]
+		dist[s] = 0
+		sigma[s] = 1
+		queue := []int32{int32(s)}
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			order = append(order, u)
+			for _, v := range g.adj[u] {
+				if dist[v] < 0 {
+					dist[v] = dist[u] + 1
+					queue = append(queue, v)
+				}
+				if dist[v] == dist[u]+1 {
+					sigma[v] += sigma[u]
+					preds[v] = append(preds[v], u)
+				}
+			}
+		}
+		// Dependency accumulation in reverse BFS order.
+		for i := len(order) - 1; i >= 0; i-- {
+			w := order[i]
+			for _, u := range preds[w] {
+				delta[u] += sigma[u] / sigma[w] * (1 + delta[w])
+			}
+			if int(w) != s {
+				bc[w] += delta[w]
+			}
+		}
+	}
+	// Each undirected pair is counted from both endpoints when all
+	// sources are visited; halve per convention. The sampled estimator
+	// additionally scales up from `pivots` sources to n.
+	scale := 0.5
+	if !exact {
+		scale = float64(n) / float64(pivots) / 2
+	}
+	for i := range bc {
+		bc[i] *= scale
+	}
+	return bc
+}

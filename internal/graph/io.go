@@ -1,0 +1,136 @@
+package graph
+
+// Edge-list serialization. The format is the de-facto standard for network
+// datasets: a header line "# nodes <N>" followed by one "u v" pair per
+// line, whitespace-separated, '#' comments ignored. cmd/topogen emits this
+// format and cmd/searchsim consumes it, so generated topologies can be
+// inspected or fed to external tools.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList writes g in edge-list format. Each undirected edge is
+// written once (smaller endpoint first); parallel edges are written per
+// copy and self-loops as "u u".
+func (g *Graph) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# nodes %d\n", g.N()); err != nil {
+		return fmt.Errorf("write header: %w", err)
+	}
+	for key, c := range g.count {
+		u := int64(int32(key >> 32))
+		v := int64(int32(uint32(key)))
+		for i := int32(0); i < c; i++ {
+			if _, err := fmt.Fprintf(bw, "%d %d\n", u, v); err != nil {
+				return fmt.Errorf("write edge: %w", err)
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("flush edge list: %w", err)
+	}
+	return nil
+}
+
+// ReadEdgeList parses the edge-list format produced by WriteEdgeList. Lines
+// starting with '#' are comments, except a "# nodes N" header which
+// pre-sizes the graph; otherwise the node count is one more than the
+// largest ID seen.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	g := New(0)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) == 3 && fields[1] == "nodes" {
+				n, err := strconv.Atoi(fields[2])
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("line %d: bad node count %q", lineNo, fields[2])
+				}
+				for g.N() < n {
+					g.AddNode()
+				}
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("line %d: want 2 fields, got %d", lineNo, len(fields))
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad node %q", lineNo, fields[0])
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad node %q", lineNo, fields[1])
+		}
+		if u < 0 || v < 0 {
+			return nil, fmt.Errorf("line %d: negative node ID", lineNo)
+		}
+		for g.N() <= u || g.N() <= v {
+			g.AddNode()
+		}
+		if err := g.AddEdge(u, v); err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("scan edge list: %w", err)
+	}
+	return g, nil
+}
+
+// WriteDOT writes g in Graphviz DOT format (`graph` block, one "u -- v"
+// line per undirected edge, degree-scaled node sizes), for visual
+// inspection with dot/neato/sfdp. Self-loops and parallel edges are
+// emitted per copy, matching WriteEdgeList.
+func (g *Graph) WriteDOT(w io.Writer, name string) error {
+	if name == "" {
+		name = "overlay"
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "graph %q {\n  node [shape=point];\n", name); err != nil {
+		return fmt.Errorf("write header: %w", err)
+	}
+	// Scale node size with degree so hubs (or their cutoff-capped absence)
+	// are visible at a glance.
+	for v := 0; v < g.N(); v++ {
+		d := g.Degree(v)
+		if d == 0 {
+			continue // skip isolates to keep renders readable
+		}
+		size := 0.05 + 0.01*float64(d)
+		if _, err := fmt.Fprintf(bw, "  %d [width=%.2f];\n", v, size); err != nil {
+			return fmt.Errorf("write node: %w", err)
+		}
+	}
+	for key, c := range g.count {
+		u := int64(int32(key >> 32))
+		v := int64(int32(uint32(key)))
+		for i := int32(0); i < c; i++ {
+			if _, err := fmt.Fprintf(bw, "  %d -- %d;\n", u, v); err != nil {
+				return fmt.Errorf("write edge: %w", err)
+			}
+		}
+	}
+	if _, err := fmt.Fprintln(bw, "}"); err != nil {
+		return fmt.Errorf("write footer: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("flush dot: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+package metrics
+
+import (
+	"testing"
+
+	"scalefree/internal/gen"
+	"scalefree/internal/xrand"
+)
+
+func TestBetweennessAttackAtLeastAsDamaging(t *testing.T) {
+	t.Parallel()
+	// Betweenness targeting should hurt at least as much as random
+	// failures and comparably to degree targeting on a PA network.
+	g, _, err := gen.PA(gen.PAConfig{N: 1500, M: 2}, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	giantAfter := func(strategy RemovalStrategy) float64 {
+		pts, err := Robustness(g, strategy, 0.05, 0.2, xrand.New(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pts[len(pts)-1].GiantFrac
+	}
+	random := giantAfter(RemoveRandom)
+	betweenness := giantAfter(RemoveHighestBetweenness)
+	if betweenness >= random {
+		t.Fatalf("betweenness attack (%.2f) should be more damaging than random failures (%.2f)",
+			betweenness, random)
+	}
+}
+
+func TestBetweennessAttackOnPathCutsMiddle(t *testing.T) {
+	t.Parallel()
+	// On a path, the most-between node is the middle; removing it halves
+	// the giant immediately.
+	g := gen.MustPath(21)
+	pts, err := Robustness(g, RemoveHighestBetweenness, 0.04, 0.05, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := pts[len(pts)-1]
+	if last.GiantFrac > 0.55 {
+		t.Fatalf("middle cut should halve the path: giant %.2f", last.GiantFrac)
+	}
+}

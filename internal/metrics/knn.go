@@ -1,0 +1,55 @@
+package metrics
+
+import (
+	"sort"
+
+	"scalefree/internal/graph"
+)
+
+// KNNPoint is one point of the average-neighbor-degree curve.
+type KNNPoint struct {
+	// K is the node degree class.
+	K int
+	// KNN is the mean degree of neighbors, averaged over all nodes of
+	// degree K.
+	KNN float64
+	// Count is the number of degree-K nodes contributing.
+	Count int
+}
+
+// AverageNeighborDegree computes k_nn(k), the standard degree-correlation
+// function: for each degree class k, the mean degree of the neighbors of
+// degree-k nodes. Increasing k_nn(k) means assortative mixing; decreasing
+// means disassortative (typical of uncorrelated scale-free networks with
+// structural cutoffs). Classes are returned in ascending k; degree-0 nodes
+// are skipped.
+func AverageNeighborDegree(g *graph.Graph) []KNNPoint {
+	type acc struct {
+		sum   float64
+		nodes int
+	}
+	byK := map[int]*acc{}
+	for u := 0; u < g.N(); u++ {
+		deg := g.Degree(u)
+		if deg == 0 {
+			continue
+		}
+		var nbSum float64
+		for _, v := range g.Neighbors(u) {
+			nbSum += float64(g.Degree(int(v)))
+		}
+		a := byK[deg]
+		if a == nil {
+			a = &acc{}
+			byK[deg] = a
+		}
+		a.sum += nbSum / float64(deg)
+		a.nodes++
+	}
+	out := make([]KNNPoint, 0, len(byK))
+	for k, a := range byK {
+		out = append(out, KNNPoint{K: k, KNN: a.sum / float64(a.nodes), Count: a.nodes})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].K < out[j].K })
+	return out
+}

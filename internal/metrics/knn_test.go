@@ -1,0 +1,84 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"scalefree/internal/gen"
+	"scalefree/internal/graph"
+	"scalefree/internal/xrand"
+)
+
+func TestAverageNeighborDegreeStar(t *testing.T) {
+	t.Parallel()
+	// Star on 5 nodes: hub (deg 4) has neighbors of degree 1; leaves
+	// (deg 1) have a neighbor of degree 4.
+	g := graph.New(5)
+	for v := 1; v < 5; v++ {
+		if err := g.AddEdge(0, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pts := AverageNeighborDegree(g)
+	if len(pts) != 2 {
+		t.Fatalf("points %v", pts)
+	}
+	if pts[0].K != 1 || math.Abs(pts[0].KNN-4) > 1e-12 || pts[0].Count != 4 {
+		t.Fatalf("leaf class %+v", pts[0])
+	}
+	if pts[1].K != 4 || math.Abs(pts[1].KNN-1) > 1e-12 || pts[1].Count != 1 {
+		t.Fatalf("hub class %+v", pts[1])
+	}
+}
+
+func TestAverageNeighborDegreeRegular(t *testing.T) {
+	t.Parallel()
+	ring, err := gen.Ring(12, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := AverageNeighborDegree(ring)
+	if len(pts) != 1 || pts[0].K != 4 || math.Abs(pts[0].KNN-4) > 1e-12 {
+		t.Fatalf("regular graph knn %v", pts)
+	}
+}
+
+func TestAverageNeighborDegreeSkipsIsolated(t *testing.T) {
+	t.Parallel()
+	g := graph.New(3)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	pts := AverageNeighborDegree(g)
+	total := 0
+	for _, p := range pts {
+		total += p.Count
+	}
+	if total != 2 {
+		t.Fatalf("isolated node included: %v", pts)
+	}
+}
+
+func TestPAKnnDisassortativeTail(t *testing.T) {
+	t.Parallel()
+	// PA networks: low-degree nodes attach to hubs, so k_nn at k=m is
+	// well above the mean degree, and the curve decays toward the tail.
+	g, _, err := gen.PA(gen.PAConfig{N: 8000, M: 2}, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := AverageNeighborDegree(g)
+	if len(pts) < 5 {
+		t.Fatalf("too few degree classes: %d", len(pts))
+	}
+	meanDeg := float64(g.TotalDegree()) / float64(g.N())
+	if pts[0].KNN <= meanDeg {
+		t.Fatalf("k_nn(m)=%.2f should exceed mean degree %.2f", pts[0].KNN, meanDeg)
+	}
+	// Tail classes (weighted by hubs' perspective) sit below the head.
+	head := pts[0].KNN
+	tail := pts[len(pts)-1].KNN
+	if tail >= head {
+		t.Fatalf("knn should decay: head %.2f tail %.2f", head, tail)
+	}
+}

@@ -1,0 +1,309 @@
+// Package metrics provides the structural network metrics the paper's
+// motivation leans on: clustering, degree assortativity, and the
+// robustness analysis behind "scale-free networks are robust against
+// random failures yet fragile against attacks targeted to hubs" (§III,
+// citing Albert et al.). Hard cutoffs remove super-hubs, so they should —
+// and, per the Attack experiment, do — blunt exactly that fragility.
+package metrics
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"scalefree/internal/graph"
+	"scalefree/internal/xrand"
+)
+
+// ErrNoEdges is returned by metrics that are undefined on edgeless graphs.
+var ErrNoEdges = errors.New("metrics: graph has no edges")
+
+// GlobalClustering returns the transitivity of g: 3×triangles / connected
+// triples. Multigraph artifacts (self-loops, parallel edges) are ignored
+// by considering distinct neighbor sets. Returns 0 for graphs with no
+// connected triples.
+func GlobalClustering(g *graph.Graph) float64 {
+	n := g.N()
+	triangles := 0
+	triples := 0
+	for u := 0; u < n; u++ {
+		nbs := distinctNeighbors(g, u)
+		d := len(nbs)
+		triples += d * (d - 1) / 2
+		for i := 0; i < d; i++ {
+			for j := i + 1; j < d; j++ {
+				if g.HasEdge(int(nbs[i]), int(nbs[j])) {
+					triangles++ // counted once per apex u -> 3x per triangle
+				}
+			}
+		}
+	}
+	if triples == 0 {
+		return 0
+	}
+	return float64(triangles) / float64(triples)
+}
+
+// AvgLocalClustering returns the mean of per-node clustering coefficients
+// (Watts–Strogatz definition); nodes with degree < 2 contribute 0.
+func AvgLocalClustering(g *graph.Graph) float64 {
+	n := g.N()
+	if n == 0 {
+		return 0
+	}
+	var sum float64
+	for u := 0; u < n; u++ {
+		nbs := distinctNeighbors(g, u)
+		d := len(nbs)
+		if d < 2 {
+			continue
+		}
+		links := 0
+		for i := 0; i < d; i++ {
+			for j := i + 1; j < d; j++ {
+				if g.HasEdge(int(nbs[i]), int(nbs[j])) {
+					links++
+				}
+			}
+		}
+		sum += 2 * float64(links) / float64(d*(d-1))
+	}
+	return sum / float64(n)
+}
+
+// distinctNeighbors returns u's neighbor set without duplicates or self.
+func distinctNeighbors(g *graph.Graph, u int) []int32 {
+	raw := g.Neighbors(u)
+	if len(raw) == 0 {
+		return nil
+	}
+	seen := make(map[int32]bool, len(raw))
+	out := make([]int32, 0, len(raw))
+	for _, v := range raw {
+		if int(v) == u || seen[v] {
+			continue
+		}
+		seen[v] = true
+		out = append(out, v)
+	}
+	return out
+}
+
+// DegreeAssortativity returns the Pearson correlation of degrees across
+// edges (Newman's r): positive means hubs link to hubs, negative means
+// hubs link to leaves. Growth models like PA are disassortative.
+func DegreeAssortativity(g *graph.Graph) (float64, error) {
+	var sx, sy, sxy, sxx, syy, m float64
+	n := g.N()
+	for u := 0; u < n; u++ {
+		du := float64(g.Degree(u))
+		for _, v := range g.Neighbors(u) {
+			// Each undirected edge contributes both orientations, the
+			// standard symmetric treatment.
+			dv := float64(g.Degree(int(v)))
+			sx += du
+			sy += dv
+			sxy += du * dv
+			sxx += du * du
+			syy += dv * dv
+			m++
+		}
+	}
+	if m == 0 {
+		return 0, ErrNoEdges
+	}
+	num := sxy/m - (sx/m)*(sy/m)
+	den := math.Sqrt((sxx/m - (sx/m)*(sx/m)) * (syy/m - (sy/m)*(sy/m)))
+	if den == 0 {
+		return 0, nil // regular graph: correlation undefined, report 0
+	}
+	return num / den, nil
+}
+
+// RemovalStrategy selects which nodes a robustness experiment deletes.
+type RemovalStrategy int
+
+const (
+	// RemoveRandom deletes uniformly random nodes (random failures).
+	RemoveRandom RemovalStrategy = iota + 1
+	// RemoveHighestDegree deletes nodes in descending degree order
+	// (a targeted attack on hubs — the "Achilles heel").
+	RemoveHighestDegree
+	// RemoveHighestBetweenness deletes the node carrying the most
+	// shortest-path traffic each step — the strongest (and costliest)
+	// attack, targeting the peers "through which most of the traffic go"
+	// (§III). Uses sampled betweenness for speed.
+	RemoveHighestBetweenness
+)
+
+// String names the strategy.
+func (s RemovalStrategy) String() string {
+	switch s {
+	case RemoveRandom:
+		return "random failure"
+	case RemoveHighestDegree:
+		return "targeted attack"
+	case RemoveHighestBetweenness:
+		return "betweenness attack"
+	default:
+		return "unknown"
+	}
+}
+
+// RobustnessPoint is one measurement of a removal experiment.
+type RobustnessPoint struct {
+	// RemovedFrac is the fraction of original nodes removed.
+	RemovedFrac float64
+	// GiantFrac is the giant component's share of the surviving nodes'
+	// original count (giant size / original N).
+	GiantFrac float64
+}
+
+// Robustness removes nodes in steps of stepFrac (e.g. 0.02) up to maxFrac,
+// by the given strategy, measuring the giant-component fraction after each
+// step. For RemoveHighestDegree, degrees are recomputed after every step
+// (adaptive attack, the stronger variant). The input graph is not
+// modified.
+func Robustness(g *graph.Graph, strategy RemovalStrategy, stepFrac, maxFrac float64, rng *xrand.RNG) ([]RobustnessPoint, error) {
+	if stepFrac <= 0 || stepFrac > 1 || maxFrac <= 0 || maxFrac > 1 {
+		return nil, errors.New("metrics: fractions must be in (0,1]")
+	}
+	if rng == nil {
+		rng = xrand.New(0)
+	}
+	n := g.N()
+	if n == 0 {
+		return nil, errors.New("metrics: empty graph")
+	}
+	work := g.Clone()
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	aliveCount := n
+
+	removeNode := func(u int) {
+		// Drop every incident edge; the node stays as an isolate, which
+		// the giant-component measurement ignores.
+		nbs := append([]int32(nil), work.Neighbors(u)...)
+		for _, v := range nbs {
+			for work.RemoveEdge(u, int(v)) {
+			}
+		}
+		alive[u] = false
+		aliveCount--
+	}
+
+	var pts []RobustnessPoint
+	measure := func() {
+		giant := 0
+		for _, comp := range work.ConnectedComponents() {
+			size := 0
+			for _, u := range comp {
+				if alive[u] {
+					size++
+				}
+			}
+			if size > giant {
+				giant = size
+			}
+		}
+		pts = append(pts, RobustnessPoint{
+			RemovedFrac: float64(n-aliveCount) / float64(n),
+			GiantFrac:   float64(giant) / float64(n),
+		})
+	}
+	measure()
+
+	step := int(math.Round(stepFrac * float64(n)))
+	if step < 1 {
+		step = 1
+	}
+	for float64(n-aliveCount)/float64(n) < maxFrac && aliveCount > 0 {
+		for i := 0; i < step && aliveCount > 0; i++ {
+			u := -1
+			switch strategy {
+			case RemoveRandom:
+				u = randomAlive(alive, aliveCount, rng)
+			case RemoveHighestDegree:
+				u = highestDegreeAlive(work, alive)
+			case RemoveHighestBetweenness:
+				u = highestBetweennessAlive(work, alive, rng)
+			default:
+				return nil, errors.New("metrics: unknown removal strategy")
+			}
+			if u < 0 {
+				break
+			}
+			removeNode(u)
+		}
+		measure()
+	}
+	return pts, nil
+}
+
+func randomAlive(alive []bool, aliveCount int, rng *xrand.RNG) int {
+	if aliveCount == 0 {
+		return -1
+	}
+	pick := rng.Intn(aliveCount)
+	for u, a := range alive {
+		if !a {
+			continue
+		}
+		if pick == 0 {
+			return u
+		}
+		pick--
+	}
+	return -1
+}
+
+// highestBetweennessAlive picks the live node with the largest sampled
+// betweenness (64 pivots balance accuracy and cost inside the removal
+// loop).
+func highestBetweennessAlive(g *graph.Graph, alive []bool, rng *xrand.RNG) int {
+	bc := g.Betweenness(64, rng)
+	best, bestVal := -1, -1.0
+	for u, a := range alive {
+		if !a {
+			continue
+		}
+		if bc[u] > bestVal {
+			best, bestVal = u, bc[u]
+		}
+	}
+	if bestVal <= 0 {
+		// No traffic carriers left; fall back to degree.
+		return highestDegreeAlive(g, alive)
+	}
+	return best
+}
+
+func highestDegreeAlive(g *graph.Graph, alive []bool) int {
+	best, bestDeg := -1, -1
+	for u := range alive {
+		if !alive[u] {
+			continue
+		}
+		if d := g.Degree(u); d > bestDeg {
+			best, bestDeg = u, d
+		}
+	}
+	return best
+}
+
+// CriticalFraction returns the smallest removed fraction at which the
+// giant component drops below `threshold` of the network (e.g. 0.1), or
+// 1 if it never does within the measured range — a scalar robustness
+// summary for comparing topologies.
+func CriticalFraction(pts []RobustnessPoint, threshold float64) float64 {
+	sorted := append([]RobustnessPoint(nil), pts...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].RemovedFrac < sorted[j].RemovedFrac })
+	for _, p := range sorted {
+		if p.GiantFrac < threshold {
+			return p.RemovedFrac
+		}
+	}
+	return 1
+}

@@ -1,0 +1,307 @@
+package p2p
+
+// Tests for the uncooperative-peer behaviors (the paper's motivating
+// "distributed and potentially uncooperative environments", §I): lying
+// about degree, refusing inbound links, freeriding on query relay, and
+// leeching (never serving hits). Each defection is protocol-compatible;
+// these tests verify both the mechanism and its measurable impact on the
+// overlay.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestBehaviorValidation(t *testing.T) {
+	t.Parallel()
+	net := NewInMemoryNetwork()
+	bad := []Behavior{
+		{DropQueryProb: -0.1},
+		{DropQueryProb: 1.5},
+		{FakeDegree: -3},
+	}
+	for _, b := range bad {
+		cfg := testConfig("x", 1)
+		cfg.Behavior = b
+		if _, err := NewPeer(cfg, net); err == nil {
+			t.Errorf("behavior %+v should fail validation", b)
+		}
+	}
+}
+
+func TestBehaviorUncooperative(t *testing.T) {
+	t.Parallel()
+	if (Behavior{}).Uncooperative() {
+		t.Error("zero behavior must be cooperative")
+	}
+	all := []Behavior{
+		{FakeDegree: 5},
+		{RefuseConnects: true},
+		{DropQueryProb: 0.5},
+		{NeverServeHits: true},
+	}
+	for _, b := range all {
+		if !b.Uncooperative() {
+			t.Errorf("%+v should be uncooperative", b)
+		}
+	}
+}
+
+func TestRefuseConnectsRejectsInbound(t *testing.T) {
+	t.Parallel()
+	net := NewInMemoryNetwork()
+	selfish := testConfig("selfish", 1)
+	selfish.Behavior = Behavior{RefuseConnects: true}
+	s := spawn(t, net, selfish)
+	honest := spawn(t, net, testConfig("honest", 2))
+
+	if err := honest.Connect("selfish"); err == nil {
+		t.Fatal("selfish peer should reject inbound connect")
+	}
+	if s.Degree() != 0 || honest.Degree() != 0 {
+		t.Fatalf("no link should exist: selfish %d, honest %d", s.Degree(), honest.Degree())
+	}
+	if s.Stats().ConnectsRejected == 0 {
+		t.Error("rejection should be counted")
+	}
+
+	// The selfish peer can still initiate its own links.
+	if err := s.Connect("honest"); err != nil {
+		t.Fatalf("selfish peer initiating: %v", err)
+	}
+	if s.Degree() != 1 || honest.Degree() != 1 {
+		t.Fatalf("selfish-initiated link missing: %d, %d", s.Degree(), honest.Degree())
+	}
+}
+
+func TestFakeDegreeAdvertised(t *testing.T) {
+	t.Parallel()
+	net := NewInMemoryNetwork()
+	liar := testConfig("liar", 1)
+	liar.Behavior = Behavior{FakeDegree: 99}
+	spawn(t, net, liar)
+	honest := spawn(t, net, testConfig("honest", 2))
+
+	if err := honest.Connect("liar"); err != nil {
+		t.Fatal(err)
+	}
+	// The liar's true degree is 1, but every neighbor entry carries the
+	// advertised 99.
+	for _, n := range honest.Neighbors() {
+		if n.Addr == "liar" && n.Degree != 99 {
+			t.Fatalf("honest peer learned degree %d, liar advertises 99", n.Degree)
+		}
+	}
+	// Discovery also reports the fake degree.
+	peers, err := honest.Discover("liar", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pi := range peers {
+		if pi.Addr == "liar" && pi.Degree != 99 {
+			t.Fatalf("discovery learned degree %d, want 99", pi.Degree)
+		}
+	}
+}
+
+// chainWithRelay builds origin - relay - holder and returns the peers.
+func chainWithRelay(t *testing.T, relayBehavior Behavior) (origin, relay, holder *Peer) {
+	t.Helper()
+	net := NewInMemoryNetwork()
+	ocfg := testConfig("origin", 1)
+	rcfg := testConfig("relay", 2)
+	rcfg.Behavior = relayBehavior
+	hcfg := testConfig("holder", 3)
+	hcfg.Keys = []string{"treasure"}
+	origin = spawn(t, net, ocfg)
+	relay = spawn(t, net, rcfg)
+	holder = spawn(t, net, hcfg)
+	if err := origin.Connect("relay"); err != nil {
+		t.Fatal(err)
+	}
+	if err := relay.Connect("holder"); err != nil {
+		t.Fatal(err)
+	}
+	return origin, relay, holder
+}
+
+func TestFreeriderDropsQueries(t *testing.T) {
+	t.Parallel()
+	origin, relay, _ := chainWithRelay(t, Behavior{DropQueryProb: 1})
+	res, err := origin.Query("treasure", AlgFlood, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) != 0 {
+		t.Fatalf("freerider relay must kill the only path: hits %v", res.Hits)
+	}
+	if relay.Stats().QueriesForwarded != 0 {
+		t.Fatalf("freerider forwarded %d queries", relay.Stats().QueriesForwarded)
+	}
+}
+
+func TestCooperativeRelayDelivers(t *testing.T) {
+	t.Parallel()
+	origin, _, _ := chainWithRelay(t, Behavior{})
+	res, err := origin.Query("treasure", AlgFlood, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) != 1 || res.Hits[0].Addr != "holder" {
+		t.Fatalf("cooperative chain should deliver: %v", res.Hits)
+	}
+}
+
+func TestFreeriderStillAnswersOwnContent(t *testing.T) {
+	t.Parallel()
+	// A freerider drops relays but still serves its own hits — make the
+	// relay itself hold the key.
+	net := NewInMemoryNetwork()
+	ocfg := testConfig("origin", 1)
+	fcfg := testConfig("freerider", 2)
+	fcfg.Keys = []string{"treasure"}
+	fcfg.Behavior = Behavior{DropQueryProb: 1}
+	origin := spawn(t, net, ocfg)
+	spawn(t, net, fcfg)
+	if err := origin.Connect("freerider"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := origin.Query("treasure", AlgFlood, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) != 1 {
+		t.Fatalf("freerider should still answer its own match: %v", res.Hits)
+	}
+}
+
+func TestLeechNeverServesHits(t *testing.T) {
+	t.Parallel()
+	net := NewInMemoryNetwork()
+	ocfg := testConfig("origin", 1)
+	lcfg := testConfig("leech", 2)
+	lcfg.Keys = []string{"treasure"}
+	lcfg.Behavior = Behavior{NeverServeHits: true}
+	origin := spawn(t, net, ocfg)
+	leech := spawn(t, net, lcfg)
+	if err := origin.Connect("leech"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := origin.Query("treasure", AlgFlood, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) != 0 {
+		t.Fatalf("leech should never report hits: %v", res.Hits)
+	}
+	if leech.Stats().HitsServed != 0 {
+		t.Fatalf("leech served %d hits", leech.Stats().HitsServed)
+	}
+	// Yet the leech still SEARCHES successfully — the asymmetry that
+	// makes leeching rational and corrosive.
+	origin.AddKey("public")
+	res, err = leech.Query("public", AlgFlood, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) != 1 {
+		t.Fatalf("leech's own query should succeed: %v", res.Hits)
+	}
+}
+
+// TestFreeriderPopulationDegradesSearch measures the systemic effect: as
+// the freerider fraction grows, flood query success falls.
+func TestFreeriderPopulationDegradesSearch(t *testing.T) {
+	t.Parallel()
+	successAt := func(freeriderFrac float64) float64 {
+		t.Helper()
+		o, err := NewOverlay(OverlayConfig{
+			M: 2, KC: 16, TauSub: 4,
+			Strategy:       JoinDAPA,
+			Seed:           1234,
+			DiscoverWindow: 40,
+			BehaviorFor: func(i int) Behavior {
+				// Deterministic striping: every k-th peer freerides.
+				if freeriderFrac == 0 {
+					return Behavior{}
+				}
+				period := int(1 / freeriderFrac)
+				if i%period == 0 {
+					return Behavior{DropQueryProb: 1}
+				}
+				return Behavior{}
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer o.Shutdown()
+		const peers = 120
+		for i := 0; i < peers; i++ {
+			if _, err := o.SpawnJoin(fmt.Sprintf("item-%03d", i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rng := o.Peer(o.Addrs()[0])
+		_ = rng
+		ok := 0
+		const probes = 30
+		for i := 0; i < probes; i++ {
+			src := o.Peer(o.Addrs()[i*3%peers])
+			key := fmt.Sprintf("item-%03d", (i*7+11)%peers)
+			if src.HasKey(key) {
+				key = fmt.Sprintf("item-%03d", (i*7+12)%peers)
+			}
+			res, err := src.Query(key, AlgFlood, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Hits) > 0 {
+				ok++
+			}
+		}
+		return float64(ok) / probes
+	}
+	honest := successAt(0)
+	polluted := successAt(0.5)
+	if honest < 0.8 {
+		t.Fatalf("honest overlay should resolve most queries: %.2f", honest)
+	}
+	if polluted >= honest {
+		t.Fatalf("50%% freeriders should hurt success: honest %.2f, polluted %.2f", honest, polluted)
+	}
+}
+
+func TestBehaviorForAppliedByOverlay(t *testing.T) {
+	t.Parallel()
+	o, err := NewOverlay(OverlayConfig{
+		M: 1, TauSub: 2, Seed: 5, DiscoverWindow: 30,
+		BehaviorFor: func(i int) Behavior {
+			if i == 1 {
+				return Behavior{RefuseConnects: true}
+			}
+			return Behavior{}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Shutdown()
+	p0, err := o.Spawn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Spawn(); err != nil {
+		t.Fatal(err)
+	}
+	addr1 := o.Addrs()[1]
+	if err := p0.Connect(addr1); err == nil {
+		t.Fatal("peer 1 should refuse connects")
+	}
+	// Give the rejection a moment to settle, then confirm no link.
+	time.Sleep(10 * time.Millisecond)
+	if p0.Degree() != 0 {
+		t.Fatalf("degree %d after refused connect", p0.Degree())
+	}
+}

@@ -1,0 +1,88 @@
+package p2p
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestHostileTTLClamped(t *testing.T) {
+	t.Parallel()
+	// A chain a0-a1-...-a9 where every peer clamps TTL to 3. A hostile
+	// query injected with TTL 1000 must die after the clamp horizon
+	// instead of sweeping the chain.
+	netw := NewInMemoryNetwork()
+	const n = 10
+	peers := make([]*Peer, n)
+	for i := 0; i < n; i++ {
+		cfg := testConfig(fmt.Sprintf("a%d", i), uint64(i+1))
+		cfg.MaxTTL = 3
+		if i == n-1 {
+			cfg.Keys = []string{"deep"}
+		}
+		peers[i] = spawn(t, netw, cfg)
+	}
+	for i := 0; i+1 < n; i++ {
+		if err := peers[i].Connect(peers[i+1].Addr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Inject the hostile query directly, bypassing Query()'s own TTL.
+	hostile := Envelope{
+		From: "attacker", To: "a0",
+		Msg: Message{
+			Kind: KindQuery, ID: "evil-1", Origin: "attacker",
+			Key: "deep", Alg: AlgFlood, TTL: 1000, Hops: 1,
+		},
+	}
+	if err := netw.Send(hostile); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	// a0 clamps to 3: forwards reach a1 (ttl2), a2 (ttl1, no forward).
+	// Peers beyond the clamp horizon must never see the query.
+	for i := 3; i < n; i++ {
+		if st := peers[i].Stats(); st.QueriesSeen != 0 {
+			t.Fatalf("peer a%d saw the hostile query beyond the clamp horizon", i)
+		}
+	}
+	if st := peers[1].Stats(); st.QueriesSeen != 1 {
+		t.Fatalf("a1 should have processed the clamped query once, saw %d", st.QueriesSeen)
+	}
+}
+
+func TestHostileDiscoverClamped(t *testing.T) {
+	t.Parallel()
+	netw := NewInMemoryNetwork()
+	const n = 8
+	peers := make([]*Peer, n)
+	for i := 0; i < n; i++ {
+		cfg := testConfig(fmt.Sprintf("d%d", i), uint64(i+1))
+		cfg.MaxTTL = 2
+		peers[i] = spawn(t, netw, cfg)
+	}
+	for i := 0; i+1 < n; i++ {
+		if err := peers[i].Connect(peers[i+1].Addr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	probe := spawn(t, netw, testConfig("probe", 99))
+	// The probe requests a huge horizon, but every forwarder clamps to
+	// 2, so only d0 (clamped ttl 2) and d1 (ttl 1) answer.
+	found, err := probe.Discover("d0", 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(found) > 2 {
+		t.Fatalf("clamped discover returned %d peers: %v", len(found), found)
+	}
+}
+
+func TestDefaultMaxTTLApplied(t *testing.T) {
+	t.Parallel()
+	netw := NewInMemoryNetwork()
+	p := spawn(t, netw, testConfig("x", 1))
+	if p.cfg.MaxTTL != DefaultMaxTTL {
+		t.Fatalf("default MaxTTL = %d, want %d", p.cfg.MaxTTL, DefaultMaxTTL)
+	}
+}

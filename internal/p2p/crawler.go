@@ -1,0 +1,107 @@
+package p2p
+
+import (
+	"fmt"
+	"time"
+
+	"scalefree/internal/graph"
+)
+
+// This file implements a topology crawler: the measurement tool Gnutella
+// researchers used to obtain the degree distributions this paper starts
+// from. The crawler is a regular peer that walks the overlay via
+// peer-exchange messages only — no global state — and reconstructs the
+// connectivity graph.
+
+// PeersOf requests the full neighbor list of addr (peer exchange).
+func (p *Peer) PeersOf(addr string) ([]PeerInfo, error) {
+	id := p.newID()
+	ch, cancel := p.await(id)
+	defer cancel()
+	p.send(addr, Message{Kind: KindPeersReq, ID: id})
+	deadline := time.NewTimer(p.cfg.DiscoverWindow)
+	defer deadline.Stop()
+	select {
+	case msg := <-ch:
+		return msg.Peers, nil
+	case <-deadline.C:
+		return nil, fmt.Errorf("p2p: peers-of %s timed out", addr)
+	case <-p.stop:
+		return nil, ErrPeerClosed
+	}
+}
+
+// CrawlResult is a reconstructed overlay topology.
+type CrawlResult struct {
+	// G is the crawled connectivity graph; node IDs follow discovery
+	// order.
+	G *graph.Graph
+	// ID maps peer address -> node ID.
+	ID map[string]int
+	// Addr maps node ID -> peer address.
+	Addr []string
+	// Unresponsive lists addresses that were referenced by neighbors but
+	// never answered peer exchange (departed or overloaded peers).
+	Unresponsive []string
+}
+
+// Crawl maps the overlay by breadth-first peer exchange starting from
+// `bootstrap`, visiting at most maxPeers peers (0 = unbounded). The
+// crawling peer itself does not need to be joined to the overlay. The
+// result mirrors what a Gnutella crawler sees: edges are reported by
+// either endpoint, and peers that vanish mid-crawl appear in
+// Unresponsive with whatever links their neighbors advertised.
+func (p *Peer) Crawl(bootstrap string, maxPeers int) (CrawlResult, error) {
+	res := CrawlResult{
+		G:  graph.New(0),
+		ID: make(map[string]int),
+	}
+	if bootstrap == "" {
+		return res, fmt.Errorf("%w: empty bootstrap", ErrBadConfig)
+	}
+	nodeOf := func(addr string) int {
+		if id, ok := res.ID[addr]; ok {
+			return id
+		}
+		id := res.G.AddNode()
+		res.ID[addr] = id
+		res.Addr = append(res.Addr, addr)
+		return id
+	}
+
+	queue := []string{bootstrap}
+	nodeOf(bootstrap)
+	visited := map[string]bool{}
+	for head := 0; head < len(queue); head++ {
+		addr := queue[head]
+		if visited[addr] {
+			continue
+		}
+		if maxPeers > 0 && len(visited) >= maxPeers {
+			break
+		}
+		visited[addr] = true
+		nbs, err := p.PeersOf(addr)
+		if err != nil {
+			res.Unresponsive = append(res.Unresponsive, addr)
+			continue
+		}
+		u := nodeOf(addr)
+		for _, nb := range nbs {
+			if nb.Addr == p.cfg.Addr {
+				continue // ignore the crawler's own probe links
+			}
+			v := nodeOf(nb.Addr)
+			if !res.G.HasEdge(u, v) && u != v {
+				// Edge insertion cannot fail: both IDs were just minted.
+				if err := res.G.AddEdge(u, v); err != nil {
+					return res, fmt.Errorf("crawl edge: %w", err)
+				}
+			}
+			if !visited[nb.Addr] {
+				queue = append(queue, nb.Addr)
+			}
+		}
+	}
+	return res, nil
+}

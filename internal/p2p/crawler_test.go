@@ -1,0 +1,143 @@
+package p2p
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPeersOf(t *testing.T) {
+	t.Parallel()
+	netw := NewInMemoryNetwork()
+	hub := spawn(t, netw, testConfig("hub", 1))
+	for _, a := range []string{"x", "y", "z"} {
+		p := spawn(t, netw, testConfig(a, uint64(len(a))))
+		if err := p.Connect("hub"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, time.Second, func() bool { return hub.Degree() == 3 })
+	probe := spawn(t, netw, testConfig("probe", 9))
+	nbs, err := probe.PeersOf("hub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nbs) != 3 {
+		t.Fatalf("peer exchange returned %v", nbs)
+	}
+}
+
+func TestPeersOfDead(t *testing.T) {
+	t.Parallel()
+	netw := NewInMemoryNetwork()
+	probe := spawn(t, netw, testConfig("probe", 1))
+	if _, err := probe.PeersOf("ghost"); err == nil {
+		t.Fatal("peer exchange with a ghost should fail")
+	}
+}
+
+func TestCrawlReconstructsOverlay(t *testing.T) {
+	t.Parallel()
+	o := newTestOverlay(t, OverlayConfig{M: 2, KC: 12, TauSub: 4, Strategy: JoinDAPA, Seed: 41})
+	if err := o.Grow(50, nil); err != nil {
+		t.Fatal(err)
+	}
+	crawler, err := NewPeer(Config{
+		Addr: "crawler", M: 1, TauSub: 1, Seed: 999,
+		DiscoverWindow: 60 * time.Millisecond,
+	}, o.Net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(crawler.Close)
+
+	res, err := crawler.Crawl(o.Addrs()[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, truthID := o.Snapshot()
+	if res.G.N() != truth.N() {
+		t.Fatalf("crawl found %d peers, overlay has %d", res.G.N(), truth.N())
+	}
+	if res.G.M() != truth.M() {
+		t.Fatalf("crawl found %d edges, overlay has %d", res.G.M(), truth.M())
+	}
+	// Spot-check degrees via the address mappings.
+	for addr, cid := range res.ID {
+		tid, ok := truthID[addr]
+		if !ok {
+			t.Fatalf("crawler invented peer %s", addr)
+		}
+		if res.G.Degree(cid) != truth.Degree(tid) {
+			t.Fatalf("%s: crawled degree %d, true degree %d", addr, res.G.Degree(cid), truth.Degree(tid))
+		}
+	}
+	if len(res.Unresponsive) != 0 {
+		t.Fatalf("unresponsive on a healthy overlay: %v", res.Unresponsive)
+	}
+}
+
+func TestCrawlBounded(t *testing.T) {
+	t.Parallel()
+	o := newTestOverlay(t, OverlayConfig{M: 2, TauSub: 4, Strategy: JoinDAPA, Seed: 43})
+	if err := o.Grow(40, nil); err != nil {
+		t.Fatal(err)
+	}
+	crawler, err := NewPeer(Config{
+		Addr: "crawler", M: 1, TauSub: 1, Seed: 1000,
+		DiscoverWindow: 60 * time.Millisecond,
+	}, o.Net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(crawler.Close)
+	res, err := crawler.Crawl(o.Addrs()[0], 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bounded crawl visits at most 10 peers but may reference more
+	// through their neighbor lists.
+	if res.G.N() < 10 {
+		t.Fatalf("crawl too small: %d", res.G.N())
+	}
+}
+
+func TestCrawlSurvivesDepartures(t *testing.T) {
+	t.Parallel()
+	o := newTestOverlay(t, OverlayConfig{M: 2, TauSub: 4, Strategy: JoinDAPA, Seed: 47})
+	if err := o.Grow(20, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Crash one peer; its neighbors still advertise it.
+	victim := o.Addrs()[5]
+	o.Remove(victim, false)
+	crawler, err := NewPeer(Config{
+		Addr: "crawler", M: 1, TauSub: 1, Seed: 1001,
+		DiscoverWindow: 40 * time.Millisecond,
+	}, o.Net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(crawler.Close)
+	res, err := crawler.Crawl(o.Addrs()[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, a := range res.Unresponsive {
+		if a == victim {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("crashed peer %s not reported unresponsive (got %v)", victim, res.Unresponsive)
+	}
+}
+
+func TestCrawlValidation(t *testing.T) {
+	t.Parallel()
+	netw := NewInMemoryNetwork()
+	probe := spawn(t, netw, testConfig("probe", 1))
+	if _, err := probe.Crawl("", 0); err == nil {
+		t.Fatal("empty bootstrap should fail")
+	}
+}

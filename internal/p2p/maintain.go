@@ -1,0 +1,105 @@
+package p2p
+
+import (
+	"sync"
+	"time"
+)
+
+// Maintainer runs periodic self-healing for one peer: it prunes dead
+// neighbors and re-joins through a bootstrap provider whenever the peer's
+// degree falls below its M — the per-peer form of the paper's §VI
+// join/leave maintenance, requiring only local messages.
+//
+// Lifecycle follows the package convention: New starts the background
+// goroutine, Stop signals it and waits for exit.
+type Maintainer struct {
+	peer      *Peer
+	bootstrap func() string
+	strategy  JoinStrategy
+	interval  time.Duration
+
+	stop chan struct{}
+	done chan struct{}
+
+	mu       sync.Mutex
+	repairs  int
+	sweeps   int
+	lastErr  error
+	stopOnce sync.Once
+}
+
+// NewMaintainer starts background maintenance for p. bootstrap supplies a
+// re-join contact on demand (e.g. a random known peer); returning "" skips
+// that round. interval <= 0 defaults to 1s.
+func NewMaintainer(p *Peer, bootstrap func() string, strategy JoinStrategy, interval time.Duration) *Maintainer {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	m := &Maintainer{
+		peer:      p,
+		bootstrap: bootstrap,
+		strategy:  strategy,
+		interval:  interval,
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	go m.run()
+	return m
+}
+
+func (m *Maintainer) run() {
+	defer close(m.done)
+	ticker := time.NewTicker(m.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			m.sweep()
+		case <-m.stop:
+			return
+		}
+	}
+}
+
+// sweep performs one maintenance round.
+func (m *Maintainer) sweep() {
+	m.mu.Lock()
+	m.sweeps++
+	m.mu.Unlock()
+
+	m.peer.PruneDead()
+	if m.peer.Degree() >= m.peer.cfg.M {
+		return
+	}
+	boot := ""
+	if m.bootstrap != nil {
+		boot = m.bootstrap()
+	}
+	if boot == "" || boot == m.peer.Addr() {
+		return
+	}
+	if _, err := m.peer.Join(boot, m.strategy); err != nil {
+		m.mu.Lock()
+		m.lastErr = err
+		m.mu.Unlock()
+		return
+	}
+	m.mu.Lock()
+	m.repairs++
+	m.mu.Unlock()
+}
+
+// Stats reports maintenance activity: completed sweeps, successful
+// repairs, and the last join error (nil if none).
+func (m *Maintainer) Stats() (sweeps, repairs int, lastErr error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sweeps, m.repairs, m.lastErr
+}
+
+// Stop terminates the maintenance goroutine and waits for it to exit.
+// Idempotent.
+func (m *Maintainer) Stop() {
+	m.stopOnce.Do(func() { close(m.stop) })
+	<-m.done
+}

@@ -1,0 +1,93 @@
+package p2p
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMaintainerRepairsAfterCrash(t *testing.T) {
+	t.Parallel()
+	netw := NewInMemoryNetwork()
+	// a -- b (will crash), plus a healthy c to re-join through.
+	a := spawn(t, netw, testConfig("a", 1))
+	b, err := NewPeer(testConfig("b", 2), netw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := spawn(t, netw, testConfig("c", 3))
+	spawn(t, netw, testConfig("d", 4))
+	if err := c.Connect("d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Connect("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Connect("c"); err != nil {
+		t.Fatal(err)
+	}
+
+	m := NewMaintainer(a, func() string { return "c" }, JoinDAPA, 20*time.Millisecond)
+	t.Cleanup(m.Stop)
+
+	b.Close() // crash: a drops to one live link but still lists b
+	// Maintenance must prune b and re-join to restore degree >= M (2).
+	healthy := waitFor(t, 3*time.Second, func() bool {
+		if a.Degree() < 2 {
+			return false
+		}
+		for _, nb := range a.Neighbors() {
+			if nb.Addr == "b" {
+				return false
+			}
+		}
+		return true
+	})
+	if !healthy {
+		t.Fatalf("maintenance did not heal: degree=%d neighbors=%v", a.Degree(), a.Neighbors())
+	}
+	sweeps, repairs, lastErr := m.Stats()
+	if sweeps == 0 {
+		t.Fatal("no sweeps recorded")
+	}
+	if repairs == 0 {
+		t.Fatalf("no repairs recorded (lastErr=%v)", lastErr)
+	}
+}
+
+func TestMaintainerStopIdempotent(t *testing.T) {
+	t.Parallel()
+	netw := NewInMemoryNetwork()
+	a := spawn(t, netw, testConfig("a", 1))
+	m := NewMaintainer(a, func() string { return "" }, JoinDAPA, 10*time.Millisecond)
+	time.Sleep(30 * time.Millisecond)
+	m.Stop()
+	m.Stop() // must not panic or hang
+	sweeps, _, _ := m.Stats()
+	if sweeps == 0 {
+		t.Fatal("maintainer never swept")
+	}
+}
+
+func TestMaintainerIdleWhenHealthy(t *testing.T) {
+	t.Parallel()
+	netw := NewInMemoryNetwork()
+	a := spawn(t, netw, testConfig("a", 1))
+	spawn(t, netw, testConfig("b", 2))
+	spawn(t, netw, testConfig("c", 3))
+	if err := a.Connect("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Connect("c"); err != nil {
+		t.Fatal(err)
+	}
+	m := NewMaintainer(a, func() string { return "b" }, JoinDAPA, 10*time.Millisecond)
+	t.Cleanup(m.Stop)
+	time.Sleep(100 * time.Millisecond)
+	_, repairs, _ := m.Stats()
+	if repairs != 0 {
+		t.Fatalf("healthy peer was 'repaired' %d times", repairs)
+	}
+	if a.Degree() != 2 {
+		t.Fatalf("degree drifted to %d", a.Degree())
+	}
+}

@@ -1,0 +1,86 @@
+package p2p
+
+// Wire protocol. One flat Message struct with a Kind discriminator keeps
+// the JSON framing trivial for the TCP transport and avoids interface
+// marshaling machinery; unused fields are omitted from the wire.
+
+// Kind discriminates protocol messages.
+type Kind string
+
+// Protocol message kinds.
+const (
+	// KindDiscover floods a peer-discovery query TTL hops through the
+	// overlay (the DAPA horizon query, Appendix D).
+	KindDiscover Kind = "discover"
+	// KindDiscoverReply returns a discovered peer's info directly to the
+	// discovery origin.
+	KindDiscoverReply Kind = "discover-reply"
+	// KindConnect requests a new overlay link.
+	KindConnect Kind = "connect"
+	// KindConnectReply accepts or rejects a link request.
+	KindConnectReply Kind = "connect-reply"
+	// KindDisconnect tears down a link (graceful leave).
+	KindDisconnect Kind = "disconnect"
+	// KindQuery carries a content search (FL, NF, or RW per Alg).
+	KindQuery Kind = "query"
+	// KindQueryHit reports a local match directly to the query origin.
+	KindQueryHit Kind = "query-hit"
+	// KindNeighborReq asks a peer for one uniformly random neighbor
+	// (the HAPA hop primitive, RANDOM_LINK in Appendix C).
+	KindNeighborReq Kind = "neighbor-req"
+	// KindNeighborReply answers KindNeighborReq with the sampled
+	// neighbor and the replying peer's own info.
+	KindNeighborReply Kind = "neighbor-reply"
+	// KindPeersReq asks a peer for its full neighbor list (peer
+	// exchange, the primitive topology crawlers use).
+	KindPeersReq Kind = "peers-req"
+	// KindPeersReply answers KindPeersReq.
+	KindPeersReply Kind = "peers-reply"
+	// KindPing and KindPong probe liveness and refresh degree caches.
+	KindPing Kind = "ping"
+	KindPong Kind = "pong"
+)
+
+// Alg names the live search algorithms carried in queries.
+type Alg string
+
+// Live search algorithms (§V-A).
+const (
+	AlgFlood Alg = "fl"
+	AlgNF    Alg = "nf"
+	AlgRW    Alg = "rw"
+)
+
+// Message is the single wire message. Fields are populated per Kind; see
+// the Kind constants for semantics.
+type Message struct {
+	Kind Kind `json:"kind"`
+	// ID identifies a request/flood instance (GUID for duplicate
+	// suppression).
+	ID string `json:"id,omitempty"`
+	// Origin is the address replies should be sent to.
+	Origin string `json:"origin,omitempty"`
+	// TTL is the remaining hop budget; Hops counts hops taken so far.
+	TTL  int `json:"ttl,omitempty"`
+	Hops int `json:"hops,omitempty"`
+	// Key is the content key being searched.
+	Key string `json:"key,omitempty"`
+	// Alg selects the live search algorithm for KindQuery.
+	Alg Alg `json:"alg,omitempty"`
+	// KMin is the NF fan-out carried with the query.
+	KMin int `json:"kmin,omitempty"`
+	// Peers carries discovery results / hit reporters.
+	Peers []PeerInfo `json:"peers,omitempty"`
+	// Degree advertises the sender's degree (connect negotiation,
+	// neighbor replies).
+	Degree int `json:"degree,omitempty"`
+	// Accept is the connect verdict.
+	Accept bool `json:"accept,omitempty"`
+}
+
+// Envelope is a routed message.
+type Envelope struct {
+	From string  `json:"from"`
+	To   string  `json:"to"`
+	Msg  Message `json:"msg"`
+}

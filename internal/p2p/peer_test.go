@@ -1,0 +1,265 @@
+package p2p
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// testConfig returns a fast-window config for unit tests.
+func testConfig(addr string, seed uint64) Config {
+	return Config{
+		Addr: addr, M: 2, TauSub: 4, Seed: seed,
+		DiscoverWindow: 60 * time.Millisecond,
+	}
+}
+
+// spawn creates a peer on net, failing the test on error and closing it on
+// cleanup.
+func spawn(t *testing.T, net Network, cfg Config) *Peer {
+	t.Helper()
+	p, err := NewPeer(cfg, net)
+	if err != nil {
+		t.Fatalf("NewPeer(%s): %v", cfg.Addr, err)
+	}
+	t.Cleanup(p.Close)
+	return p
+}
+
+// waitFor polls cond until true or the deadline elapses.
+func waitFor(t *testing.T, d time.Duration, cond func() bool) bool {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return cond()
+}
+
+func TestNewPeerValidation(t *testing.T) {
+	t.Parallel()
+	net := NewInMemoryNetwork()
+	cases := []Config{
+		{Addr: "", M: 1, TauSub: 1},
+		{Addr: "a", M: 0, TauSub: 1},
+		{Addr: "a", M: 2, KC: 1, TauSub: 1},
+		{Addr: "a", M: 1, TauSub: 0},
+	}
+	for _, cfg := range cases {
+		if _, err := NewPeer(cfg, net); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("NewPeer(%+v) err = %v, want ErrBadConfig", cfg, err)
+		}
+	}
+}
+
+func TestDuplicateAddress(t *testing.T) {
+	t.Parallel()
+	net := NewInMemoryNetwork()
+	spawn(t, net, testConfig("a", 1))
+	if _, err := NewPeer(testConfig("a", 2), net); !errors.Is(err, ErrDupAddress) {
+		t.Fatalf("err = %v, want ErrDupAddress", err)
+	}
+}
+
+func TestConnectEstablishesBothSides(t *testing.T) {
+	t.Parallel()
+	net := NewInMemoryNetwork()
+	a := spawn(t, net, testConfig("a", 1))
+	b := spawn(t, net, testConfig("b", 2))
+	if err := a.Connect("b"); err != nil {
+		t.Fatal(err)
+	}
+	if a.Degree() != 1 {
+		t.Fatalf("a degree %d", a.Degree())
+	}
+	if !waitFor(t, time.Second, func() bool { return b.Degree() == 1 }) {
+		t.Fatalf("b degree %d, want 1", b.Degree())
+	}
+	// Idempotent: reconnecting is a no-op.
+	if err := a.Connect("b"); err != nil {
+		t.Fatal(err)
+	}
+	if a.Degree() != 1 {
+		t.Fatalf("duplicate connect changed degree to %d", a.Degree())
+	}
+}
+
+func TestConnectSelfIsNoOp(t *testing.T) {
+	t.Parallel()
+	net := NewInMemoryNetwork()
+	a := spawn(t, net, testConfig("a", 1))
+	if err := a.Connect("a"); err != nil {
+		t.Fatal(err)
+	}
+	if a.Degree() != 0 {
+		t.Fatal("self connect created a link")
+	}
+}
+
+func TestConnectRespectsHardCutoff(t *testing.T) {
+	t.Parallel()
+	net := NewInMemoryNetwork()
+	cfg := testConfig("hub", 1)
+	cfg.KC = 2
+	hub := spawn(t, net, cfg)
+	var ok, rejected int
+	for i := 0; i < 5; i++ {
+		p := spawn(t, net, testConfig(string(rune('b'+i)), uint64(i+2)))
+		if err := p.Connect("hub"); err != nil {
+			if !errors.Is(err, ErrSaturated) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			rejected++
+		} else {
+			ok++
+		}
+	}
+	if ok != 2 || rejected != 3 {
+		t.Fatalf("ok=%d rejected=%d, want 2/3", ok, rejected)
+	}
+	if hub.Degree() != 2 {
+		t.Fatalf("hub degree %d, want kc=2", hub.Degree())
+	}
+	st := hub.Stats()
+	if st.ConnectsAccepted != 2 || st.ConnectsRejected != 3 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestConnectLocalCutoff(t *testing.T) {
+	t.Parallel()
+	net := NewInMemoryNetwork()
+	cfg := testConfig("a", 1)
+	cfg.KC = 2 // m defaults to 2 in testConfig
+	a := spawn(t, net, cfg)
+	spawn(t, net, testConfig("b", 2))
+	spawn(t, net, testConfig("c", 3))
+	spawn(t, net, testConfig("d", 4))
+	if err := a.Connect("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Connect("c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Connect("d"); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("err = %v, want local ErrSaturated", err)
+	}
+}
+
+func TestDisconnect(t *testing.T) {
+	t.Parallel()
+	net := NewInMemoryNetwork()
+	a := spawn(t, net, testConfig("a", 1))
+	b := spawn(t, net, testConfig("b", 2))
+	if err := a.Connect("b"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, time.Second, func() bool { return b.Degree() == 1 })
+	a.Disconnect("b")
+	if a.Degree() != 0 {
+		t.Fatal("a kept the link")
+	}
+	if !waitFor(t, time.Second, func() bool { return b.Degree() == 0 }) {
+		t.Fatal("b kept the link after disconnect")
+	}
+}
+
+func TestLeaveNotifiesNeighbors(t *testing.T) {
+	t.Parallel()
+	net := NewInMemoryNetwork()
+	a, err := NewPeer(testConfig("a", 1), net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := spawn(t, net, testConfig("b", 2))
+	c := spawn(t, net, testConfig("c", 3))
+	if err := a.Connect("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Connect("c"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, time.Second, func() bool { return b.Degree() == 1 && c.Degree() == 1 })
+	a.Leave()
+	if !waitFor(t, time.Second, func() bool { return b.Degree() == 0 && c.Degree() == 0 }) {
+		t.Fatalf("neighbors kept links: b=%d c=%d", b.Degree(), c.Degree())
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	t.Parallel()
+	net := NewInMemoryNetwork()
+	a, err := NewPeer(testConfig("a", 1), net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	a.Close() // must not panic or deadlock
+}
+
+func TestDiscoverHorizon(t *testing.T) {
+	t.Parallel()
+	// Path topology a-b-c-d: discovery from a fresh node via "a" with
+	// TTL 2 must see a and b but not c or d.
+	net := NewInMemoryNetwork()
+	names := []string{"a", "b", "c", "d"}
+	peers := make(map[string]*Peer, 4)
+	for i, n := range names {
+		peers[n] = spawn(t, net, testConfig(n, uint64(i+1)))
+	}
+	for i := 0; i+1 < len(names); i++ {
+		if err := peers[names[i]].Connect(names[i+1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	newcomer := spawn(t, net, testConfig("x", 99))
+	found, err := newcomer.Discover("a", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, pi := range found {
+		got[pi.Addr] = true
+	}
+	if !got["a"] || !got["b"] {
+		t.Fatalf("horizon missing a/b: %v", found)
+	}
+	if got["c"] || got["d"] {
+		t.Fatalf("TTL 2 leaked beyond horizon: %v", found)
+	}
+	// Wider horizon sees everyone.
+	found, err = newcomer.Discover("a", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(found) != 4 {
+		t.Fatalf("full horizon found %d peers, want 4", len(found))
+	}
+}
+
+func TestDiscoverReportsDegrees(t *testing.T) {
+	t.Parallel()
+	net := NewInMemoryNetwork()
+	hub := spawn(t, net, testConfig("hub", 1))
+	for i := 0; i < 3; i++ {
+		p := spawn(t, net, testConfig(string(rune('b'+i)), uint64(i+2)))
+		if err := p.Connect("hub"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, time.Second, func() bool { return hub.Degree() == 3 })
+	newcomer := spawn(t, net, testConfig("x", 9))
+	found, err := newcomer.Discover("hub", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(found) != 1 || found[0].Addr != "hub" {
+		t.Fatalf("found %v", found)
+	}
+	if found[0].Degree != 3 {
+		t.Fatalf("hub advertised degree %d, want 3", found[0].Degree)
+	}
+}

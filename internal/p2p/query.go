@@ -1,0 +1,96 @@
+package p2p
+
+import (
+	"fmt"
+	"time"
+)
+
+// QueryResult collects the outcome of one live content search.
+type QueryResult struct {
+	// Key is the content key searched.
+	Key string
+	// Hits are the peers that reported a local match, in arrival order.
+	Hits []PeerInfo
+	// FirstHopCount is the hop count of the earliest hit (0 if none) —
+	// the delivery-time metric of §V-A.
+	FirstHopCount int
+	// Elapsed is the wall-clock collection time.
+	Elapsed time.Duration
+}
+
+// Query runs a live content search from this peer using the given
+// algorithm and TTL, collecting query-hits for the configured window.
+// For AlgNF the fan-out is the peer's configured M (the paper runs NF
+// "based on the predefined minimum degree value m"); walkers (AlgRW)
+// interpret TTL as the step budget.
+//
+// The search is best-effort and asynchronous, exactly like Gnutella: late
+// hits after the window are dropped.
+func (p *Peer) Query(key string, alg Alg, ttl int) (QueryResult, error) {
+	switch alg {
+	case AlgFlood, AlgNF, AlgRW:
+	default:
+		return QueryResult{}, fmt.Errorf("%w: unknown algorithm %q", ErrBadConfig, alg)
+	}
+	if ttl < 1 {
+		return QueryResult{}, fmt.Errorf("p2p: query TTL %d must be >= 1", ttl)
+	}
+	start := time.Now()
+	id := p.newID()
+	ch, cancel := p.await(id)
+	defer cancel()
+
+	msg := Message{
+		Kind: KindQuery, ID: id, Origin: p.cfg.Addr, Key: key,
+		Alg: alg, KMin: p.cfg.M, TTL: ttl,
+		Hops: 1, // the origin's own transmission is the first hop
+	}
+
+	// Seed the search: the origin forwards like any node (FL: all
+	// neighbors; NF: up to kMin; RW: one), and never re-processes its own
+	// GUID.
+	p.mu.Lock()
+	p.markSeen(p.seen, id)
+	p.markSeen(p.hitSent, id)
+	cands := make([]string, 0, len(p.neighbors))
+	for a := range p.neighbors {
+		cands = append(cands, a)
+	}
+	switch alg {
+	case AlgNF:
+		if len(cands) > p.cfg.M {
+			p.rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+			cands = cands[:p.cfg.M]
+		}
+	case AlgRW:
+		if len(cands) > 0 {
+			cands = []string{cands[p.rng.Intn(len(cands))]}
+		}
+	}
+	p.mu.Unlock()
+	for _, a := range cands {
+		p.stats.queriesForwarded.Add(1)
+		p.send(a, msg)
+	}
+
+	res := QueryResult{Key: key}
+	deadline := time.NewTimer(p.cfg.DiscoverWindow)
+	defer deadline.Stop()
+	for {
+		select {
+		case hit := <-ch:
+			if hit.Kind != KindQueryHit {
+				continue
+			}
+			if len(res.Hits) == 0 {
+				res.FirstHopCount = hit.Hops
+			}
+			res.Hits = append(res.Hits, hit.Peers...)
+		case <-deadline.C:
+			res.Elapsed = time.Since(start)
+			return res, nil
+		case <-p.stop:
+			return res, ErrPeerClosed
+		}
+	}
+}

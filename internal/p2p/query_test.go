@@ -1,0 +1,235 @@
+package p2p
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// lineOverlay builds a path of n peers a0-a1-...-a(n-1), with keyOwner
+// holding key "needle". Returns the peers in order.
+func lineOverlay(t *testing.T, net Network, n, keyOwner int) []*Peer {
+	t.Helper()
+	peers := make([]*Peer, n)
+	for i := 0; i < n; i++ {
+		cfg := testConfig(fmt.Sprintf("a%d", i), uint64(i+1))
+		if i == keyOwner {
+			cfg.Keys = []string{"needle"}
+		}
+		peers[i] = spawn(t, net, cfg)
+	}
+	for i := 0; i+1 < n; i++ {
+		if err := peers[i].Connect(peers[i+1].Addr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Let the reverse sides settle.
+	waitFor(t, time.Second, func() bool {
+		for i := 1; i < n-1; i++ {
+			if peers[i].Degree() != 2 {
+				return false
+			}
+		}
+		return true
+	})
+	return peers
+}
+
+func TestQueryFloodFindsKeyWithinTTL(t *testing.T) {
+	t.Parallel()
+	net := NewInMemoryNetwork()
+	peers := lineOverlay(t, net, 6, 4) // needle 4 hops from a0
+	res, err := peers[0].Query("needle", AlgFlood, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) != 1 || res.Hits[0].Addr != "a4" {
+		t.Fatalf("hits %v", res.Hits)
+	}
+	if res.FirstHopCount != 4 {
+		t.Fatalf("first hit at %d hops, want 4", res.FirstHopCount)
+	}
+}
+
+func TestQueryFloodRespectsTTL(t *testing.T) {
+	t.Parallel()
+	net := NewInMemoryNetwork()
+	peers := lineOverlay(t, net, 6, 4)
+	res, err := peers[0].Query("needle", AlgFlood, 3) // too short
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) != 0 {
+		t.Fatalf("TTL 3 should not reach a4: %v", res.Hits)
+	}
+}
+
+func TestQueryMissingKey(t *testing.T) {
+	t.Parallel()
+	net := NewInMemoryNetwork()
+	peers := lineOverlay(t, net, 4, 2)
+	res, err := peers[0].Query("absent", AlgFlood, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) != 0 {
+		t.Fatalf("hits for absent key: %v", res.Hits)
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	t.Parallel()
+	net := NewInMemoryNetwork()
+	a := spawn(t, net, testConfig("a", 1))
+	if _, err := a.Query("k", Alg("bogus"), 3); err == nil {
+		t.Error("bogus algorithm should fail")
+	}
+	if _, err := a.Query("k", AlgFlood, 0); err == nil {
+		t.Error("zero TTL should fail")
+	}
+}
+
+func TestQueryMultipleHits(t *testing.T) {
+	t.Parallel()
+	net := NewInMemoryNetwork()
+	hub := spawn(t, net, testConfig("hub", 1))
+	for i := 0; i < 4; i++ {
+		cfg := testConfig(fmt.Sprintf("leaf%d", i), uint64(i+2))
+		cfg.Keys = []string{"popular"}
+		leaf := spawn(t, net, cfg)
+		if err := leaf.Connect("hub"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, time.Second, func() bool { return hub.Degree() == 4 })
+	res, err := hub.Query("popular", AlgFlood, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) != 4 {
+		t.Fatalf("hits %d, want 4", len(res.Hits))
+	}
+}
+
+func TestQueryOwnKeyNotReported(t *testing.T) {
+	t.Parallel()
+	// The origin searching for a key it holds itself should not
+	// self-report (callers check HasKey first).
+	net := NewInMemoryNetwork()
+	cfg := testConfig("a", 1)
+	cfg.Keys = []string{"mine"}
+	a := spawn(t, net, cfg)
+	b := spawn(t, net, testConfig("b", 2))
+	if err := a.Connect("b"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Query("mine", AlgFlood, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) != 0 {
+		t.Fatalf("self-hit reported: %v", res.Hits)
+	}
+	if !a.HasKey("mine") {
+		t.Fatal("HasKey broken")
+	}
+	_ = b
+}
+
+func TestQueryNFRespectsFanOut(t *testing.T) {
+	t.Parallel()
+	// Star with m=1 (kMin=1): NF from the hub contacts exactly one leaf,
+	// so at most one of the 4 key holders answers.
+	net := NewInMemoryNetwork()
+	cfg := testConfig("hub", 1)
+	cfg.M = 1
+	hub := spawn(t, net, cfg)
+	for i := 0; i < 4; i++ {
+		leafCfg := testConfig(fmt.Sprintf("leaf%d", i), uint64(i+2))
+		leafCfg.Keys = []string{"popular"}
+		leaf := spawn(t, net, leafCfg)
+		if err := leaf.Connect("hub"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, time.Second, func() bool { return hub.Degree() == 4 })
+	res, err := hub.Query("popular", AlgNF, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) != 1 {
+		t.Fatalf("NF kMin=1 produced %d hits, want 1", len(res.Hits))
+	}
+	if st := hub.Stats(); st.QueriesForwarded != 1 {
+		t.Fatalf("hub forwarded %d, want 1", st.QueriesForwarded)
+	}
+}
+
+func TestQueryRWWalksALine(t *testing.T) {
+	t.Parallel()
+	// On a path the walker marches deterministically away from the
+	// origin (non-backtracking), so it must find a key 3 hops away with
+	// TTL >= 4.
+	net := NewInMemoryNetwork()
+	peers := lineOverlay(t, net, 5, 3)
+	res, err := peers[0].Query("needle", AlgRW, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) != 1 || res.Hits[0].Addr != "a3" {
+		t.Fatalf("RW hits %v", res.Hits)
+	}
+}
+
+func TestQueryKeyManagement(t *testing.T) {
+	t.Parallel()
+	net := NewInMemoryNetwork()
+	a := spawn(t, net, testConfig("a", 1))
+	b := spawn(t, net, testConfig("b", 2))
+	if err := a.Connect("b"); err != nil {
+		t.Fatal(err)
+	}
+	b.AddKey("late")
+	res, err := a.Query("late", AlgFlood, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) != 1 {
+		t.Fatalf("added key not found: %v", res.Hits)
+	}
+	b.RemoveKey("late")
+	res, err = a.Query("late", AlgFlood, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) != 0 {
+		t.Fatalf("removed key still found: %v", res.Hits)
+	}
+}
+
+func TestDuplicateSuppressionStats(t *testing.T) {
+	t.Parallel()
+	// Triangle: a query floods around the loop; each peer must process
+	// the GUID once even though it receives two copies.
+	net := NewInMemoryNetwork()
+	var peers []*Peer
+	for i := 0; i < 3; i++ {
+		peers = append(peers, spawn(t, net, testConfig(fmt.Sprintf("t%d", i), uint64(i+1))))
+	}
+	for i := 0; i < 3; i++ {
+		if err := peers[i].Connect(peers[(i+1)%3].Addr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, time.Second, func() bool {
+		return peers[0].Degree() == 2 && peers[1].Degree() == 2 && peers[2].Degree() == 2
+	})
+	if _, err := peers[0].Query("nothing", AlgFlood, 5); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 3; i++ {
+		if st := peers[i].Stats(); st.QueriesSeen != 1 {
+			t.Fatalf("peer %d processed query %d times", i, st.QueriesSeen)
+		}
+	}
+}

@@ -1,0 +1,244 @@
+package p2p
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCPNetwork implements Network over real TCP sockets with newline-
+// delimited JSON envelopes — the transport behind cmd/peerd. Peer
+// addresses are "host:port" listen addresses. Outbound connections are
+// cached and re-dialed on failure; delivery remains best-effort, matching
+// the in-memory transport's semantics.
+type TCPNetwork struct {
+	// DialTimeout bounds connection establishment (default 2s).
+	DialTimeout time.Duration
+
+	mu        sync.Mutex
+	listeners map[string]net.Listener
+	inboxes   map[string]chan<- Envelope
+	conns     map[string]*tcpConn
+	inbound   map[net.Conn]struct{}
+	wg        sync.WaitGroup
+	closed    bool
+}
+
+type tcpConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *json.Encoder
+}
+
+var _ Network = (*TCPNetwork)(nil)
+
+// NewTCPNetwork returns an empty TCP transport.
+func NewTCPNetwork() *TCPNetwork {
+	return &TCPNetwork{
+		DialTimeout: 2 * time.Second,
+		listeners:   make(map[string]net.Listener),
+		inboxes:     make(map[string]chan<- Envelope),
+		conns:       make(map[string]*tcpConn),
+		inbound:     make(map[net.Conn]struct{}),
+	}
+}
+
+// Register implements Network: it binds a TCP listener on addr (which may
+// use port 0; see ListenAddr for the resolved address) and pumps inbound
+// envelopes into the inbox.
+func (t *TCPNetwork) Register(addr string, inbox chan<- Envelope) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return ErrPeerClosed
+	}
+	if _, dup := t.listeners[addr]; dup {
+		return fmt.Errorf("%w: %s", ErrDupAddress, addr)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("listen %s: %w", addr, err)
+	}
+	real := ln.Addr().String()
+	t.listeners[real] = ln
+	t.inboxes[real] = inbox
+	if real != addr {
+		// Port-0 binds register under the resolved address too, so the
+		// caller can Register("127.0.0.1:0") and look up ListenAddr.
+		t.listeners[addr] = ln
+		t.inboxes[addr] = inbox
+	}
+	t.wg.Add(1)
+	go t.acceptLoop(ln, inbox)
+	return nil
+}
+
+// ListenAddr resolves the actual listen address for a registration made
+// with a port-0 bind.
+func (t *TCPNetwork) ListenAddr(addr string) string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ln, ok := t.listeners[addr]; ok {
+		return ln.Addr().String()
+	}
+	return addr
+}
+
+func (t *TCPNetwork) acceptLoop(ln net.Listener, inbox chan<- Envelope) {
+	defer t.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			if cerr := conn.Close(); cerr != nil {
+				_ = cerr
+			}
+			return
+		}
+		t.inbound[conn] = struct{}{}
+		t.wg.Add(1)
+		t.mu.Unlock()
+		go t.readLoop(conn, inbox)
+	}
+}
+
+func (t *TCPNetwork) readLoop(conn net.Conn, inbox chan<- Envelope) {
+	defer t.wg.Done()
+	defer func() {
+		if err := conn.Close(); err != nil {
+			_ = err // already closing; nothing useful to do
+		}
+		t.mu.Lock()
+		delete(t.inbound, conn)
+		t.mu.Unlock()
+	}()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		var env Envelope
+		if err := json.Unmarshal(sc.Bytes(), &env); err != nil {
+			continue // tolerate malformed frames from strangers
+		}
+		select {
+		case inbox <- env:
+		default:
+			// Inbox overrun: drop, as the in-memory transport does.
+		}
+	}
+}
+
+// Unregister implements Network.
+func (t *TCPNetwork) Unregister(addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ln, ok := t.listeners[addr]; ok {
+		if err := ln.Close(); err != nil {
+			_ = err
+		}
+		// Drop every alias of this listener (port-0 registrations).
+		for a, l := range t.listeners {
+			if l == ln {
+				delete(t.listeners, a)
+				delete(t.inboxes, a)
+			}
+		}
+	}
+}
+
+// Send implements Network: it reuses or dials a connection to env.To and
+// writes one JSON line. A stale cached connection is re-dialed once.
+func (t *TCPNetwork) Send(env Envelope) error {
+	for attempt := 0; attempt < 2; attempt++ {
+		c, err := t.connTo(env.To)
+		if err != nil {
+			return err
+		}
+		c.mu.Lock()
+		err = c.enc.Encode(env)
+		c.mu.Unlock()
+		if err == nil {
+			return nil
+		}
+		t.dropConn(env.To, c)
+	}
+	return fmt.Errorf("%w: %s", ErrUnknownPeer, env.To)
+}
+
+func (t *TCPNetwork) connTo(addr string) (*tcpConn, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, ErrPeerClosed
+	}
+	if c, ok := t.conns[addr]; ok {
+		t.mu.Unlock()
+		return c, nil
+	}
+	timeout := t.DialTimeout
+	t.mu.Unlock()
+
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("%w: dial %s: %v", ErrUnknownPeer, addr, err)
+	}
+	c := &tcpConn{conn: conn, enc: json.NewEncoder(conn)}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if existing, ok := t.conns[addr]; ok {
+		// Lost the race; keep the established one.
+		if err := conn.Close(); err != nil {
+			_ = err
+		}
+		return existing, nil
+	}
+	t.conns[addr] = c
+	return c, nil
+}
+
+func (t *TCPNetwork) dropConn(addr string, c *tcpConn) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if cur, ok := t.conns[addr]; ok && cur == c {
+		delete(t.conns, addr)
+		if err := c.conn.Close(); err != nil {
+			_ = err
+		}
+	}
+}
+
+// Close shuts down all listeners and cached connections and waits for the
+// pump goroutines to drain.
+func (t *TCPNetwork) Close() {
+	t.mu.Lock()
+	t.closed = true
+	for _, ln := range t.listeners {
+		if err := ln.Close(); err != nil {
+			_ = err
+		}
+	}
+	t.listeners = make(map[string]net.Listener)
+	t.inboxes = make(map[string]chan<- Envelope)
+	for _, c := range t.conns {
+		if err := c.conn.Close(); err != nil {
+			_ = err
+		}
+	}
+	t.conns = make(map[string]*tcpConn)
+	// Inbound connections must be closed too: their readLoops otherwise
+	// block in Scan until the REMOTE closes, and wg.Wait would deadlock
+	// when a live peer on another network keeps its side open.
+	for conn := range t.inbound {
+		if err := conn.Close(); err != nil {
+			_ = err
+		}
+	}
+	t.mu.Unlock()
+	t.wg.Wait()
+}

@@ -1,0 +1,159 @@
+package p2p
+
+import (
+	"testing"
+	"time"
+)
+
+// tcpPeer spawns a peer on the TCP transport with a kernel-assigned port,
+// returning the peer (addressed by its resolved listen address).
+func tcpPeer(t *testing.T, net *TCPNetwork, seed uint64, keys ...string) *Peer {
+	t.Helper()
+	// Bind first to learn the port, since Config.Addr is the identity
+	// other peers dial.
+	probe := make(chan Envelope, 1)
+	if err := net.Register("127.0.0.1:0", probe); err != nil {
+		t.Fatal(err)
+	}
+	addr := net.ListenAddr("127.0.0.1:0")
+	net.Unregister(addr)
+
+	cfg := Config{
+		Addr: addr, M: 2, TauSub: 4, Seed: seed, Keys: keys,
+		DiscoverWindow: 150 * time.Millisecond,
+	}
+	p, err := NewPeer(cfg, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	return p
+}
+
+func TestTCPConnectAndQuery(t *testing.T) {
+	t.Parallel()
+	net := NewTCPNetwork()
+	t.Cleanup(net.Close)
+
+	a := tcpPeer(t, net, 1)
+	b := tcpPeer(t, net, 2, "tcp-needle")
+	c := tcpPeer(t, net, 3)
+
+	if err := a.Connect(b.Addr()); err != nil {
+		t.Fatalf("connect a-b over TCP: %v", err)
+	}
+	if err := b.Connect(c.Addr()); err != nil {
+		t.Fatalf("connect b-c over TCP: %v", err)
+	}
+	if !waitFor(t, 2*time.Second, func() bool { return b.Degree() == 2 }) {
+		t.Fatalf("b degree %d", b.Degree())
+	}
+
+	res, err := a.Query("tcp-needle", AlgFlood, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) != 1 || res.Hits[0].Addr != b.Addr() {
+		t.Fatalf("hits %v", res.Hits)
+	}
+}
+
+func TestTCPDiscoverAndJoin(t *testing.T) {
+	t.Parallel()
+	net := NewTCPNetwork()
+	t.Cleanup(net.Close)
+
+	boot := tcpPeer(t, net, 10)
+	b := tcpPeer(t, net, 11)
+	if err := b.Connect(boot.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	newcomer := tcpPeer(t, net, 12)
+	made, err := newcomer.Join(boot.Addr(), JoinDAPA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if made < 1 {
+		t.Fatalf("made %d links", made)
+	}
+}
+
+func TestTCPSendToDeadPeer(t *testing.T) {
+	t.Parallel()
+	net := NewTCPNetwork()
+	t.Cleanup(net.Close)
+	err := net.Send(Envelope{To: "127.0.0.1:1"}) // reserved port, refused
+	if err == nil {
+		t.Fatal("send to dead address should fail")
+	}
+}
+
+func TestTCPUnregisterStopsDelivery(t *testing.T) {
+	t.Parallel()
+	net := NewTCPNetwork()
+	t.Cleanup(net.Close)
+	inbox := make(chan Envelope, 4)
+	if err := net.Register("127.0.0.1:0", inbox); err != nil {
+		t.Fatal(err)
+	}
+	addr := net.ListenAddr("127.0.0.1:0")
+	if err := net.Send(Envelope{From: "x", To: addr, Msg: Message{Kind: KindPing}}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case env := <-inbox:
+		if env.Msg.Kind != KindPing {
+			t.Fatalf("got %v", env.Msg.Kind)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("envelope not delivered over TCP")
+	}
+	net.Unregister(addr)
+	// The cached conn may still accept a write, but eventually sends must
+	// fail once the connection drops; at minimum re-registration works.
+	if err := net.Register("127.0.0.1:0", make(chan Envelope, 1)); err != nil {
+		t.Fatalf("re-register: %v", err)
+	}
+}
+
+// TestTCPCloseWithLivePeerOnOtherNetwork is the regression test for the
+// Close deadlock: closing a network that holds an ESTABLISHED inbound
+// connection from a still-running remote peer must not block waiting for
+// the remote to hang up. (Before the fix, Close only closed listeners and
+// outbound conns; inbound readLoops blocked in Scan forever.)
+func TestTCPCloseWithLivePeerOnOtherNetwork(t *testing.T) {
+	t.Parallel()
+	netA := NewTCPNetwork()
+	netB := NewTCPNetwork()
+	defer netB.Close()
+
+	a := tcpPeer(t, netA, 1, "alpha")
+	b := tcpPeer(t, netB, 2)
+	if err := b.Connect(a.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	// b's dial created an inbound connection on netA, and netB caches the
+	// outbound side, keeping it open. Closing netA must still return.
+	a.Close()
+	done := make(chan struct{})
+	go func() {
+		netA.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("TCPNetwork.Close deadlocked on a live inbound connection")
+	}
+}
+
+// TestTCPRegisterAfterClose verifies the closed network rejects new
+// registrations instead of leaking listeners.
+func TestTCPRegisterAfterClose(t *testing.T) {
+	t.Parallel()
+	net := NewTCPNetwork()
+	net.Close()
+	if err := net.Register("127.0.0.1:0", make(chan Envelope, 1)); err == nil {
+		t.Fatal("register after close should fail")
+	}
+}

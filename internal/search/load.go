@@ -1,0 +1,183 @@
+package search
+
+// Per-node load accounting. The paper motivates hard cutoffs by load
+// fairness but measures topology (degree) only; degree is a proxy for the
+// real cost, which is query-handling work. These variants of the three
+// search algorithms charge every transmission to the node that performs
+// it, so the fairness experiment can compare the Gini of actual search
+// load with the Gini of degrees under different cutoffs.
+
+import (
+	"fmt"
+
+	"scalefree/internal/graph"
+	"scalefree/internal/xrand"
+)
+
+// Load accumulates per-node work across any number of searches.
+type Load struct {
+	// Forwards[v] counts query transmissions node v performed.
+	Forwards []int64
+	// Receipts[v] counts query copies node v received (including
+	// suppressed duplicates — receiving costs work even when the copy is
+	// dropped).
+	Receipts []int64
+}
+
+// NewLoad returns a zeroed accumulator for an n-node graph.
+func NewLoad(n int) *Load {
+	return &Load{Forwards: make([]int64, n), Receipts: make([]int64, n)}
+}
+
+// Total returns the summed forwards (== total messages charged).
+func (l *Load) Total() int64 {
+	var t int64
+	for _, f := range l.Forwards {
+		t += f
+	}
+	return t
+}
+
+// Work returns per-node total work (forwards + receipts) as ints, the
+// shape stats.Gini and stats.TopShare consume.
+func (l *Load) Work() []int {
+	out := make([]int, len(l.Forwards))
+	for v := range out {
+		out[v] = int(l.Forwards[v] + l.Receipts[v])
+	}
+	return out
+}
+
+func (l *Load) check(g *graph.Graph) error {
+	if len(l.Forwards) != g.N() {
+		return fmt.Errorf("search: load sized for %d nodes, graph has %d", len(l.Forwards), g.N())
+	}
+	return nil
+}
+
+// FloodLoad runs flooding from src exactly as Flood does, charging each
+// transmission to its sender and each receipt (duplicate or not) to its
+// receiver.
+func FloodLoad(g *graph.Graph, src, maxTTL int, load *Load) error {
+	if err := validate(g, src, maxTTL); err != nil {
+		return err
+	}
+	if err := load.check(g); err != nil {
+		return err
+	}
+	type item struct {
+		node int32
+		from int32
+	}
+	depth := make([]int32, g.N())
+	for i := range depth {
+		depth[i] = -1
+	}
+	depth[src] = 0
+	queue := []item{{node: int32(src), from: -1}}
+	for head := 0; head < len(queue); head++ {
+		it := queue[head]
+		du := int(depth[it.node])
+		if du == maxTTL {
+			continue
+		}
+		for _, v := range g.Neighbors(int(it.node)) {
+			if v == it.from {
+				continue
+			}
+			load.Forwards[it.node]++
+			load.Receipts[v]++
+			if depth[v] < 0 {
+				depth[v] = int32(du + 1)
+				queue = append(queue, item{node: v, from: it.node})
+			}
+		}
+	}
+	return nil
+}
+
+// NormalizedFloodLoad runs NF from src as NormalizedFlood does, with the
+// same charging rule as FloodLoad.
+func NormalizedFloodLoad(g *graph.Graph, src, maxTTL, kMin int, rng *xrand.RNG, load *Load) error {
+	if err := validate(g, src, maxTTL); err != nil {
+		return err
+	}
+	if kMin < 1 {
+		return fmt.Errorf("%w: %d", ErrBadKMin, kMin)
+	}
+	if err := load.check(g); err != nil {
+		return err
+	}
+	if rng == nil {
+		rng = xrand.New(0)
+	}
+	type item struct {
+		node int32
+		from int32
+	}
+	depth := make([]int32, g.N())
+	for i := range depth {
+		depth[i] = -1
+	}
+	depth[src] = 0
+	queue := []item{{node: int32(src), from: -1}}
+	scratch := make([]int32, 0, 64)
+	for head := 0; head < len(queue); head++ {
+		it := queue[head]
+		du := int(depth[it.node])
+		if du == maxTTL {
+			continue
+		}
+		scratch = scratch[:0]
+		for _, v := range g.Neighbors(int(it.node)) {
+			if v != it.from {
+				scratch = append(scratch, v)
+			}
+		}
+		targets := scratch
+		if len(scratch) > kMin {
+			for i := 0; i < kMin; i++ {
+				j := i + rng.Intn(len(scratch)-i)
+				scratch[i], scratch[j] = scratch[j], scratch[i]
+			}
+			targets = scratch[:kMin]
+		}
+		for _, v := range targets {
+			load.Forwards[it.node]++
+			load.Receipts[v]++
+			if depth[v] < 0 {
+				depth[v] = int32(du + 1)
+				queue = append(queue, item{node: v, from: it.node})
+			}
+		}
+	}
+	return nil
+}
+
+// RandomWalkLoad runs a non-backtracking walk from src as RandomWalk
+// does, charging each hop to the node that forwards the query.
+func RandomWalkLoad(g *graph.Graph, src, steps int, rng *xrand.RNG, load *Load) error {
+	if err := validate(g, src, steps); err != nil {
+		return err
+	}
+	if err := load.check(g); err != nil {
+		return err
+	}
+	if rng == nil {
+		rng = xrand.New(0)
+	}
+	cur, prev := src, -1
+	for t := 1; t <= steps; t++ {
+		next := g.RandomNeighborExcluding(cur, prev, rng)
+		if next < 0 {
+			if prev < 0 {
+				return nil
+			}
+			next = prev
+		}
+		load.Forwards[cur]++
+		load.Receipts[next]++
+		prev, cur = cur, next
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package search
+
+// Expanding-ring search — the standard TTL-escalation technique from
+// Lv et al. ("Search and replication in unstructured peer-to-peer
+// networks", cited as [23] by the paper): flood with TTL 1, and if the
+// target is not found, retry with a larger TTL, trading repeated small
+// floods for not over-flooding on nearby content.
+
+import (
+	"fmt"
+
+	"scalefree/internal/graph"
+)
+
+// RingResult is the outcome of an expanding-ring search.
+type RingResult struct {
+	// Found reports whether any target was located.
+	Found bool
+	// TTL is the ring (TTL value) at which the target was found.
+	TTL int
+	// Rounds is the number of floods issued.
+	Rounds int
+	// Messages is the total messages across all rounds (each round
+	// re-floods from scratch, as the protocol does).
+	Messages int
+}
+
+// ExpandingRing searches for any node satisfying `isTarget` by flooding
+// with TTLs from the schedule (e.g. 1,2,4,8...) until a hit or the
+// schedule is exhausted. A nil schedule uses doubling up to maxTTL.
+func ExpandingRing(g *graph.Graph, src int, isTarget func(node int) bool, schedule []int, maxTTL int) (RingResult, error) {
+	if err := validate(g, src, maxTTL); err != nil {
+		return RingResult{}, err
+	}
+	if isTarget == nil {
+		return RingResult{}, fmt.Errorf("search: nil target predicate")
+	}
+	if schedule == nil {
+		for ttl := 1; ttl <= maxTTL; ttl *= 2 {
+			schedule = append(schedule, ttl)
+		}
+		if len(schedule) == 0 || schedule[len(schedule)-1] < maxTTL {
+			schedule = append(schedule, maxTTL)
+		}
+	}
+	var res RingResult
+	if isTarget(src) {
+		res.Found = true
+		return res, nil
+	}
+	dist := g.BFS(src)
+	for _, ttl := range schedule {
+		if ttl < 0 {
+			return RingResult{}, fmt.Errorf("%w: schedule entry %d", ErrBadTTL, ttl)
+		}
+		res.Rounds++
+		flood, err := Flood(g, src, ttl)
+		if err != nil {
+			return RingResult{}, err
+		}
+		res.Messages += flood.MessagesAt(ttl)
+		// A hit occurs if any node within ttl hops is a target.
+		for v, d := range dist {
+			if d >= 0 && int(d) <= ttl && isTarget(v) {
+				res.Found = true
+				res.TTL = ttl
+				return res, nil
+			}
+		}
+	}
+	res.TTL = schedule[len(schedule)-1]
+	return res, nil
+}

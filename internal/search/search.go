@@ -1,0 +1,312 @@
+// Package search implements the three decentralized search algorithms the
+// paper evaluates on unstructured P2P overlays (§V-A):
+//
+//   - Flooding (FL): every node forwards a query to all neighbors except
+//     the sender, up to a TTL τ. Exhaustive (a complete sweep of the
+//     τ-hop ball) but message-hungry — the efficiency ceiling other
+//     algorithms are compared against.
+//   - Normalized Flooding (NF): nodes forward to at most k_min neighbors
+//     (the minimum degree in the network), fixing FL's poor granularity at
+//     hubs. Introduced by Gkantsidis, Mihail & Saberi.
+//   - Random Walk (RW): the query wanders one neighbor at a time,
+//     excluding the node it just came from. Minimal messaging, serial
+//     delivery. For fair comparison the paper gives RW the same message
+//     budget NF used at each τ (RandomWalkWithNFBudget).
+//
+// All algorithms measure search efficiency as "number of hits": the count
+// of distinct nodes discovered (including the source) within the TTL.
+// Duplicate query copies are suppressed, as Gnutella does by query GUID.
+//
+// Fig. 5 of the paper is a schematic of these three strategies; it has no
+// data series and is documented by this package instead.
+package search
+
+import (
+	"errors"
+	"fmt"
+
+	"scalefree/internal/graph"
+	"scalefree/internal/xrand"
+)
+
+// Validation errors.
+var (
+	ErrBadSource = errors.New("search: source node out of range")
+	ErrBadTTL    = errors.New("search: TTL must be >= 0")
+	ErrBadKMin   = errors.New("search: k_min must be >= 1")
+)
+
+// Result is the per-TTL outcome of one search from one source.
+type Result struct {
+	// Hits[t] is the number of distinct nodes discovered within TTL t
+	// (Hits[0] == 1: the source itself). len(Hits) == maxTTL+1.
+	Hits []int
+	// Messages[t] is the cumulative number of query transmissions sent
+	// by nodes at depth < t (Messages[0] == 0).
+	Messages []int
+}
+
+// HitsAt returns Hits[t], clamped to the final value for t beyond the
+// simulated horizon (coverage is monotone in TTL).
+func (r Result) HitsAt(t int) int {
+	if len(r.Hits) == 0 {
+		return 0
+	}
+	if t >= len(r.Hits) {
+		t = len(r.Hits) - 1
+	}
+	if t < 0 {
+		t = 0
+	}
+	return r.Hits[t]
+}
+
+// MessagesAt returns Messages[t] with the same clamping as HitsAt.
+func (r Result) MessagesAt(t int) int {
+	if len(r.Messages) == 0 {
+		return 0
+	}
+	if t >= len(r.Messages) {
+		t = len(r.Messages) - 1
+	}
+	if t < 0 {
+		t = 0
+	}
+	return r.Messages[t]
+}
+
+func validate(g *graph.Graph, src, maxTTL int) error {
+	if src < 0 || src >= g.N() {
+		return fmt.Errorf("%w: %d (n=%d)", ErrBadSource, src, g.N())
+	}
+	if maxTTL < 0 {
+		return fmt.Errorf("%w: %d", ErrBadTTL, maxTTL)
+	}
+	return nil
+}
+
+// Flood runs flooding search from src up to maxTTL hops (§V-A1). It is a
+// breadth-first sweep with duplicate suppression: a node forwards the query
+// on first receipt only, to every neighbor except the one that delivered
+// it. The source forwards to all its neighbors.
+//
+// Hits[t] is the size of the t-hop ball around src; on a connected graph it
+// approaches N as t grows (Figs. 6–8), while on CM with m=1 it saturates at
+// the source's component size (§V-B1).
+func Flood(g *graph.Graph, src, maxTTL int) (Result, error) {
+	if err := validate(g, src, maxTTL); err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		Hits:     make([]int, maxTTL+1),
+		Messages: make([]int, maxTTL+1),
+	}
+	depth := make([]int32, g.N())
+	for i := range depth {
+		depth[i] = -1
+	}
+	depth[src] = 0
+	queue := []int32{int32(src)}
+	hits, msgs := 0, 0
+	prevDepth := 0
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		du := int(depth[u])
+		if du > prevDepth {
+			// Frontier advanced: record cumulative values at the
+			// completed depth.
+			for t := prevDepth; t < du; t++ {
+				res.Hits[t] = hits
+				res.Messages[t+1] = msgs // messages sent by depth<=t arrive by t+1
+			}
+			prevDepth = du
+		}
+		hits++
+		if du == maxTTL {
+			continue
+		}
+		// Forward to all neighbors except the sender. With duplicate
+		// suppression the sender is never re-enqueued anyway; the message
+		// count excludes the reverse transmission per the protocol.
+		deg := g.Degree(int(u))
+		if du == 0 {
+			msgs += deg
+		} else if deg > 0 {
+			msgs += deg - 1
+		}
+		for _, v := range g.Neighbors(int(u)) {
+			if depth[v] < 0 {
+				depth[v] = int32(du + 1)
+				queue = append(queue, v)
+			}
+		}
+	}
+	for t := prevDepth; t <= maxTTL; t++ {
+		res.Hits[t] = hits
+		if t+1 <= maxTTL {
+			res.Messages[t+1] = msgs
+		}
+	}
+	res.Messages[0] = 0
+	return res, nil
+}
+
+// NormalizedFlood runs NF search from src (§V-A2). kMin is the network's
+// minimum degree parameter: a node whose degree (excluding the reverse
+// link) exceeds kMin forwards to kMin uniformly chosen neighbors other than
+// the sender; a node at or below kMin forwards to all neighbors except the
+// sender. The source forwards to min(kMin, deg) random neighbors.
+//
+// NF is randomized: the paper averages hits over many sources and
+// realizations (internal/sim does the averaging).
+func NormalizedFlood(g *graph.Graph, src, maxTTL, kMin int, rng *xrand.RNG) (Result, error) {
+	if err := validate(g, src, maxTTL); err != nil {
+		return Result{}, err
+	}
+	if kMin < 1 {
+		return Result{}, fmt.Errorf("%w: %d", ErrBadKMin, kMin)
+	}
+	if rng == nil {
+		rng = xrand.New(0)
+	}
+	res := Result{
+		Hits:     make([]int, maxTTL+1),
+		Messages: make([]int, maxTTL+1),
+	}
+	type item struct {
+		node int32
+		from int32 // sender; -1 for the source
+	}
+	depth := make([]int32, g.N())
+	for i := range depth {
+		depth[i] = -1
+	}
+	depth[src] = 0
+	queue := []item{{node: int32(src), from: -1}}
+	hits, msgs := 0, 0
+	prevDepth := 0
+	scratch := make([]int32, 0, 64)
+	for head := 0; head < len(queue); head++ {
+		it := queue[head]
+		du := int(depth[it.node])
+		if du > prevDepth {
+			for t := prevDepth; t < du; t++ {
+				res.Hits[t] = hits
+				res.Messages[t+1] = msgs
+			}
+			prevDepth = du
+		}
+		hits++
+		if du == maxTTL {
+			continue
+		}
+		// Candidate forward set: all neighbors except the sender.
+		scratch = scratch[:0]
+		for _, v := range g.Neighbors(int(it.node)) {
+			if v != it.from {
+				scratch = append(scratch, v)
+			}
+		}
+		var targets []int32
+		if len(scratch) <= kMin {
+			targets = scratch
+		} else {
+			// Partial Fisher–Yates: first kMin entries become the sample.
+			for i := 0; i < kMin; i++ {
+				j := i + rng.Intn(len(scratch)-i)
+				scratch[i], scratch[j] = scratch[j], scratch[i]
+			}
+			targets = scratch[:kMin]
+		}
+		msgs += len(targets)
+		for _, v := range targets {
+			if depth[v] < 0 {
+				depth[v] = int32(du + 1)
+				queue = append(queue, item{node: v, from: it.node})
+			}
+		}
+	}
+	for t := prevDepth; t <= maxTTL; t++ {
+		res.Hits[t] = hits
+		if t+1 <= maxTTL {
+			res.Messages[t+1] = msgs
+		}
+	}
+	res.Messages[0] = 0
+	return res, nil
+}
+
+// RandomWalk runs a random walk of exactly `steps` hops from src (§V-A3).
+// At each hop the query moves to a uniformly random neighbor excluding the
+// node it just came from; if the walker is at a dead end (its only
+// neighbor is the previous node) it backtracks rather than dying, the
+// standard convention for non-backtracking walks on trees. Hits[t] counts
+// distinct nodes seen within the first t steps; Messages[t] == t.
+func RandomWalk(g *graph.Graph, src, steps int, rng *xrand.RNG) (Result, error) {
+	if err := validate(g, src, steps); err != nil {
+		return Result{}, err
+	}
+	if rng == nil {
+		rng = xrand.New(0)
+	}
+	res := Result{
+		Hits:     make([]int, steps+1),
+		Messages: make([]int, steps+1),
+	}
+	visited := make([]bool, g.N())
+	visited[src] = true
+	hits := 1
+	res.Hits[0] = 1
+	cur, prev := src, -1
+	for t := 1; t <= steps; t++ {
+		next := g.RandomNeighborExcluding(cur, prev, rng)
+		if next < 0 {
+			// Dead end: backtrack if possible, else the walk is stuck on
+			// an isolated node.
+			if prev >= 0 {
+				next = prev
+			} else {
+				res.Hits[t] = hits
+				res.Messages[t] = res.Messages[t-1]
+				continue
+			}
+		}
+		prev, cur = cur, next
+		if !visited[cur] {
+			visited[cur] = true
+			hits++
+		}
+		res.Hits[t] = hits
+		res.Messages[t] = t
+	}
+	return res, nil
+}
+
+// RandomWalkWithNFBudget reproduces the paper's RW normalization (§V-B):
+// for each τ in 1..maxTTL, the RW "data point corresponding to that τ
+// value is obtained by simulating a RW search with τ equal to the number
+// of messages that were caused by an NF search using" the same τ. It runs
+// one NF search to obtain the per-τ message budget, then a single long
+// walk, reading hits at each budget point. Returns the RW result (indexed
+// by NF-τ) and the NF result that defined the budget.
+func RandomWalkWithNFBudget(g *graph.Graph, src, maxTTL, kMin int, rng *xrand.RNG) (rw, nf Result, err error) {
+	nf, err = NormalizedFlood(g, src, maxTTL, kMin, rng)
+	if err != nil {
+		return Result{}, Result{}, err
+	}
+	budget := nf.Messages[maxTTL]
+	walk, err := RandomWalk(g, src, budget, rng)
+	if err != nil {
+		return Result{}, Result{}, err
+	}
+	rw = Result{
+		Hits:     make([]int, maxTTL+1),
+		Messages: make([]int, maxTTL+1),
+	}
+	for t := 0; t <= maxTTL; t++ {
+		b := nf.Messages[t]
+		rw.Hits[t] = walk.HitsAt(b)
+		rw.Messages[t] = b
+	}
+	return rw, nf, nil
+}

@@ -1,0 +1,37 @@
+package sim
+
+import "testing"
+
+// TestChurnSpec verifies the §VI extension: two panels (giant fraction and
+// NF hits over churn events), repair tracking at least as well as
+// no-repair on both health axes by the end of the run.
+func TestChurnSpec(t *testing.T) {
+	t.Parallel()
+	figs, err := Churn(tinyScale, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 2 {
+		t.Fatalf("want 2 panels, got %d", len(figs))
+	}
+	for _, f := range figs {
+		if len(f.Series) != 2 {
+			t.Fatalf("%s: want repair + no-repair series, got %d", f.ID, len(f.Series))
+		}
+		if f.Series[0].Label != "reconnect" || f.Series[1].Label != "no-repair" {
+			t.Fatalf("%s: unexpected series order %q, %q", f.ID, f.Series[0].Label, f.Series[1].Label)
+		}
+		if f.Notes == "" {
+			t.Errorf("%s: expected messaging-cost notes", f.ID)
+		}
+	}
+	last := func(s Series) float64 { return s.Points[len(s.Points)-1].Y }
+	giant := figs[0]
+	if last(giant.Series[0]) < last(giant.Series[1]) {
+		t.Errorf("repair should preserve the giant component at least as well: %v vs %v",
+			last(giant.Series[0]), last(giant.Series[1]))
+	}
+	if last(giant.Series[0]) < 0.9 {
+		t.Errorf("repaired overlay should stay nearly connected: %v", last(giant.Series[0]))
+	}
+}

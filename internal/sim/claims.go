@@ -1,0 +1,194 @@
+package sim
+
+// Machine-checkable paper claims. Each Claim re-runs a reduced version of
+// the relevant experiment and asserts the paper's qualitative conclusion
+// (an ordering, a bound, a monotone trend). They power both the findings
+// regression tests and `cmd/experiments -verify`, so a reader can confirm
+// the reproduction end-to-end with one command.
+
+import (
+	"fmt"
+
+	"scalefree/internal/gen"
+)
+
+// ClaimResult is the outcome of checking one paper claim.
+type ClaimResult struct {
+	// ID is a short stable identifier ("nf-cutoff-gain").
+	ID string
+	// Statement quotes or paraphrases the paper.
+	Statement string
+	// Pass reports whether the measured data supports the claim.
+	Pass bool
+	// Detail holds the measured numbers behind the verdict.
+	Detail string
+	// Err is set when the experiment itself failed to run.
+	Err error
+}
+
+// Claim is a checkable paper statement.
+type Claim struct {
+	ID        string
+	Statement string
+	Check     func(sc Scale, seed uint64) (pass bool, detail string, err error)
+}
+
+// Claims returns the paper's headline conclusions as checkable claims, in
+// paper order.
+func Claims() []Claim {
+	return []Claim{
+		{
+			ID:        "nf-cutoff-gain",
+			Statement: "Hard cutoffs may improve search efficiency in NF (§V-B1, Fig. 9)",
+			Check:     checkNFCutoffGain,
+		},
+		{
+			ID:        "cm-exception",
+			Statement: "The only exception to this behavior is the CM (§V-B1, Figs. 9b/11b)",
+			Check:     checkCMException,
+		},
+		{
+			ID:        "m3-erases-fl-penalty",
+			Statement: "A minimum of three links for all peers eliminates negative effects of hard cutoffs on FL (§V-B1, Fig. 6)",
+			Check:     checkM3ErasesFLPenalty,
+		},
+		{
+			ID:        "weak-dapa-cutoff-helps-fl",
+			Statement: "With weak connectedness (m=1), imposing hard cutoffs improves FL on DAPA (§V-B1, Fig. 8a)",
+			Check:     checkWeakDAPACutoffHelpsFL,
+		},
+		{
+			ID:        "exponent-monotone-in-cutoff",
+			Statement: "The degree distribution exponent degrades to lower values when harder cutoffs are applied (§III-B, Fig. 1c)",
+			Check:     checkExponentMonotone,
+		},
+		{
+			ID:        "nf-beats-rw",
+			Statement: "In all cases, NF performs better than RW consistently (§V-B2)",
+			Check:     checkNFBeatsRW,
+		},
+	}
+}
+
+// CheckClaims runs every claim at the given scale.
+func CheckClaims(sc Scale, seed uint64) []ClaimResult {
+	claims := Claims()
+	out := make([]ClaimResult, len(claims))
+	for i, c := range claims {
+		pass, detail, err := c.Check(sc, seed+uint64(i)*7717)
+		out[i] = ClaimResult{ID: c.ID, Statement: c.Statement, Pass: pass && err == nil, Detail: detail, Err: err}
+	}
+	return out
+}
+
+func lastY(s Series) float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	return s.Points[len(s.Points)-1].Y
+}
+
+func checkNFCutoffGain(sc Scale, seed uint64) (bool, string, error) {
+	cfg := searchCfg{alg: algNF, maxTTL: sc.MaxTTLNF, kMin: 2, sources: sc.Sources, realizations: sc.Realizations}
+	tight, err := searchSeries("kc=10", paTopo(sc.NSearch, 2, 10), cfg, seed)
+	if err != nil {
+		return false, "", err
+	}
+	loose, err := searchSeries("kc=200", paTopo(sc.NSearch, 2, 200), cfg, seed+1)
+	if err != nil {
+		return false, "", err
+	}
+	a, b := lastY(tight), lastY(loose)
+	return a > b, fmt.Sprintf("NF hits on PA m=2: kc=10 %.1f vs kc=200 %.1f", a, b), nil
+}
+
+func checkCMException(sc Scale, seed uint64) (bool, string, error) {
+	cfg := searchCfg{alg: algNF, maxTTL: sc.MaxTTLNF, kMin: 1, sources: sc.Sources, realizations: sc.Realizations}
+	tight, err := searchSeries("kc=10", cmTopo(sc.NSearch, 1, 10, 2.2), cfg, seed)
+	if err != nil {
+		return false, "", err
+	}
+	loose, err := searchSeries("no kc", cmTopo(sc.NSearch, 1, gen.NoCutoff, 2.2), cfg, seed+1)
+	if err != nil {
+		return false, "", err
+	}
+	a, b := lastY(tight), lastY(loose)
+	return a < b, fmt.Sprintf("NF hits on CM gamma=2.2 m=1: kc=10 %.2f vs no kc %.2f", a, b), nil
+}
+
+func checkM3ErasesFLPenalty(sc Scale, seed uint64) (bool, string, error) {
+	gap := func(m int, s uint64) (float64, error) {
+		cfg := searchCfg{alg: algFL, maxTTL: 6, sources: sc.Sources, realizations: sc.Realizations}
+		tight, err := searchSeries("kc", paTopo(sc.NSearch, m, 10), cfg, s)
+		if err != nil {
+			return 0, err
+		}
+		loose, err := searchSeries("no", paTopo(sc.NSearch, m, gen.NoCutoff), cfg, s+1)
+		if err != nil {
+			return 0, err
+		}
+		return (lastY(loose) - lastY(tight)) / lastY(loose), nil
+	}
+	g1, err := gap(1, seed)
+	if err != nil {
+		return false, "", err
+	}
+	g3, err := gap(3, seed+100)
+	if err != nil {
+		return false, "", err
+	}
+	return g3 < g1/4 && g3 < 0.1,
+		fmt.Sprintf("relative FL penalty of kc=10: m=1 %.0f%%, m=3 %.1f%%", 100*g1, 100*g3), nil
+}
+
+func checkWeakDAPACutoffHelpsFL(sc Scale, seed uint64) (bool, string, error) {
+	subs, err := makeSubstrates(sc.NSubstrate, sc.Realizations, seed)
+	if err != nil {
+		return false, "", err
+	}
+	cfg := searchCfg{alg: algFL, maxTTL: 20, sources: sc.Sources, realizations: sc.Realizations}
+	tight, err := searchSeries("kc=10", dapaTopo(subs, sc.NOverlay, 1, 10, 4), cfg, seed+1)
+	if err != nil {
+		return false, "", err
+	}
+	loose, err := searchSeries("no kc", dapaTopo(subs, sc.NOverlay, 1, gen.NoCutoff, 4), cfg, seed+2)
+	if err != nil {
+		return false, "", err
+	}
+	a, b := lastY(tight), lastY(loose)
+	return a > b, fmt.Sprintf("FL hits on DAPA m=1 tau=4: kc=10 %.0f vs no kc %.0f", a, b), nil
+}
+
+func checkExponentMonotone(sc Scale, seed uint64) (bool, string, error) {
+	figs, err := Fig1c(sc, seed)
+	if err != nil {
+		return false, "", err
+	}
+	detail := ""
+	pass := true
+	for _, s := range figs[0].Series {
+		first, last := s.Points[0], s.Points[len(s.Points)-1]
+		detail += fmt.Sprintf("%s: gamma %.2f@kc=%.0f -> %.2f@kc=%.0f; ", s.Label, first.Y, first.X, last.Y, last.X)
+		if first.Y >= last.Y {
+			pass = false
+		}
+	}
+	return pass, detail, nil
+}
+
+func checkNFBeatsRW(sc Scale, seed uint64) (bool, string, error) {
+	factory := paTopo(sc.NSearch, 2, 40)
+	cfgNF := searchCfg{alg: algNF, maxTTL: sc.MaxTTLNF, kMin: 2, sources: sc.Sources, realizations: sc.Realizations}
+	cfgRW := cfgNF
+	cfgRW.alg = algRW
+	nf, err := searchSeries("nf", factory, cfgNF, seed)
+	if err != nil {
+		return false, "", err
+	}
+	rw, err := searchSeries("rw", factory, cfgRW, seed)
+	if err != nil {
+		return false, "", err
+	}
+	a, b := lastY(nf), lastY(rw)
+	return b <= a*1.1, fmt.Sprintf("hits at equal budget: NF %.0f vs RW %.0f", a, b), nil
+}

@@ -1,0 +1,200 @@
+package sim
+
+// Extension claims: checkable conclusions of the extension experiments,
+// verified alongside the paper's headline claims by
+// `cmd/experiments -verify`. Each ties to a section of EXPERIMENTS.md.
+
+import (
+	"fmt"
+
+	"scalefree/internal/churn"
+	"scalefree/internal/content"
+	"scalefree/internal/gen"
+	"scalefree/internal/search"
+	"scalefree/internal/stats"
+	"scalefree/internal/xrand"
+)
+
+// ExtensionClaims returns the checkable conclusions of the extension
+// experiments, in EXPERIMENTS.md order.
+func ExtensionClaims() []Claim {
+	return []Claim{
+		{
+			ID:        "sqrt-replication-optimal",
+			Statement: "Square-root replication minimizes expected search size on hard-cutoff overlays (Cohen-Shenker, refs [22][23])",
+			Check:     checkSqrtReplication,
+		},
+		{
+			ID:        "churn-repair-preserves-giant",
+			Statement: "Reconnect repair preserves the giant component under balanced churn (§VI future work)",
+			Check:     checkChurnRepair,
+		},
+		{
+			ID:        "hds-cutoff-dependence",
+			Statement: "The high-degree-seeking walk's advantage over a blind walk shrinks under a hard cutoff (ref [62] vs §III-B)",
+			Check:     checkHDSCutoffDependence,
+		},
+		{
+			ID:        "cutoff-flattens-search-load",
+			Statement: "Hard cutoffs flatten per-peer query-handling load under NF traffic, not just the degree proxy (§I)",
+			Check:     checkCutoffFlattensLoad,
+		},
+	}
+}
+
+// AllClaims returns the paper claims followed by the extension claims.
+func AllClaims() []Claim {
+	return append(Claims(), ExtensionClaims()...)
+}
+
+// CheckAllClaims runs the paper claims and the extension claims.
+func CheckAllClaims(sc Scale, seed uint64) []ClaimResult {
+	claims := AllClaims()
+	out := make([]ClaimResult, len(claims))
+	for i, c := range claims {
+		pass, detail, err := c.Check(sc, seed+uint64(i)*7717)
+		out[i] = ClaimResult{ID: c.ID, Statement: c.Statement, Pass: pass && err == nil, Detail: detail, Err: err}
+	}
+	return out
+}
+
+func checkSqrtReplication(sc Scale, seed uint64) (bool, string, error) {
+	rng := xrand.New(seed)
+	g, _, err := gen.PA(gen.PAConfig{N: sc.NSearch, M: 2, KC: 40}, rng)
+	if err != nil {
+		return false, "", err
+	}
+	cat, err := content.NewCatalog(100, 1.2)
+	if err != nil {
+		return false, "", err
+	}
+	ess := func(s content.Strategy) (float64, error) {
+		p, err := content.Replicate(cat, g.N(), g.N(), s, xrand.New(seed+1))
+		if err != nil {
+			return 0, err
+		}
+		r, err := content.ExpectedSearchSize(g, p, cat, 12*sc.Sources, 40*sc.NSearch, xrand.New(seed+2))
+		if err != nil {
+			return 0, err
+		}
+		if r.Found == 0 {
+			return 0, fmt.Errorf("no queries resolved for %s", s)
+		}
+		return r.MeanSteps, nil
+	}
+	u, err := ess(content.Uniform)
+	if err != nil {
+		return false, "", err
+	}
+	p, err := ess(content.Proportional)
+	if err != nil {
+		return false, "", err
+	}
+	s, err := ess(content.SquareRoot)
+	if err != nil {
+		return false, "", err
+	}
+	detail := fmt.Sprintf("ESS uniform=%.0f proportional=%.0f sqrt=%.0f", u, p, s)
+	return s < u && s < p, detail, nil
+}
+
+func checkChurnRepair(sc Scale, seed uint64) (bool, string, error) {
+	giantAfter := func(policy churn.RepairPolicy) (float64, error) {
+		sim, err := churn.New(churn.Config{
+			InitialN: sc.NSearch, M: 2, KC: 10,
+			Join:     churn.JoinPreferential,
+			Repair:   policy,
+			Graceful: true,
+		}, xrand.New(seed))
+		if err != nil {
+			return 0, err
+		}
+		trace, err := sim.Run(2*sc.NSearch, 0.5, 0, 0, 0)
+		if err != nil {
+			return 0, err
+		}
+		return trace[len(trace)-1].GiantFrac, nil
+	}
+	repaired, err := giantAfter(churn.ReconnectRepair)
+	if err != nil {
+		return false, "", err
+	}
+	bare, err := giantAfter(churn.NoRepair)
+	if err != nil {
+		return false, "", err
+	}
+	detail := fmt.Sprintf("giant after %d events: repair=%.3f no-repair=%.3f", 2*sc.NSearch, repaired, bare)
+	return repaired >= 0.95 && repaired >= bare, detail, nil
+}
+
+func checkHDSCutoffDependence(sc Scale, seed uint64) (bool, string, error) {
+	ratio := func(kc int) (float64, error) {
+		var hds, rw float64
+		factory := paTopo(sc.NSearch, 2, kc)
+		err := forEachRealization(sc.Realizations, seed+uint64(kc), func(r int, rng *xrand.RNG) error {
+			g, err := factory(r, rng)
+			if err != nil {
+				return err
+			}
+			steps := sc.NSearch / 2
+			for s := 0; s < sc.Sources; s++ {
+				src := rng.Intn(g.N())
+				rh, err := search.HighDegreeWalk(g, src, steps, rng)
+				if err != nil {
+					return err
+				}
+				rb, err := search.RandomWalk(g, src, steps, rng)
+				if err != nil {
+					return err
+				}
+				hds += float64(rh.HitsAt(steps))
+				rw += float64(rb.HitsAt(steps))
+			}
+			return nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		if rw == 0 {
+			return 0, fmt.Errorf("blind walk covered nothing")
+		}
+		return hds / rw, nil
+	}
+	free, err := ratio(gen.NoCutoff)
+	if err != nil {
+		return false, "", err
+	}
+	capped, err := ratio(10)
+	if err != nil {
+		return false, "", err
+	}
+	detail := fmt.Sprintf("HDS/RW coverage ratio: no-kc=%.2f kc10=%.2f", free, capped)
+	return free > 1 && capped < free, detail, nil
+}
+
+func checkCutoffFlattensLoad(sc Scale, seed uint64) (bool, string, error) {
+	loadGini := func(kc int) (float64, error) {
+		g, _, err := gen.PA(gen.PAConfig{N: sc.NSearch, M: 2, KC: kc}, xrand.New(seed))
+		if err != nil {
+			return 0, err
+		}
+		rng := xrand.New(seed + 1)
+		load := search.NewLoad(g.N())
+		for q := 0; q < 12*sc.Sources; q++ {
+			if err := search.NormalizedFloodLoad(g, rng.Intn(g.N()), sc.MaxTTLNF, 2, rng, load); err != nil {
+				return 0, err
+			}
+		}
+		return stats.Gini(load.Work()), nil
+	}
+	free, err := loadGini(gen.NoCutoff)
+	if err != nil {
+		return false, "", err
+	}
+	capped, err := loadGini(10)
+	if err != nil {
+		return false, "", err
+	}
+	detail := fmt.Sprintf("NF-load Gini: no-kc=%.3f kc10=%.3f", free, capped)
+	return capped < free, detail, nil
+}

@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"fmt"
+
+	"scalefree/internal/gen"
+	"scalefree/internal/search"
+	"scalefree/internal/stats"
+	"scalefree/internal/xrand"
+)
+
+// Fairness quantifies the paper's central motivation (§I: hard cutoffs
+// exist "to achieve fairness and practicality among all peers"): the Gini
+// coefficient of the degree sequence — how unequally neighbor-table load
+// is spread — and the load share of the top 1% of peers, as functions of
+// the hard cutoff, for PA and DAPA topologies.
+func Fairness(sc Scale, seed uint64) ([]Figure, error) {
+	cutoffs := []int{10, 20, 40, 80, gen.NoCutoff}
+	substrates, err := makeSubstrates(sc.NSubstrate, sc.Realizations, seed^0xfa17)
+	if err != nil {
+		return nil, err
+	}
+	models := []struct {
+		label string
+		mk    func(kc int) topoFactory
+	}{
+		{"PA m=2", func(kc int) topoFactory { return paTopo(sc.NSearch, 2, kc) }},
+		{"DAPA m=2 tau=10", func(kc int) topoFactory {
+			return dapaTopo(substrates, sc.NOverlay, 2, kc, 10)
+		}},
+	}
+	gini := Figure{
+		ID:     "fairness-gini",
+		Title:  "Load fairness: Gini coefficient of peer degrees vs hard cutoff",
+		XLabel: "kc (0 = none)", YLabel: "Gini coefficient",
+		Notes: "smaller cutoffs spread neighbor-table load more evenly — the paper's fairness motivation quantified",
+	}
+	topShare := Figure{
+		ID:     "fairness-top1",
+		Title:  "Load concentration: degree share of the top 1% of peers vs hard cutoff",
+		XLabel: "kc (0 = none)", YLabel: "top-1% load share",
+	}
+	for mi, model := range models {
+		gs := Series{Label: model.label}
+		ts := Series{Label: model.label}
+		for ci, kc := range cutoffs {
+			giniVals := make([]float64, sc.Realizations)
+			topVals := make([]float64, sc.Realizations)
+			factory := model.mk(kc)
+			err := forEachRealization(sc.Realizations, seed+uint64(mi*1000+ci), func(r int, rng *xrand.RNG) error {
+				g, err := factory(r, rng)
+				if err != nil {
+					return err
+				}
+				seq := g.DegreeSequence()
+				giniVals[r] = stats.Gini(seq)
+				topVals[r] = stats.TopShare(seq, 0.01)
+				return nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fairness %s kc=%d: %w", model.label, kc, err)
+			}
+			x := float64(kc)
+			gs.Points = append(gs.Points, Point{X: x, Y: stats.Mean(giniVals), Err: stats.StdDev(giniVals)})
+			ts.Points = append(ts.Points, Point{X: x, Y: stats.Mean(topVals), Err: stats.StdDev(topVals)})
+		}
+		gini.Series = append(gini.Series, gs)
+		topShare.Series = append(topShare.Series, ts)
+	}
+
+	// Third panel: the DYNAMIC version of the same claim. Degree is a
+	// proxy for load; here the load is actual NF query-handling work
+	// (forwards + receipts) accumulated over many searches.
+	searchLoad := Figure{
+		ID:     "fairness-searchload",
+		Title:  "Search-traffic fairness: Gini of per-peer NF handling work vs hard cutoff (PA m=2)",
+		XLabel: "kc (0 = none)", YLabel: "Gini of query-handling work",
+		Notes: "degree Gini is a static proxy; this measures work under live NF query traffic",
+	}
+	sl := Series{Label: "PA m=2, NF traffic"}
+	for ci, kc := range cutoffs {
+		vals := make([]float64, sc.Realizations)
+		factory := paTopo(sc.NSearch, 2, kc)
+		err := forEachRealization(sc.Realizations, seed+uint64(9000+ci), func(r int, rng *xrand.RNG) error {
+			g, err := factory(r, rng)
+			if err != nil {
+				return err
+			}
+			load := search.NewLoad(g.N())
+			queries := 8 * sc.Sources
+			for q := 0; q < queries; q++ {
+				if err := search.NormalizedFloodLoad(g, rng.Intn(g.N()), sc.MaxTTLNF, 2, rng, load); err != nil {
+					return err
+				}
+			}
+			vals[r] = stats.Gini(load.Work())
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fairness searchload kc=%d: %w", kc, err)
+		}
+		sl.Points = append(sl.Points, Point{X: float64(kc), Y: stats.Mean(vals), Err: stats.StdDev(vals)})
+	}
+	searchLoad.Series = []Series{sl}
+	return []Figure{gini, topShare, searchLoad}, nil
+}

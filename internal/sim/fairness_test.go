@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestFairnessCutoffLowersGini(t *testing.T) {
+	t.Parallel()
+	figs, err := Fairness(tinyScale, 991)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 3 {
+		t.Fatalf("fairness panels %d", len(figs))
+	}
+	gini := figs[0]
+	for _, s := range gini.Series {
+		if len(s.Points) < 2 {
+			t.Fatalf("series %s too short", s.Label)
+		}
+		// x axis order: 10, 20, 40, 80, 0(none). The no-cutoff point must
+		// be the most unequal; kc=10 the most equal.
+		first := s.Points[0]              // kc=10
+		last := s.Points[len(s.Points)-1] // no cutoff
+		if first.X != 10 || last.X != 0 {
+			t.Fatalf("unexpected x layout in %s: %+v", s.Label, s.Points)
+		}
+		if first.Y >= last.Y {
+			t.Errorf("%s: Gini at kc=10 (%.3f) should be below no-cutoff (%.3f)",
+				s.Label, first.Y, last.Y)
+		}
+		for _, p := range s.Points {
+			if p.Y < 0 || p.Y > 1 {
+				t.Errorf("%s: Gini %v out of [0,1]", s.Label, p.Y)
+			}
+		}
+	}
+	top := figs[1]
+	for _, s := range top.Series {
+		first := s.Points[0]
+		last := s.Points[len(s.Points)-1]
+		if first.Y >= last.Y {
+			t.Errorf("%s: top-1%% share at kc=10 (%.3f) should be below no-cutoff (%.3f)",
+				s.Label, first.Y, last.Y)
+		}
+	}
+	// The dynamic panel: NF query-handling work must also flatten under
+	// the hard cutoff, not just the degree proxy.
+	searchLoad := figs[2]
+	if len(searchLoad.Series) != 1 {
+		t.Fatalf("searchload series %d", len(searchLoad.Series))
+	}
+	sl := searchLoad.Series[0]
+	if sl.Points[0].X != 10 || sl.Points[len(sl.Points)-1].X != 0 {
+		t.Fatalf("unexpected searchload x layout: %+v", sl.Points)
+	}
+	if sl.Points[0].Y >= sl.Points[len(sl.Points)-1].Y {
+		t.Errorf("NF load Gini at kc=10 (%.3f) should be below no-cutoff (%.3f)",
+			sl.Points[0].Y, sl.Points[len(sl.Points)-1].Y)
+	}
+}
+
+// TestSpecDeterminism verifies that identical seeds reproduce identical
+// figure data despite the concurrent realization runner — the property
+// EXPERIMENTS.md's "reproducible from the recorded seed" claim rests on.
+func TestSpecDeterminism(t *testing.T) {
+	t.Parallel()
+	for _, id := range []string{"fig1c", "table1", "messaging"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			spec, err := Lookup(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, err := spec.Run(tinyScale, 777)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := spec.Run(tinyScale, 777)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(a) != len(b) {
+				t.Fatalf("panel counts differ: %d vs %d", len(a), len(b))
+			}
+			for fi := range a {
+				if len(a[fi].Series) != len(b[fi].Series) {
+					t.Fatalf("%s: series counts differ", a[fi].ID)
+				}
+				for si := range a[fi].Series {
+					sa, sb := a[fi].Series[si], b[fi].Series[si]
+					if sa.Label != sb.Label || len(sa.Points) != len(sb.Points) {
+						t.Fatalf("%s/%s: shape differs", a[fi].ID, sa.Label)
+					}
+					for pi := range sa.Points {
+						if sa.Points[pi] != sb.Points[pi] {
+							t.Fatalf("%s/%s point %d differs: %+v vs %+v",
+								a[fi].ID, sa.Label, pi, sa.Points[pi], sb.Points[pi])
+						}
+					}
+				}
+			}
+		})
+	}
+}

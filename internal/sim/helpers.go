@@ -1,0 +1,268 @@
+package sim
+
+import (
+	"fmt"
+
+	"scalefree/internal/gen"
+	"scalefree/internal/graph"
+	"scalefree/internal/search"
+	"scalefree/internal/stats"
+	"scalefree/internal/xrand"
+)
+
+// topoFactory builds the r-th topology realization from an RNG stream. The
+// realization index r lets factories pick per-realization shared inputs
+// (DAPA substrates) without mutable state, keeping them safe for the
+// concurrent runner.
+type topoFactory func(r int, rng *xrand.RNG) (*graph.Graph, error)
+
+func paTopo(n, m, kc int) topoFactory {
+	return func(_ int, rng *xrand.RNG) (*graph.Graph, error) {
+		g, _, err := gen.PA(gen.PAConfig{N: n, M: m, KC: kc}, rng)
+		return g, err
+	}
+}
+
+func hapaTopo(n, m, kc int) topoFactory {
+	return func(_ int, rng *xrand.RNG) (*graph.Graph, error) {
+		g, _, err := gen.HAPA(gen.HAPAConfig{N: n, M: m, KC: kc}, rng)
+		return g, err
+	}
+}
+
+func cmTopo(n, m, kc int, gamma float64) topoFactory {
+	return func(_ int, rng *xrand.RNG) (*graph.Graph, error) {
+		g, _, err := gen.CM(gen.CMConfig{N: n, M: m, KC: kc, Gamma: gamma}, rng)
+		return g, err
+	}
+}
+
+// dapaTopo grows an overlay on the r-th pre-generated substrate. Substrates
+// are shared across series of a figure (the paper's figures vary overlay
+// parameters, not the substrate model).
+func dapaTopo(substrates []*graph.Graph, nOverlay, m, kc, tauSub int) topoFactory {
+	return func(r int, rng *xrand.RNG) (*graph.Graph, error) {
+		sub := substrates[r%len(substrates)]
+		ov, _, err := gen.DAPA(sub, gen.DAPAConfig{
+			NOverlay: nOverlay, M: m, KC: kc, TauSub: tauSub,
+		}, rng)
+		if err != nil {
+			return nil, err
+		}
+		return ov.G, nil
+	}
+}
+
+// makeSubstrates generates one GRN substrate per realization with the
+// paper's parameters (k̄ = 10).
+func makeSubstrates(n, realizations int, seed uint64) ([]*graph.Graph, error) {
+	subs := make([]*graph.Graph, realizations)
+	err := forEachRealization(realizations, seed, func(r int, rng *xrand.RNG) error {
+		g, _, err := gen.GRN(gen.GRNConfig{N: n, MeanDegree: 10}, rng)
+		subs[r] = g
+		return err
+	})
+	return subs, err
+}
+
+// cutoffLabel renders kc the way the paper's legends do.
+func cutoffLabel(kc int) string {
+	if kc == gen.NoCutoff {
+		return "no kc"
+	}
+	return fmt.Sprintf("kc=%d", kc)
+}
+
+// mergedDegreeDist generates `realizations` networks and merges their
+// degree distributions, the paper's averaging procedure ("for every data
+// point 10 different realizations of the network have been used").
+func mergedDegreeDist(factory topoFactory, realizations int, seed uint64) (stats.DegreeDist, error) {
+	dists := make([]stats.DegreeDist, realizations)
+	err := forEachRealization(realizations, seed, func(r int, rng *xrand.RNG) error {
+		g, err := factory(r, rng)
+		if err != nil {
+			return err
+		}
+		dists[r] = stats.NewDegreeDist(g.DegreeHistogram())
+		return nil
+	})
+	if err != nil {
+		return stats.DegreeDist{}, err
+	}
+	return stats.MergeDegreeDists(dists), nil
+}
+
+// degreeSeries log-bins a degree distribution into a plot series
+// (bin ratio 1.3, smooth enough for the paper's log-log panels).
+func degreeSeries(label string, d stats.DegreeDist) (Series, error) {
+	pts, err := stats.LogBin(d, 1.3)
+	if err != nil {
+		return Series{}, fmt.Errorf("bin %s: %w", label, err)
+	}
+	s := Series{Label: label, Points: make([]Point, len(pts))}
+	for i, p := range pts {
+		s.Points[i] = Point{X: p.K, Y: p.P}
+	}
+	return s, nil
+}
+
+// algKind selects the search algorithm for searchSeries.
+type algKind int
+
+const (
+	algFL algKind = iota + 1
+	algNF
+	algRW // random walk normalized to the NF message budget (§V-B)
+)
+
+func (a algKind) String() string {
+	switch a {
+	case algFL:
+		return "FL"
+	case algNF:
+		return "NF"
+	case algRW:
+		return "RW"
+	default:
+		return fmt.Sprintf("algKind(%d)", int(a))
+	}
+}
+
+// searchCfg bundles the parameters of one search-efficiency series.
+type searchCfg struct {
+	alg          algKind
+	maxTTL       int
+	kMin         int // NF fan-out; the paper uses the prescribed m
+	sources      int
+	realizations int
+}
+
+// searchSeries measures mean hits vs τ: `realizations` topologies from the
+// factory, `sources` random sources each, averaged per τ with error bars
+// across realizations. The returned series has x = τ (1..maxTTL) and
+// y = mean number of hits. For algRW, hits follow the paper's
+// normalization: a walk of as many steps as NF sent messages at that τ.
+func searchSeries(label string, factory topoFactory, cfg searchCfg, seed uint64) (Series, error) {
+	perReal := make([][]float64, cfg.realizations)
+	err := forEachRealization(cfg.realizations, seed, func(r int, rng *xrand.RNG) error {
+		g, err := factory(r, rng)
+		if err != nil {
+			return err
+		}
+		sums := make([]float64, cfg.maxTTL+1)
+		for s := 0; s < cfg.sources; s++ {
+			src := rng.Intn(g.N())
+			var res search.Result
+			switch cfg.alg {
+			case algFL:
+				res, err = search.Flood(g, src, cfg.maxTTL)
+			case algNF:
+				res, err = search.NormalizedFlood(g, src, cfg.maxTTL, cfg.kMin, rng)
+			case algRW:
+				res, _, err = search.RandomWalkWithNFBudget(g, src, cfg.maxTTL, cfg.kMin, rng)
+			default:
+				return fmt.Errorf("sim: unknown algorithm %v", cfg.alg)
+			}
+			if err != nil {
+				return err
+			}
+			for t := 0; t <= cfg.maxTTL; t++ {
+				sums[t] += float64(res.HitsAt(t))
+			}
+		}
+		for t := range sums {
+			sums[t] /= float64(cfg.sources)
+		}
+		perReal[r] = sums
+		return nil
+	})
+	if err != nil {
+		return Series{}, fmt.Errorf("series %s: %w", label, err)
+	}
+	return aggregate(label, perReal, 1)
+}
+
+// messageSeries is searchSeries for messaging complexity: y = mean number
+// of messages per search request at each τ (§V-B2).
+func messageSeries(label string, factory topoFactory, cfg searchCfg, seed uint64) (Series, error) {
+	perReal := make([][]float64, cfg.realizations)
+	err := forEachRealization(cfg.realizations, seed, func(r int, rng *xrand.RNG) error {
+		g, err := factory(r, rng)
+		if err != nil {
+			return err
+		}
+		sums := make([]float64, cfg.maxTTL+1)
+		for s := 0; s < cfg.sources; s++ {
+			src := rng.Intn(g.N())
+			var res search.Result
+			switch cfg.alg {
+			case algFL:
+				res, err = search.Flood(g, src, cfg.maxTTL)
+			case algNF:
+				res, err = search.NormalizedFlood(g, src, cfg.maxTTL, cfg.kMin, rng)
+			case algRW:
+				res, _, err = search.RandomWalkWithNFBudget(g, src, cfg.maxTTL, cfg.kMin, rng)
+			default:
+				return fmt.Errorf("sim: unknown algorithm %v", cfg.alg)
+			}
+			if err != nil {
+				return err
+			}
+			for t := 0; t <= cfg.maxTTL; t++ {
+				sums[t] += float64(res.MessagesAt(t))
+			}
+		}
+		for t := range sums {
+			sums[t] /= float64(cfg.sources)
+		}
+		perReal[r] = sums
+		return nil
+	})
+	if err != nil {
+		return Series{}, fmt.Errorf("series %s: %w", label, err)
+	}
+	return aggregate(label, perReal, 1)
+}
+
+// aggregate converts per-realization curves (indexed from 0) into a Series
+// starting at x = firstX, with mean and stddev across realizations.
+func aggregate(label string, perReal [][]float64, firstX int) (Series, error) {
+	if len(perReal) == 0 || len(perReal[0]) == 0 {
+		return Series{}, fmt.Errorf("sim: no data for series %s", label)
+	}
+	n := len(perReal[0])
+	s := Series{Label: label}
+	col := make([]float64, len(perReal))
+	for t := firstX; t < n; t++ {
+		for r := range perReal {
+			col[r] = perReal[r][t]
+		}
+		s.Points = append(s.Points, Point{
+			X:   float64(t),
+			Y:   stats.Mean(col),
+			Err: stats.StdDev(col),
+		})
+	}
+	return s, nil
+}
+
+// exponentVsCutoff measures the fitted degree exponent as a function of the
+// hard cutoff for a factory parameterized by kc — the engine behind
+// Figs. 1(c) and 4(g). The fit includes the accumulation spike at kc, as
+// the paper's measurement does ("when the jump on the hard cutoffs is
+// taken into account").
+func exponentVsCutoff(label string, mk func(kc int) topoFactory, cutoffs []int, realizations int, seed uint64) (Series, error) {
+	s := Series{Label: label}
+	for i, kc := range cutoffs {
+		d, err := mergedDegreeDist(mk(kc), realizations, seed+uint64(i)*1000)
+		if err != nil {
+			return Series{}, fmt.Errorf("%s kc=%d: %w", label, kc, err)
+		}
+		fit, err := stats.FitPowerLawBinned(d, 1.5, 1, 0)
+		if err != nil {
+			return Series{}, fmt.Errorf("%s kc=%d fit: %w", label, kc, err)
+		}
+		s.Points = append(s.Points, Point{X: float64(kc), Y: fit.Gamma, Err: fit.StdErr})
+	}
+	return s, nil
+}

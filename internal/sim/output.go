@@ -1,0 +1,208 @@
+package sim
+
+// Rendering of figures as CSV (for external plotting) and as ASCII tables
+// and log-log scatter plots (for terminal inspection and EXPERIMENTS.md).
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV emits a figure as CSV with columns: series, x, y, err. The
+// format is stable and consumed by cmd/experiments and external plotting
+// scripts.
+func WriteCSV(w io.Writer, fig Figure) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"series", fig.XLabel, fig.YLabel, "err"}); err != nil {
+		return fmt.Errorf("csv header: %w", err)
+	}
+	for _, s := range fig.Series {
+		for _, p := range s.Points {
+			rec := []string{
+				s.Label,
+				strconv.FormatFloat(p.X, 'g', 8, 64),
+				strconv.FormatFloat(p.Y, 'g', 8, 64),
+				strconv.FormatFloat(p.Err, 'g', 6, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return fmt.Errorf("csv row: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("csv flush: %w", err)
+	}
+	return nil
+}
+
+// RenderTable renders a figure as a fixed-width ASCII table: one row per
+// x value, one column per series. Series without points (Table II rows)
+// are listed as plain lines.
+func RenderTable(fig Figure) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s [%s]\n", fig.Title, fig.ID)
+	if fig.Notes != "" {
+		fmt.Fprintf(&b, "    note: %s\n", fig.Notes)
+	}
+	var plotted []Series
+	for _, s := range fig.Series {
+		if len(s.Points) == 0 {
+			fmt.Fprintf(&b, "    %s\n", s.Label)
+			continue
+		}
+		plotted = append(plotted, s)
+	}
+	if len(plotted) == 0 {
+		return b.String()
+	}
+
+	// Collect the union of x values in order.
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range plotted {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	sortFloats(xs)
+
+	const colWidth = 14
+	fmt.Fprintf(&b, "%12s", fig.XLabel)
+	for _, s := range plotted {
+		fmt.Fprintf(&b, " | %*s", colWidth, truncate(s.Label, colWidth))
+	}
+	b.WriteByte('\n')
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%12.4g", x)
+		for _, s := range plotted {
+			y, ok := lookupY(s, x)
+			if !ok {
+				fmt.Fprintf(&b, " | %*s", colWidth, "-")
+				continue
+			}
+			fmt.Fprintf(&b, " | %*.4g", colWidth, y)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderPlot renders a crude ASCII scatter of the figure respecting its
+// log-axis flags: each series is drawn with a distinct rune on a
+// width×height grid. Good enough to eyeball power laws and crossovers in a
+// terminal.
+func RenderPlot(fig Figure, width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 8 {
+		height = 8
+	}
+	xlo, xhi := math.Inf(1), math.Inf(-1)
+	ylo, yhi := math.Inf(1), math.Inf(-1)
+	tx := func(x float64) float64 {
+		if fig.LogX {
+			return math.Log10(x)
+		}
+		return x
+	}
+	ty := func(y float64) float64 {
+		if fig.LogY {
+			return math.Log10(y)
+		}
+		return y
+	}
+	for _, s := range fig.Series {
+		for _, p := range s.Points {
+			if fig.LogX && p.X <= 0 || fig.LogY && p.Y <= 0 {
+				continue
+			}
+			xlo, xhi = math.Min(xlo, tx(p.X)), math.Max(xhi, tx(p.X))
+			ylo, yhi = math.Min(ylo, ty(p.Y)), math.Max(yhi, ty(p.Y))
+		}
+	}
+	if xlo >= xhi || ylo >= yhi || math.IsInf(xlo, 1) {
+		return fmt.Sprintf("=== %s [%s] (no plottable points)\n", fig.Title, fig.ID)
+	}
+
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = make([]rune, width)
+		for j := range grid[i] {
+			grid[i][j] = ' '
+		}
+	}
+	marks := []rune("*o+x#@%&^~")
+	for si, s := range fig.Series {
+		mark := marks[si%len(marks)]
+		for _, p := range s.Points {
+			if fig.LogX && p.X <= 0 || fig.LogY && p.Y <= 0 {
+				continue
+			}
+			col := int((tx(p.X) - xlo) / (xhi - xlo) * float64(width-1))
+			row := height - 1 - int((ty(p.Y)-ylo)/(yhi-ylo)*float64(height-1))
+			grid[row][col] = mark
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s [%s]\n", fig.Title, fig.ID)
+	axisName := func(name string, log bool) string {
+		if log {
+			return "log10 " + name
+		}
+		return name
+	}
+	for _, row := range grid {
+		b.WriteString("  |")
+		b.WriteString(string(row))
+		b.WriteByte('\n')
+	}
+	b.WriteString("  +" + strings.Repeat("-", width) + "\n")
+	fmt.Fprintf(&b, "   x: %s in [%.3g, %.3g]; y: %s in [%.3g, %.3g]\n",
+		axisName(fig.XLabel, fig.LogX), untx(xlo, fig.LogX), untx(xhi, fig.LogX),
+		axisName(fig.YLabel, fig.LogY), untx(ylo, fig.LogY), untx(yhi, fig.LogY))
+	for si, s := range fig.Series {
+		fmt.Fprintf(&b, "   %c %s\n", marks[si%len(marks)], s.Label)
+	}
+	return b.String()
+}
+
+func untx(v float64, log bool) float64 {
+	if log {
+		return math.Pow(10, v)
+	}
+	return v
+}
+
+func lookupY(s Series, x float64) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+func sortFloats(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package sim
+
+import "testing"
+
+// TestReplicationSpec verifies the extension experiment's structure and
+// its two qualitative laws: more budget lowers ESS for every strategy, and
+// square-root allocation beats proportional at every budget (Cohen &
+// Shenker's theorem; sqrt vs uniform can be noisy at tiny scale, so the
+// stronger sqrt<proportional ordering on a skewed catalog is asserted).
+func TestReplicationSpec(t *testing.T) {
+	t.Parallel()
+	figs, err := Replication(tinyScale, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 2 {
+		t.Fatalf("want 2 panels, got %d", len(figs))
+	}
+	for _, f := range figs {
+		if len(f.Series) != 3 {
+			t.Fatalf("%s: want 3 series, got %d", f.ID, len(f.Series))
+		}
+		for _, s := range f.Series {
+			if len(s.Points) != 4 {
+				t.Fatalf("%s/%s: want 4 budget points, got %d", f.ID, s.Label, len(s.Points))
+			}
+			if first, last := s.Points[0].Y, s.Points[len(s.Points)-1].Y; last >= first {
+				t.Errorf("%s/%s: ESS should fall with budget: %v -> %v", f.ID, s.Label, first, last)
+			}
+		}
+		sqrtS, propS := f.Series[2], f.Series[1]
+		if sqrtS.Label != "square-root" || propS.Label != "proportional" {
+			t.Fatalf("%s: unexpected series order %q, %q", f.ID, propS.Label, sqrtS.Label)
+		}
+		var sqrtSum, propSum float64
+		for i := range sqrtS.Points {
+			sqrtSum += sqrtS.Points[i].Y
+			propSum += propS.Points[i].Y
+		}
+		if sqrtSum >= propSum {
+			t.Errorf("%s: sqrt mean ESS %v should beat proportional %v", f.ID, sqrtSum/4, propSum/4)
+		}
+	}
+}

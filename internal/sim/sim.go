@@ -1,0 +1,180 @@
+// Package sim is the experiment harness that regenerates every table and
+// figure in the paper's evaluation. Each artifact (Fig. 1a … Fig. 12,
+// Table I, Table II, plus the messaging-complexity study of §V-B2) has a
+// registered spec that builds the topologies, runs the searches, averages
+// over realizations and sources, and returns plot-ready series.
+//
+// Scale is a knob: PaperScale reproduces the paper's parameters
+// (N=10⁵ degree distributions, N=10⁴ search topologies, 10 realizations);
+// SmokeScale shrinks everything so the full suite runs in seconds for CI
+// and benchmarks. Shapes — who wins, crossover locations, exponent trends —
+// are preserved at both scales; EXPERIMENTS.md records the comparison.
+package sim
+
+import (
+	"fmt"
+	"sync"
+
+	"scalefree/internal/xrand"
+)
+
+// Scale sets the size of every experiment.
+type Scale struct {
+	// NDegree is the node count for degree-distribution experiments
+	// (paper: 10⁵).
+	NDegree int
+	// NSearch is the node count for search experiments (paper: 10⁴).
+	NSearch int
+	// NSubstrate is the DAPA substrate size (paper: 2·10⁴).
+	NSubstrate int
+	// NOverlay is the DAPA overlay target (paper: 10⁴).
+	NOverlay int
+	// Realizations is the number of independent networks averaged per
+	// data point (paper: 10).
+	Realizations int
+	// Sources is the number of random search sources averaged per
+	// topology.
+	Sources int
+	// MaxTTLFlood bounds τ for flooding experiments (paper: up to 20-30;
+	// 100 for DAPA).
+	MaxTTLFlood int
+	// MaxTTLNF bounds τ for NF/RW experiments (paper: 10).
+	MaxTTLNF int
+}
+
+// PaperScale reproduces the paper's simulation parameters.
+var PaperScale = Scale{
+	NDegree:      100_000,
+	NSearch:      10_000,
+	NSubstrate:   20_000,
+	NOverlay:     10_000,
+	Realizations: 10,
+	Sources:      50,
+	MaxTTLFlood:  30,
+	MaxTTLNF:     10,
+}
+
+// SmokeScale is a reduced configuration for CI and benchmarks; every
+// qualitative trend survives at this size.
+var SmokeScale = Scale{
+	NDegree:      8_000,
+	NSearch:      3_000,
+	NSubstrate:   6_000,
+	NOverlay:     3_000,
+	Realizations: 3,
+	Sources:      12,
+	MaxTTLFlood:  20,
+	MaxTTLNF:     8,
+}
+
+// Figure is one regenerated paper artifact: a set of labeled series plus
+// axis metadata, renderable as CSV or an ASCII log-log plot.
+type Figure struct {
+	// ID is the paper artifact identifier ("fig1a", "table1", ...). A
+	// multi-panel paper figure yields one Figure per panel ("fig9d").
+	ID string
+	// Title describes the panel, matching the paper caption.
+	Title string
+	// XLabel and YLabel name the axes.
+	XLabel, YLabel string
+	// LogX and LogY mark logarithmic axes, as in the paper's plots.
+	LogX, LogY bool
+	// Series are the labeled curves.
+	Series []Series
+	// Notes records fidelity caveats (e.g. reduced scale, known noise).
+	Notes string
+}
+
+// Series is a labeled curve of a figure. It mirrors stats.Series but lives
+// here so rendering code needs only this package.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Point is one (x, y±err) sample.
+type Point struct {
+	X, Y, Err float64
+}
+
+// SpecFunc regenerates one paper artifact at the given scale. The seed
+// makes the whole artifact reproducible.
+type SpecFunc func(sc Scale, seed uint64) ([]Figure, error)
+
+// Spec describes a registered experiment.
+type Spec struct {
+	// ID is the registry key ("fig6", "table1", ...).
+	ID string
+	// Paper names the artifact in the paper.
+	Paper string
+	// Description summarizes workload and parameters.
+	Description string
+	// Run regenerates the artifact.
+	Run SpecFunc
+}
+
+// Registry returns all experiment specs in presentation order
+// (figures first, then tables, then extensions).
+func Registry() []Spec {
+	return []Spec{
+		{ID: "fig1a", Paper: "Fig. 1(a)", Description: "PA degree distributions, no cutoff, m=1..3", Run: Fig1a},
+		{ID: "fig1b", Paper: "Fig. 1(b)", Description: "PA degree distributions under hard cutoffs", Run: Fig1b},
+		{ID: "fig1c", Paper: "Fig. 1(c)", Description: "PA degree exponent vs hard cutoff", Run: Fig1c},
+		{ID: "fig2", Paper: "Fig. 2", Description: "CM degree distributions, gamma in {2.2,2.6,3.0}", Run: Fig2},
+		{ID: "fig3", Paper: "Fig. 3", Description: "HAPA degree distributions", Run: Fig3},
+		{ID: "fig4", Paper: "Fig. 4(a-f)", Description: "DAPA degree distributions vs tau_sub", Run: Fig4},
+		{ID: "fig4g", Paper: "Fig. 4(g)", Description: "DAPA degree exponent vs hard cutoff", Run: Fig4g},
+		{ID: "fig6", Paper: "Fig. 6", Description: "Flooding hits on PA and HAPA", Run: Fig6},
+		{ID: "fig7", Paper: "Fig. 7", Description: "Flooding hits on CM", Run: Fig7},
+		{ID: "fig8", Paper: "Fig. 8", Description: "Flooding hits on DAPA", Run: Fig8},
+		{ID: "fig9", Paper: "Fig. 9", Description: "Normalized flooding on PA, CM, HAPA", Run: Fig9},
+		{ID: "fig10", Paper: "Fig. 10", Description: "Normalized flooding on DAPA", Run: Fig10},
+		{ID: "fig11", Paper: "Fig. 11", Description: "Random walk (NF budget) on PA, CM, HAPA", Run: Fig11},
+		{ID: "fig12", Paper: "Fig. 12", Description: "Random walk (NF budget) on DAPA", Run: Fig12},
+		{ID: "table1", Paper: "Table I", Description: "Diameter scaling regimes of scale-free networks", Run: Table1},
+		{ID: "table2", Paper: "Table II", Description: "Global-information usage of the four mechanisms", Run: Table2},
+		{ID: "messaging", Paper: "§V-B2", Description: "Messaging complexity: NF vs RW (results omitted from the paper)", Run: Messaging},
+		{ID: "attack", Paper: "§III (ext)", Description: "Robust-yet-fragile: failures vs hub attacks, with and without cutoffs", Run: Attack},
+		{ID: "delivery", Paper: "Eqs. 6-7 (ext)", Description: "Delivery-time scaling: FL ~ logN, RW ~ N^0.79", Run: Delivery},
+		{ID: "kwalk", Paper: "§V-B1 (ext)", Description: "Multiple random walkers vs NF at equal message budget", Run: KWalk},
+		{ID: "fairness", Paper: "§I (ext)", Description: "Load fairness: Gini and top-1% degree share vs hard cutoff", Run: Fairness},
+		{ID: "strategies", Paper: "§II/§V-B (ext)", Description: "All search strategies (FL/NF/RW/k-walk/HDS/PF/hybrid) at equal message budget", Run: Strategies},
+		{ID: "replication", Paper: "§II refs [22,23] (ext)", Description: "Cohen-Shenker replication strategies: ESS vs budget on PA overlays", Run: Replication},
+		{ID: "churn", Paper: "§VI (ext)", Description: "Join/leave dynamics: repair vs no-repair under balanced churn with kc", Run: Churn},
+	}
+}
+
+// Lookup returns the spec with the given ID.
+func Lookup(id string) (Spec, error) {
+	for _, s := range Registry() {
+		if s.ID == id {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("sim: unknown experiment %q", id)
+}
+
+// forEachRealization runs fn for r = 0..n-1 concurrently, one split RNG
+// stream per realization, collecting the first error. Determinism: stream
+// r is derived solely from (seed, r), so concurrency does not perturb
+// results.
+func forEachRealization(n int, seed uint64, fn func(r int, rng *xrand.RNG) error) error {
+	root := xrand.New(seed)
+	rngs := root.SplitN(n)
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = fn(r, rngs[r])
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,257 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"scalefree/internal/xrand"
+)
+
+// tinyScale keeps spec tests fast while preserving structure.
+var tinyScale = Scale{
+	NDegree:      1500,
+	NSearch:      800,
+	NSubstrate:   1200,
+	NOverlay:     500,
+	Realizations: 2,
+	Sources:      4,
+	MaxTTLFlood:  8,
+	MaxTTLNF:     5,
+}
+
+func TestRegistryComplete(t *testing.T) {
+	t.Parallel()
+	want := []string{
+		"fig1a", "fig1b", "fig1c", "fig2", "fig3", "fig4", "fig4g",
+		"fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+		"table1", "table2", "messaging",
+		"attack", "delivery", "kwalk", "fairness", "strategies", "replication", "churn",
+	}
+	reg := Registry()
+	if len(reg) != len(want) {
+		t.Fatalf("registry has %d specs, want %d", len(reg), len(want))
+	}
+	for i, id := range want {
+		if reg[i].ID != id {
+			t.Errorf("registry[%d] = %s, want %s", i, reg[i].ID, id)
+		}
+		if reg[i].Run == nil || reg[i].Paper == "" || reg[i].Description == "" {
+			t.Errorf("spec %s incompletely described", id)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	t.Parallel()
+	s, err := Lookup("fig6")
+	if err != nil || s.ID != "fig6" {
+		t.Fatalf("Lookup(fig6) = %+v, %v", s, err)
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Fatal("unknown ID should error")
+	}
+}
+
+func TestForEachRealizationDeterministic(t *testing.T) {
+	t.Parallel()
+	run := func() []uint64 {
+		out := make([]uint64, 8)
+		err := forEachRealization(8, 42, func(r int, rng *xrand.RNG) error {
+			out[r] = rng.Uint64()
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("realization %d differs across runs", i)
+		}
+	}
+}
+
+func TestForEachRealizationPropagatesError(t *testing.T) {
+	t.Parallel()
+	err := forEachRealization(4, 1, func(r int, rng *xrand.RNG) error {
+		if r == 2 {
+			return errTest
+		}
+		return nil
+	})
+	if err != errTest {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+var errTest = &testError{}
+
+type testError struct{}
+
+func (*testError) Error() string { return "test error" }
+
+// TestAllSpecsRun executes every registered experiment at tiny scale,
+// checking that each produces non-empty figures with sane structure. This
+// is the end-to-end smoke test for the whole harness.
+func TestAllSpecsRun(t *testing.T) {
+	t.Parallel()
+	for _, spec := range Registry() {
+		spec := spec
+		t.Run(spec.ID, func(t *testing.T) {
+			t.Parallel()
+			figs, err := spec.Run(tinyScale, 12345)
+			if err != nil {
+				t.Fatalf("%s: %v", spec.ID, err)
+			}
+			if len(figs) == 0 {
+				t.Fatalf("%s produced no figures", spec.ID)
+			}
+			for _, fig := range figs {
+				if fig.ID == "" || fig.Title == "" {
+					t.Errorf("%s: figure missing ID/title", spec.ID)
+				}
+				if len(fig.Series) == 0 {
+					t.Errorf("%s/%s: no series", spec.ID, fig.ID)
+				}
+				for _, s := range fig.Series {
+					if s.Label == "" {
+						t.Errorf("%s/%s: unlabeled series", spec.ID, fig.ID)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestSearchSeriesMonotoneHits(t *testing.T) {
+	t.Parallel()
+	s, err := searchSeries("fl", paTopo(500, 2, 0),
+		searchCfg{alg: algFL, maxTTL: 6, sources: 5, realizations: 2}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) != 6 {
+		t.Fatalf("points %d, want 6 (tau=1..6)", len(s.Points))
+	}
+	for i := 1; i < len(s.Points); i++ {
+		if s.Points[i].Y < s.Points[i-1].Y {
+			t.Fatalf("mean hits not monotone at %v", s.Points[i].X)
+		}
+	}
+	// FL at tau=6 on a 500-node PA m=2 graph reaches everyone.
+	if s.Points[len(s.Points)-1].Y < 400 {
+		t.Fatalf("FL coverage %.0f suspiciously low", s.Points[len(s.Points)-1].Y)
+	}
+}
+
+func TestSearchSeriesRWBudgetBelowNF(t *testing.T) {
+	t.Parallel()
+	// NF hits >= RW hits at the same message budget, on average (NF does
+	// better averaging, §V-B1).
+	factory := paTopo(2000, 2, 40)
+	cfgNF := searchCfg{alg: algNF, maxTTL: 6, kMin: 2, sources: 10, realizations: 3}
+	cfgRW := cfgNF
+	cfgRW.alg = algRW
+	nf, err := searchSeries("nf", factory, cfgNF, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := searchSeries("rw", factory, cfgRW, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(nf.Points) - 1
+	if rw.Points[last].Y > nf.Points[last].Y*1.15 {
+		t.Fatalf("RW (%.1f) should not beat NF (%.1f) decisively at equal budget",
+			rw.Points[last].Y, nf.Points[last].Y)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	t.Parallel()
+	fig := Figure{
+		ID: "x", XLabel: "k", YLabel: "P",
+		Series: []Series{{Label: "s1", Points: []Point{{X: 1, Y: 0.5, Err: 0.1}, {X: 2, Y: 0.25}}}},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, fig); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines: %v", lines)
+	}
+	if lines[0] != "series,k,P,err" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "s1,1,0.5,") {
+		t.Fatalf("row %q", lines[1])
+	}
+}
+
+func TestRenderTable(t *testing.T) {
+	t.Parallel()
+	fig := Figure{
+		ID: "t", Title: "test", XLabel: "tau", YLabel: "hits",
+		Series: []Series{
+			{Label: "a", Points: []Point{{X: 1, Y: 10}, {X: 2, Y: 20}}},
+			{Label: "b", Points: []Point{{X: 2, Y: 5}}},
+			{Label: "row-only"},
+		},
+	}
+	out := RenderTable(fig)
+	for _, want := range []string{"test", "row-only", "a", "b", "10", "20", "-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderPlot(t *testing.T) {
+	t.Parallel()
+	fig := Figure{
+		ID: "p", Title: "plot", XLabel: "k", YLabel: "P", LogX: true, LogY: true,
+		Series: []Series{{Label: "s", Points: []Point{{X: 1, Y: 1}, {X: 10, Y: 0.01}, {X: 100, Y: 0.0001}}}},
+	}
+	out := RenderPlot(fig, 40, 10)
+	if !strings.Contains(out, "plot") || !strings.Contains(out, "*") {
+		t.Fatalf("plot output:\n%s", out)
+	}
+	// Degenerate figure renders a notice, not a panic.
+	empty := RenderPlot(Figure{ID: "e", Title: "empty"}, 40, 10)
+	if !strings.Contains(empty, "no plottable points") {
+		t.Fatalf("empty plot: %q", empty)
+	}
+}
+
+func TestRenderPlotNonLogAxes(t *testing.T) {
+	t.Parallel()
+	fig := Figure{
+		ID: "lin", Title: "linear", XLabel: "x", YLabel: "y",
+		Series: []Series{{Label: "s", Points: []Point{{X: 0, Y: 0}, {X: 5, Y: 10}}}},
+	}
+	if out := RenderPlot(fig, 30, 8); !strings.Contains(out, "linear") {
+		t.Fatalf("plot: %s", out)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	t.Parallel()
+	s, err := aggregate("x", [][]float64{{0, 1, 2}, {0, 3, 4}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) != 2 {
+		t.Fatalf("points %v", s.Points)
+	}
+	if s.Points[0].X != 1 || s.Points[0].Y != 2 {
+		t.Fatalf("point 0: %+v", s.Points[0])
+	}
+	if _, err := aggregate("x", nil, 0); err == nil {
+		t.Fatal("empty aggregate should error")
+	}
+}

@@ -1,0 +1,107 @@
+package sim
+
+// Churn is the extension experiment for the paper's §VI future work:
+// join/leave dynamics while maintaining scale-freeness under a hard
+// cutoff. It runs the internal/churn simulator with balanced churn
+// (pJoin=0.5) on a kc-capped overlay and compares the reconnect-repair
+// policy (the paper's "minimum of 2-3 links" guideline enforced
+// continuously) against no repair, tracking giant-component survival and
+// NF search efficiency over time, with the maintenance messaging cost per
+// event recorded in the figure notes.
+
+import (
+	"fmt"
+
+	"scalefree/internal/churn"
+	"scalefree/internal/stats"
+	"scalefree/internal/xrand"
+)
+
+// Churn measures overlay health vs churn events with and without repair.
+func Churn(sc Scale, seed uint64) ([]Figure, error) {
+	const (
+		m     = 2
+		kc    = 10
+		pJoin = 0.5
+		ttl   = 4
+	)
+	events := 2 * sc.NSearch
+	probeEvery := events / 8
+	policies := []churn.RepairPolicy{churn.ReconnectRepair, churn.NoRepair}
+
+	giant := Figure{
+		ID:     "churn-giant",
+		Title:  fmt.Sprintf("Giant component under balanced churn (PA, m=%d, kc=%d, pJoin=%.1f)", m, kc, pJoin),
+		XLabel: "churn events", YLabel: "giant component fraction",
+	}
+	hits := Figure{
+		ID:     "churn-nfhits",
+		Title:  fmt.Sprintf("NF search efficiency under balanced churn (tau=%d)", ttl),
+		XLabel: "churn events", YLabel: "NF hits",
+	}
+	var msgNotes string
+	for pi, policy := range policies {
+		policy := policy
+		giantRows := make([][]float64, sc.Realizations)
+		hitRows := make([][]float64, sc.Realizations)
+		msgs := make([]float64, sc.Realizations)
+		var xs []float64
+		err := forEachRealization(sc.Realizations, seed+uint64(pi)*2713, func(r int, rng *xrand.RNG) error {
+			sim, err := churn.New(churn.Config{
+				InitialN: sc.NSearch,
+				M:        m,
+				KC:       kc,
+				Join:     churn.JoinPreferential,
+				Repair:   policy,
+				Graceful: true,
+			}, rng)
+			if err != nil {
+				return err
+			}
+			trace, err := sim.Run(events, pJoin, probeEvery, sc.Sources, ttl)
+			if err != nil {
+				return err
+			}
+			grow := make([]float64, len(trace))
+			hrow := make([]float64, len(trace))
+			for i, snap := range trace {
+				grow[i] = snap.GiantFrac
+				hrow[i] = snap.NFHits
+			}
+			giantRows[r] = grow
+			hitRows[r] = hrow
+			msgs[r] = trace[len(trace)-1].MessagesPerEvent
+			if r == 0 {
+				xs = make([]float64, len(trace))
+				for i, snap := range trace {
+					xs[i] = float64(snap.Event)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("churn %s: %w", policy, err)
+		}
+		gs, err := aggregate(policy.String(), giantRows, 0)
+		if err != nil {
+			return nil, err
+		}
+		hs, err := aggregate(policy.String(), hitRows, 0)
+		if err != nil {
+			return nil, err
+		}
+		for i := range gs.Points {
+			gs.Points[i].X = xs[i]
+			hs.Points[i].X = xs[i]
+		}
+		giant.Series = append(giant.Series, gs)
+		hits.Series = append(hits.Series, hs)
+		if msgNotes != "" {
+			msgNotes += "; "
+		}
+		msgNotes += fmt.Sprintf("%s: %.1f msgs/event", policy, stats.Mean(msgs))
+	}
+	giant.Notes = "maintenance cost — " + msgNotes
+	hits.Notes = giant.Notes
+	return []Figure{giant, hits}, nil
+}

@@ -1,0 +1,226 @@
+package sim
+
+// Degree-distribution experiments: Figs. 1-4.
+
+import (
+	"fmt"
+
+	"scalefree/internal/gen"
+	"scalefree/internal/stats"
+)
+
+// Fig1a regenerates Fig. 1(a): PA degree distributions without a hard
+// cutoff for m = 1, 2, 3, with the fitted exponent recorded in Notes
+// (the paper fits between -2.9 and -2.8 at N = 10⁵).
+func Fig1a(sc Scale, seed uint64) ([]Figure, error) {
+	fig := Figure{
+		ID:     "fig1a",
+		Title:  "PA degree distributions P(k), no hard cutoff",
+		XLabel: "k", YLabel: "P(k)", LogX: true, LogY: true,
+	}
+	for _, m := range []int{1, 2, 3} {
+		d, err := mergedDegreeDist(paTopo(sc.NDegree, m, gen.NoCutoff), sc.Realizations, seed+uint64(m))
+		if err != nil {
+			return nil, err
+		}
+		s, err := degreeSeries(fmt.Sprintf("m=%d", m), d)
+		if err != nil {
+			return nil, err
+		}
+		fig.Series = append(fig.Series, s)
+		if fit, err := stats.FitPowerLawBinned(d, 1.5, m, 0); err == nil {
+			fig.Notes += fmt.Sprintf("m=%d: gamma=%.2f±%.2f; ", m, fit.Gamma, fit.StdErr)
+		}
+	}
+	return []Figure{fig}, nil
+}
+
+// Fig1b regenerates Fig. 1(b): PA degree distributions under hard cutoffs,
+// with the exact (m, kc) legend of the paper.
+func Fig1b(sc Scale, seed uint64) ([]Figure, error) {
+	fig := Figure{
+		ID:     "fig1b",
+		Title:  "PA degree distributions P(k) for different hard cutoffs",
+		XLabel: "k", YLabel: "P(k)", LogX: true, LogY: true,
+		Notes: "distributions accumulate a spike at k=kc",
+	}
+	combos := []struct {
+		m, kc int
+	}{
+		{1, gen.NoCutoff}, {1, 100}, {1, 40}, {1, 20}, {1, 10},
+		{3, gen.NoCutoff}, {3, 100}, {2, 40}, {2, 20}, {2, 10},
+	}
+	for i, c := range combos {
+		d, err := mergedDegreeDist(paTopo(sc.NDegree, c.m, c.kc), sc.Realizations, seed+uint64(i)*101)
+		if err != nil {
+			return nil, err
+		}
+		s, err := degreeSeries(fmt.Sprintf("m=%d, %s", c.m, cutoffLabel(c.kc)), d)
+		if err != nil {
+			return nil, err
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return []Figure{fig}, nil
+}
+
+// Fig1c regenerates Fig. 1(c): the PA degree exponent γ versus the hard
+// cutoff kc for m = 1, 2, 3. The paper shows γ degrading from ~3 toward
+// ~1.9 as kc shrinks from 50 to 10.
+func Fig1c(sc Scale, seed uint64) ([]Figure, error) {
+	fig := Figure{
+		ID:     "fig1c",
+		Title:  "PA degree-distribution exponent vs hard cutoff",
+		XLabel: "kc", YLabel: "gamma",
+	}
+	cutoffs := []int{10, 20, 30, 40, 50}
+	for _, m := range []int{1, 2, 3} {
+		m := m
+		s, err := exponentVsCutoff(
+			fmt.Sprintf("m=%d", m),
+			func(kc int) topoFactory { return paTopo(sc.NDegree, m, kc) },
+			cutoffs, sc.Realizations, seed+uint64(m)*7919,
+		)
+		if err != nil {
+			return nil, err
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return []Figure{fig}, nil
+}
+
+// Fig2 regenerates Fig. 2: CM degree distributions for γ ∈ {2.2, 2.6, 3.0}
+// (one panel each) with the paper's m/kc legend.
+func Fig2(sc Scale, seed uint64) ([]Figure, error) {
+	var figs []Figure
+	for pi, gamma := range []float64{2.2, 2.6, 3.0} {
+		fig := Figure{
+			ID:     fmt.Sprintf("fig2%c", 'a'+pi),
+			Title:  fmt.Sprintf("CM degree distributions, gamma=%.1f", gamma),
+			XLabel: "k", YLabel: "P(k)", LogX: true, LogY: true,
+		}
+		for _, m := range []int{1, 2, 3} {
+			for _, kc := range []int{gen.NoCutoff, 40, 10} {
+				d, err := mergedDegreeDist(
+					cmTopo(sc.NDegree, m, kc, gamma),
+					sc.Realizations, seed+uint64(pi*100+m*10+kc),
+				)
+				if err != nil {
+					return nil, err
+				}
+				s, err := degreeSeries(fmt.Sprintf("m=%d, %s", m, cutoffLabel(kc)), d)
+				if err != nil {
+					return nil, err
+				}
+				fig.Series = append(fig.Series, s)
+			}
+		}
+		figs = append(figs, fig)
+	}
+	return figs, nil
+}
+
+// Fig3 regenerates Fig. 3: HAPA degree distributions for panels
+// (a) no cutoff, (b) kc=50, (c) kc=10, with series m ∈ {1,2,3} at two
+// network sizes (the paper uses N = 10⁴ and 10⁵; we use NDegree/10 and
+// NDegree).
+func Fig3(sc Scale, seed uint64) ([]Figure, error) {
+	var figs []Figure
+	sizes := []int{sc.NDegree / 10, sc.NDegree}
+	for pi, kc := range []int{gen.NoCutoff, 50, 10} {
+		fig := Figure{
+			ID:     fmt.Sprintf("fig3%c", 'a'+pi),
+			Title:  fmt.Sprintf("HAPA degree distributions, %s", cutoffLabel(kc)),
+			XLabel: "k", YLabel: "P(k)", LogX: true, LogY: true,
+		}
+		if kc == gen.NoCutoff {
+			fig.Notes = "star-like: super hubs of degree O(N)"
+		}
+		for _, n := range sizes {
+			for _, m := range []int{1, 2, 3} {
+				d, err := mergedDegreeDist(hapaTopo(n, m, kc), sc.Realizations, seed+uint64(pi*1000+n+m))
+				if err != nil {
+					return nil, err
+				}
+				s, err := degreeSeries(fmt.Sprintf("m=%d, N=%d", m, n), d)
+				if err != nil {
+					return nil, err
+				}
+				fig.Series = append(fig.Series, s)
+			}
+		}
+		figs = append(figs, fig)
+	}
+	return figs, nil
+}
+
+// Fig4 regenerates Fig. 4(a-f): DAPA degree distributions over
+// τ_sub ∈ {2,4,6,8,10,20,50}, panels (m, kc) ∈ {1,3} × {none, 40, 10},
+// on GRN substrates with k̄ = 10.
+func Fig4(sc Scale, seed uint64) ([]Figure, error) {
+	substrates, err := makeSubstrates(sc.NSubstrate, sc.Realizations, seed^0x5eed)
+	if err != nil {
+		return nil, err
+	}
+	taus := []int{2, 4, 6, 8, 10, 20, 50}
+	var figs []Figure
+	panel := 0
+	for _, m := range []int{1, 3} {
+		for _, kc := range []int{gen.NoCutoff, 40, 10} {
+			fig := Figure{
+				ID:     fmt.Sprintf("fig4%c", 'a'+panel),
+				Title:  fmt.Sprintf("DAPA degree distributions, m=%d, %s", m, cutoffLabel(kc)),
+				XLabel: "k", YLabel: "P(k)", LogX: true, LogY: true,
+				Notes: "small tau_sub: exponential; large tau_sub: power law",
+			}
+			panel++
+			for _, tau := range taus {
+				d, err := mergedDegreeDist(
+					dapaTopo(substrates, sc.NOverlay, m, kc, tau),
+					sc.Realizations, seed+uint64(panel*1000+tau),
+				)
+				if err != nil {
+					return nil, err
+				}
+				s, err := degreeSeries(fmt.Sprintf("tau_sub=%d", tau), d)
+				if err != nil {
+					return nil, err
+				}
+				fig.Series = append(fig.Series, s)
+			}
+			figs = append(figs, fig)
+		}
+	}
+	return figs, nil
+}
+
+// Fig4g regenerates Fig. 4(g): the DAPA degree exponent versus the hard
+// cutoff for m = 1, 2, 3 (the paper flags this data as very noisy with
+// large error bars; τ_sub is set high so the overlay is in its power-law
+// regime).
+func Fig4g(sc Scale, seed uint64) ([]Figure, error) {
+	substrates, err := makeSubstrates(sc.NSubstrate, sc.Realizations, seed^0xdada)
+	if err != nil {
+		return nil, err
+	}
+	fig := Figure{
+		ID:     "fig4g",
+		Title:  "DAPA degree-distribution exponent vs hard cutoff (tau_sub=20)",
+		XLabel: "kc", YLabel: "gamma",
+		Notes: "paper: \"very noisy ... quite large error bars\"",
+	}
+	cutoffs := []int{10, 20, 30, 40, 50}
+	for _, m := range []int{1, 2, 3} {
+		m := m
+		s, err := exponentVsCutoff(
+			fmt.Sprintf("m=%d", m),
+			func(kc int) topoFactory { return dapaTopo(substrates, sc.NOverlay, m, kc, 20) },
+			cutoffs, sc.Realizations, seed+uint64(m)*104729,
+		)
+		if err != nil {
+			return nil, err
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return []Figure{fig}, nil
+}

@@ -1,0 +1,106 @@
+package sim
+
+// Replication is an extension experiment connecting the paper's topology
+// work to the replication literature it cites (§II: Cohen & Shenker [22],
+// Lv et al. [23]). On PA topologies with and without a hard cutoff it
+// measures the expected search size (random-walk probes to the first
+// replica) of the three classic allocation strategies across replication
+// budgets, reproducing Cohen & Shenker's square-root-is-optimal result on
+// the paper's own overlays.
+
+import (
+	"fmt"
+
+	"scalefree/internal/content"
+	"scalefree/internal/gen"
+	"scalefree/internal/xrand"
+)
+
+// Replication measures ESS vs replication budget for uniform,
+// proportional, and square-root allocation on PA (m=2) topologies, one
+// panel without a cutoff and one with kc=10.
+func Replication(sc Scale, seed uint64) ([]Figure, error) {
+	const (
+		m        = 2
+		items    = 100
+		alpha    = 1.2
+		queries  = 400
+		maxSteps = 40000
+	)
+	budgetsPerN := []float64{0.25, 0.5, 1, 2}
+	strategies := []content.Strategy{content.Uniform, content.Proportional, content.SquareRoot}
+
+	var figs []Figure
+	for _, kc := range []int{gen.NoCutoff, 10} {
+		slug := "nokc"
+		if kc != gen.NoCutoff {
+			slug = fmt.Sprintf("kc%d", kc)
+		}
+		fig := Figure{
+			ID:     fmt.Sprintf("replication-%s", slug),
+			Title:  fmt.Sprintf("Expected search size vs replication budget (PA, m=%d, %s, Zipf %.1f)", m, cutoffLabel(kc), alpha),
+			XLabel: "replication budget (copies / N)", YLabel: "expected search size (walk probes)",
+			LogY:  true,
+			Notes: "Cohen-Shenker: square-root allocation minimizes ESS under random probing",
+		}
+		for si, strat := range strategies {
+			strat := strat
+			perReal := make([][]float64, sc.Realizations)
+			err := forEachRealization(sc.Realizations, seed+uint64(si)*6151+uint64(kc), func(r int, rng *xrand.RNG) error {
+				g, _, err := gen.PA(gen.PAConfig{N: sc.NSearch, M: m, KC: kc}, rng)
+				if err != nil {
+					return err
+				}
+				cat, err := content.NewCatalog(items, alpha)
+				if err != nil {
+					return err
+				}
+				row := make([]float64, len(budgetsPerN))
+				for bi, f := range budgetsPerN {
+					budget := int(f * float64(g.N()))
+					if budget < items {
+						budget = items
+					}
+					p, err := content.Replicate(cat, g.N(), budget, strat, rng)
+					if err != nil {
+						return err
+					}
+					res, err := content.ExpectedSearchSize(g, p, cat, queries, maxSteps, rng)
+					if err != nil {
+						return err
+					}
+					if res.Found == 0 {
+						return fmt.Errorf("replication: no queries resolved at budget %d", budget)
+					}
+					row[bi] = res.MeanSteps
+				}
+				perReal[r] = row
+				return nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("replication %s %s: %w", cutoffLabel(kc), strat, err)
+			}
+			s, err := aggregate(strat.String(), perReal, 0)
+			if err != nil {
+				return nil, err
+			}
+			for i := range s.Points {
+				s.Points[i].X = budgetsPerN[i]
+			}
+			fig.Series = append(fig.Series, s)
+		}
+		figs = append(figs, fig)
+	}
+
+	// Sanity note: record whether square-root won at the mid budget.
+	for fi := range figs {
+		f := &figs[fi]
+		if len(f.Series) == 3 && len(f.Series[0].Points) >= 3 {
+			u := f.Series[0].Points[2].Y
+			p := f.Series[1].Points[2].Y
+			s := f.Series[2].Points[2].Y
+			f.Notes += fmt.Sprintf("; at budget=N: uniform %.0f, proportional %.0f, sqrt %.0f probes", u, p, s)
+		}
+	}
+	return figs, nil
+}

@@ -1,0 +1,172 @@
+package sim
+
+// Strategies is an extension experiment comparing every search strategy in
+// the repository — the paper's FL/NF/RW plus the related-work baselines it
+// cites (§II): Adamic et al.'s high-degree-seeking walk [62],
+// probabilistic flooding [29], and the Gkantsidis–Mihail–Saberi
+// flood-then-walk hybrid [30] — at EQUAL MESSAGE BUDGETS, extending the
+// paper's §V-B normalization from a pairwise NF↔RW comparison to the full
+// strategy set. Run on PA topologies with and without a hard cutoff, it
+// shows which strategies depend on hubs (HDS collapses under kc=10) and
+// which benefit from the cutoff (NF, walks), generalizing the paper's
+// headline finding.
+
+import (
+	"fmt"
+
+	"scalefree/internal/gen"
+	"scalefree/internal/graph"
+	"scalefree/internal/search"
+	"scalefree/internal/xrand"
+)
+
+// strategyBudgets are the message budgets (X axis) the comparison samples.
+func strategyBudgets(n int) []int {
+	base := []int{10, 20, 50, 100, 200, 500, 1000, 2000, 5000}
+	var out []int
+	for _, b := range base {
+		if b <= 4*n {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// hitsAtBudget reads a Result's coverage at a message budget: the hits at
+// the last time index whose cumulative message count is within the budget.
+func hitsAtBudget(res search.Result, budget int) float64 {
+	best := 0
+	for t := range res.Messages {
+		if res.Messages[t] <= budget && res.Hits[t] > best {
+			best = res.Hits[t]
+		}
+	}
+	return float64(best)
+}
+
+// Strategies compares FL, NF, RW, k walkers, the high-degree-seeking walk,
+// probabilistic flooding, and hybrid search at equal message budgets on PA
+// (m=2), one panel without a cutoff and one with kc=10.
+func Strategies(sc Scale, seed uint64) ([]Figure, error) {
+	const m = 2
+	variants := []struct {
+		label string
+		run   func(g *graph.Graph, src int, budgets []int, rng *xrand.RNG) ([]float64, error)
+	}{
+		{"FL", func(g *graph.Graph, src int, budgets []int, rng *xrand.RNG) ([]float64, error) {
+			res, err := search.Flood(g, src, sc.MaxTTLFlood)
+			if err != nil {
+				return nil, err
+			}
+			return sampleBudgets(res, budgets), nil
+		}},
+		{"NF", func(g *graph.Graph, src int, budgets []int, rng *xrand.RNG) ([]float64, error) {
+			res, err := search.NormalizedFlood(g, src, sc.MaxTTLFlood, m, rng)
+			if err != nil {
+				return nil, err
+			}
+			return sampleBudgets(res, budgets), nil
+		}},
+		{"RW", func(g *graph.Graph, src int, budgets []int, rng *xrand.RNG) ([]float64, error) {
+			res, err := search.RandomWalk(g, src, budgets[len(budgets)-1], rng)
+			if err != nil {
+				return nil, err
+			}
+			return sampleBudgets(res, budgets), nil
+		}},
+		{"8 walkers", func(g *graph.Graph, src int, budgets []int, rng *xrand.RNG) ([]float64, error) {
+			const k = 8
+			res, err := search.KRandomWalks(g, src, k, budgets[len(budgets)-1]/k+1, rng)
+			if err != nil {
+				return nil, err
+			}
+			return sampleBudgets(res, budgets), nil
+		}},
+		{"HDS walk", func(g *graph.Graph, src int, budgets []int, rng *xrand.RNG) ([]float64, error) {
+			res, err := search.HighDegreeWalk(g, src, budgets[len(budgets)-1], rng)
+			if err != nil {
+				return nil, err
+			}
+			return sampleBudgets(res, budgets), nil
+		}},
+		{"PF p=0.5", func(g *graph.Graph, src int, budgets []int, rng *xrand.RNG) ([]float64, error) {
+			res, err := search.ProbabilisticFlood(g, src, sc.MaxTTLFlood, 0.5, rng)
+			if err != nil {
+				return nil, err
+			}
+			return sampleBudgets(res, budgets), nil
+		}},
+		{"hybrid (flood 2 + 8 walkers)", func(g *graph.Graph, src int, budgets []int, rng *xrand.RNG) ([]float64, error) {
+			res, err := search.HybridSearch(g, src, 2, 8, budgets[len(budgets)-1]/8+1, rng)
+			if err != nil {
+				return nil, err
+			}
+			return sampleBudgets(res, budgets), nil
+		}},
+	}
+
+	var figs []Figure
+	for _, kc := range []int{gen.NoCutoff, 10} {
+		budgets := strategyBudgets(sc.NSearch)
+		slug := "nokc"
+		if kc != gen.NoCutoff {
+			slug = fmt.Sprintf("kc%d", kc)
+		}
+		fig := Figure{
+			ID:     fmt.Sprintf("strategies-%s", slug),
+			Title:  fmt.Sprintf("Search strategies at equal message budget (PA, m=%d, %s)", m, cutoffLabel(kc)),
+			XLabel: "message budget", YLabel: "number of hits",
+			LogX:  true,
+			Notes: "extends §V-B's NF-budget normalization to all strategies; HDS = Adamic high-degree-seeking walk",
+		}
+		factory := paTopo(sc.NSearch, m, kc)
+		for vi, v := range variants {
+			v := v
+			perReal := make([][]float64, sc.Realizations)
+			err := forEachRealization(sc.Realizations, seed+uint64(vi)*7919+uint64(kc), func(r int, rng *xrand.RNG) error {
+				g, err := factory(r, rng)
+				if err != nil {
+					return err
+				}
+				sums := make([]float64, len(budgets))
+				for s := 0; s < sc.Sources; s++ {
+					row, err := v.run(g, rng.Intn(g.N()), budgets, rng)
+					if err != nil {
+						return err
+					}
+					for i := range sums {
+						sums[i] += row[i]
+					}
+				}
+				for i := range sums {
+					sums[i] /= float64(sc.Sources)
+				}
+				perReal[r] = sums
+				return nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("strategies %s %s: %w", cutoffLabel(kc), v.label, err)
+			}
+			s, err := aggregate(v.label, perReal, 0)
+			if err != nil {
+				return nil, err
+			}
+			// aggregate indexes X by position; rewrite to the budget axis.
+			for i := range s.Points {
+				s.Points[i].X = float64(budgets[i])
+			}
+			fig.Series = append(fig.Series, s)
+		}
+		figs = append(figs, fig)
+	}
+	return figs, nil
+}
+
+// sampleBudgets evaluates hitsAtBudget at each budget point.
+func sampleBudgets(res search.Result, budgets []int) []float64 {
+	out := make([]float64, len(budgets))
+	for i, b := range budgets {
+		out[i] = hitsAtBudget(res, b)
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"testing"
+
+	"scalefree/internal/search"
+)
+
+func TestHitsAtBudget(t *testing.T) {
+	t.Parallel()
+	res := search.Result{
+		Hits:     []int{1, 5, 20, 80},
+		Messages: []int{0, 8, 40, 300},
+	}
+	cases := []struct {
+		budget, want int
+	}{
+		{0, 1}, {7, 1}, {8, 5}, {39, 5}, {40, 20}, {299, 20}, {300, 80}, {10000, 80},
+	}
+	for _, c := range cases {
+		if got := hitsAtBudget(res, c.budget); got != float64(c.want) {
+			t.Errorf("hitsAtBudget(%d) = %v, want %d", c.budget, got, c.want)
+		}
+	}
+}
+
+func TestStrategyBudgetsBounded(t *testing.T) {
+	t.Parallel()
+	bs := strategyBudgets(500)
+	if len(bs) == 0 {
+		t.Fatal("no budgets")
+	}
+	for i, b := range bs {
+		if b > 4*500 {
+			t.Errorf("budget %d exceeds 4N", b)
+		}
+		if i > 0 && b <= bs[i-1] {
+			t.Errorf("budgets not increasing at %d", i)
+		}
+	}
+}
+
+// TestStrategiesSpec verifies the qualitative structure of the extension
+// experiment: two panels; flooding dominates at the largest budget (it is
+// the efficiency ceiling); and the high-degree-seeking walk beats the
+// blind walk when hubs exist but loses most of its edge under kc=10.
+func TestStrategiesSpec(t *testing.T) {
+	t.Parallel()
+	figs, err := Strategies(tinyScale, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 2 {
+		t.Fatalf("want 2 panels, got %d", len(figs))
+	}
+	final := func(f Figure, label string) float64 {
+		for _, s := range f.Series {
+			if s.Label == label {
+				return s.Points[len(s.Points)-1].Y
+			}
+		}
+		t.Fatalf("series %q missing in %s", label, f.ID)
+		return 0
+	}
+	for _, f := range figs {
+		if len(f.Series) != 7 {
+			t.Fatalf("%s: want 7 series, got %d", f.ID, len(f.Series))
+		}
+		fl, nf := final(f, "FL"), final(f, "NF")
+		if fl < nf {
+			t.Errorf("%s: FL (%v) should dominate NF (%v) at max budget", f.ID, fl, nf)
+		}
+	}
+	// HDS advantage over the blind walk should shrink when the hard cutoff
+	// removes the hubs it exploits.
+	noKC, kc10 := figs[0], figs[1]
+	advNo := final(noKC, "HDS walk") / final(noKC, "RW")
+	advKC := final(kc10, "HDS walk") / final(kc10, "RW")
+	if advNo <= 1 {
+		t.Errorf("HDS should beat RW without a cutoff: ratio %v", advNo)
+	}
+	if advKC >= advNo {
+		t.Errorf("hard cutoff should shrink the HDS advantage: %v -> %v", advNo, advKC)
+	}
+}

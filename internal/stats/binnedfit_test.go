@@ -1,0 +1,77 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"scalefree/internal/xrand"
+)
+
+func TestFitPowerLawBinnedRecovers(t *testing.T) {
+	t.Parallel()
+	for _, gamma := range []float64{2.2, 2.6, 3.0} {
+		d := NewDegreeDist(synthPowerLaw(gamma, 500, 50_000_000))
+		fit, err := FitPowerLawBinned(d, 1.5, 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(fit.Gamma-gamma) > 0.2 {
+			t.Errorf("gamma %.1f: binned fit %.3f", gamma, fit.Gamma)
+		}
+	}
+}
+
+func TestFitPowerLawBinnedOnSampledTail(t *testing.T) {
+	t.Parallel()
+	// Sampled (noisy) degrees: the binned fit must stay near the true
+	// exponent where a raw LS fit would be dragged shallow by the
+	// one-node-per-degree tail.
+	rng := xrand.New(5)
+	const n = 30000
+	counts := make([]int, 0)
+	for i := 0; i < n; i++ {
+		k := rng.PowerLawInt(1, 10000, 2.5)
+		for len(counts) <= k {
+			counts = append(counts, 0)
+		}
+		counts[k]++
+	}
+	d := NewDegreeDist(counts)
+	binned, err := FitPowerLawBinned(d, 1.6, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := FitPowerLawLS(d, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(binned.Gamma-2.5) > 0.3 {
+		t.Fatalf("binned fit %.3f too far from 2.5", binned.Gamma)
+	}
+	if math.Abs(binned.Gamma-2.5) > math.Abs(raw.Gamma-2.5) {
+		t.Logf("raw fit happened to win: raw %.3f binned %.3f", raw.Gamma, binned.Gamma)
+	}
+}
+
+func TestFitPowerLawBinnedRespectsKMax(t *testing.T) {
+	t.Parallel()
+	counts := synthPowerLaw(2.5, 49, 10_000_000)
+	counts = append(counts, 800_000) // cutoff spike at k=50
+	d := NewDegreeDist(counts)
+	fit, err := FitPowerLawBinned(d, 1.5, 1, 49)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Gamma-2.5) > 0.25 {
+		t.Fatalf("trimmed binned fit %.3f, want ~2.5", fit.Gamma)
+	}
+}
+
+func TestFitPowerLawBinnedInsufficient(t *testing.T) {
+	t.Parallel()
+	d := NewDegreeDist([]int{0, 10, 5})
+	if _, err := FitPowerLawBinned(d, 1.5, 1, 0); !errors.Is(err, ErrInsufficientData) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,67 @@
+package stats
+
+// Load-fairness measures. The paper's motivation for hard cutoffs is
+// fairness: "to achieve fairness and practicality among all peers, hard
+// cutoffs on the number of entries are imposed" (§I). The Gini coefficient
+// of the degree sequence quantifies exactly that — 0 means every peer
+// carries the same number of neighbor entries, values toward 1 mean a few
+// hubs carry nearly everything.
+
+import "sort"
+
+// Gini returns the Gini coefficient of the given non-negative loads
+// (e.g. a degree sequence): 0 for perfect equality, approaching 1 as a
+// vanishing fraction of entries holds all the mass. Returns 0 for empty
+// input or all-zero loads.
+func Gini(loads []int) float64 {
+	n := len(loads)
+	if n == 0 {
+		return 0
+	}
+	sorted := append([]int(nil), loads...)
+	sort.Ints(sorted)
+	var cum, total float64
+	var weighted float64
+	for i, x := range sorted {
+		v := float64(x)
+		total += v
+		weighted += v * float64(i+1)
+		_ = cum
+	}
+	if total == 0 {
+		return 0
+	}
+	// G = (2*Σ i*x_i) / (n*Σ x_i) - (n+1)/n, with x sorted ascending and
+	// i starting at 1.
+	return 2*weighted/(float64(n)*total) - float64(n+1)/float64(n)
+}
+
+// TopShare returns the fraction of total load carried by the top `frac`
+// share of entries (e.g. TopShare(deg, 0.01) = load share of the top 1% of
+// peers), the other fairness lens used for hub-dominance claims.
+func TopShare(loads []int, frac float64) float64 {
+	n := len(loads)
+	if n == 0 || frac <= 0 {
+		return 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	sorted := append([]int(nil), loads...)
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	top := int(float64(n)*frac + 0.5)
+	if top < 1 {
+		top = 1
+	}
+	var topSum, total float64
+	for i, x := range sorted {
+		total += float64(x)
+		if i < top {
+			topSum += float64(x)
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return topSum / total
+}

@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"scalefree/internal/xrand"
+)
+
+func TestGiniEquality(t *testing.T) {
+	t.Parallel()
+	if g := Gini([]int{5, 5, 5, 5}); math.Abs(g) > 1e-12 {
+		t.Fatalf("uniform loads Gini %v, want 0", g)
+	}
+}
+
+func TestGiniExtremeInequality(t *testing.T) {
+	t.Parallel()
+	// One holder of everything among n: G = (n-1)/n.
+	loads := make([]int, 100)
+	loads[42] = 1000
+	if g, want := Gini(loads), 0.99; math.Abs(g-want) > 1e-12 {
+		t.Fatalf("Gini %v, want %v", g, want)
+	}
+}
+
+func TestGiniKnownValue(t *testing.T) {
+	t.Parallel()
+	// {1, 3}: G = 2*(1*1+2*3)/(2*4) - 3/2 = 14/8 - 12/8 = 0.25.
+	if g := Gini([]int{3, 1}); math.Abs(g-0.25) > 1e-12 {
+		t.Fatalf("Gini %v, want 0.25", g)
+	}
+}
+
+func TestGiniDegenerate(t *testing.T) {
+	t.Parallel()
+	if Gini(nil) != 0 || Gini([]int{0, 0}) != 0 {
+		t.Fatal("degenerate Gini should be 0")
+	}
+}
+
+func TestGiniOrderInvariant(t *testing.T) {
+	t.Parallel()
+	a := Gini([]int{1, 2, 3, 4, 10})
+	b := Gini([]int{10, 3, 1, 4, 2})
+	if math.Abs(a-b) > 1e-12 {
+		t.Fatalf("Gini depends on order: %v vs %v", a, b)
+	}
+}
+
+func TestTopShare(t *testing.T) {
+	t.Parallel()
+	loads := []int{1, 1, 1, 1, 1, 1, 1, 1, 1, 91}
+	if s := TopShare(loads, 0.1); math.Abs(s-0.91) > 1e-12 {
+		t.Fatalf("top 10%% share %v, want 0.91", s)
+	}
+	if s := TopShare(loads, 1.0); math.Abs(s-1) > 1e-12 {
+		t.Fatalf("full share %v", s)
+	}
+	if TopShare(nil, 0.5) != 0 || TopShare(loads, 0) != 0 {
+		t.Fatal("degenerate TopShare should be 0")
+	}
+}
+
+func TestGiniMonotoneUnderSpread(t *testing.T) {
+	t.Parallel()
+	// Transferring load from a poor entry to a rich one must not lower G
+	// (Pigou–Dalton principle, spot-checked randomly).
+	rng := xrand.New(7)
+	for trial := 0; trial < 50; trial++ {
+		n := rng.IntRange(3, 30)
+		loads := make([]int, n)
+		for i := range loads {
+			loads[i] = rng.IntRange(1, 50)
+		}
+		before := Gini(loads)
+		// Find distinct poor/rich indices.
+		poor, rich := 0, 0
+		for i, x := range loads {
+			if x < loads[poor] {
+				poor = i
+			}
+			if x > loads[rich] {
+				rich = i
+			}
+		}
+		if poor == rich || loads[poor] == 0 {
+			continue
+		}
+		loads[poor]--
+		loads[rich]++
+		if after := Gini(loads); after < before-1e-12 {
+			t.Fatalf("regressive transfer lowered Gini: %v -> %v", before, after)
+		}
+	}
+}

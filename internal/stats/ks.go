@@ -1,0 +1,94 @@
+package stats
+
+// Goodness-of-fit machinery for power-law claims: the Kolmogorov–Smirnov
+// distance between an empirical degree distribution and a fitted discrete
+// power law, plus a bootstrap significance estimate (Clauset-Shalizi-
+// Newman style, reduced to what degree-distribution verification needs).
+
+import (
+	"fmt"
+	"math"
+
+	"scalefree/internal/xrand"
+)
+
+// KSDistance returns the Kolmogorov–Smirnov statistic between the
+// empirical CCDF of d (restricted to degrees >= kMin) and the theoretical
+// discrete power law with the given exponent on the same support:
+// D = max_k |F_emp(k) - F_model(k)|.
+func KSDistance(d DegreeDist, gamma float64, kMin int) (float64, error) {
+	if kMin < 1 {
+		kMin = 1
+	}
+	if gamma <= 1 {
+		return 0, fmt.Errorf("stats: gamma %v must be > 1", gamma)
+	}
+	// Tail mass and support.
+	var tailMass float64
+	maxK := 0
+	for k, p := range d.P {
+		if k < kMin {
+			continue
+		}
+		tailMass += p
+		if k > maxK {
+			maxK = k
+		}
+	}
+	if tailMass == 0 || maxK < kMin {
+		return 0, ErrInsufficientData
+	}
+	// Model normalization over [kMin, maxK] (finite support, matching the
+	// hard-cutoff setting).
+	var z float64
+	for k := kMin; k <= maxK; k++ {
+		z += math.Pow(float64(k), -gamma)
+	}
+	var dMax, empCum, modCum float64
+	for k := kMin; k <= maxK; k++ {
+		if p, ok := d.P[k]; ok {
+			empCum += p / tailMass
+		}
+		modCum += math.Pow(float64(k), -gamma) / z
+		if diff := math.Abs(empCum - modCum); diff > dMax {
+			dMax = diff
+		}
+	}
+	return dMax, nil
+}
+
+// KSBootstrap estimates how extreme the observed KS distance is: it draws
+// `trials` synthetic samples of size n from the fitted power law, measures
+// each sample's KS distance to the model, and returns the fraction whose
+// distance exceeds the observed one (a p-value-like score: small values
+// mean the power law is a poor fit; ≥0.1 is conventionally "plausible").
+func KSBootstrap(observed float64, gamma float64, kMin, kMax, n, trials int, rng *xrand.RNG) (float64, error) {
+	if n < 1 || trials < 1 {
+		return 0, fmt.Errorf("stats: n=%d trials=%d must be >= 1", n, trials)
+	}
+	if kMax < kMin || kMin < 1 {
+		return 0, fmt.Errorf("stats: bad support [%d, %d]", kMin, kMax)
+	}
+	if rng == nil {
+		rng = xrand.New(0)
+	}
+	exceed := 0
+	counts := make([]int, kMax+1)
+	for trial := 0; trial < trials; trial++ {
+		for i := range counts {
+			counts[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			counts[rng.PowerLawInt(kMin, kMax, gamma)]++
+		}
+		dist := NewDegreeDist(counts)
+		ks, err := KSDistance(dist, gamma, kMin)
+		if err != nil {
+			return 0, err
+		}
+		if ks >= observed {
+			exceed++
+		}
+	}
+	return float64(exceed) / float64(trials), nil
+}

@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"errors"
+	"testing"
+
+	"scalefree/internal/xrand"
+)
+
+func TestKSDistancePerfectFit(t *testing.T) {
+	t.Parallel()
+	// An exact power-law histogram has near-zero KS distance to its own
+	// exponent.
+	d := NewDegreeDist(synthPowerLaw(2.5, 200, 50_000_000))
+	ks, err := KSDistance(d, 2.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks > 0.02 {
+		t.Fatalf("KS distance %v for a perfect fit", ks)
+	}
+}
+
+func TestKSDistanceDetectsMismatch(t *testing.T) {
+	t.Parallel()
+	d := NewDegreeDist(synthPowerLaw(2.2, 200, 50_000_000))
+	good, err := KSDistance(d, 2.2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := KSDistance(d, 3.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad <= 2*good {
+		t.Fatalf("wrong exponent should stand out: good=%v bad=%v", good, bad)
+	}
+}
+
+func TestKSDistanceErrors(t *testing.T) {
+	t.Parallel()
+	d := NewDegreeDist(synthPowerLaw(2.5, 50, 1000))
+	if _, err := KSDistance(d, 0.5, 1); err == nil {
+		t.Error("gamma <= 1 should fail")
+	}
+	if _, err := KSDistance(NewDegreeDist(nil), 2.5, 1); !errors.Is(err, ErrInsufficientData) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestKSBootstrapAcceptsTrueModel(t *testing.T) {
+	t.Parallel()
+	// Sample from a power law, fit the same exponent: bootstrap score
+	// should be comfortably above the 0.1 rejection line.
+	rng := xrand.New(3)
+	const n, kMin, kMax = 5000, 2, 500
+	counts := make([]int, kMax+1)
+	for i := 0; i < n; i++ {
+		counts[rng.PowerLawInt(kMin, kMax, 2.5)]++
+	}
+	d := NewDegreeDist(counts)
+	observed, err := KSDistance(d, 2.5, kMin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	score, err := KSBootstrap(observed, 2.5, kMin, kMax, n, 100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score < 0.1 {
+		t.Fatalf("bootstrap rejected the true model: score %v (D=%v)", score, observed)
+	}
+}
+
+func TestKSBootstrapRejectsWrongModel(t *testing.T) {
+	t.Parallel()
+	rng := xrand.New(5)
+	const n, kMin, kMax = 5000, 2, 500
+	counts := make([]int, kMax+1)
+	for i := 0; i < n; i++ {
+		counts[rng.PowerLawInt(kMin, kMax, 2.2)]++
+	}
+	d := NewDegreeDist(counts)
+	observed, err := KSDistance(d, 3.2, kMin) // fit the wrong exponent
+	if err != nil {
+		t.Fatal(err)
+	}
+	score, err := KSBootstrap(observed, 3.2, kMin, kMax, n, 100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score > 0.05 {
+		t.Fatalf("bootstrap accepted a wrong model: score %v", score)
+	}
+}
+
+func TestKSBootstrapValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := KSBootstrap(0.1, 2.5, 1, 10, 0, 10, nil); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := KSBootstrap(0.1, 2.5, 5, 2, 10, 10, nil); err == nil {
+		t.Error("kMax < kMin should fail")
+	}
+}

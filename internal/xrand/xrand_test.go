@@ -1,0 +1,325 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	t.Parallel()
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("sequence diverged at step %d: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	t.Parallel()
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d/100 identical outputs", same)
+	}
+}
+
+func TestZeroSeedUsable(t *testing.T) {
+	t.Parallel()
+	r := New(0)
+	// xoshiro with all-zero state would emit only zeros; splitmix seeding
+	// must prevent that.
+	zeros := 0
+	for i := 0; i < 100; i++ {
+		if r.Uint64() == 0 {
+			zeros++
+		}
+	}
+	if zeros > 1 {
+		t.Fatalf("seed 0 produced %d zero outputs in 100 draws", zeros)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	t.Parallel()
+	r := New(7)
+	a := r.Split()
+	b := r.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split streams produced %d/100 identical outputs", same)
+	}
+}
+
+func TestSplitN(t *testing.T) {
+	t.Parallel()
+	streams := New(9).SplitN(8)
+	if len(streams) != 8 {
+		t.Fatalf("SplitN(8) returned %d streams", len(streams))
+	}
+	seen := map[uint64]bool{}
+	for _, s := range streams {
+		v := s.Uint64()
+		if seen[v] {
+			t.Fatalf("two streams started with the same value %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	t.Parallel()
+	r := New(3)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	t.Parallel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	t.Parallel()
+	r := New(11)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d: count %d too far from expected %.0f", i, c, want)
+		}
+	}
+}
+
+func TestIntRange(t *testing.T) {
+	t.Parallel()
+	r := New(5)
+	for i := 0; i < 1000; i++ {
+		v := r.IntRange(3, 9)
+		if v < 3 || v > 9 {
+			t.Fatalf("IntRange(3,9) = %d", v)
+		}
+	}
+	if got := r.IntRange(4, 4); got != 4 {
+		t.Fatalf("IntRange(4,4) = %d, want 4", got)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	t.Parallel()
+	r := New(13)
+	var sum float64
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+		sum += f
+	}
+	mean := sum / draws
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %.4f too far from 0.5", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	t.Parallel()
+	r := New(17)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("Perm(50) invalid: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestPermProperty(t *testing.T) {
+	t.Parallel()
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		p := New(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowerLawIntBounds(t *testing.T) {
+	t.Parallel()
+	f := func(seed uint64) bool {
+		r := New(seed)
+		k := r.PowerLawInt(2, 100, 2.5)
+		return k >= 2 && k <= 100
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowerLawIntShape(t *testing.T) {
+	t.Parallel()
+	// For gamma=3, P(1)/P(2) should be ~8. Check the empirical ratio is
+	// clearly decreasing and roughly power-law.
+	r := New(21)
+	const draws = 200000
+	counts := map[int]int{}
+	for i := 0; i < draws; i++ {
+		counts[r.PowerLawInt(1, 1000, 3.0)]++
+	}
+	if counts[1] <= counts[2] || counts[2] <= counts[4] {
+		t.Fatalf("power-law counts not decreasing: P(1)=%d P(2)=%d P(4)=%d",
+			counts[1], counts[2], counts[4])
+	}
+	ratio := float64(counts[1]) / float64(counts[2])
+	if ratio < 4 || ratio > 16 {
+		t.Fatalf("P(1)/P(2) = %.2f, want roughly 8 for gamma=3", ratio)
+	}
+}
+
+func TestPowerLawIntDegenerate(t *testing.T) {
+	t.Parallel()
+	r := New(2)
+	for i := 0; i < 100; i++ {
+		if k := r.PowerLawInt(5, 5, 2.2); k != 5 {
+			t.Fatalf("PowerLawInt(5,5) = %d, want 5", k)
+		}
+	}
+}
+
+func TestChoose(t *testing.T) {
+	t.Parallel()
+	r := New(23)
+	const draws = 100000
+	counts := make([]int, 3)
+	w := []float64{1, 2, 7}
+	for i := 0; i < draws; i++ {
+		idx := r.Choose(w)
+		if idx < 0 || idx > 2 {
+			t.Fatalf("Choose out of range: %d", idx)
+		}
+		counts[idx]++
+	}
+	// Expected proportions 0.1, 0.2, 0.7.
+	for i, want := range []float64{0.1, 0.2, 0.7} {
+		got := float64(counts[i]) / draws
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("Choose weight %d: got %.3f want %.3f", i, got, want)
+		}
+	}
+}
+
+func TestChooseZeroTotal(t *testing.T) {
+	t.Parallel()
+	if got := New(1).Choose([]float64{0, 0}); got != -1 {
+		t.Fatalf("Choose with zero weights = %d, want -1", got)
+	}
+	if got := New(1).Choose(nil); got != -1 {
+		t.Fatalf("Choose(nil) = %d, want -1", got)
+	}
+}
+
+func TestExpPositive(t *testing.T) {
+	t.Parallel()
+	r := New(31)
+	var sum float64
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		v := r.Exp()
+		if v < 0 {
+			t.Fatalf("Exp() = %v < 0", v)
+		}
+		sum += v
+	}
+	if mean := sum / draws; math.Abs(mean-1) > 0.02 {
+		t.Fatalf("Exp mean %.4f, want ~1", mean)
+	}
+}
+
+func TestBool(t *testing.T) {
+	t.Parallel()
+	r := New(37)
+	hits := 0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	if got := float64(hits) / draws; math.Abs(got-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) rate %.4f", got)
+	}
+}
+
+func TestShuffleFixedPoint(t *testing.T) {
+	t.Parallel()
+	// Shuffling a single element or empty slice must not call swap.
+	called := false
+	New(1).Shuffle(1, func(i, j int) { called = true })
+	New(1).Shuffle(0, func(i, j int) { called = true })
+	if called {
+		t.Fatal("Shuffle called swap for n <= 1")
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkIntn(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Intn(1000)
+	}
+}
+
+func BenchmarkPowerLawInt(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.PowerLawInt(1, 10000, 2.5)
+	}
+}

@@ -2,7 +2,8 @@ package scalefree
 
 // One benchmark per paper table and figure (each regenerates the artifact
 // through the internal/sim spec registry at a reduced scale and reports
-// headline metrics), plus the ablation benches called out in DESIGN.md §4.
+// headline metrics), plus ablation benches isolating individual modeling
+// choices (see EXPERIMENTS.md for the spec registry and scales).
 //
 // Paper-scale regeneration is done by `go run ./cmd/experiments -scale
 // paper`; these benches exist so `go test -bench=.` exercises every
@@ -10,6 +11,7 @@ package scalefree
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"scalefree/internal/gen"
@@ -80,7 +82,24 @@ func BenchmarkExtStrategies(b *testing.B)         { runSpec(b, "strategies") }
 func BenchmarkExtReplication(b *testing.B)        { runSpec(b, "replication") }
 func BenchmarkExtChurn(b *testing.B)              { runSpec(b, "churn") }
 
-// --- Ablations (DESIGN.md §4) -----------------------------------------
+// BenchmarkWorkersScaling regenerates Fig. 9 (the NF sweep, the heaviest
+// search spec) with a bounded worker pool of 1, 2, and GOMAXPROCS workers.
+// Output is bit-for-bit identical at every width; only wall-clock changes.
+func BenchmarkWorkersScaling(b *testing.B) {
+	for _, workers := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+		sc := benchScale
+		sc.Workers = workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Fig9(sc, 1000); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Ablations ---------------------------------------------------------
 
 // Ablation (a): the literal Appendix A rejection loop vs the O(N·m)
 // stub-list sampler. Same distribution, very different cost.

@@ -7,6 +7,11 @@
 //	experiments -list
 //	experiments -exp fig6 -scale smoke -outdir results
 //	experiments -exp all  -scale paper -outdir results   # hours at paper scale
+//	experiments -exp fig9 -workers 4                     # bound realization concurrency
+//
+// -workers bounds how many realizations run concurrently within each
+// experiment (default 0 = GOMAXPROCS). The output is bit-for-bit identical
+// for every worker count; see EXPERIMENTS.md.
 package main
 
 import (
@@ -31,13 +36,14 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		exp    = fs.String("exp", "all", "experiment ID (see -list) or 'all'")
-		scale  = fs.String("scale", "smoke", "experiment scale: smoke|paper")
-		seed   = fs.Uint64("seed", 2007, "RNG seed (the venue year, for luck)")
-		outdir = fs.String("outdir", "results", "directory for CSV output")
-		list   = fs.Bool("list", false, "list available experiments and exit")
-		verify = fs.Bool("verify", false, "check the paper's headline claims and exit")
-		plot   = fs.Bool("plot", true, "print ASCII renderings to stdout")
+		exp     = fs.String("exp", "all", "experiment ID (see -list) or 'all'")
+		scale   = fs.String("scale", "smoke", "experiment scale: smoke|paper")
+		seed    = fs.Uint64("seed", 2007, "RNG seed (the venue year, for luck)")
+		outdir  = fs.String("outdir", "results", "directory for CSV output")
+		list    = fs.Bool("list", false, "list available experiments and exit")
+		verify  = fs.Bool("verify", false, "check the paper's headline claims and exit")
+		plot    = fs.Bool("plot", true, "print ASCII renderings to stdout")
+		workers = fs.Int("workers", 0, "concurrent realizations per experiment (0 = GOMAXPROCS); results are identical for any value")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -50,10 +56,6 @@ func run(args []string, stdout io.Writer) error {
 		return nil
 	}
 
-	if *verify {
-		return runVerify(stdout, *scale, *seed)
-	}
-
 	var sc sim.Scale
 	switch *scale {
 	case "smoke":
@@ -62,6 +64,11 @@ func run(args []string, stdout io.Writer) error {
 		sc = sim.PaperScale
 	default:
 		return fmt.Errorf("unknown scale %q (want smoke or paper)", *scale)
+	}
+	sc.Workers = *workers
+
+	if *verify {
+		return runVerify(stdout, sc, *seed)
 	}
 
 	var specs []sim.Spec
@@ -107,11 +114,7 @@ func run(args []string, stdout io.Writer) error {
 
 // runVerify checks every machine-checkable paper claim and reports
 // PASS/FAIL; it exits non-zero if any claim fails.
-func runVerify(stdout io.Writer, scale string, seed uint64) error {
-	sc := sim.SmokeScale
-	if scale == "paper" {
-		sc = sim.PaperScale
-	}
+func runVerify(stdout io.Writer, sc sim.Scale, seed uint64) error {
 	results := sim.CheckAllClaims(sc, seed)
 	failed := 0
 	for _, r := range results {

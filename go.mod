@@ -1,0 +1,3 @@
+module scalefree
+
+go 1.24

@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"scalefree/internal/graph"
+	"scalefree/internal/search"
 	"scalefree/internal/xrand"
 )
 
@@ -121,20 +122,35 @@ func (r FloodResult) SuccessRate() float64 {
 // spent. In a deployed network the flood would stop early on a hit; the
 // message count here is the worst case, as in the paper's FL model (the
 // destination "cannot stop the search", §V-A1).
+//
+// FloodForItem allocates a fresh search scratch per call; query workloads
+// should use FloodForItemScratch with a reused search.Scratch (as
+// FloodSuccess does internally).
 func FloodForItem(g *graph.Graph, p *Placement, src int, item Item, ttl int) (found bool, messages int, err error) {
+	var s search.Scratch
+	return FloodForItemScratch(g, p, src, item, ttl, &s)
+}
+
+// FloodForItemScratch is FloodForItem reusing the caller's search scratch:
+// repeated queries against one topology allocate nothing.
+func FloodForItemScratch(g *graph.Graph, p *Placement, src int, item Item, ttl int, s *search.Scratch) (found bool, messages int, err error) {
 	if src < 0 || src >= g.N() {
 		return false, 0, fmt.Errorf("content: source %d out of range", src)
 	}
+	if ttl < 0 {
+		return false, 0, nil
+	}
 	// Message accounting matches search.Flood: every covered node forwards
 	// to its neighbors except the sender, unless it sits on the TTL shell.
-	g.BFSWithin(src, ttl, func(node, depth int) bool {
+	v := g.View()
+	err = s.FloodVisit(g, src, ttl, func(node, depth int) bool {
 		if p.HasItem(node, item) {
 			found = true
 		}
 		if depth == ttl {
 			return true
 		}
-		deg := g.Degree(node)
+		deg := v.Degree(node)
 		if depth == 0 {
 			messages += deg
 		} else if deg > 0 {
@@ -142,7 +158,7 @@ func FloodForItem(g *graph.Graph, p *Placement, src int, item Item, ttl int) (fo
 		}
 		return true
 	})
-	return found, messages, nil
+	return found, messages, err
 }
 
 // FloodSuccess issues popularity-distributed queries resolved by flooding
@@ -159,10 +175,11 @@ func FloodSuccess(g *graph.Graph, p *Placement, c *Catalog, queries, ttl int, rn
 	}
 	res := FloodResult{Queries: queries}
 	var msgSum float64
+	var scratch search.Scratch // one BFS state reused across the workload
 	for q := 0; q < queries; q++ {
 		item := c.SampleQuery(rng)
 		src := rng.Intn(g.N())
-		found, msgs, err := FloodForItem(g, p, src, item, ttl)
+		found, msgs, err := FloodForItemScratch(g, p, src, item, ttl, &scratch)
 		if err != nil {
 			return FloodResult{}, err
 		}

@@ -57,101 +57,18 @@ func (l *Load) check(g *graph.Graph) error {
 
 // FloodLoad runs flooding from src exactly as Flood does, charging each
 // transmission to its sender and each receipt (duplicate or not) to its
-// receiver.
+// receiver. Hot paths should use Scratch.FloodLoad instead.
 func FloodLoad(g *graph.Graph, src, maxTTL int, load *Load) error {
-	if err := validate(g, src, maxTTL); err != nil {
-		return err
-	}
-	if err := load.check(g); err != nil {
-		return err
-	}
-	type item struct {
-		node int32
-		from int32
-	}
-	depth := make([]int32, g.N())
-	for i := range depth {
-		depth[i] = -1
-	}
-	depth[src] = 0
-	queue := []item{{node: int32(src), from: -1}}
-	for head := 0; head < len(queue); head++ {
-		it := queue[head]
-		du := int(depth[it.node])
-		if du == maxTTL {
-			continue
-		}
-		for _, v := range g.Neighbors(int(it.node)) {
-			if v == it.from {
-				continue
-			}
-			load.Forwards[it.node]++
-			load.Receipts[v]++
-			if depth[v] < 0 {
-				depth[v] = int32(du + 1)
-				queue = append(queue, item{node: v, from: it.node})
-			}
-		}
-	}
-	return nil
+	var s Scratch
+	return s.FloodLoad(g, src, maxTTL, load)
 }
 
 // NormalizedFloodLoad runs NF from src as NormalizedFlood does, with the
-// same charging rule as FloodLoad.
+// same charging rule as FloodLoad. Hot paths should use
+// Scratch.NormalizedFloodLoad instead.
 func NormalizedFloodLoad(g *graph.Graph, src, maxTTL, kMin int, rng *xrand.RNG, load *Load) error {
-	if err := validate(g, src, maxTTL); err != nil {
-		return err
-	}
-	if kMin < 1 {
-		return fmt.Errorf("%w: %d", ErrBadKMin, kMin)
-	}
-	if err := load.check(g); err != nil {
-		return err
-	}
-	if rng == nil {
-		rng = xrand.New(0)
-	}
-	type item struct {
-		node int32
-		from int32
-	}
-	depth := make([]int32, g.N())
-	for i := range depth {
-		depth[i] = -1
-	}
-	depth[src] = 0
-	queue := []item{{node: int32(src), from: -1}}
-	scratch := make([]int32, 0, 64)
-	for head := 0; head < len(queue); head++ {
-		it := queue[head]
-		du := int(depth[it.node])
-		if du == maxTTL {
-			continue
-		}
-		scratch = scratch[:0]
-		for _, v := range g.Neighbors(int(it.node)) {
-			if v != it.from {
-				scratch = append(scratch, v)
-			}
-		}
-		targets := scratch
-		if len(scratch) > kMin {
-			for i := 0; i < kMin; i++ {
-				j := i + rng.Intn(len(scratch)-i)
-				scratch[i], scratch[j] = scratch[j], scratch[i]
-			}
-			targets = scratch[:kMin]
-		}
-		for _, v := range targets {
-			load.Forwards[it.node]++
-			load.Receipts[v]++
-			if depth[v] < 0 {
-				depth[v] = int32(du + 1)
-				queue = append(queue, item{node: v, from: it.node})
-			}
-		}
-	}
-	return nil
+	var s Scratch
+	return s.NormalizedFloodLoad(g, src, maxTTL, kMin, rng, load)
 }
 
 // RandomWalkLoad runs a non-backtracking walk from src as RandomWalk

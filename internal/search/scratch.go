@@ -1,0 +1,458 @@
+package search
+
+// Scratch is the allocation-free engine behind every search kernel. The
+// paper-scale experiment harness runs millions of Flood/NF/RW calls on a
+// handful of topologies; allocating O(N) visited and frontier buffers per
+// call made the garbage collector the dominant cost. A Scratch owns those
+// buffers — an epoch-stamped visited array (cleared in O(1) by bumping the
+// epoch instead of rewriting N entries), frontier queues, the NF candidate
+// buffer, and a small arena of per-TTL result series — so repeated searches
+// on one topology allocate nothing after the first call.
+//
+// Usage: one Scratch per goroutine (it is not safe for concurrent use),
+// reused across any number of searches and graph sizes (buffers grow on
+// demand and are retained). Results returned by Scratch methods alias the
+// scratch's internal buffers: they are valid until the next call on the
+// same Scratch, so consume (or copy) them before searching again.
+//
+// The zero value is ready to use. The package-level Flood, NormalizedFlood,
+// RandomWalk, and RandomWalkWithNFBudget functions are thin wrappers that
+// run on a fresh Scratch per call; they remain the convenient API when
+// allocation cost does not matter.
+
+import (
+	"math"
+
+	"scalefree/internal/graph"
+	"scalefree/internal/xrand"
+)
+
+// Scratch holds reusable search state. See the package comment above for
+// the ownership and aliasing rules. A Scratch must not be copied after
+// first use: copies share the same backing arrays, so two copies searching
+// concurrently race on the visited marks. Pass *Scratch, and derive new
+// scratches with NewScratch (or the zero value), never by value-copying
+// a used one.
+type Scratch struct {
+	// epoch stamps the current search; mark[v] == epoch means v was
+	// visited by it. Bumping epoch invalidates every stamp at once.
+	epoch int32
+	mark  []int32
+	// depth[v] is v's BFS depth, valid only while mark[v] == epoch.
+	depth []int32
+	// queue and from are the frontier: from[i] is the node that forwarded
+	// the query to queue[i] (-1 for the source).
+	queue []int32
+	from  []int32
+	// cand is the NF candidate buffer (neighbors minus the sender).
+	cand []int32
+	// bufs is a small arena of per-TTL series reused across calls; nbuf
+	// is the number handed out since the last reset.
+	bufs [][]int
+	nbuf int
+}
+
+// NewScratch returns a Scratch pre-sized for n-node graphs. n may be 0;
+// buffers grow on first use either way.
+func NewScratch(n int) *Scratch {
+	s := &Scratch{}
+	s.ensure(n)
+	return s
+}
+
+// reset starts a fresh top-level search: previously returned Results are
+// invalidated and their buffers recycled.
+func (s *Scratch) reset() { s.nbuf = 0 }
+
+// ensure grows the per-node arrays to cover n nodes.
+func (s *Scratch) ensure(n int) {
+	if len(s.mark) < n {
+		s.mark = make([]int32, n)
+		s.depth = make([]int32, n)
+		s.epoch = 0 // fresh zeroed marks: restart the epoch counter
+	}
+}
+
+// newEpoch invalidates all visited marks in O(1).
+func (s *Scratch) newEpoch() int32 {
+	if s.epoch == math.MaxInt32 {
+		for i := range s.mark {
+			s.mark[i] = 0
+		}
+		s.epoch = 0
+	}
+	s.epoch++
+	return s.epoch
+}
+
+// intBuf hands out a zeroed length-n series from the arena.
+func (s *Scratch) intBuf(n int) []int {
+	if s.nbuf == len(s.bufs) {
+		s.bufs = append(s.bufs, nil)
+	}
+	b := s.bufs[s.nbuf]
+	if cap(b) < n {
+		b = make([]int, n)
+		s.bufs[s.nbuf] = b
+	} else {
+		b = b[:n]
+		for i := range b {
+			b[i] = 0
+		}
+	}
+	s.nbuf++
+	return b
+}
+
+// Flood runs flooding search from src up to maxTTL hops, exactly as the
+// package-level Flood, reusing s's buffers. The Result aliases s.
+func (s *Scratch) Flood(g *graph.Graph, src, maxTTL int) (Result, error) {
+	s.reset()
+	return s.flood(g, src, maxTTL)
+}
+
+func (s *Scratch) flood(g *graph.Graph, src, maxTTL int) (Result, error) {
+	if err := validate(g, src, maxTTL); err != nil {
+		return Result{}, err
+	}
+	v := g.View()
+	s.ensure(v.N())
+	ep := s.newEpoch()
+	res := Result{
+		Hits:     s.intBuf(maxTTL + 1),
+		Messages: s.intBuf(maxTTL + 1),
+	}
+	s.mark[src] = ep
+	s.depth[src] = 0
+	queue := append(s.queue[:0], int32(src))
+	hits, msgs := 0, 0
+	prevDepth := 0
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		du := int(s.depth[u])
+		if du > prevDepth {
+			// Frontier advanced: record cumulative values at the
+			// completed depth.
+			for t := prevDepth; t < du; t++ {
+				res.Hits[t] = hits
+				res.Messages[t+1] = msgs // messages sent by depth<=t arrive by t+1
+			}
+			prevDepth = du
+		}
+		hits++
+		if du == maxTTL {
+			continue
+		}
+		// Forward to all neighbors except the sender. With duplicate
+		// suppression the sender is never re-enqueued anyway; the message
+		// count excludes the reverse transmission per the protocol.
+		deg := v.Degree(int(u))
+		if du == 0 {
+			msgs += deg
+		} else if deg > 0 {
+			msgs += deg - 1
+		}
+		for _, w := range v.Neighbors(int(u)) {
+			if s.mark[w] != ep {
+				s.mark[w] = ep
+				s.depth[w] = int32(du + 1)
+				queue = append(queue, w)
+			}
+		}
+	}
+	s.queue = queue
+	for t := prevDepth; t <= maxTTL; t++ {
+		res.Hits[t] = hits
+		if t+1 <= maxTTL {
+			res.Messages[t+1] = msgs
+		}
+	}
+	res.Messages[0] = 0
+	return res, nil
+}
+
+// nfTargets builds node u's NF forward set: all neighbors except the
+// sender, down-sampled to kMin uniformly chosen entries (partial
+// Fisher–Yates) when larger. Shared by the search and load-profile NF
+// kernels so their RNG consumption can never diverge. The returned slice
+// reuses s.cand and is valid until the next call.
+func (s *Scratch) nfTargets(v graph.View, u, sender int32, kMin int, rng *xrand.RNG) []int32 {
+	cand := s.cand[:0]
+	for _, w := range v.Neighbors(int(u)) {
+		if w != sender {
+			cand = append(cand, w)
+		}
+	}
+	s.cand = cand
+	if len(cand) <= kMin {
+		return cand
+	}
+	for i := 0; i < kMin; i++ {
+		j := i + rng.Intn(len(cand)-i)
+		cand[i], cand[j] = cand[j], cand[i]
+	}
+	return cand[:kMin]
+}
+
+// NormalizedFlood runs NF search from src, exactly as the package-level
+// NormalizedFlood, reusing s's buffers. The Result aliases s.
+func (s *Scratch) NormalizedFlood(g *graph.Graph, src, maxTTL, kMin int, rng *xrand.RNG) (Result, error) {
+	s.reset()
+	return s.normalizedFlood(g, src, maxTTL, kMin, rng)
+}
+
+func (s *Scratch) normalizedFlood(g *graph.Graph, src, maxTTL, kMin int, rng *xrand.RNG) (Result, error) {
+	if err := validate(g, src, maxTTL); err != nil {
+		return Result{}, err
+	}
+	if kMin < 1 {
+		return Result{}, errBadKMin(kMin)
+	}
+	if rng == nil {
+		rng = xrand.New(0)
+	}
+	v := g.View()
+	s.ensure(v.N())
+	ep := s.newEpoch()
+	res := Result{
+		Hits:     s.intBuf(maxTTL + 1),
+		Messages: s.intBuf(maxTTL + 1),
+	}
+	s.mark[src] = ep
+	s.depth[src] = 0
+	queue := append(s.queue[:0], int32(src))
+	from := append(s.from[:0], -1)
+	hits, msgs := 0, 0
+	prevDepth := 0
+	for head := 0; head < len(queue); head++ {
+		u, sender := queue[head], from[head]
+		du := int(s.depth[u])
+		if du > prevDepth {
+			for t := prevDepth; t < du; t++ {
+				res.Hits[t] = hits
+				res.Messages[t+1] = msgs
+			}
+			prevDepth = du
+		}
+		hits++
+		if du == maxTTL {
+			continue
+		}
+		targets := s.nfTargets(v, u, sender, kMin, rng)
+		msgs += len(targets)
+		for _, w := range targets {
+			if s.mark[w] != ep {
+				s.mark[w] = ep
+				s.depth[w] = int32(du + 1)
+				queue = append(queue, w)
+				from = append(from, u)
+			}
+		}
+	}
+	s.queue, s.from = queue, from
+	for t := prevDepth; t <= maxTTL; t++ {
+		res.Hits[t] = hits
+		if t+1 <= maxTTL {
+			res.Messages[t+1] = msgs
+		}
+	}
+	res.Messages[0] = 0
+	return res, nil
+}
+
+// RandomWalk runs a non-backtracking walk of exactly `steps` hops, exactly
+// as the package-level RandomWalk, reusing s's buffers. The Result aliases
+// s.
+func (s *Scratch) RandomWalk(g *graph.Graph, src, steps int, rng *xrand.RNG) (Result, error) {
+	s.reset()
+	return s.randomWalk(g, src, steps, rng)
+}
+
+func (s *Scratch) randomWalk(g *graph.Graph, src, steps int, rng *xrand.RNG) (Result, error) {
+	if err := validate(g, src, steps); err != nil {
+		return Result{}, err
+	}
+	if rng == nil {
+		rng = xrand.New(0)
+	}
+	s.ensure(g.N())
+	ep := s.newEpoch()
+	res := Result{
+		Hits:     s.intBuf(steps + 1),
+		Messages: s.intBuf(steps + 1),
+	}
+	s.mark[src] = ep
+	hits := 1
+	res.Hits[0] = 1
+	cur, prev := src, -1
+	for t := 1; t <= steps; t++ {
+		next := g.RandomNeighborExcluding(cur, prev, rng)
+		if next < 0 {
+			// Dead end: backtrack if possible, else the walk is stuck on
+			// an isolated node.
+			if prev >= 0 {
+				next = prev
+			} else {
+				res.Hits[t] = hits
+				res.Messages[t] = res.Messages[t-1]
+				continue
+			}
+		}
+		prev, cur = cur, next
+		if s.mark[cur] != ep {
+			s.mark[cur] = ep
+			hits++
+		}
+		res.Hits[t] = hits
+		res.Messages[t] = t
+	}
+	return res, nil
+}
+
+// RandomWalkWithNFBudget runs the paper's §V-B RW normalization, exactly as
+// the package-level RandomWalkWithNFBudget, reusing s's buffers. Both
+// returned Results alias s.
+func (s *Scratch) RandomWalkWithNFBudget(g *graph.Graph, src, maxTTL, kMin int, rng *xrand.RNG) (rw, nf Result, err error) {
+	s.reset()
+	nf, err = s.normalizedFlood(g, src, maxTTL, kMin, rng)
+	if err != nil {
+		return Result{}, Result{}, err
+	}
+	budget := nf.Messages[maxTTL]
+	walk, err := s.randomWalk(g, src, budget, rng)
+	if err != nil {
+		return Result{}, Result{}, err
+	}
+	rw = Result{
+		Hits:     s.intBuf(maxTTL + 1),
+		Messages: s.intBuf(maxTTL + 1),
+	}
+	for t := 0; t <= maxTTL; t++ {
+		b := nf.Messages[t]
+		rw.Hits[t] = walk.HitsAt(b)
+		rw.Messages[t] = b
+	}
+	return rw, nf, nil
+}
+
+// FloodVisit sweeps the maxTTL-hop ball around src in breadth-first order
+// with duplicate suppression, calling visit(node, depth) once per
+// discovered node; visit returning false stops the sweep early. It is the
+// allocation-free counterpart of graph.BFSWithin, used by the content
+// layer's flooding query resolver.
+func (s *Scratch) FloodVisit(g *graph.Graph, src, maxTTL int, visit func(node, depth int) bool) error {
+	if err := validate(g, src, maxTTL); err != nil {
+		return err
+	}
+	s.reset()
+	v := g.View()
+	s.ensure(v.N())
+	ep := s.newEpoch()
+	s.mark[src] = ep
+	s.depth[src] = 0
+	queue := append(s.queue[:0], int32(src))
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		du := int(s.depth[u])
+		if !visit(int(u), du) {
+			break
+		}
+		if du == maxTTL {
+			continue
+		}
+		for _, w := range v.Neighbors(int(u)) {
+			if s.mark[w] != ep {
+				s.mark[w] = ep
+				s.depth[w] = int32(du + 1)
+				queue = append(queue, w)
+			}
+		}
+	}
+	s.queue = queue
+	return nil
+}
+
+// FloodLoad runs flooding from src exactly as the package-level FloodLoad,
+// reusing s's buffers for the visited set and frontier.
+func (s *Scratch) FloodLoad(g *graph.Graph, src, maxTTL int, load *Load) error {
+	if err := validate(g, src, maxTTL); err != nil {
+		return err
+	}
+	if err := load.check(g); err != nil {
+		return err
+	}
+	s.reset()
+	v := g.View()
+	s.ensure(v.N())
+	ep := s.newEpoch()
+	s.mark[src] = ep
+	s.depth[src] = 0
+	queue := append(s.queue[:0], int32(src))
+	from := append(s.from[:0], -1)
+	for head := 0; head < len(queue); head++ {
+		u, sender := queue[head], from[head]
+		du := int(s.depth[u])
+		if du == maxTTL {
+			continue
+		}
+		for _, w := range v.Neighbors(int(u)) {
+			if w == sender {
+				continue
+			}
+			load.Forwards[u]++
+			load.Receipts[w]++
+			if s.mark[w] != ep {
+				s.mark[w] = ep
+				s.depth[w] = int32(du + 1)
+				queue = append(queue, w)
+				from = append(from, u)
+			}
+		}
+	}
+	s.queue, s.from = queue, from
+	return nil
+}
+
+// NormalizedFloodLoad runs NF from src exactly as the package-level
+// NormalizedFloodLoad, reusing s's buffers.
+func (s *Scratch) NormalizedFloodLoad(g *graph.Graph, src, maxTTL, kMin int, rng *xrand.RNG, load *Load) error {
+	if err := validate(g, src, maxTTL); err != nil {
+		return err
+	}
+	if kMin < 1 {
+		return errBadKMin(kMin)
+	}
+	if err := load.check(g); err != nil {
+		return err
+	}
+	if rng == nil {
+		rng = xrand.New(0)
+	}
+	s.reset()
+	v := g.View()
+	s.ensure(v.N())
+	ep := s.newEpoch()
+	s.mark[src] = ep
+	s.depth[src] = 0
+	queue := append(s.queue[:0], int32(src))
+	from := append(s.from[:0], -1)
+	for head := 0; head < len(queue); head++ {
+		u, sender := queue[head], from[head]
+		du := int(s.depth[u])
+		if du == maxTTL {
+			continue
+		}
+		for _, w := range s.nfTargets(v, u, sender, kMin, rng) {
+			load.Forwards[u]++
+			load.Receipts[w]++
+			if s.mark[w] != ep {
+				s.mark[w] = ep
+				s.depth[w] = int32(du + 1)
+				queue = append(queue, w)
+				from = append(from, u)
+			}
+		}
+	}
+	s.queue, s.from = queue, from
+	return nil
+}

@@ -85,6 +85,10 @@ func validate(g *graph.Graph, src, maxTTL int) error {
 	return nil
 }
 
+func errBadKMin(kMin int) error {
+	return fmt.Errorf("%w: %d", ErrBadKMin, kMin)
+}
+
 // Flood runs flooding search from src up to maxTTL hops (§V-A1). It is a
 // breadth-first sweep with duplicate suppression: a node forwards the query
 // on first receipt only, to every neighbor except the one that delivered
@@ -93,62 +97,12 @@ func validate(g *graph.Graph, src, maxTTL int) error {
 // Hits[t] is the size of the t-hop ball around src; on a connected graph it
 // approaches N as t grows (Figs. 6–8), while on CM with m=1 it saturates at
 // the source's component size (§V-B1).
+//
+// Flood allocates its working buffers per call; hot paths that search the
+// same topology repeatedly should use Scratch.Flood instead.
 func Flood(g *graph.Graph, src, maxTTL int) (Result, error) {
-	if err := validate(g, src, maxTTL); err != nil {
-		return Result{}, err
-	}
-	res := Result{
-		Hits:     make([]int, maxTTL+1),
-		Messages: make([]int, maxTTL+1),
-	}
-	depth := make([]int32, g.N())
-	for i := range depth {
-		depth[i] = -1
-	}
-	depth[src] = 0
-	queue := []int32{int32(src)}
-	hits, msgs := 0, 0
-	prevDepth := 0
-	for head := 0; head < len(queue); head++ {
-		u := queue[head]
-		du := int(depth[u])
-		if du > prevDepth {
-			// Frontier advanced: record cumulative values at the
-			// completed depth.
-			for t := prevDepth; t < du; t++ {
-				res.Hits[t] = hits
-				res.Messages[t+1] = msgs // messages sent by depth<=t arrive by t+1
-			}
-			prevDepth = du
-		}
-		hits++
-		if du == maxTTL {
-			continue
-		}
-		// Forward to all neighbors except the sender. With duplicate
-		// suppression the sender is never re-enqueued anyway; the message
-		// count excludes the reverse transmission per the protocol.
-		deg := g.Degree(int(u))
-		if du == 0 {
-			msgs += deg
-		} else if deg > 0 {
-			msgs += deg - 1
-		}
-		for _, v := range g.Neighbors(int(u)) {
-			if depth[v] < 0 {
-				depth[v] = int32(du + 1)
-				queue = append(queue, v)
-			}
-		}
-	}
-	for t := prevDepth; t <= maxTTL; t++ {
-		res.Hits[t] = hits
-		if t+1 <= maxTTL {
-			res.Messages[t+1] = msgs
-		}
-	}
-	res.Messages[0] = 0
-	return res, nil
+	var s Scratch
+	return s.Flood(g, src, maxTTL)
 }
 
 // NormalizedFlood runs NF search from src (§V-A2). kMin is the network's
@@ -159,81 +113,12 @@ func Flood(g *graph.Graph, src, maxTTL int) (Result, error) {
 //
 // NF is randomized: the paper averages hits over many sources and
 // realizations (internal/sim does the averaging).
+//
+// NormalizedFlood allocates its working buffers per call; hot paths should
+// use Scratch.NormalizedFlood instead.
 func NormalizedFlood(g *graph.Graph, src, maxTTL, kMin int, rng *xrand.RNG) (Result, error) {
-	if err := validate(g, src, maxTTL); err != nil {
-		return Result{}, err
-	}
-	if kMin < 1 {
-		return Result{}, fmt.Errorf("%w: %d", ErrBadKMin, kMin)
-	}
-	if rng == nil {
-		rng = xrand.New(0)
-	}
-	res := Result{
-		Hits:     make([]int, maxTTL+1),
-		Messages: make([]int, maxTTL+1),
-	}
-	type item struct {
-		node int32
-		from int32 // sender; -1 for the source
-	}
-	depth := make([]int32, g.N())
-	for i := range depth {
-		depth[i] = -1
-	}
-	depth[src] = 0
-	queue := []item{{node: int32(src), from: -1}}
-	hits, msgs := 0, 0
-	prevDepth := 0
-	scratch := make([]int32, 0, 64)
-	for head := 0; head < len(queue); head++ {
-		it := queue[head]
-		du := int(depth[it.node])
-		if du > prevDepth {
-			for t := prevDepth; t < du; t++ {
-				res.Hits[t] = hits
-				res.Messages[t+1] = msgs
-			}
-			prevDepth = du
-		}
-		hits++
-		if du == maxTTL {
-			continue
-		}
-		// Candidate forward set: all neighbors except the sender.
-		scratch = scratch[:0]
-		for _, v := range g.Neighbors(int(it.node)) {
-			if v != it.from {
-				scratch = append(scratch, v)
-			}
-		}
-		var targets []int32
-		if len(scratch) <= kMin {
-			targets = scratch
-		} else {
-			// Partial Fisher–Yates: first kMin entries become the sample.
-			for i := 0; i < kMin; i++ {
-				j := i + rng.Intn(len(scratch)-i)
-				scratch[i], scratch[j] = scratch[j], scratch[i]
-			}
-			targets = scratch[:kMin]
-		}
-		msgs += len(targets)
-		for _, v := range targets {
-			if depth[v] < 0 {
-				depth[v] = int32(du + 1)
-				queue = append(queue, item{node: v, from: it.node})
-			}
-		}
-	}
-	for t := prevDepth; t <= maxTTL; t++ {
-		res.Hits[t] = hits
-		if t+1 <= maxTTL {
-			res.Messages[t+1] = msgs
-		}
-	}
-	res.Messages[0] = 0
-	return res, nil
+	var s Scratch
+	return s.NormalizedFlood(g, src, maxTTL, kMin, rng)
 }
 
 // RandomWalk runs a random walk of exactly `steps` hops from src (§V-A3).
@@ -242,44 +127,12 @@ func NormalizedFlood(g *graph.Graph, src, maxTTL, kMin int, rng *xrand.RNG) (Res
 // neighbor is the previous node) it backtracks rather than dying, the
 // standard convention for non-backtracking walks on trees. Hits[t] counts
 // distinct nodes seen within the first t steps; Messages[t] == t.
+//
+// RandomWalk allocates its working buffers per call; hot paths should use
+// Scratch.RandomWalk instead.
 func RandomWalk(g *graph.Graph, src, steps int, rng *xrand.RNG) (Result, error) {
-	if err := validate(g, src, steps); err != nil {
-		return Result{}, err
-	}
-	if rng == nil {
-		rng = xrand.New(0)
-	}
-	res := Result{
-		Hits:     make([]int, steps+1),
-		Messages: make([]int, steps+1),
-	}
-	visited := make([]bool, g.N())
-	visited[src] = true
-	hits := 1
-	res.Hits[0] = 1
-	cur, prev := src, -1
-	for t := 1; t <= steps; t++ {
-		next := g.RandomNeighborExcluding(cur, prev, rng)
-		if next < 0 {
-			// Dead end: backtrack if possible, else the walk is stuck on
-			// an isolated node.
-			if prev >= 0 {
-				next = prev
-			} else {
-				res.Hits[t] = hits
-				res.Messages[t] = res.Messages[t-1]
-				continue
-			}
-		}
-		prev, cur = cur, next
-		if !visited[cur] {
-			visited[cur] = true
-			hits++
-		}
-		res.Hits[t] = hits
-		res.Messages[t] = t
-	}
-	return res, nil
+	var s Scratch
+	return s.RandomWalk(g, src, steps, rng)
 }
 
 // RandomWalkWithNFBudget reproduces the paper's RW normalization (§V-B):
@@ -289,24 +142,10 @@ func RandomWalk(g *graph.Graph, src, steps int, rng *xrand.RNG) (Result, error) 
 // one NF search to obtain the per-τ message budget, then a single long
 // walk, reading hits at each budget point. Returns the RW result (indexed
 // by NF-τ) and the NF result that defined the budget.
+//
+// RandomWalkWithNFBudget allocates its working buffers per call; hot paths
+// should use Scratch.RandomWalkWithNFBudget instead.
 func RandomWalkWithNFBudget(g *graph.Graph, src, maxTTL, kMin int, rng *xrand.RNG) (rw, nf Result, err error) {
-	nf, err = NormalizedFlood(g, src, maxTTL, kMin, rng)
-	if err != nil {
-		return Result{}, Result{}, err
-	}
-	budget := nf.Messages[maxTTL]
-	walk, err := RandomWalk(g, src, budget, rng)
-	if err != nil {
-		return Result{}, Result{}, err
-	}
-	rw = Result{
-		Hits:     make([]int, maxTTL+1),
-		Messages: make([]int, maxTTL+1),
-	}
-	for t := 0; t <= maxTTL; t++ {
-		b := nf.Messages[t]
-		rw.Hits[t] = walk.HitsAt(b)
-		rw.Messages[t] = b
-	}
-	return rw, nf, nil
+	var s Scratch
+	return s.RandomWalkWithNFBudget(g, src, maxTTL, kMin, rng)
 }

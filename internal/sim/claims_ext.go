@@ -131,7 +131,7 @@ func checkHDSCutoffDependence(sc Scale, seed uint64) (bool, string, error) {
 	ratio := func(kc int) (float64, error) {
 		var hds, rw float64
 		factory := paTopo(sc.NSearch, 2, kc)
-		err := forEachRealization(sc.Realizations, seed+uint64(kc), func(r int, rng *xrand.RNG) error {
+		err := forEachRealizationScratch(sc.Workers, sc.Realizations, seed+uint64(kc), func(r int, rng *xrand.RNG, scratch *search.Scratch) error {
 			g, err := factory(r, rng)
 			if err != nil {
 				return err
@@ -143,7 +143,7 @@ func checkHDSCutoffDependence(sc Scale, seed uint64) (bool, string, error) {
 				if err != nil {
 					return err
 				}
-				rb, err := search.RandomWalk(g, src, steps, rng)
+				rb, err := scratch.RandomWalk(g, src, steps, rng)
 				if err != nil {
 					return err
 				}
@@ -180,8 +180,9 @@ func checkCutoffFlattensLoad(sc Scale, seed uint64) (bool, string, error) {
 		}
 		rng := xrand.New(seed + 1)
 		load := search.NewLoad(g.N())
+		scratch := search.NewScratch(g.N())
 		for q := 0; q < 12*sc.Sources; q++ {
-			if err := search.NormalizedFloodLoad(g, rng.Intn(g.N()), sc.MaxTTLNF, 2, rng, load); err != nil {
+			if err := scratch.NormalizedFloodLoad(g, rng.Intn(g.N()), sc.MaxTTLNF, 2, rng, load); err != nil {
 				return 0, err
 			}
 		}

@@ -16,7 +16,7 @@ import (
 // the hard cutoff, for PA and DAPA topologies.
 func Fairness(sc Scale, seed uint64) ([]Figure, error) {
 	cutoffs := []int{10, 20, 40, 80, gen.NoCutoff}
-	substrates, err := makeSubstrates(sc.NSubstrate, sc.Realizations, seed^0xfa17)
+	substrates, err := makeSubstrates(sc.NSubstrate, sc.Realizations, sc.Workers, seed^0xfa17)
 	if err != nil {
 		return nil, err
 	}
@@ -47,7 +47,7 @@ func Fairness(sc Scale, seed uint64) ([]Figure, error) {
 			giniVals := make([]float64, sc.Realizations)
 			topVals := make([]float64, sc.Realizations)
 			factory := model.mk(kc)
-			err := forEachRealization(sc.Realizations, seed+uint64(mi*1000+ci), func(r int, rng *xrand.RNG) error {
+			err := forEachRealization(sc.Workers, sc.Realizations, seed+uint64(mi*1000+ci), func(r int, rng *xrand.RNG) error {
 				g, err := factory(r, rng)
 				if err != nil {
 					return err
@@ -81,7 +81,7 @@ func Fairness(sc Scale, seed uint64) ([]Figure, error) {
 	for ci, kc := range cutoffs {
 		vals := make([]float64, sc.Realizations)
 		factory := paTopo(sc.NSearch, 2, kc)
-		err := forEachRealization(sc.Realizations, seed+uint64(9000+ci), func(r int, rng *xrand.RNG) error {
+		err := forEachRealizationScratch(sc.Workers, sc.Realizations, seed+uint64(9000+ci), func(r int, rng *xrand.RNG, scratch *search.Scratch) error {
 			g, err := factory(r, rng)
 			if err != nil {
 				return err
@@ -89,7 +89,7 @@ func Fairness(sc Scale, seed uint64) ([]Figure, error) {
 			load := search.NewLoad(g.N())
 			queries := 8 * sc.Sources
 			for q := 0; q < queries; q++ {
-				if err := search.NormalizedFloodLoad(g, rng.Intn(g.N()), sc.MaxTTLNF, 2, rng, load); err != nil {
+				if err := scratch.NormalizedFloodLoad(g, rng.Intn(g.N()), sc.MaxTTLNF, 2, rng, load); err != nil {
 					return err
 				}
 			}

@@ -55,9 +55,9 @@ func dapaTopo(substrates []*graph.Graph, nOverlay, m, kc, tauSub int) topoFactor
 
 // makeSubstrates generates one GRN substrate per realization with the
 // paper's parameters (k̄ = 10).
-func makeSubstrates(n, realizations int, seed uint64) ([]*graph.Graph, error) {
+func makeSubstrates(n, realizations, workers int, seed uint64) ([]*graph.Graph, error) {
 	subs := make([]*graph.Graph, realizations)
-	err := forEachRealization(realizations, seed, func(r int, rng *xrand.RNG) error {
+	err := forEachRealization(workers, realizations, seed, func(r int, rng *xrand.RNG) error {
 		g, _, err := gen.GRN(gen.GRNConfig{N: n, MeanDegree: 10}, rng)
 		subs[r] = g
 		return err
@@ -76,9 +76,9 @@ func cutoffLabel(kc int) string {
 // mergedDegreeDist generates `realizations` networks and merges their
 // degree distributions, the paper's averaging procedure ("for every data
 // point 10 different realizations of the network have been used").
-func mergedDegreeDist(factory topoFactory, realizations int, seed uint64) (stats.DegreeDist, error) {
+func mergedDegreeDist(factory topoFactory, realizations, workers int, seed uint64) (stats.DegreeDist, error) {
 	dists := make([]stats.DegreeDist, realizations)
-	err := forEachRealization(realizations, seed, func(r int, rng *xrand.RNG) error {
+	err := forEachRealization(workers, realizations, seed, func(r int, rng *xrand.RNG) error {
 		g, err := factory(r, rng)
 		if err != nil {
 			return err
@@ -135,6 +135,23 @@ type searchCfg struct {
 	kMin         int // NF fan-out; the paper uses the prescribed m
 	sources      int
 	realizations int
+	workers      int // concurrent realizations; 0 = GOMAXPROCS
+}
+
+// runSearch dispatches one search on the per-worker scratch. The Result
+// aliases the scratch: consume it before the next search.
+func (cfg searchCfg) runSearch(scratch *search.Scratch, g *graph.Graph, src int, rng *xrand.RNG) (search.Result, error) {
+	switch cfg.alg {
+	case algFL:
+		return scratch.Flood(g, src, cfg.maxTTL)
+	case algNF:
+		return scratch.NormalizedFlood(g, src, cfg.maxTTL, cfg.kMin, rng)
+	case algRW:
+		res, _, err := scratch.RandomWalkWithNFBudget(g, src, cfg.maxTTL, cfg.kMin, rng)
+		return res, err
+	default:
+		return search.Result{}, fmt.Errorf("sim: unknown algorithm %v", cfg.alg)
+	}
 }
 
 // searchSeries measures mean hits vs τ: `realizations` topologies from the
@@ -144,7 +161,7 @@ type searchCfg struct {
 // normalization: a walk of as many steps as NF sent messages at that τ.
 func searchSeries(label string, factory topoFactory, cfg searchCfg, seed uint64) (Series, error) {
 	perReal := make([][]float64, cfg.realizations)
-	err := forEachRealization(cfg.realizations, seed, func(r int, rng *xrand.RNG) error {
+	err := forEachRealizationScratch(cfg.workers, cfg.realizations, seed, func(r int, rng *xrand.RNG, scratch *search.Scratch) error {
 		g, err := factory(r, rng)
 		if err != nil {
 			return err
@@ -152,17 +169,7 @@ func searchSeries(label string, factory topoFactory, cfg searchCfg, seed uint64)
 		sums := make([]float64, cfg.maxTTL+1)
 		for s := 0; s < cfg.sources; s++ {
 			src := rng.Intn(g.N())
-			var res search.Result
-			switch cfg.alg {
-			case algFL:
-				res, err = search.Flood(g, src, cfg.maxTTL)
-			case algNF:
-				res, err = search.NormalizedFlood(g, src, cfg.maxTTL, cfg.kMin, rng)
-			case algRW:
-				res, _, err = search.RandomWalkWithNFBudget(g, src, cfg.maxTTL, cfg.kMin, rng)
-			default:
-				return fmt.Errorf("sim: unknown algorithm %v", cfg.alg)
-			}
+			res, err := cfg.runSearch(scratch, g, src, rng)
 			if err != nil {
 				return err
 			}
@@ -186,7 +193,7 @@ func searchSeries(label string, factory topoFactory, cfg searchCfg, seed uint64)
 // of messages per search request at each τ (§V-B2).
 func messageSeries(label string, factory topoFactory, cfg searchCfg, seed uint64) (Series, error) {
 	perReal := make([][]float64, cfg.realizations)
-	err := forEachRealization(cfg.realizations, seed, func(r int, rng *xrand.RNG) error {
+	err := forEachRealizationScratch(cfg.workers, cfg.realizations, seed, func(r int, rng *xrand.RNG, scratch *search.Scratch) error {
 		g, err := factory(r, rng)
 		if err != nil {
 			return err
@@ -194,17 +201,7 @@ func messageSeries(label string, factory topoFactory, cfg searchCfg, seed uint64
 		sums := make([]float64, cfg.maxTTL+1)
 		for s := 0; s < cfg.sources; s++ {
 			src := rng.Intn(g.N())
-			var res search.Result
-			switch cfg.alg {
-			case algFL:
-				res, err = search.Flood(g, src, cfg.maxTTL)
-			case algNF:
-				res, err = search.NormalizedFlood(g, src, cfg.maxTTL, cfg.kMin, rng)
-			case algRW:
-				res, _, err = search.RandomWalkWithNFBudget(g, src, cfg.maxTTL, cfg.kMin, rng)
-			default:
-				return fmt.Errorf("sim: unknown algorithm %v", cfg.alg)
-			}
+			res, err := cfg.runSearch(scratch, g, src, rng)
 			if err != nil {
 				return err
 			}
@@ -251,10 +248,10 @@ func aggregate(label string, perReal [][]float64, firstX int) (Series, error) {
 // Figs. 1(c) and 4(g). The fit includes the accumulation spike at kc, as
 // the paper's measurement does ("when the jump on the hard cutoffs is
 // taken into account").
-func exponentVsCutoff(label string, mk func(kc int) topoFactory, cutoffs []int, realizations int, seed uint64) (Series, error) {
+func exponentVsCutoff(label string, mk func(kc int) topoFactory, cutoffs []int, realizations, workers int, seed uint64) (Series, error) {
 	s := Series{Label: label}
 	for i, kc := range cutoffs {
-		d, err := mergedDegreeDist(mk(kc), realizations, seed+uint64(i)*1000)
+		d, err := mergedDegreeDist(mk(kc), realizations, workers, seed+uint64(i)*1000)
 		if err != nil {
 			return Series{}, fmt.Errorf("%s kc=%d: %w", label, kc, err)
 		}

@@ -1,0 +1,183 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"scalefree/internal/search"
+	"scalefree/internal/xrand"
+)
+
+// TestWorkersBitForBitDeterminism is the golden-seed regression for the
+// parallel engine: a representative search spec must produce byte-identical
+// Figure series no matter how many workers run it. Fig6 covers both the
+// topology generators and the flooding kernel across 18 series.
+func TestWorkersBitForBitDeterminism(t *testing.T) {
+	t.Parallel()
+	run := func(workers int) []Figure {
+		sc := SmokeScale
+		sc.Workers = workers
+		figs, err := Fig6(sc, 2007)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return figs
+	}
+	serial := run(1)
+	parallel := run(8)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("Fig6 output differs between Workers=1 and Workers=8")
+	}
+}
+
+// TestWorkersDeterminismRandomizedAlg repeats the check on the NF/RW path,
+// whose kernels consume the per-realization RNG stream — the part most at
+// risk from a scheduling-dependent bug.
+func TestWorkersDeterminismRandomizedAlg(t *testing.T) {
+	t.Parallel()
+	run := func(workers int) Series {
+		s, err := searchSeries("rw", paTopo(1000, 2, 40),
+			searchCfg{alg: algRW, maxTTL: 5, kMin: 2, sources: 6, realizations: 5, workers: workers}, 99)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return s
+	}
+	serial := run(1)
+	for _, w := range []int{2, 3, 8} {
+		if got := run(w); !reflect.DeepEqual(serial, got) {
+			t.Fatalf("RW series differs between Workers=1 and Workers=%d", w)
+		}
+	}
+}
+
+// TestForEachRealizationWorkerPool is the table-driven concurrency test of
+// the pool itself (run under -race in CI): every realization index must run
+// exactly once and receive the same RNG stream regardless of worker count,
+// including degenerate counts (negative, zero, more workers than work).
+func TestForEachRealizationWorkerPool(t *testing.T) {
+	t.Parallel()
+	reference := func(n int, seed uint64) []uint64 {
+		out := make([]uint64, n)
+		if err := forEachRealization(1, n, seed, func(r int, rng *xrand.RNG) error {
+			out[r] = rng.Uint64()
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	for _, tc := range []struct {
+		workers, n int
+	}{
+		{-1, 8}, {0, 8}, {1, 8}, {2, 8}, {3, 7}, {8, 8}, {16, 4}, {4, 0}, {4, 1},
+	} {
+		tc := tc
+		t.Run(fmt.Sprintf("workers=%d_n=%d", tc.workers, tc.n), func(t *testing.T) {
+			t.Parallel()
+			want := reference(tc.n, 42)
+			got := make([]uint64, tc.n)
+			ran := make([]atomic.Int32, tc.n)
+			err := forEachRealization(tc.workers, tc.n, 42, func(r int, rng *xrand.RNG) error {
+				ran[r].Add(1)
+				got[r] = rng.Uint64()
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for r := 0; r < tc.n; r++ {
+				if c := ran[r].Load(); c != 1 {
+					t.Errorf("realization %d ran %d times", r, c)
+				}
+				if got[r] != want[r] {
+					t.Errorf("realization %d saw a different RNG stream", r)
+				}
+			}
+		})
+	}
+}
+
+// TestForEachRealizationConcurrencyBounded checks the pool never runs more
+// than `workers` realizations at once.
+func TestForEachRealizationConcurrencyBounded(t *testing.T) {
+	t.Parallel()
+	const workers, n = 3, 24
+	var inFlight, peak atomic.Int32
+	err := forEachRealization(workers, n, 7, func(r int, rng *xrand.RNG) error {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		// Touch the RNG so the loop body is not optimized away.
+		_ = rng.Uint64()
+		inFlight.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent realizations, worker bound is %d", p, workers)
+	}
+}
+
+// TestForEachRealizationScratchPerWorker checks every realization gets a
+// usable scratch and that scratches are per-worker: never more distinct
+// instances than workers, and never shared between two realizations at
+// once (the -race build would flag concurrent sharing).
+func TestForEachRealizationScratchPerWorker(t *testing.T) {
+	t.Parallel()
+	const workers, n = 4, 32
+	var mu sync.Mutex
+	seen := make(map[*search.Scratch]int)
+	err := forEachRealizationScratch(workers, n, 5, func(r int, rng *xrand.RNG, scratch *search.Scratch) error {
+		if scratch == nil {
+			return errors.New("nil scratch")
+		}
+		mu.Lock()
+		seen[scratch]++
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) > workers {
+		t.Fatalf("%d distinct scratches for %d workers", len(seen), workers)
+	}
+	total := 0
+	for _, c := range seen {
+		total += c
+	}
+	if total != n {
+		t.Fatalf("scratch invocations = %d, want %d", total, n)
+	}
+}
+
+// TestForEachRealizationReturnsLowestIndexError pins the error contract:
+// with several failing realizations, the lowest index wins, matching what
+// a sequential run would have reported first.
+func TestForEachRealizationReturnsLowestIndexError(t *testing.T) {
+	t.Parallel()
+	errA, errB := errors.New("a"), errors.New("b")
+	err := forEachRealization(4, 8, 1, func(r int, rng *xrand.RNG) error {
+		switch r {
+		case 3:
+			return errB
+		case 1:
+			return errA
+		}
+		return nil
+	})
+	if err != errA {
+		t.Fatalf("err = %v, want the lowest-index error %v", err, errA)
+	}
+}

@@ -13,8 +13,11 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
+	"scalefree/internal/search"
 	"scalefree/internal/xrand"
 )
 
@@ -40,6 +43,11 @@ type Scale struct {
 	MaxTTLFlood int
 	// MaxTTLNF bounds τ for NF/RW experiments (paper: 10).
 	MaxTTLNF int
+	// Workers bounds how many realizations run concurrently; 0 (the
+	// default) means GOMAXPROCS. Results are bit-for-bit identical for
+	// every value: realization r's RNG stream is derived solely from
+	// (seed, r), never from scheduling order.
+	Workers int
 }
 
 // PaperScale reproduces the paper's simulation parameters.
@@ -154,21 +162,48 @@ func Lookup(id string) (Spec, error) {
 	return Spec{}, fmt.Errorf("sim: unknown experiment %q", id)
 }
 
-// forEachRealization runs fn for r = 0..n-1 concurrently, one split RNG
-// stream per realization, collecting the first error. Determinism: stream
-// r is derived solely from (seed, r), so concurrency does not perturb
-// results.
-func forEachRealization(n int, seed uint64, fn func(r int, rng *xrand.RNG) error) error {
+// forEachRealization runs fn for r = 0..n-1 on a bounded worker pool
+// (`workers` goroutines; <=0 means GOMAXPROCS), one split RNG stream per
+// realization, collecting the lowest-index error. Determinism: stream r is
+// derived solely from (seed, r), and results land in per-index slots, so
+// neither the worker count nor scheduling order perturbs results.
+func forEachRealization(workers, n int, seed uint64, fn func(r int, rng *xrand.RNG) error) error {
+	return forEachRealizationScratch(workers, n, seed,
+		func(r int, rng *xrand.RNG, _ *search.Scratch) error { return fn(r, rng) })
+}
+
+// forEachRealizationScratch is forEachRealization for search-heavy
+// experiments: each worker owns one search.Scratch, reused across every
+// realization it processes, so the inner search kernels allocate nothing.
+// The scratch passed to fn is only valid for that invocation's duration.
+func forEachRealizationScratch(workers, n int, seed uint64, fn func(r int, rng *xrand.RNG, scratch *search.Scratch) error) error {
+	if n <= 0 {
+		return nil
+	}
 	root := xrand.New(seed)
 	rngs := root.SplitN(n)
-	var wg sync.WaitGroup
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
 	errs := make([]error, n)
-	for r := 0; r < n; r++ {
-		wg.Add(1)
-		go func(r int) {
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
 			defer wg.Done()
-			errs[r] = fn(r, rngs[r])
-		}(r)
+			scratch := search.NewScratch(0)
+			for {
+				r := int(next.Add(1)) - 1
+				if r >= n {
+					return
+				}
+				errs[r] = fn(r, rngs[r], scratch)
+			}
+		}()
 	}
 	wg.Wait()
 	for _, err := range errs {

@@ -57,7 +57,7 @@ func TestForEachRealizationDeterministic(t *testing.T) {
 	t.Parallel()
 	run := func() []uint64 {
 		out := make([]uint64, 8)
-		err := forEachRealization(8, 42, func(r int, rng *xrand.RNG) error {
+		err := forEachRealization(0, 8, 42, func(r int, rng *xrand.RNG) error {
 			out[r] = rng.Uint64()
 			return nil
 		})
@@ -76,7 +76,7 @@ func TestForEachRealizationDeterministic(t *testing.T) {
 
 func TestForEachRealizationPropagatesError(t *testing.T) {
 	t.Parallel()
-	err := forEachRealization(4, 1, func(r int, rng *xrand.RNG) error {
+	err := forEachRealization(2, 4, 1, func(r int, rng *xrand.RNG) error {
 		if r == 2 {
 			return errTest
 		}

@@ -46,7 +46,7 @@ func Churn(sc Scale, seed uint64) ([]Figure, error) {
 		hitRows := make([][]float64, sc.Realizations)
 		msgs := make([]float64, sc.Realizations)
 		var xs []float64
-		err := forEachRealization(sc.Realizations, seed+uint64(pi)*2713, func(r int, rng *xrand.RNG) error {
+		err := forEachRealization(sc.Workers, sc.Realizations, seed+uint64(pi)*2713, func(r int, rng *xrand.RNG) error {
 			sim, err := churn.New(churn.Config{
 				InitialN: sc.NSearch,
 				M:        m,

@@ -39,7 +39,7 @@ func Attack(sc Scale, seed uint64) ([]Figure, error) {
 			label := fmt.Sprintf("%s, %s", cutoffLabel(kc), strat)
 			curves := make([][]float64, sc.Realizations)
 			var xs []float64
-			err := forEachRealization(sc.Realizations, seed+uint64(kc)*31+uint64(strat), func(r int, rng *xrand.RNG) error {
+			err := forEachRealization(sc.Workers, sc.Realizations, seed+uint64(kc)*31+uint64(strat), func(r int, rng *xrand.RNG) error {
 				g, _, err := gen.PA(gen.PAConfig{N: sc.NSearch, M: 2, KC: kc}, rng)
 				if err != nil {
 					return err
@@ -102,7 +102,7 @@ func Delivery(sc Scale, seed uint64) ([]Figure, error) {
 	for si, n := range sizes {
 		flMeans := make([]float64, sc.Realizations)
 		rwMeans := make([]float64, sc.Realizations)
-		err := forEachRealization(sc.Realizations, seed+uint64(si)*977, func(r int, rng *xrand.RNG) error {
+		err := forEachRealization(sc.Workers, sc.Realizations, seed+uint64(si)*977, func(r int, rng *xrand.RNG) error {
 			g, _, err := gen.CM(gen.CMConfig{N: n, M: 2, Gamma: 2.2}, rng)
 			if err != nil {
 				return err
@@ -177,25 +177,25 @@ func KWalk(sc Scale, seed uint64) ([]Figure, error) {
 	factory := paTopo(sc.NSearch, 2, 40)
 	variants := []struct {
 		label string
-		run   func(g *graph.Graph, src int, rng *xrand.RNG) ([]float64, error)
+		run   func(scratch *search.Scratch, g *graph.Graph, src int, rng *xrand.RNG) ([]float64, error)
 	}{
-		{"NF", func(g *graph.Graph, src int, rng *xrand.RNG) ([]float64, error) {
-			res, err := search.NormalizedFlood(g, src, sc.MaxTTLNF, 2, rng)
+		{"NF", func(scratch *search.Scratch, g *graph.Graph, src int, rng *xrand.RNG) ([]float64, error) {
+			res, err := scratch.NormalizedFlood(g, src, sc.MaxTTLNF, 2, rng)
 			if err != nil {
 				return nil, err
 			}
 			return hitsPerTau(res, sc.MaxTTLNF), nil
 		}},
-		{"1 walker (NF budget)", func(g *graph.Graph, src int, rng *xrand.RNG) ([]float64, error) {
-			rw, nf, err := search.RandomWalkWithNFBudget(g, src, sc.MaxTTLNF, 2, rng)
+		{"1 walker (NF budget)", func(scratch *search.Scratch, g *graph.Graph, src int, rng *xrand.RNG) ([]float64, error) {
+			rw, nf, err := scratch.RandomWalkWithNFBudget(g, src, sc.MaxTTLNF, 2, rng)
 			if err != nil {
 				return nil, err
 			}
 			_ = nf
 			return hitsPerTau(rw, sc.MaxTTLNF), nil
 		}},
-		{fmt.Sprintf("%d walkers (NF budget)", kWalkers), func(g *graph.Graph, src int, rng *xrand.RNG) ([]float64, error) {
-			nf, err := search.NormalizedFlood(g, src, sc.MaxTTLNF, 2, rng)
+		{fmt.Sprintf("%d walkers (NF budget)", kWalkers), func(scratch *search.Scratch, g *graph.Graph, src int, rng *xrand.RNG) ([]float64, error) {
+			nf, err := scratch.NormalizedFlood(g, src, sc.MaxTTLNF, 2, rng)
 			if err != nil {
 				return nil, err
 			}
@@ -218,14 +218,14 @@ func KWalk(sc Scale, seed uint64) ([]Figure, error) {
 	for vi, v := range variants {
 		v := v
 		perReal := make([][]float64, sc.Realizations)
-		err := forEachRealization(sc.Realizations, seed+uint64(vi)*4099, func(r int, rng *xrand.RNG) error {
+		err := forEachRealizationScratch(sc.Workers, sc.Realizations, seed+uint64(vi)*4099, func(r int, rng *xrand.RNG, scratch *search.Scratch) error {
 			g, err := factory(r, rng)
 			if err != nil {
 				return err
 			}
 			sums := make([]float64, sc.MaxTTLNF+1)
 			for s := 0; s < sc.Sources; s++ {
-				row, err := v.run(g, rng.Intn(g.N()), rng)
+				row, err := v.run(scratch, g, rng.Intn(g.N()), rng)
 				if err != nil {
 					return err
 				}

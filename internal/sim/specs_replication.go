@@ -46,7 +46,7 @@ func Replication(sc Scale, seed uint64) ([]Figure, error) {
 		for si, strat := range strategies {
 			strat := strat
 			perReal := make([][]float64, sc.Realizations)
-			err := forEachRealization(sc.Realizations, seed+uint64(si)*6151+uint64(kc), func(r int, rng *xrand.RNG) error {
+			err := forEachRealization(sc.Workers, sc.Realizations, seed+uint64(si)*6151+uint64(kc), func(r int, rng *xrand.RNG) error {
 				g, _, err := gen.PA(gen.PAConfig{N: sc.NSearch, M: m, KC: kc}, rng)
 				if err != nil {
 					return err

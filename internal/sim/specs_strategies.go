@@ -51,30 +51,30 @@ func Strategies(sc Scale, seed uint64) ([]Figure, error) {
 	const m = 2
 	variants := []struct {
 		label string
-		run   func(g *graph.Graph, src int, budgets []int, rng *xrand.RNG) ([]float64, error)
+		run   func(scratch *search.Scratch, g *graph.Graph, src int, budgets []int, rng *xrand.RNG) ([]float64, error)
 	}{
-		{"FL", func(g *graph.Graph, src int, budgets []int, rng *xrand.RNG) ([]float64, error) {
-			res, err := search.Flood(g, src, sc.MaxTTLFlood)
+		{"FL", func(scratch *search.Scratch, g *graph.Graph, src int, budgets []int, rng *xrand.RNG) ([]float64, error) {
+			res, err := scratch.Flood(g, src, sc.MaxTTLFlood)
 			if err != nil {
 				return nil, err
 			}
 			return sampleBudgets(res, budgets), nil
 		}},
-		{"NF", func(g *graph.Graph, src int, budgets []int, rng *xrand.RNG) ([]float64, error) {
-			res, err := search.NormalizedFlood(g, src, sc.MaxTTLFlood, m, rng)
+		{"NF", func(scratch *search.Scratch, g *graph.Graph, src int, budgets []int, rng *xrand.RNG) ([]float64, error) {
+			res, err := scratch.NormalizedFlood(g, src, sc.MaxTTLFlood, m, rng)
 			if err != nil {
 				return nil, err
 			}
 			return sampleBudgets(res, budgets), nil
 		}},
-		{"RW", func(g *graph.Graph, src int, budgets []int, rng *xrand.RNG) ([]float64, error) {
-			res, err := search.RandomWalk(g, src, budgets[len(budgets)-1], rng)
+		{"RW", func(scratch *search.Scratch, g *graph.Graph, src int, budgets []int, rng *xrand.RNG) ([]float64, error) {
+			res, err := scratch.RandomWalk(g, src, budgets[len(budgets)-1], rng)
 			if err != nil {
 				return nil, err
 			}
 			return sampleBudgets(res, budgets), nil
 		}},
-		{"8 walkers", func(g *graph.Graph, src int, budgets []int, rng *xrand.RNG) ([]float64, error) {
+		{"8 walkers", func(_ *search.Scratch, g *graph.Graph, src int, budgets []int, rng *xrand.RNG) ([]float64, error) {
 			const k = 8
 			res, err := search.KRandomWalks(g, src, k, budgets[len(budgets)-1]/k+1, rng)
 			if err != nil {
@@ -82,21 +82,21 @@ func Strategies(sc Scale, seed uint64) ([]Figure, error) {
 			}
 			return sampleBudgets(res, budgets), nil
 		}},
-		{"HDS walk", func(g *graph.Graph, src int, budgets []int, rng *xrand.RNG) ([]float64, error) {
+		{"HDS walk", func(_ *search.Scratch, g *graph.Graph, src int, budgets []int, rng *xrand.RNG) ([]float64, error) {
 			res, err := search.HighDegreeWalk(g, src, budgets[len(budgets)-1], rng)
 			if err != nil {
 				return nil, err
 			}
 			return sampleBudgets(res, budgets), nil
 		}},
-		{"PF p=0.5", func(g *graph.Graph, src int, budgets []int, rng *xrand.RNG) ([]float64, error) {
+		{"PF p=0.5", func(_ *search.Scratch, g *graph.Graph, src int, budgets []int, rng *xrand.RNG) ([]float64, error) {
 			res, err := search.ProbabilisticFlood(g, src, sc.MaxTTLFlood, 0.5, rng)
 			if err != nil {
 				return nil, err
 			}
 			return sampleBudgets(res, budgets), nil
 		}},
-		{"hybrid (flood 2 + 8 walkers)", func(g *graph.Graph, src int, budgets []int, rng *xrand.RNG) ([]float64, error) {
+		{"hybrid (flood 2 + 8 walkers)", func(_ *search.Scratch, g *graph.Graph, src int, budgets []int, rng *xrand.RNG) ([]float64, error) {
 			res, err := search.HybridSearch(g, src, 2, 8, budgets[len(budgets)-1]/8+1, rng)
 			if err != nil {
 				return nil, err
@@ -123,14 +123,14 @@ func Strategies(sc Scale, seed uint64) ([]Figure, error) {
 		for vi, v := range variants {
 			v := v
 			perReal := make([][]float64, sc.Realizations)
-			err := forEachRealization(sc.Realizations, seed+uint64(vi)*7919+uint64(kc), func(r int, rng *xrand.RNG) error {
+			err := forEachRealizationScratch(sc.Workers, sc.Realizations, seed+uint64(vi)*7919+uint64(kc), func(r int, rng *xrand.RNG, scratch *search.Scratch) error {
 				g, err := factory(r, rng)
 				if err != nil {
 					return err
 				}
 				sums := make([]float64, len(budgets))
 				for s := 0; s < sc.Sources; s++ {
-					row, err := v.run(g, rng.Intn(g.N()), budgets, rng)
+					row, err := v.run(scratch, g, rng.Intn(g.N()), budgets, rng)
 					if err != nil {
 						return err
 					}

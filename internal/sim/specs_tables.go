@@ -61,7 +61,7 @@ func Table1(sc Scale, seed uint64) ([]Figure, error) {
 		s := Series{Label: reg.label}
 		for _, n := range sizes {
 			means := make([]float64, sc.Realizations)
-			err := forEachRealization(sc.Realizations, seed+uint64(ri*1000+n), func(r int, rng *xrand.RNG) error {
+			err := forEachRealization(sc.Workers, sc.Realizations, seed+uint64(ri*1000+n), func(r int, rng *xrand.RNG) error {
 				g, err := reg.mk(n)(r, rng)
 				if err != nil {
 					return err
@@ -141,7 +141,7 @@ func Messaging(sc Scale, seed uint64) ([]Figure, error) {
 		for _, kc := range []int{10, gen.NoCutoff} {
 			factory := paTopo(sc.NSearch, m, kc)
 			base := fmt.Sprintf("m=%d, %s", m, cutoffLabel(kc))
-			cfg := searchCfg{maxTTL: sc.MaxTTLNF, kMin: searchKMin(m), sources: sc.Sources, realizations: sc.Realizations}
+			cfg := searchCfg{maxTTL: sc.MaxTTLNF, kMin: searchKMin(m), sources: sc.Sources, realizations: sc.Realizations, workers: sc.Workers}
 
 			cfg.alg = algNF
 			nfMsgs, err := messageSeries("NF "+base, factory, cfg, seed+uint64(m*100+kc))

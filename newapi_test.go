@@ -39,6 +39,31 @@ func TestPublicAPISearchStrategies(t *testing.T) {
 	}
 }
 
+func TestPublicAPISearchScratch(t *testing.T) {
+	t.Parallel()
+	rng := NewRNG(2)
+	g, _, err := GeneratePA(PAConfig{N: 800, M: 2, KC: 40}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSearchScratch(g.N())
+	fresh, err := Flood(g, 5, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reused, err := s.Flood(g, 5, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.HitsAt(6) != reused.HitsAt(6) {
+		t.Fatalf("scratch flood hits %d, fresh flood hits %d", reused.HitsAt(6), fresh.HitsAt(6))
+	}
+	// Reuse across calls is the point; the second search must stand alone.
+	if _, err := s.NormalizedFlood(g, 9, 6, 2, rng); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestPublicAPIContent(t *testing.T) {
 	t.Parallel()
 	rng := NewRNG(2)

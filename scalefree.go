@@ -176,6 +176,18 @@ func RandomWalkWithNFBudget(g *Graph, src, maxTTL, kMin int, rng *RNG) (rw, nf S
 	return search.RandomWalkWithNFBudget(g, src, maxTTL, kMin, rng)
 }
 
+// SearchScratch owns reusable search state (visited bitset, frontier
+// queues, result arena) so repeated Flood/NF/RW calls on one topology
+// allocate nothing. One scratch per goroutine; results returned by its
+// methods are valid until the next call on the same scratch. A scratch
+// must not be copied after first use — copies share backing arrays; pass
+// *SearchScratch and create new ones with NewSearchScratch.
+type SearchScratch = search.Scratch
+
+// NewSearchScratch returns a search scratch pre-sized for n-node graphs
+// (n may be 0; buffers grow on demand).
+func NewSearchScratch(n int) *SearchScratch { return search.NewScratch(n) }
+
 // KRandomWalks runs `walkers` parallel non-backtracking random walks from
 // src (the paper's "multiple RWs" alternative, §V-B1).
 func KRandomWalks(g *Graph, src, walkers, steps int, rng *RNG) (SearchResult, error) {

@@ -53,6 +53,10 @@ func run() error {
 	if *alg != "all" {
 		algs = []string{*alg}
 	}
+	// The whole workload sweeps one static topology: freeze it once and
+	// run every search allocation-free on the CSR snapshot.
+	f := scalefree.Freeze(g)
+	scratch := scalefree.NewSearchScratch(f.N())
 	type row struct {
 		hits, msgs []float64
 	}
@@ -61,15 +65,15 @@ func run() error {
 		hits := make([]float64, *ttl+1)
 		msgs := make([]float64, *ttl+1)
 		for s := 0; s < *sources; s++ {
-			src := rng.Intn(g.N())
+			src := rng.Intn(f.N())
 			var res scalefree.SearchResult
 			switch a {
 			case "fl":
-				res, err = scalefree.Flood(g, src, *ttl)
+				res, err = scratch.Flood(f, src, *ttl)
 			case "nf":
-				res, err = scalefree.NormalizedFlood(g, src, *ttl, *kmin, rng)
+				res, err = scratch.NormalizedFlood(f, src, *ttl, *kmin, rng)
 			case "rw":
-				res, _, err = scalefree.RandomWalkWithNFBudget(g, src, *ttl, *kmin, rng)
+				res, _, err = scratch.RandomWalkWithNFBudget(f, src, *ttl, *kmin, rng)
 			default:
 				return fmt.Errorf("unknown algorithm %q", a)
 			}

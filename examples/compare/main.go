@@ -99,24 +99,28 @@ func run() error {
 	return nil
 }
 
-// measure averages FL/NF/RW hits over random sources on one topology.
+// measure averages FL/NF/RW hits over random sources on one topology,
+// frozen once into CSR form and swept with a reused scratch — the
+// recommended pattern for many searches against a static overlay.
 func measure(g *scalefree.Graph, rng *scalefree.RNG) (fl, nf, rw float64, err error) {
+	f := scalefree.Freeze(g)
+	scratch := scalefree.NewSearchScratch(f.N())
 	for s := 0; s < sources; s++ {
-		src := rng.Intn(g.N())
-		flr, err := scalefree.Flood(g, src, ttlFL)
-		if err != nil {
-			return 0, 0, 0, err
-		}
-		nfr, err := scalefree.NormalizedFlood(g, src, ttlNF, m, rng)
-		if err != nil {
-			return 0, 0, 0, err
-		}
-		rwr, _, err := scalefree.RandomWalkWithNFBudget(g, src, ttlNF, m, rng)
+		src := rng.Intn(f.N())
+		flr, err := scratch.Flood(f, src, ttlFL)
 		if err != nil {
 			return 0, 0, 0, err
 		}
 		fl += float64(flr.HitsAt(ttlFL))
+		nfr, err := scratch.NormalizedFlood(f, src, ttlNF, m, rng)
+		if err != nil {
+			return 0, 0, 0, err
+		}
 		nf += float64(nfr.HitsAt(ttlNF))
+		rwr, _, err := scratch.RandomWalkWithNFBudget(f, src, ttlNF, m, rng)
+		if err != nil {
+			return 0, 0, 0, err
+		}
 		rw += float64(rwr.HitsAt(ttlNF))
 	}
 	n := float64(sources)

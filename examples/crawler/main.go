@@ -60,10 +60,11 @@ func run() error {
 	if fit, err := scalefree.FitDegreeExponent(d, 2, 0); err == nil {
 		fmt.Printf("crawled degree exponent: gamma = %.2f ± %.2f\n", fit.Gamma, fit.StdErr)
 	}
-	fmt.Printf("max degree %d (every peer enforced kc=20)\n", res.G.MaxDegree())
+	crawlMap := res.Frozen() // a finished crawl is read-only: analyze the CSR snapshot
+	fmt.Printf("max degree %d (every peer enforced kc=20)\n", crawlMap.MaxDegree())
 	if r, err := scalefree.DegreeAssortativity(res.G); err == nil {
 		fmt.Printf("assortativity %+.3f, clustering %.4f, max core %d\n",
-			r, scalefree.GlobalClustering(res.G), res.G.MaxCore())
+			r, scalefree.GlobalClustering(res.G), crawlMap.MaxCore())
 	}
 
 	// 5. Knock out the top hubs (what an attacker would do with this

@@ -138,6 +138,9 @@ type Simulator struct {
 	aliveIDs []int32
 	alivePos map[int32]int
 	stats    Stats
+	// scratch is reused across every probe's NF searches; the probe
+	// freezes the alive giant once and sweeps it allocation-free.
+	scratch search.Scratch
 }
 
 // New builds the starting overlay with gen.PA and wraps it in a simulator.
@@ -378,9 +381,12 @@ func (s *Simulator) Probe(event, sources, ttl int) (Snapshot, error) {
 	}
 	if sources > 0 && len(giant) > 1 {
 		gg, _ := sub.InducedSubgraph(giant)
+		// One CSR freeze serves the whole probe: the giant does not
+		// mutate between the NF sweeps below.
+		fg := gg.Freeze()
 		var sum float64
 		for i := 0; i < sources; i++ {
-			res, err := search.NormalizedFlood(gg, s.rng.Intn(gg.N()), ttl, s.cfg.M, s.rng)
+			res, err := s.scratch.NormalizedFlood(fg, s.rng.Intn(fg.N()), ttl, s.cfg.M, s.rng)
 			if err != nil {
 				return snap, err
 			}

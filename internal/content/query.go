@@ -3,7 +3,9 @@ package content
 // Query-resolution measurements over a placement: the expected search size
 // of random-walk probing (Cohen & Shenker's objective) and flooding
 // success rates at bounded TTL (the Gnutella deployment reality the paper
-// opens with).
+// opens with). Both resolvers read the topology through the CSR
+// *graph.Frozen: a query workload is thousands of searches against one
+// static overlay, exactly the freeze-once pattern.
 
 import (
 	"fmt"
@@ -41,18 +43,15 @@ func (r ESSResult) SuccessRate() float64 {
 // WalkToItem walks from src until it lands on a node hosting the item,
 // counting the source itself as probe 0. It returns the number of probes
 // (walk steps) used and whether the item was found within maxSteps.
-func WalkToItem(g *graph.Graph, p *Placement, src int, item Item, maxSteps int, rng *xrand.RNG) (steps int, found bool) {
+func WalkToItem(f *graph.Frozen, p *Placement, src int, item Item, maxSteps int, rng *xrand.RNG) (steps int, found bool) {
 	if p.HasItem(src, item) {
 		return 0, true
 	}
 	cur, prev := src, -1
 	for t := 1; t <= maxSteps; t++ {
-		next := g.RandomNeighborExcluding(cur, prev, rng)
-		if next < 0 {
-			if prev < 0 {
-				return t, false
-			}
-			next = prev
+		next, ok := search.Step(f, cur, prev, rng)
+		if !ok {
+			return t, false
 		}
 		prev, cur = cur, next
 		if p.HasItem(cur, item) {
@@ -67,9 +66,9 @@ func WalkToItem(g *graph.Graph, p *Placement, src int, item Item, maxSteps int, 
 // random walk bounded by maxSteps, returning the aggregate ESS statistics.
 // This is the measurement Cohen & Shenker optimize: square-root
 // replication minimizes the popularity-weighted mean probe count.
-func ExpectedSearchSize(g *graph.Graph, p *Placement, c *Catalog, queries, maxSteps int, rng *xrand.RNG) (ESSResult, error) {
-	if g.N() != len(p.onNode) {
-		return ESSResult{}, fmt.Errorf("%w: graph %d, placement %d", ErrBadGraph, g.N(), len(p.onNode))
+func ExpectedSearchSize(f *graph.Frozen, p *Placement, c *Catalog, queries, maxSteps int, rng *xrand.RNG) (ESSResult, error) {
+	if f.N() != len(p.onNode) {
+		return ESSResult{}, fmt.Errorf("%w: graph %d, placement %d", ErrBadGraph, f.N(), len(p.onNode))
 	}
 	if queries < 1 {
 		return ESSResult{}, fmt.Errorf("content: queries %d must be >= 1", queries)
@@ -82,8 +81,8 @@ func ExpectedSearchSize(g *graph.Graph, p *Placement, c *Catalog, queries, maxSt
 	var sum float64
 	for q := 0; q < queries; q++ {
 		item := c.SampleQuery(rng)
-		src := rng.Intn(g.N())
-		steps, found := WalkToItem(g, p, src, item, maxSteps, rng)
+		src := rng.Intn(f.N())
+		steps, found := WalkToItem(f, p, src, item, maxSteps, rng)
 		if !found {
 			continue
 		}
@@ -126,15 +125,15 @@ func (r FloodResult) SuccessRate() float64 {
 // FloodForItem allocates a fresh search scratch per call; query workloads
 // should use FloodForItemScratch with a reused search.Scratch (as
 // FloodSuccess does internally).
-func FloodForItem(g *graph.Graph, p *Placement, src int, item Item, ttl int) (found bool, messages int, err error) {
+func FloodForItem(f *graph.Frozen, p *Placement, src int, item Item, ttl int) (found bool, messages int, err error) {
 	var s search.Scratch
-	return FloodForItemScratch(g, p, src, item, ttl, &s)
+	return FloodForItemScratch(f, p, src, item, ttl, &s)
 }
 
 // FloodForItemScratch is FloodForItem reusing the caller's search scratch:
 // repeated queries against one topology allocate nothing.
-func FloodForItemScratch(g *graph.Graph, p *Placement, src int, item Item, ttl int, s *search.Scratch) (found bool, messages int, err error) {
-	if src < 0 || src >= g.N() {
+func FloodForItemScratch(f *graph.Frozen, p *Placement, src int, item Item, ttl int, s *search.Scratch) (found bool, messages int, err error) {
+	if src < 0 || src >= f.N() {
 		return false, 0, fmt.Errorf("content: source %d out of range", src)
 	}
 	if ttl < 0 {
@@ -142,15 +141,14 @@ func FloodForItemScratch(g *graph.Graph, p *Placement, src int, item Item, ttl i
 	}
 	// Message accounting matches search.Flood: every covered node forwards
 	// to its neighbors except the sender, unless it sits on the TTL shell.
-	v := g.View()
-	err = s.FloodVisit(g, src, ttl, func(node, depth int) bool {
+	err = s.FloodVisit(f, src, ttl, func(node, depth int) bool {
 		if p.HasItem(node, item) {
 			found = true
 		}
 		if depth == ttl {
 			return true
 		}
-		deg := v.Degree(node)
+		deg := f.Degree(node)
 		if depth == 0 {
 			messages += deg
 		} else if deg > 0 {
@@ -163,9 +161,9 @@ func FloodForItemScratch(g *graph.Graph, p *Placement, src int, item Item, ttl i
 
 // FloodSuccess issues popularity-distributed queries resolved by flooding
 // with the given TTL and aggregates success rate and message cost.
-func FloodSuccess(g *graph.Graph, p *Placement, c *Catalog, queries, ttl int, rng *xrand.RNG) (FloodResult, error) {
-	if g.N() != len(p.onNode) {
-		return FloodResult{}, fmt.Errorf("%w: graph %d, placement %d", ErrBadGraph, g.N(), len(p.onNode))
+func FloodSuccess(f *graph.Frozen, p *Placement, c *Catalog, queries, ttl int, rng *xrand.RNG) (FloodResult, error) {
+	if f.N() != len(p.onNode) {
+		return FloodResult{}, fmt.Errorf("%w: graph %d, placement %d", ErrBadGraph, f.N(), len(p.onNode))
 	}
 	if queries < 1 {
 		return FloodResult{}, fmt.Errorf("content: queries %d must be >= 1", queries)
@@ -178,8 +176,8 @@ func FloodSuccess(g *graph.Graph, p *Placement, c *Catalog, queries, ttl int, rn
 	var scratch search.Scratch // one BFS state reused across the workload
 	for q := 0; q < queries; q++ {
 		item := c.SampleQuery(rng)
-		src := rng.Intn(g.N())
-		found, msgs, err := FloodForItemScratch(g, p, src, item, ttl, &scratch)
+		src := rng.Intn(f.N())
+		found, msgs, err := FloodForItemScratch(f, p, src, item, ttl, &scratch)
 		if err != nil {
 			return FloodResult{}, err
 		}

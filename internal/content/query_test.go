@@ -26,7 +26,7 @@ func TestWalkToItemImmediateHit(t *testing.T) {
 		t.Fatal(err)
 	}
 	src := int(p.Hosts(0)[0])
-	steps, found := WalkToItem(g, p, src, 0, 10, xrand.New(3))
+	steps, found := WalkToItem(g.Freeze(), p, src, 0, 10, xrand.New(3))
 	if !found || steps != 0 {
 		t.Fatalf("source hosts the item: steps=%d found=%v", steps, found)
 	}
@@ -45,7 +45,7 @@ func TestWalkToItemFindsUbiquitousItem(t *testing.T) {
 		t.Fatalf("replicas %d, want %d", p.Replicas(0), g.N())
 	}
 	for src := 0; src < 10; src++ {
-		steps, found := WalkToItem(g, p, src, 0, 5, xrand.New(uint64(src)))
+		steps, found := WalkToItem(g.Freeze(), p, src, 0, 5, xrand.New(uint64(src)))
 		if !found || steps != 0 {
 			t.Fatalf("src %d: steps=%d found=%v", src, steps, found)
 		}
@@ -65,13 +65,13 @@ func TestWalkToItemRespectsBudget(t *testing.T) {
 		hosts:  [][]int32{{3}},
 		onNode: []map[Item]struct{}{nil, nil, nil, {0: {}}},
 	}
-	steps, found := WalkToItem(g, p, 0, 0, 1, xrand.New(1))
+	steps, found := WalkToItem(g.Freeze(), p, 0, 0, 1, xrand.New(1))
 	if found {
 		t.Fatalf("budget 1 cannot reach node 3 (steps=%d)", steps)
 	}
 	// A generous budget must find it: the path graph walk is forced
 	// forward by non-backtracking.
-	steps, found = WalkToItem(g, p, 0, 0, 100, xrand.New(1))
+	steps, found = WalkToItem(g.Freeze(), p, 0, 0, 100, xrand.New(1))
 	if !found || steps != 3 {
 		t.Fatalf("path walk should arrive in 3 steps: steps=%d found=%v", steps, found)
 	}
@@ -84,7 +84,7 @@ func TestWalkToItemIsolatedSource(t *testing.T) {
 		hosts:  [][]int32{{1}},
 		onNode: []map[Item]struct{}{nil, {0: {}}},
 	}
-	if _, found := WalkToItem(g, p, 0, 0, 10, xrand.New(1)); found {
+	if _, found := WalkToItem(g.Freeze(), p, 0, 0, 10, xrand.New(1)); found {
 		t.Fatal("isolated source cannot find remote item")
 	}
 }
@@ -97,14 +97,14 @@ func TestExpectedSearchSizeValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ExpectedSearchSize(g, p, c, 10, 100, nil); err == nil {
+	if _, err := ExpectedSearchSize(g.Freeze(), p, c, 10, 100, nil); err == nil {
 		t.Error("size mismatch should fail")
 	}
 	p2, err := Replicate(c, g.N(), 25, Uniform, xrand.New(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ExpectedSearchSize(g, p2, c, 0, 100, nil); err == nil {
+	if _, err := ExpectedSearchSize(g.Freeze(), p2, c, 0, 100, nil); err == nil {
 		t.Error("zero queries should fail")
 	}
 }
@@ -122,11 +122,11 @@ func TestExpectedSearchSizeMoreReplicasFasterSearch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rs, err := ExpectedSearchSize(g, sparse, c, 300, 4000, xrand.New(19))
+	rs, err := ExpectedSearchSize(g.Freeze(), sparse, c, 300, 4000, xrand.New(19))
 	if err != nil {
 		t.Fatal(err)
 	}
-	rd, err := ExpectedSearchSize(g, dense, c, 300, 4000, xrand.New(19))
+	rd, err := ExpectedSearchSize(g.Freeze(), dense, c, 300, 4000, xrand.New(19))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +152,7 @@ func TestSquareRootBeatsUniformAndProportionalESS(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		r, err := ExpectedSearchSize(g, p, c, 1500, 30000, xrand.New(31))
+		r, err := ExpectedSearchSize(g.Freeze(), p, c, 1500, 30000, xrand.New(31))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -178,12 +178,12 @@ func TestFloodForItemAndSuccess(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := FloodForItem(g, p, -1, 0, 3); err == nil {
+	if _, _, err := FloodForItem(g.Freeze(), p, -1, 0, 3); err == nil {
 		t.Error("bad source should fail")
 	}
 	// From a host, TTL 0 already finds the item with zero messages.
 	src := int(p.Hosts(0)[0])
-	found, msgs, err := FloodForItem(g, p, src, 0, 0)
+	found, msgs, err := FloodForItem(g.Freeze(), p, src, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +191,7 @@ func TestFloodForItemAndSuccess(t *testing.T) {
 		t.Fatalf("host flood TTL0: found=%v msgs=%d", found, msgs)
 	}
 
-	res, err := FloodSuccess(g, p, c, 200, 4, xrand.New(43))
+	res, err := FloodSuccess(g.Freeze(), p, c, 200, 4, xrand.New(43))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +216,7 @@ func TestFloodSuccessTTLMonotone(t *testing.T) {
 	}
 	var prev float64 = -1
 	for _, ttl := range []int{1, 3, 6} {
-		res, err := FloodSuccess(g, p, c, 300, ttl, xrand.New(59))
+		res, err := FloodSuccess(g.Freeze(), p, c, 300, ttl, xrand.New(59))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -238,7 +238,7 @@ func TestFloodSuccessValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := FloodSuccess(g, p, c, 10, 3, nil); err == nil {
+	if _, err := FloodSuccess(g.Freeze(), p, c, 10, 3, nil); err == nil {
 		t.Error("size mismatch should fail")
 	}
 }

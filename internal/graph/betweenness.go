@@ -5,6 +5,18 @@ package graph
 // go[es]" (paper §III) — the targets whose removal "can easily shatter
 // the network". metrics.Robustness uses it for the strongest attack
 // variant.
+//
+// The computation runs on the CSR form: a Frozen's flat neighbor array
+// keeps the pivot BFS loops cache-resident, and because Freeze preserves
+// neighbor order the accumulation order — hence every floating-point sum —
+// is identical to the historical slice-of-slices implementation.
+
+// Betweenness freezes g and computes betweenness on the CSR snapshot; see
+// Frozen.Betweenness. Read-heavy callers that already hold a Frozen should
+// call it directly.
+func (g *Graph) Betweenness(sampleSources int, rng randSource) []float64 {
+	return g.Freeze().Betweenness(sampleSources, rng)
+}
 
 // Betweenness returns each node's (unnormalized) shortest-path betweenness
 // centrality: the sum over all node pairs (s,t) of the fraction of
@@ -12,8 +24,8 @@ package graph
 // `sampleSources` it estimates by accumulating from that many random
 // source pivots scaled up to N (the standard Brandes–Pich approximation);
 // pass sampleSources >= N (or <= 0) for the exact computation.
-func (g *Graph) Betweenness(sampleSources int, rng randSource) []float64 {
-	n := len(g.adj)
+func (f *Frozen) Betweenness(sampleSources int, rng randSource) []float64 {
+	n := f.N()
 	bc := make([]float64, n)
 	if n == 0 {
 		return bc
@@ -50,7 +62,7 @@ func (g *Graph) Betweenness(sampleSources int, rng randSource) []float64 {
 		for head := 0; head < len(queue); head++ {
 			u := queue[head]
 			order = append(order, u)
-			for _, v := range g.adj[u] {
+			for _, v := range f.Neighbors(int(u)) {
 				if dist[v] < 0 {
 					dist[v] = dist[u] + 1
 					queue = append(queue, v)

@@ -1,0 +1,357 @@
+package graph
+
+import (
+	"sync"
+	"testing"
+
+	"scalefree/internal/xrand"
+)
+
+// randomMultigraph builds a random graph that exercises every structural
+// case Freeze must preserve: isolated nodes, self-loops, parallel edges,
+// and arbitrary insertion order.
+func randomMultigraph(rng *xrand.RNG) *Graph {
+	n := rng.IntRange(1, 60)
+	g := New(n)
+	edges := rng.Intn(4 * n)
+	for i := 0; i < edges; i++ {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if rng.Float64() < 0.05 {
+			v = u // deliberate self-loop
+		}
+		if err := g.AddEdge(u, v); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+// checkFrozenEquivalence asserts every read accessor of the Frozen agrees
+// with the Graph it came from, bit for bit.
+func checkFrozenEquivalence(t *testing.T, g *Graph, f *Frozen) {
+	t.Helper()
+	if f.N() != g.N() {
+		t.Fatalf("N: frozen %d, graph %d", f.N(), g.N())
+	}
+	if f.M() != g.M() {
+		t.Fatalf("M: frozen %d, graph %d", f.M(), g.M())
+	}
+	if f.TotalDegree() != g.TotalDegree() {
+		t.Fatalf("TotalDegree: frozen %d, graph %d", f.TotalDegree(), g.TotalDegree())
+	}
+	if f.MinDegree() != g.MinDegree() || f.MaxDegree() != g.MaxDegree() {
+		t.Fatalf("min/max degree diverge: frozen %d/%d, graph %d/%d",
+			f.MinDegree(), f.MaxDegree(), g.MinDegree(), g.MaxDegree())
+	}
+	gSeq, fSeq := g.DegreeSequence(), f.DegreeSequence()
+	for u := range gSeq {
+		if gSeq[u] != fSeq[u] {
+			t.Fatalf("degree sequence diverges at %d: frozen %d, graph %d", u, fSeq[u], gSeq[u])
+		}
+	}
+	gHist, fHist := g.DegreeHistogram(), f.DegreeHistogram()
+	if len(gHist) != len(fHist) {
+		t.Fatalf("histogram lengths diverge: frozen %d, graph %d", len(fHist), len(gHist))
+	}
+	for k := range gHist {
+		if gHist[k] != fHist[k] {
+			t.Fatalf("histogram diverges at k=%d", k)
+		}
+	}
+	for u := 0; u < g.N(); u++ {
+		if f.Degree(u) != g.Degree(u) {
+			t.Fatalf("degree of %d: frozen %d, graph %d", u, f.Degree(u), g.Degree(u))
+		}
+		ga, fa := g.Neighbors(u), f.Neighbors(u)
+		if len(ga) != len(fa) {
+			t.Fatalf("neighbor count of %d diverges", u)
+		}
+		for i := range ga {
+			// Insertion order must be preserved exactly: it is what makes
+			// frozen search traces bit-identical.
+			if ga[i] != fa[i] {
+				t.Fatalf("neighbor order of %d diverges at %d: frozen %d, graph %d", u, i, fa[i], ga[i])
+			}
+			if f.NeighborAt(u, i) != g.NeighborAt(u, i) {
+				t.Fatalf("NeighborAt(%d,%d) diverges", u, i)
+			}
+		}
+		sa := f.SortedNeighbors(u)
+		if len(sa) != len(ga) {
+			t.Fatalf("sorted neighbor count of %d diverges", u)
+		}
+		for i := 1; i < len(sa); i++ {
+			if sa[i-1] > sa[i] {
+				t.Fatalf("SortedNeighbors(%d) not ascending at %d", u, i)
+			}
+		}
+	}
+	// Edge membership and multiplicity over every pair (n is small).
+	for u := 0; u < g.N(); u++ {
+		for v := 0; v < g.N(); v++ {
+			if f.HasEdge(u, v) != g.HasEdge(u, v) {
+				t.Fatalf("HasEdge(%d,%d): frozen %v, graph %v", u, v, f.HasEdge(u, v), g.HasEdge(u, v))
+			}
+			if f.EdgeMultiplicity(u, v) != g.EdgeMultiplicity(u, v) {
+				t.Fatalf("EdgeMultiplicity(%d,%d): frozen %d, graph %d",
+					u, v, f.EdgeMultiplicity(u, v), g.EdgeMultiplicity(u, v))
+			}
+		}
+	}
+}
+
+// TestFrozenMatchesGraphProperty is the core equivalence property: across
+// many random multigraphs, every Frozen accessor agrees with the Graph.
+func TestFrozenMatchesGraphProperty(t *testing.T) {
+	t.Parallel()
+	rng := xrand.New(1)
+	for trial := 0; trial < 200; trial++ {
+		g := randomMultigraph(rng)
+		checkFrozenEquivalence(t, g, g.Freeze())
+	}
+}
+
+// TestFrozenRandomNeighborDrawEquivalence pins the RNG contract: the
+// frozen random-neighbor picks consume the same draws and return the same
+// nodes as the Graph versions, across random graphs and many draws.
+func TestFrozenRandomNeighborDrawEquivalence(t *testing.T) {
+	t.Parallel()
+	rng := xrand.New(2)
+	for trial := 0; trial < 100; trial++ {
+		g := randomMultigraph(rng)
+		f := g.Freeze()
+		seed := rng.Uint64()
+		ra, rb := xrand.New(seed), xrand.New(seed)
+		for i := 0; i < 200; i++ {
+			u := rng.Intn(g.N())
+			excl := rng.Intn(g.N()+1) - 1 // sometimes -1 (no exclusion)
+			if i%2 == 0 {
+				if got, want := f.RandomNeighbor(u, rb), g.RandomNeighbor(u, ra); got != want {
+					t.Fatalf("RandomNeighbor(%d): frozen %d, graph %d", u, got, want)
+				}
+			} else {
+				got := f.RandomNeighborExcluding(u, excl, rb)
+				want := g.RandomNeighborExcluding(u, excl, ra)
+				if got != want {
+					t.Fatalf("RandomNeighborExcluding(%d,%d): frozen %d, graph %d", u, excl, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestFrozenBFSMatchesGraph pins distance equivalence, including
+// unreachable nodes and invalid sources.
+func TestFrozenBFSMatchesGraph(t *testing.T) {
+	t.Parallel()
+	rng := xrand.New(3)
+	for trial := 0; trial < 50; trial++ {
+		g := randomMultigraph(rng)
+		f := g.Freeze()
+		src := rng.Intn(g.N())
+		gd, fd := g.BFS(src), f.BFS(src)
+		for v := range gd {
+			if gd[v] != fd[v] {
+				t.Fatalf("BFS(%d) diverges at %d: frozen %d, graph %d", src, v, fd[v], gd[v])
+			}
+		}
+	}
+	g := New(3)
+	if f := g.Freeze(); f.BFS(-1) != nil || f.BFS(3) != nil {
+		t.Fatal("BFS with invalid source should return nil")
+	}
+}
+
+// TestFrozenImmutableAfterGraphMutation pins the snapshot contract: the
+// Frozen shares no storage with the Graph, so later mutations do not leak
+// into it.
+func TestFrozenImmutableAfterGraphMutation(t *testing.T) {
+	t.Parallel()
+	g := New(4)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f := g.Freeze()
+	if err := g.AddEdge(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	g.RemoveEdge(1, 2)
+	if f.M() != 3 || f.Degree(0) != 1 || !f.HasEdge(1, 2) || f.HasEdge(0, 3) {
+		t.Fatal("frozen snapshot changed after graph mutation")
+	}
+}
+
+// TestFrozenEmptyAndIsolated covers degenerate shapes.
+func TestFrozenEmptyAndIsolated(t *testing.T) {
+	t.Parallel()
+	f := New(0).Freeze()
+	if f.N() != 0 || f.M() != 0 || f.TotalDegree() != 0 || f.MinDegree() != 0 || f.MaxDegree() != 0 {
+		t.Fatal("empty frozen graph misreports")
+	}
+	f = New(5).Freeze()
+	if f.N() != 5 || f.Degree(2) != 0 || f.HasEdge(0, 1) || f.RandomNeighbor(3, xrand.New(1)) != -1 {
+		t.Fatal("isolated frozen nodes misreport")
+	}
+	if f.RandomNeighborExcluding(3, -1, xrand.New(1)) != -1 {
+		t.Fatal("RandomNeighborExcluding on isolated node should be -1")
+	}
+	if f.HasEdge(-1, 0) || f.HasEdge(0, 99) || f.EdgeMultiplicity(-1, 0) != 0 {
+		t.Fatal("out-of-range HasEdge/EdgeMultiplicity should be false/0")
+	}
+}
+
+// TestFrozenBetweennessAndCoresMatchGraph pins that the Graph delegates
+// and the Frozen implementations agree (they share code, but the freeze
+// path itself must not perturb anything).
+func TestFrozenBetweennessAndCoresMatchGraph(t *testing.T) {
+	t.Parallel()
+	rng := xrand.New(4)
+	for trial := 0; trial < 20; trial++ {
+		g := randomMultigraph(rng)
+		f := g.Freeze()
+		gb := g.Betweenness(0, nil)
+		fb := f.Betweenness(0, nil)
+		for v := range gb {
+			if gb[v] != fb[v] {
+				t.Fatalf("betweenness diverges at %d", v)
+			}
+		}
+		gc, fc := g.CoreNumbers(), f.CoreNumbers()
+		for v := range gc {
+			if gc[v] != fc[v] {
+				t.Fatalf("core numbers diverge at %d", v)
+			}
+		}
+	}
+}
+
+// FuzzFrozenEquivalence drives Freeze with fuzzer-chosen edge scripts: the
+// bytes encode AddEdge/RemoveEdge operations, and the resulting Frozen
+// must agree with the Graph on every accessor.
+func FuzzFrozenEquivalence(f *testing.F) {
+	f.Add([]byte{0x01, 0x02, 0x13, 0x24, 0x11})
+	f.Add([]byte{0xff, 0x00, 0x00, 0x80, 0x42, 0x42})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		const n = 16
+		g := New(n)
+		for i := 0; i+1 < len(script); i += 2 {
+			u := int(script[i]) % n
+			v := int(script[i+1]) % n
+			if script[i]&0x80 != 0 {
+				g.RemoveEdge(u, v)
+				continue
+			}
+			if err := g.AddEdge(u, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		fz := g.Freeze()
+		if fz.N() != g.N() || fz.M() != g.M() || fz.TotalDegree() != g.TotalDegree() {
+			t.Fatalf("size accessors diverge: N %d/%d M %d/%d total %d/%d",
+				fz.N(), g.N(), fz.M(), g.M(), fz.TotalDegree(), g.TotalDegree())
+		}
+		for u := 0; u < n; u++ {
+			ga, fa := g.Neighbors(u), fz.Neighbors(u)
+			if len(ga) != len(fa) {
+				t.Fatalf("neighbor count of %d diverges", u)
+			}
+			for i := range ga {
+				if ga[i] != fa[i] {
+					t.Fatalf("neighbor order of %d diverges", u)
+				}
+			}
+			for v := 0; v < n; v++ {
+				if fz.HasEdge(u, v) != g.HasEdge(u, v) {
+					t.Fatalf("HasEdge(%d,%d) diverges", u, v)
+				}
+				if fz.EdgeMultiplicity(u, v) != g.EdgeMultiplicity(u, v) {
+					t.Fatalf("EdgeMultiplicity(%d,%d) diverges", u, v)
+				}
+			}
+		}
+	})
+}
+
+// --- Benchmarks --------------------------------------------------------
+
+// benchGraph is a PA-like random graph at a size where cache effects show.
+func benchGraph(b *testing.B) *Graph {
+	b.Helper()
+	rng := xrand.New(7)
+	const n = 200000
+	g := New(n)
+	for u := 1; u < n; u++ {
+		// Two edges per node to earlier nodes: power-law-ish, connected.
+		for k := 0; k < 2; k++ {
+			if err := g.AddEdge(u, rng.Intn(u)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	return g
+}
+
+// BenchmarkHasEdgeMap measures the historical read path: the global
+// edge-multiplicity map probe.
+func BenchmarkHasEdgeMap(b *testing.B) {
+	g := benchGraph(b)
+	rng := xrand.New(8)
+	n := g.N()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.HasEdge(rng.Intn(n), rng.Intn(n))
+	}
+}
+
+// BenchmarkHasEdgeCSR measures the frozen read path: binary search over
+// the smaller endpoint's sorted CSR range.
+func BenchmarkHasEdgeCSR(b *testing.B) {
+	f := benchGraph(b).Freeze()
+	rng := xrand.New(8)
+	n := f.N()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.HasEdge(rng.Intn(n), rng.Intn(n))
+	}
+}
+
+// BenchmarkFreeze tracks the one-time snapshot cost itself.
+func BenchmarkFreeze(b *testing.B) {
+	g := benchGraph(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if f := g.Freeze(); f.N() != g.N() {
+			b.Fatal("bad freeze")
+		}
+	}
+}
+
+// TestFrozenConcurrentMembership hammers the lazily-built sorted ranges
+// from many goroutines at once: the sync.Once materialization must be
+// safe for concurrent first readers (run under -race in CI).
+func TestFrozenConcurrentMembership(t *testing.T) {
+	t.Parallel()
+	g := randomMultigraph(xrand.New(9))
+	f := g.Freeze()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := xrand.New(uint64(w))
+			for i := 0; i < 500; i++ {
+				u, v := rng.Intn(f.N()), rng.Intn(f.N())
+				if f.HasEdge(u, v) != g.HasEdge(u, v) {
+					t.Errorf("concurrent HasEdge(%d,%d) diverges", u, v)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -15,7 +15,9 @@
 //
 // Nodes are dense integer IDs 0..N-1. Adjacency is stored as per-node
 // neighbor slices (int32 to halve memory at paper scale) plus a global
-// edge-multiplicity map for O(1) HasEdge.
+// edge-multiplicity map for O(1) HasEdge. Once a topology stops mutating,
+// Freeze snapshots it into the CSR Frozen form (frozen.go) — the flat
+// read path every search kernel and structural metric runs on.
 package graph
 
 import (
@@ -283,29 +285,6 @@ func (g *Graph) Clone() *Graph {
 	}
 	return c
 }
-
-// View is a read-only handle on a graph's adjacency structure, the fast
-// path for search kernels that hammer Degree/Neighbors in a hot loop: its
-// accessors skip the node-range validation the Graph methods perform and
-// index the adjacency slices directly. A View is a pair of slice headers —
-// copy it freely. It shares storage with the Graph it came from, so it is
-// valid only while the graph is not mutated; concurrent readers are safe.
-type View struct {
-	adj [][]int32
-}
-
-// View returns a read-only adjacency view of g.
-func (g *Graph) View() View { return View{adj: g.adj} }
-
-// N returns the number of nodes.
-func (v View) N() int { return len(v.adj) }
-
-// Degree returns the degree of u without bounds checking beyond the
-// slice access itself.
-func (v View) Degree(u int) int { return len(v.adj[u]) }
-
-// Neighbors returns u's adjacency list. Callers must not mutate it.
-func (v View) Neighbors(u int) []int32 { return v.adj[u] }
 
 // randSource is the subset of xrand.RNG the graph package needs. Declared
 // locally to keep the dependency direction substrate→graph acyclic and the

@@ -5,21 +5,27 @@ package graph
 // resilient backbone — nodes in high cores survive the removal of all
 // lower-degree peers, which complements the hard-cutoff analysis: cutoffs
 // cap the maximum degree but raise the minimum core of the bulk.
+//
+// The peel runs on the CSR form; the Graph methods freeze and delegate.
+
+// CoreNumbers freezes g and peels the CSR snapshot; see
+// Frozen.CoreNumbers.
+func (g *Graph) CoreNumbers() []int { return g.Freeze().CoreNumbers() }
 
 // CoreNumbers returns each node's core number: the largest k such that the
 // node belongs to a subgraph where every member has degree >= k within the
 // subgraph. Self-loops and parallel edges count toward degree (consistent
 // with Degree).
-func (g *Graph) CoreNumbers() []int {
-	n := len(g.adj)
+func (f *Frozen) CoreNumbers() []int {
+	n := f.N()
 	core := make([]int, n)
 	if n == 0 {
 		return core
 	}
 	deg := make([]int, n)
 	maxDeg := 0
-	for u := range g.adj {
-		deg[u] = len(g.adj[u])
+	for u := 0; u < n; u++ {
+		deg[u] = f.Degree(u)
 		if deg[u] > maxDeg {
 			maxDeg = deg[u]
 		}
@@ -44,7 +50,7 @@ func (g *Graph) CoreNumbers() []int {
 	for i := 0; i < n; i++ {
 		u := vert[i]
 		core[u] = deg[u]
-		for _, vv := range g.adj[u] {
+		for _, vv := range f.Neighbors(u) {
 			v := int(vv)
 			if deg[v] <= deg[u] {
 				continue
@@ -66,9 +72,12 @@ func (g *Graph) CoreNumbers() []int {
 }
 
 // MaxCore returns the largest core number (the degeneracy of the graph).
-func (g *Graph) MaxCore() int {
+func (g *Graph) MaxCore() int { return g.Freeze().MaxCore() }
+
+// MaxCore returns the largest core number (the degeneracy of the graph).
+func (f *Frozen) MaxCore() int {
 	best := 0
-	for _, c := range g.CoreNumbers() {
+	for _, c := range f.CoreNumbers() {
 		if c > best {
 			best = c
 		}
@@ -78,9 +87,13 @@ func (g *Graph) MaxCore() int {
 
 // KCore returns the node set of the k-core (all nodes with core number
 // >= k), in ascending node order.
-func (g *Graph) KCore(k int) []int {
+func (g *Graph) KCore(k int) []int { return g.Freeze().KCore(k) }
+
+// KCore returns the node set of the k-core (all nodes with core number
+// >= k), in ascending node order.
+func (f *Frozen) KCore(k int) []int {
 	var out []int
-	for u, c := range g.CoreNumbers() {
+	for u, c := range f.CoreNumbers() {
 		if c >= k {
 			out = append(out, u)
 		}

@@ -23,20 +23,20 @@ type KNNPoint struct {
 // means disassortative (typical of uncorrelated scale-free networks with
 // structural cutoffs). Classes are returned in ascending k; degree-0 nodes
 // are skipped.
-func AverageNeighborDegree(g *graph.Graph) []KNNPoint {
+func AverageNeighborDegree(f *graph.Frozen) []KNNPoint {
 	type acc struct {
 		sum   float64
 		nodes int
 	}
 	byK := map[int]*acc{}
-	for u := 0; u < g.N(); u++ {
-		deg := g.Degree(u)
+	for u := 0; u < f.N(); u++ {
+		deg := f.Degree(u)
 		if deg == 0 {
 			continue
 		}
 		var nbSum float64
-		for _, v := range g.Neighbors(u) {
-			nbSum += float64(g.Degree(int(v)))
+		for _, v := range f.Neighbors(u) {
+			nbSum += float64(f.Degree(int(v)))
 		}
 		a := byK[deg]
 		if a == nil {

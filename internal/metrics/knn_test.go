@@ -19,7 +19,7 @@ func TestAverageNeighborDegreeStar(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	pts := AverageNeighborDegree(g)
+	pts := AverageNeighborDegree(g.Freeze())
 	if len(pts) != 2 {
 		t.Fatalf("points %v", pts)
 	}
@@ -37,7 +37,7 @@ func TestAverageNeighborDegreeRegular(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pts := AverageNeighborDegree(ring)
+	pts := AverageNeighborDegree(ring.Freeze())
 	if len(pts) != 1 || pts[0].K != 4 || math.Abs(pts[0].KNN-4) > 1e-12 {
 		t.Fatalf("regular graph knn %v", pts)
 	}
@@ -49,7 +49,7 @@ func TestAverageNeighborDegreeSkipsIsolated(t *testing.T) {
 	if err := g.AddEdge(0, 1); err != nil {
 		t.Fatal(err)
 	}
-	pts := AverageNeighborDegree(g)
+	pts := AverageNeighborDegree(g.Freeze())
 	total := 0
 	for _, p := range pts {
 		total += p.Count
@@ -67,7 +67,7 @@ func TestPAKnnDisassortativeTail(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pts := AverageNeighborDegree(g)
+	pts := AverageNeighborDegree(g.Freeze())
 	if len(pts) < 5 {
 		t.Fatalf("too few degree classes: %d", len(pts))
 	}

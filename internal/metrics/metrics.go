@@ -18,26 +18,23 @@ import (
 // ErrNoEdges is returned by metrics that are undefined on edgeless graphs.
 var ErrNoEdges = errors.New("metrics: graph has no edges")
 
-// GlobalClustering returns the transitivity of g: 3×triangles / connected
-// triples. Multigraph artifacts (self-loops, parallel edges) are ignored
-// by considering distinct neighbor sets. Returns 0 for graphs with no
-// connected triples.
-func GlobalClustering(g *graph.Graph) float64 {
-	n := g.N()
+// GlobalClustering returns the transitivity of the frozen topology:
+// 3×triangles / connected triples. Multigraph artifacts (self-loops,
+// parallel edges) are ignored by considering distinct neighbor sets.
+// Returns 0 for graphs with no connected triples.
+//
+// The computation runs on the CSR form via clusteringScan: flat-array
+// neighbor marks instead of the historical per-pair edge-map probes and
+// per-node dedupe maps. Callers holding a *graph.Graph freeze once
+// (g.Freeze()) and may share the snapshot across every metric in this
+// package.
+func GlobalClustering(f *graph.Frozen) float64 {
 	triangles := 0
 	triples := 0
-	for u := 0; u < n; u++ {
-		nbs := distinctNeighbors(g, u)
-		d := len(nbs)
+	clusteringScan(f, func(u, d, links int) {
 		triples += d * (d - 1) / 2
-		for i := 0; i < d; i++ {
-			for j := i + 1; j < d; j++ {
-				if g.HasEdge(int(nbs[i]), int(nbs[j])) {
-					triangles++ // counted once per apex u -> 3x per triangle
-				}
-			}
-		}
-	}
+		triangles += links // links among u's neighbors: one triangle count per apex
+	})
 	if triples == 0 {
 		return 0
 	}
@@ -46,61 +43,99 @@ func GlobalClustering(g *graph.Graph) float64 {
 
 // AvgLocalClustering returns the mean of per-node clustering coefficients
 // (Watts–Strogatz definition); nodes with degree < 2 contribute 0.
-func AvgLocalClustering(g *graph.Graph) float64 {
-	n := g.N()
+func AvgLocalClustering(f *graph.Frozen) float64 {
+	n := f.N()
 	if n == 0 {
 		return 0
 	}
 	var sum float64
-	for u := 0; u < n; u++ {
-		nbs := distinctNeighbors(g, u)
-		d := len(nbs)
-		if d < 2 {
-			continue
+	clusteringScan(f, func(u, d, links int) {
+		if d >= 2 {
+			sum += 2 * float64(links) / float64(d*(d-1))
 		}
-		links := 0
-		for i := 0; i < d; i++ {
-			for j := i + 1; j < d; j++ {
-				if g.HasEdge(int(nbs[i]), int(nbs[j])) {
-					links++
-				}
-			}
-		}
-		sum += 2 * float64(links) / float64(d*(d-1))
-	}
+	})
 	return sum / float64(n)
 }
 
-// distinctNeighbors returns u's neighbor set without duplicates or self.
-func distinctNeighbors(g *graph.Graph, u int) []int32 {
-	raw := g.Neighbors(u)
-	if len(raw) == 0 {
-		return nil
-	}
-	seen := make(map[int32]bool, len(raw))
-	out := make([]int32, 0, len(raw))
-	for _, v := range raw {
-		if int(v) == u || seen[v] {
+// clusteringScan visits every node with its distinct-neighbor count d and
+// the number of edges among those neighbors (links). It is the shared
+// engine of both clustering coefficients, built for the CSR layout:
+//
+//   - u's distinct neighbors are marked in an epoch-stamped array
+//     (O(1) clear per node);
+//   - for each marked neighbor v, v's sorted range is deduped inline and
+//     every marked w counts — a pure sequential array scan, no hashing,
+//     no binary search. Each neighbor-pair edge is seen from both sides,
+//     so links = count/2.
+//
+// The count of links per node is identical to probing every neighbor pair
+// with HasEdge (the historical algorithm), which the golden tests pin.
+func clusteringScan(f *graph.Frozen, visit func(u, d, links int)) {
+	n := f.N()
+	mark := make([]int32, n)
+	var epoch int32
+	var nbs []int32 // reused distinct-neighbor buffer
+	for u := 0; u < n; u++ {
+		nbs = distinctNeighbors(f, u, nbs[:0])
+		d := len(nbs)
+		if d < 2 {
+			visit(u, d, 0)
 			continue
 		}
-		seen[v] = true
-		out = append(out, v)
+		epoch++ // one epoch per apex; n <= MaxInt32 nodes, no wraparound
+		for _, v := range nbs {
+			mark[v] = epoch
+		}
+		count := 0
+		for _, v := range nbs {
+			prev := int32(-1)
+			for _, w := range f.SortedNeighbors(int(v)) {
+				if w == prev {
+					continue // duplicates are adjacent in the sorted range
+				}
+				prev = w
+				if w == v {
+					continue // self-loop at v
+				}
+				if mark[w] == epoch {
+					count++
+				}
+			}
+		}
+		visit(u, d, count/2)
 	}
-	return out
+}
+
+// distinctNeighbors appends u's neighbor set — no duplicates, no self —
+// to buf (ascending). The sorted CSR range makes this a linear scan:
+// duplicates are adjacent.
+func distinctNeighbors(f *graph.Frozen, u int, buf []int32) []int32 {
+	prev := int32(-1)
+	for _, v := range f.SortedNeighbors(u) {
+		if v == prev {
+			continue
+		}
+		prev = v
+		if int(v) == u {
+			continue
+		}
+		buf = append(buf, v)
+	}
+	return buf
 }
 
 // DegreeAssortativity returns the Pearson correlation of degrees across
 // edges (Newman's r): positive means hubs link to hubs, negative means
 // hubs link to leaves. Growth models like PA are disassortative.
-func DegreeAssortativity(g *graph.Graph) (float64, error) {
+func DegreeAssortativity(f *graph.Frozen) (float64, error) {
 	var sx, sy, sxy, sxx, syy, m float64
-	n := g.N()
+	n := f.N()
 	for u := 0; u < n; u++ {
-		du := float64(g.Degree(u))
-		for _, v := range g.Neighbors(u) {
+		du := float64(f.Degree(u))
+		for _, v := range f.Neighbors(u) {
 			// Each undirected edge contributes both orientations, the
 			// standard symmetric treatment.
-			dv := float64(g.Degree(int(v)))
+			dv := float64(f.Degree(int(v)))
 			sx += du
 			sy += dv
 			sxy += du * dv

@@ -23,7 +23,7 @@ func triangle(t *testing.T) *graph.Graph {
 
 func TestGlobalClusteringTriangle(t *testing.T) {
 	t.Parallel()
-	if c := GlobalClustering(triangle(t)); c != 1 {
+	if c := GlobalClustering(triangle(t).Freeze()); c != 1 {
 		t.Fatalf("triangle clustering %v, want 1", c)
 	}
 }
@@ -36,14 +36,14 @@ func TestGlobalClusteringStar(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if c := GlobalClustering(g); c != 0 {
+	if c := GlobalClustering(g.Freeze()); c != 0 {
 		t.Fatalf("star clustering %v, want 0", c)
 	}
 }
 
 func TestGlobalClusteringEmpty(t *testing.T) {
 	t.Parallel()
-	if c := GlobalClustering(graph.New(4)); c != 0 {
+	if c := GlobalClustering(graph.New(4).Freeze()); c != 0 {
 		t.Fatalf("edgeless clustering %v", c)
 	}
 }
@@ -58,7 +58,7 @@ func TestGlobalClusteringKite(t *testing.T) {
 	if err := g.AddEdge(2, 3); err != nil {
 		t.Fatal(err)
 	}
-	if c := GlobalClustering(g); math.Abs(c-0.6) > 1e-12 {
+	if c := GlobalClustering(g.Freeze()); math.Abs(c-0.6) > 1e-12 {
 		t.Fatalf("kite transitivity %v, want 0.6", c)
 	}
 }
@@ -71,7 +71,7 @@ func TestAvgLocalClustering(t *testing.T) {
 	if err := g.AddEdge(2, 3); err != nil {
 		t.Fatal(err)
 	}
-	if c := AvgLocalClustering(g); math.Abs(c-7.0/12) > 1e-12 {
+	if c := AvgLocalClustering(g.Freeze()); math.Abs(c-7.0/12) > 1e-12 {
 		t.Fatalf("avg local clustering %v, want %v", c, 7.0/12)
 	}
 }
@@ -85,7 +85,7 @@ func TestClusteringIgnoresMultiEdges(t *testing.T) {
 	if err := g.AddEdge(0, 0); err != nil { // self-loop
 		t.Fatal(err)
 	}
-	if c := GlobalClustering(g); c != 1 {
+	if c := GlobalClustering(g.Freeze()); c != 1 {
 		t.Fatalf("clustering with multigraph artifacts %v, want 1", c)
 	}
 }
@@ -97,7 +97,7 @@ func TestPATreeHasNoClustering(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if c := GlobalClustering(g); c != 0 {
+	if c := GlobalClustering(g.Freeze()); c != 0 {
 		t.Fatalf("PA tree clustering %v, want 0", c)
 	}
 }
@@ -111,7 +111,7 @@ func TestDegreeAssortativity(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	r, err := DegreeAssortativity(g)
+	r, err := DegreeAssortativity(g.Freeze())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +119,7 @@ func TestDegreeAssortativity(t *testing.T) {
 		t.Fatalf("star assortativity %v, want -1", r)
 	}
 	// Edgeless graph errors.
-	if _, err := DegreeAssortativity(graph.New(3)); !errors.Is(err, ErrNoEdges) {
+	if _, err := DegreeAssortativity(graph.New(3).Freeze()); !errors.Is(err, ErrNoEdges) {
 		t.Fatalf("err = %v", err)
 	}
 	// Regular ring: degenerate correlation reported as 0.
@@ -127,7 +127,7 @@ func TestDegreeAssortativity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err = DegreeAssortativity(ring)
+	r, err = DegreeAssortativity(ring.Freeze())
 	if err != nil || r != 0 {
 		t.Fatalf("ring assortativity %v, %v", r, err)
 	}
@@ -139,7 +139,7 @@ func TestPAIsNotAssortative(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := DegreeAssortativity(g)
+	r, err := DegreeAssortativity(g.Freeze())
 	if err != nil {
 		t.Fatal(err)
 	}

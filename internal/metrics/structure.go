@@ -31,9 +31,9 @@ type RichClubPoint struct {
 // threshold k at which the club has at least two members. On HAPA's
 // star-like cores phi stays high as k grows; applying a hard cutoff
 // flattens the club away.
-func RichClub(g *graph.Graph) []RichClubPoint {
-	n := g.N()
-	degs := g.DegreeSequence()
+func RichClub(f *graph.Frozen) []RichClubPoint {
+	n := f.N()
+	degs := f.DegreeSequence()
 	maxDeg := 0
 	for _, d := range degs {
 		if d > maxDeg {
@@ -41,24 +41,24 @@ func RichClub(g *graph.Graph) []RichClubPoint {
 		}
 	}
 	var out []RichClubPoint
+	inClub := make([]bool, n)
+	var nbs []int32
 	for k := 0; k < maxDeg; k++ {
 		var club []int
 		for v := 0; v < n; v++ {
-			if degs[v] > k {
+			inClub[v] = degs[v] > k
+			if inClub[v] {
 				club = append(club, v)
 			}
 		}
 		if len(club) < 2 {
 			break
 		}
-		inClub := make(map[int]bool, len(club))
-		for _, v := range club {
-			inClub[v] = true
-		}
 		edges := 0
 		for _, v := range club {
-			for _, w := range distinctNeighbors(g, v) {
-				if int(w) > v && inClub[int(w)] {
+			nbs = distinctNeighbors(f, v, nbs[:0])
+			for _, w := range nbs {
+				if int(w) > v && inClub[w] {
 					edges++
 				}
 			}
@@ -78,8 +78,8 @@ func RichClub(g *graph.Graph) []RichClubPoint {
 // random sources (all sources when sources >= N). Unreachable pairs are
 // excluded. It is the robust companion to Table I's diameter: a handful
 // of stringy paths cannot move it.
-func EffectiveDiameter(g *graph.Graph, q float64, sources int, rng *xrand.RNG) (int, error) {
-	if g.N() == 0 {
+func EffectiveDiameter(f *graph.Frozen, q float64, sources int, rng *xrand.RNG) (int, error) {
+	if f.N() == 0 {
 		return 0, fmt.Errorf("metrics: empty graph")
 	}
 	if q <= 0 || q > 1 {
@@ -88,7 +88,7 @@ func EffectiveDiameter(g *graph.Graph, q float64, sources int, rng *xrand.RNG) (
 	if rng == nil {
 		rng = xrand.New(0)
 	}
-	n := g.N()
+	n := f.N()
 	var srcs []int
 	if sources >= n {
 		srcs = make([]int, n)
@@ -105,7 +105,7 @@ func EffectiveDiameter(g *graph.Graph, q float64, sources int, rng *xrand.RNG) (
 	hist := make([]int64, 0, 64)
 	var total int64
 	for _, s := range srcs {
-		dist := g.BFS(s)
+		dist := f.BFS(s)
 		for v, d := range dist {
 			if d <= 0 || v == s {
 				continue // unreachable or self
@@ -210,14 +210,14 @@ func PercolationThreshold(pts []PercolationPoint, frac float64) float64 {
 // DistanceDistribution returns the histogram of pairwise distances from
 // BFS over `sources` random sources (hist[d] = number of sampled pairs at
 // distance d, d >= 1), plus the count of unreachable sampled pairs.
-func DistanceDistribution(g *graph.Graph, sources int, rng *xrand.RNG) (hist []int64, unreachable int64, err error) {
-	if g.N() == 0 {
+func DistanceDistribution(f *graph.Frozen, sources int, rng *xrand.RNG) (hist []int64, unreachable int64, err error) {
+	if f.N() == 0 {
 		return nil, 0, fmt.Errorf("metrics: empty graph")
 	}
 	if rng == nil {
 		rng = xrand.New(0)
 	}
-	n := g.N()
+	n := f.N()
 	if sources < 1 {
 		sources = 1
 	}
@@ -227,7 +227,7 @@ func DistanceDistribution(g *graph.Graph, sources int, rng *xrand.RNG) (hist []i
 	srcs := rng.Perm(n)[:sources]
 	sort.Ints(srcs)
 	for _, s := range srcs {
-		dist := g.BFS(s)
+		dist := f.BFS(s)
 		for v, d := range dist {
 			if v == s {
 				continue

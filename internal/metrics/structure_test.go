@@ -38,7 +38,7 @@ func pathG(t testing.TB, n int) *graph.Graph {
 func TestRichClubClique(t *testing.T) {
 	t.Parallel()
 	g := clique(t, 6)
-	pts := RichClub(g)
+	pts := RichClub(g.Freeze())
 	if len(pts) == 0 {
 		t.Fatal("no rich-club points")
 	}
@@ -63,7 +63,7 @@ func TestRichClubStarHasNoClub(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	pts := RichClub(g)
+	pts := RichClub(g.Freeze())
 	if len(pts) != 1 || pts[0].K != 0 {
 		t.Fatalf("star should only have the k=0 club: %+v", pts)
 	}
@@ -79,7 +79,7 @@ func TestRichClubMonotoneClubSize(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pts := RichClub(g)
+	pts := RichClub(g.Freeze())
 	if len(pts) < 5 {
 		t.Fatalf("PA graph should have a deep club series: %d", len(pts))
 	}
@@ -102,23 +102,23 @@ func TestRichClubCutoffFlattensClub(t *testing.T) {
 		t.Fatal(err)
 	}
 	maxK := func(pts []RichClubPoint) int { return pts[len(pts)-1].K }
-	if maxK(RichClub(free)) <= maxK(RichClub(capped)) {
+	if maxK(RichClub(free.Freeze())) <= maxK(RichClub(capped.Freeze())) {
 		t.Fatalf("uncapped HAPA club depth %d should exceed capped %d",
-			maxK(RichClub(free)), maxK(RichClub(capped)))
+			maxK(RichClub(free.Freeze())), maxK(RichClub(capped.Freeze())))
 	}
 }
 
 func TestEffectiveDiameterPath(t *testing.T) {
 	t.Parallel()
 	g := pathG(t, 11) // distances 1..10 from the ends
-	d, err := EffectiveDiameter(g, 1.0, g.N(), nil)
+	d, err := EffectiveDiameter(g.Freeze(), 1.0, g.N(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if d != 10 {
 		t.Fatalf("full-quantile effective diameter = %d, want 10", d)
 	}
-	d90, err := EffectiveDiameter(g, 0.9, g.N(), nil)
+	d90, err := EffectiveDiameter(g.Freeze(), 0.9, g.N(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +130,7 @@ func TestEffectiveDiameterPath(t *testing.T) {
 func TestEffectiveDiameterClique(t *testing.T) {
 	t.Parallel()
 	g := clique(t, 8)
-	d, err := EffectiveDiameter(g, 0.9, g.N(), nil)
+	d, err := EffectiveDiameter(g.Freeze(), 0.9, g.N(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,16 +142,16 @@ func TestEffectiveDiameterClique(t *testing.T) {
 func TestEffectiveDiameterValidation(t *testing.T) {
 	t.Parallel()
 	g := clique(t, 4)
-	if _, err := EffectiveDiameter(g, 0, 4, nil); err == nil {
+	if _, err := EffectiveDiameter(g.Freeze(), 0, 4, nil); err == nil {
 		t.Error("q=0 should fail")
 	}
-	if _, err := EffectiveDiameter(g, 1.5, 4, nil); err == nil {
+	if _, err := EffectiveDiameter(g.Freeze(), 1.5, 4, nil); err == nil {
 		t.Error("q>1 should fail")
 	}
-	if _, err := EffectiveDiameter(graph.New(0), 0.9, 1, nil); err == nil {
+	if _, err := EffectiveDiameter(graph.New(0).Freeze(), 0.9, 1, nil); err == nil {
 		t.Error("empty graph should fail")
 	}
-	if _, err := EffectiveDiameter(graph.New(3), 0.9, 3, nil); err == nil {
+	if _, err := EffectiveDiameter(graph.New(3).Freeze(), 0.9, 3, nil); err == nil {
 		t.Error("edgeless graph has no reachable pairs")
 	}
 }
@@ -162,11 +162,11 @@ func TestEffectiveDiameterSampledClose(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	full, err := EffectiveDiameter(g, 0.9, g.N(), xrand.New(1))
+	full, err := EffectiveDiameter(g.Freeze(), 0.9, g.N(), xrand.New(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	sampled, err := EffectiveDiameter(g, 0.9, 64, xrand.New(2))
+	sampled, err := EffectiveDiameter(g.Freeze(), 0.9, 64, xrand.New(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,7 +267,7 @@ func TestCutoffRaisesPercolationThreshold(t *testing.T) {
 func TestDistanceDistribution(t *testing.T) {
 	t.Parallel()
 	g := pathG(t, 5)
-	hist, unreachable, err := DistanceDistribution(g, g.N(), nil)
+	hist, unreachable, err := DistanceDistribution(g.Freeze(), g.N(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,14 +291,14 @@ func TestDistanceDistribution(t *testing.T) {
 	if err := g2.AddEdge(0, 1); err != nil {
 		t.Fatal(err)
 	}
-	_, unreachable, err = DistanceDistribution(g2, 3, nil)
+	_, unreachable, err = DistanceDistribution(g2.Freeze(), 3, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if unreachable != 4 {
 		t.Fatalf("unreachable = %d, want 4 (2 per direction for the isolate)", unreachable)
 	}
-	if _, _, err := DistanceDistribution(graph.New(0), 1, nil); err == nil {
+	if _, _, err := DistanceDistribution(graph.New(0).Freeze(), 1, nil); err == nil {
 		t.Error("empty graph should fail")
 	}
 }

@@ -31,6 +31,11 @@ func (p *Peer) PeersOf(addr string) ([]PeerInfo, error) {
 	}
 }
 
+// Frozen returns the crawled topology as a CSR snapshot — the natural
+// form for analyzing a finished crawl (clustering, cores, betweenness,
+// search replay), since a crawl result is read-only by construction.
+func (r CrawlResult) Frozen() *graph.Frozen { return r.G.Freeze() }
+
 // CrawlResult is a reconstructed overlay topology.
 type CrawlResult struct {
 	// G is the crawled connectivity graph; node IDs follow discovery

@@ -306,6 +306,14 @@ func (o *Overlay) Snapshot() (*graph.Graph, map[string]int) {
 	return g, id
 }
 
+// FrozenSnapshot is Snapshot in CSR form: the overlay topology frozen for
+// read-heavy analysis, plus the address-to-node-ID map. The mutable
+// intermediate Graph is discarded immediately.
+func (o *Overlay) FrozenSnapshot() (*graph.Frozen, map[string]int) {
+	g, id := o.Snapshot()
+	return g.Freeze(), id
+}
+
 // DegreeHistogram returns the live overlay's degree histogram (from the
 // snapshot graph).
 func (o *Overlay) DegreeHistogram() []int {

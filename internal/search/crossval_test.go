@@ -132,7 +132,7 @@ func TestFloodDeliveryMatchesBFSProperty(t *testing.T) {
 		rng := xrand.New(seed)
 		g := randomConnectedGraph(rng)
 		src, dst := rng.Intn(g.N()), rng.Intn(g.N())
-		d, err := FloodDelivery(g, src, dst, g.N())
+		d, err := FloodDelivery(g.Freeze(), src, dst, g.N())
 		if err != nil {
 			return false
 		}
@@ -154,7 +154,7 @@ func TestExpandingRingExactnessProperty(t *testing.T) {
 		src, dst := rng.Intn(g.N()), rng.Intn(g.N())
 		trueDist := int(g.BFS(src)[dst])
 		const maxTTL = 8
-		res, err := ExpandingRing(g, src, func(v int) bool { return v == dst }, nil, maxTTL)
+		res, err := ExpandingRing(g.Freeze(), src, func(v int) bool { return v == dst }, nil, maxTTL)
 		if err != nil {
 			return false
 		}

@@ -48,9 +48,9 @@ func (l *Load) Work() []int {
 	return out
 }
 
-func (l *Load) check(g *graph.Graph) error {
-	if len(l.Forwards) != g.N() {
-		return fmt.Errorf("search: load sized for %d nodes, graph has %d", len(l.Forwards), g.N())
+func (l *Load) check(f *graph.Frozen) error {
+	if len(l.Forwards) != f.N() {
+		return fmt.Errorf("search: load sized for %d nodes, graph has %d", len(l.Forwards), f.N())
 	}
 	return nil
 }
@@ -58,26 +58,26 @@ func (l *Load) check(g *graph.Graph) error {
 // FloodLoad runs flooding from src exactly as Flood does, charging each
 // transmission to its sender and each receipt (duplicate or not) to its
 // receiver. Hot paths should use Scratch.FloodLoad instead.
-func FloodLoad(g *graph.Graph, src, maxTTL int, load *Load) error {
+func FloodLoad(f *graph.Frozen, src, maxTTL int, load *Load) error {
 	var s Scratch
-	return s.FloodLoad(g, src, maxTTL, load)
+	return s.FloodLoad(f, src, maxTTL, load)
 }
 
 // NormalizedFloodLoad runs NF from src as NormalizedFlood does, with the
 // same charging rule as FloodLoad. Hot paths should use
 // Scratch.NormalizedFloodLoad instead.
-func NormalizedFloodLoad(g *graph.Graph, src, maxTTL, kMin int, rng *xrand.RNG, load *Load) error {
+func NormalizedFloodLoad(f *graph.Frozen, src, maxTTL, kMin int, rng *xrand.RNG, load *Load) error {
 	var s Scratch
-	return s.NormalizedFloodLoad(g, src, maxTTL, kMin, rng, load)
+	return s.NormalizedFloodLoad(f, src, maxTTL, kMin, rng, load)
 }
 
 // RandomWalkLoad runs a non-backtracking walk from src as RandomWalk
 // does, charging each hop to the node that forwards the query.
-func RandomWalkLoad(g *graph.Graph, src, steps int, rng *xrand.RNG, load *Load) error {
-	if err := validate(g, src, steps); err != nil {
+func RandomWalkLoad(f *graph.Frozen, src, steps int, rng *xrand.RNG, load *Load) error {
+	if err := validate(f, src, steps); err != nil {
 		return err
 	}
-	if err := load.check(g); err != nil {
+	if err := load.check(f); err != nil {
 		return err
 	}
 	if rng == nil {
@@ -85,12 +85,9 @@ func RandomWalkLoad(g *graph.Graph, src, steps int, rng *xrand.RNG, load *Load) 
 	}
 	cur, prev := src, -1
 	for t := 1; t <= steps; t++ {
-		next := g.RandomNeighborExcluding(cur, prev, rng)
-		if next < 0 {
-			if prev < 0 {
-				return nil
-			}
-			next = prev
+		next, ok := Step(f, cur, prev, rng)
+		if !ok {
+			return nil
 		}
 		load.Forwards[cur]++
 		load.Receipts[next]++

@@ -12,7 +12,7 @@ func TestFloodLoadStar(t *testing.T) {
 	t.Parallel()
 	g := star(t, 6)
 	load := NewLoad(g.N())
-	if err := FloodLoad(g, 1, 3, load); err != nil {
+	if err := FloodLoad(g.Freeze(), 1, 3, load); err != nil {
 		t.Fatal(err)
 	}
 	// Leaf 1 sends 1 to the hub; the hub forwards to 4 other leaves;
@@ -40,7 +40,7 @@ func TestFloodLoadMatchesMessageCount(t *testing.T) {
 			t.Fatal(err)
 		}
 		load := NewLoad(g.N())
-		if err := FloodLoad(g, src, 6, load); err != nil {
+		if err := FloodLoad(g.Freeze(), src, 6, load); err != nil {
 			t.Fatal(err)
 		}
 		if got, want := load.Total(), int64(res.MessagesAt(6)); got != want {
@@ -59,7 +59,7 @@ func TestNormalizedFloodLoadTotalMatches(t *testing.T) {
 	}
 	load := NewLoad(g.N())
 	// Same seed -> same random fan-out choices -> same total.
-	if err := NormalizedFloodLoad(g, src, 6, 2, xrand.New(9), load); err != nil {
+	if err := NormalizedFloodLoad(g.Freeze(), src, 6, 2, xrand.New(9), load); err != nil {
 		t.Fatal(err)
 	}
 	if got, want := load.Total(), int64(res.MessagesAt(6)); got != want {
@@ -71,7 +71,7 @@ func TestRandomWalkLoadChargesSteps(t *testing.T) {
 	t.Parallel()
 	g := paGraph(t, 500, 2, 71)
 	load := NewLoad(g.N())
-	if err := RandomWalkLoad(g, 0, 250, xrand.New(5), load); err != nil {
+	if err := RandomWalkLoad(g.Freeze(), 0, 250, xrand.New(5), load); err != nil {
 		t.Fatal(err)
 	}
 	if load.Total() != 250 {
@@ -83,18 +83,18 @@ func TestLoadValidation(t *testing.T) {
 	t.Parallel()
 	g := star(t, 4)
 	wrong := NewLoad(7)
-	if err := FloodLoad(g, 0, 2, wrong); err == nil {
+	if err := FloodLoad(g.Freeze(), 0, 2, wrong); err == nil {
 		t.Error("size mismatch should fail")
 	}
-	if err := NormalizedFloodLoad(g, 0, 2, 0, nil, NewLoad(4)); err == nil {
+	if err := NormalizedFloodLoad(g.Freeze(), 0, 2, 0, nil, NewLoad(4)); err == nil {
 		t.Error("kMin 0 should fail")
 	}
-	if err := RandomWalkLoad(g, -1, 5, nil, NewLoad(4)); err == nil {
+	if err := RandomWalkLoad(g.Freeze(), -1, 5, nil, NewLoad(4)); err == nil {
 		t.Error("bad source should fail")
 	}
 	// Isolated source walks nowhere without error.
 	g2 := star(t, 1)
-	if err := RandomWalkLoad(g2, 0, 5, nil, NewLoad(1)); err != nil {
+	if err := RandomWalkLoad(g2.Freeze(), 0, 5, nil, NewLoad(1)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -122,10 +122,11 @@ func TestCutoffFlattensSearchLoad(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		f := g.Freeze()
 		rng := xrand.New(79)
-		load := NewLoad(g.N())
+		load := NewLoad(f.N())
 		for q := 0; q < 200; q++ {
-			if err := NormalizedFloodLoad(g, rng.Intn(g.N()), 6, 2, rng, load); err != nil {
+			if err := NormalizedFloodLoad(f, rng.Intn(f.N()), 6, 2, rng, load); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -139,11 +140,11 @@ func TestCutoffFlattensSearchLoad(t *testing.T) {
 }
 
 func BenchmarkFloodLoadPA10k(b *testing.B) {
-	g := paGraph(b, 10000, 2, 1)
-	load := NewLoad(g.N())
+	f := paGraph(b, 10000, 2, 1).Freeze()
+	load := NewLoad(f.N())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := FloodLoad(g, i%g.N(), 6, load); err != nil {
+		if err := FloodLoad(f, i%f.N(), 6, load); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -28,8 +28,8 @@ type RingResult struct {
 // ExpandingRing searches for any node satisfying `isTarget` by flooding
 // with TTLs from the schedule (e.g. 1,2,4,8...) until a hit or the
 // schedule is exhausted. A nil schedule uses doubling up to maxTTL.
-func ExpandingRing(g *graph.Graph, src int, isTarget func(node int) bool, schedule []int, maxTTL int) (RingResult, error) {
-	if err := validate(g, src, maxTTL); err != nil {
+func ExpandingRing(f *graph.Frozen, src int, isTarget func(node int) bool, schedule []int, maxTTL int) (RingResult, error) {
+	if err := validate(f, src, maxTTL); err != nil {
 		return RingResult{}, err
 	}
 	if isTarget == nil {
@@ -48,13 +48,14 @@ func ExpandingRing(g *graph.Graph, src int, isTarget func(node int) bool, schedu
 		res.Found = true
 		return res, nil
 	}
-	dist := g.BFS(src)
+	dist := f.BFS(src)
+	var scratch Scratch // one BFS state shared by every escalation round
 	for _, ttl := range schedule {
 		if ttl < 0 {
 			return RingResult{}, fmt.Errorf("%w: schedule entry %d", ErrBadTTL, ttl)
 		}
 		res.Rounds++
-		flood, err := Flood(g, src, ttl)
+		flood, err := scratch.Flood(f, src, ttl)
 		if err != nil {
 			return RingResult{}, err
 		}

@@ -10,7 +10,7 @@ import (
 func TestExpandingRingFindsNearTarget(t *testing.T) {
 	t.Parallel()
 	g := pathN(t, 20)
-	res, err := ExpandingRing(g, 0, func(v int) bool { return v == 2 }, nil, 16)
+	res, err := ExpandingRing(g.Freeze(), 0, func(v int) bool { return v == 2 }, nil, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,7 +25,7 @@ func TestExpandingRingFindsNearTarget(t *testing.T) {
 func TestExpandingRingSelfTarget(t *testing.T) {
 	t.Parallel()
 	g := pathN(t, 3)
-	res, err := ExpandingRing(g, 1, func(v int) bool { return v == 1 }, nil, 4)
+	res, err := ExpandingRing(g.Freeze(), 1, func(v int) bool { return v == 1 }, nil, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +37,7 @@ func TestExpandingRingSelfTarget(t *testing.T) {
 func TestExpandingRingMiss(t *testing.T) {
 	t.Parallel()
 	g := pathN(t, 20)
-	res, err := ExpandingRing(g, 0, func(v int) bool { return false }, nil, 8)
+	res, err := ExpandingRing(g.Freeze(), 0, func(v int) bool { return false }, nil, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +52,7 @@ func TestExpandingRingMiss(t *testing.T) {
 func TestExpandingRingCustomSchedule(t *testing.T) {
 	t.Parallel()
 	g := pathN(t, 20)
-	res, err := ExpandingRing(g, 0, func(v int) bool { return v == 5 }, []int{3, 10}, 10)
+	res, err := ExpandingRing(g.Freeze(), 0, func(v int) bool { return v == 5 }, []int{3, 10}, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,13 +64,13 @@ func TestExpandingRingCustomSchedule(t *testing.T) {
 func TestExpandingRingValidation(t *testing.T) {
 	t.Parallel()
 	g := pathN(t, 5)
-	if _, err := ExpandingRing(g, 0, nil, nil, 4); err == nil {
+	if _, err := ExpandingRing(g.Freeze(), 0, nil, nil, 4); err == nil {
 		t.Error("nil predicate should fail")
 	}
-	if _, err := ExpandingRing(g, -1, func(int) bool { return false }, nil, 4); err == nil {
+	if _, err := ExpandingRing(g.Freeze(), -1, func(int) bool { return false }, nil, 4); err == nil {
 		t.Error("bad source should fail")
 	}
-	if _, err := ExpandingRing(g, 0, func(int) bool { return false }, []int{-1}, 4); err == nil {
+	if _, err := ExpandingRing(g.Freeze(), 0, func(int) bool { return false }, []int{-1}, 4); err == nil {
 		t.Error("negative schedule entry should fail")
 	}
 }
@@ -93,7 +93,7 @@ func TestExpandingRingSavesMessagesOnPopularContent(t *testing.T) {
 	var ringMsgs, floodMsgs int
 	for trial := 0; trial < 20; trial++ {
 		src := rng.Intn(g.N())
-		res, err := ExpandingRing(g, src, func(v int) bool { return holder[v] }, nil, maxTTL)
+		res, err := ExpandingRing(g.Freeze(), src, func(v int) bool { return holder[v] }, nil, maxTTL)
 		if err != nil {
 			t.Fatal(err)
 		}

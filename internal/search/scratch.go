@@ -9,6 +9,13 @@ package search
 // buffer, and a small arena of per-TTL result series — so repeated searches
 // on one topology allocate nothing after the first call.
 //
+// Every kernel reads the topology through *graph.Frozen, the CSR snapshot:
+// flat offsets/neighbors arrays instead of a slice of slices, so the hot
+// loops are two array indexings per hop with no pointer chase and no
+// bounds-checked Graph method calls. Freeze once per generated topology
+// (the sim engine does this right after generation, letting the mutable
+// Graph and its edge map be collected) and run any number of searches.
+//
 // Usage: one Scratch per goroutine (it is not safe for concurrent use),
 // reused across any number of searches and graph sizes (buffers grow on
 // demand and are retained). Results returned by Scratch methods alias the
@@ -17,8 +24,8 @@ package search
 //
 // The zero value is ready to use. The package-level Flood, NormalizedFlood,
 // RandomWalk, and RandomWalkWithNFBudget functions are thin wrappers that
-// run on a fresh Scratch per call; they remain the convenient API when
-// allocation cost does not matter.
+// freeze the *graph.Graph and run on a fresh Scratch per call; they remain
+// the convenient API when allocation cost does not matter.
 
 import (
 	"math"
@@ -106,17 +113,16 @@ func (s *Scratch) intBuf(n int) []int {
 
 // Flood runs flooding search from src up to maxTTL hops, exactly as the
 // package-level Flood, reusing s's buffers. The Result aliases s.
-func (s *Scratch) Flood(g *graph.Graph, src, maxTTL int) (Result, error) {
+func (s *Scratch) Flood(f *graph.Frozen, src, maxTTL int) (Result, error) {
 	s.reset()
-	return s.flood(g, src, maxTTL)
+	return s.flood(f, src, maxTTL)
 }
 
-func (s *Scratch) flood(g *graph.Graph, src, maxTTL int) (Result, error) {
-	if err := validate(g, src, maxTTL); err != nil {
+func (s *Scratch) flood(f *graph.Frozen, src, maxTTL int) (Result, error) {
+	if err := validate(f, src, maxTTL); err != nil {
 		return Result{}, err
 	}
-	v := g.View()
-	s.ensure(v.N())
+	s.ensure(f.N())
 	ep := s.newEpoch()
 	res := Result{
 		Hits:     s.intBuf(maxTTL + 1),
@@ -146,13 +152,13 @@ func (s *Scratch) flood(g *graph.Graph, src, maxTTL int) (Result, error) {
 		// Forward to all neighbors except the sender. With duplicate
 		// suppression the sender is never re-enqueued anyway; the message
 		// count excludes the reverse transmission per the protocol.
-		deg := v.Degree(int(u))
+		deg := f.Degree(int(u))
 		if du == 0 {
 			msgs += deg
 		} else if deg > 0 {
 			msgs += deg - 1
 		}
-		for _, w := range v.Neighbors(int(u)) {
+		for _, w := range f.Neighbors(int(u)) {
 			if s.mark[w] != ep {
 				s.mark[w] = ep
 				s.depth[w] = int32(du + 1)
@@ -176,9 +182,9 @@ func (s *Scratch) flood(g *graph.Graph, src, maxTTL int) (Result, error) {
 // Fisher–Yates) when larger. Shared by the search and load-profile NF
 // kernels so their RNG consumption can never diverge. The returned slice
 // reuses s.cand and is valid until the next call.
-func (s *Scratch) nfTargets(v graph.View, u, sender int32, kMin int, rng *xrand.RNG) []int32 {
+func (s *Scratch) nfTargets(f *graph.Frozen, u, sender int32, kMin int, rng *xrand.RNG) []int32 {
 	cand := s.cand[:0]
-	for _, w := range v.Neighbors(int(u)) {
+	for _, w := range f.Neighbors(int(u)) {
 		if w != sender {
 			cand = append(cand, w)
 		}
@@ -196,13 +202,13 @@ func (s *Scratch) nfTargets(v graph.View, u, sender int32, kMin int, rng *xrand.
 
 // NormalizedFlood runs NF search from src, exactly as the package-level
 // NormalizedFlood, reusing s's buffers. The Result aliases s.
-func (s *Scratch) NormalizedFlood(g *graph.Graph, src, maxTTL, kMin int, rng *xrand.RNG) (Result, error) {
+func (s *Scratch) NormalizedFlood(f *graph.Frozen, src, maxTTL, kMin int, rng *xrand.RNG) (Result, error) {
 	s.reset()
-	return s.normalizedFlood(g, src, maxTTL, kMin, rng)
+	return s.normalizedFlood(f, src, maxTTL, kMin, rng)
 }
 
-func (s *Scratch) normalizedFlood(g *graph.Graph, src, maxTTL, kMin int, rng *xrand.RNG) (Result, error) {
-	if err := validate(g, src, maxTTL); err != nil {
+func (s *Scratch) normalizedFlood(f *graph.Frozen, src, maxTTL, kMin int, rng *xrand.RNG) (Result, error) {
+	if err := validate(f, src, maxTTL); err != nil {
 		return Result{}, err
 	}
 	if kMin < 1 {
@@ -211,8 +217,7 @@ func (s *Scratch) normalizedFlood(g *graph.Graph, src, maxTTL, kMin int, rng *xr
 	if rng == nil {
 		rng = xrand.New(0)
 	}
-	v := g.View()
-	s.ensure(v.N())
+	s.ensure(f.N())
 	ep := s.newEpoch()
 	res := Result{
 		Hits:     s.intBuf(maxTTL + 1),
@@ -238,7 +243,7 @@ func (s *Scratch) normalizedFlood(g *graph.Graph, src, maxTTL, kMin int, rng *xr
 		if du == maxTTL {
 			continue
 		}
-		targets := s.nfTargets(v, u, sender, kMin, rng)
+		targets := s.nfTargets(f, u, sender, kMin, rng)
 		msgs += len(targets)
 		for _, w := range targets {
 			if s.mark[w] != ep {
@@ -263,19 +268,19 @@ func (s *Scratch) normalizedFlood(g *graph.Graph, src, maxTTL, kMin int, rng *xr
 // RandomWalk runs a non-backtracking walk of exactly `steps` hops, exactly
 // as the package-level RandomWalk, reusing s's buffers. The Result aliases
 // s.
-func (s *Scratch) RandomWalk(g *graph.Graph, src, steps int, rng *xrand.RNG) (Result, error) {
+func (s *Scratch) RandomWalk(f *graph.Frozen, src, steps int, rng *xrand.RNG) (Result, error) {
 	s.reset()
-	return s.randomWalk(g, src, steps, rng)
+	return s.randomWalk(f, src, steps, rng)
 }
 
-func (s *Scratch) randomWalk(g *graph.Graph, src, steps int, rng *xrand.RNG) (Result, error) {
-	if err := validate(g, src, steps); err != nil {
+func (s *Scratch) randomWalk(f *graph.Frozen, src, steps int, rng *xrand.RNG) (Result, error) {
+	if err := validate(f, src, steps); err != nil {
 		return Result{}, err
 	}
 	if rng == nil {
 		rng = xrand.New(0)
 	}
-	s.ensure(g.N())
+	s.ensure(f.N())
 	ep := s.newEpoch()
 	res := Result{
 		Hits:     s.intBuf(steps + 1),
@@ -285,26 +290,21 @@ func (s *Scratch) randomWalk(g *graph.Graph, src, steps int, rng *xrand.RNG) (Re
 	hits := 1
 	res.Hits[0] = 1
 	cur, prev := src, -1
-	for t := 1; t <= steps; t++ {
-		next := g.RandomNeighborExcluding(cur, prev, rng)
-		if next < 0 {
-			// Dead end: backtrack if possible, else the walk is stuck on
-			// an isolated node.
-			if prev >= 0 {
-				next = prev
-			} else {
-				res.Hits[t] = hits
-				res.Messages[t] = res.Messages[t-1]
-				continue
-			}
+	for step := 1; step <= steps; step++ {
+		next, ok := Step(f, cur, prev, rng)
+		if !ok {
+			// Stuck on an isolated node: the walk cannot move.
+			res.Hits[step] = hits
+			res.Messages[step] = res.Messages[step-1]
+			continue
 		}
 		prev, cur = cur, next
 		if s.mark[cur] != ep {
 			s.mark[cur] = ep
 			hits++
 		}
-		res.Hits[t] = hits
-		res.Messages[t] = t
+		res.Hits[step] = hits
+		res.Messages[step] = step
 	}
 	return res, nil
 }
@@ -312,14 +312,14 @@ func (s *Scratch) randomWalk(g *graph.Graph, src, steps int, rng *xrand.RNG) (Re
 // RandomWalkWithNFBudget runs the paper's §V-B RW normalization, exactly as
 // the package-level RandomWalkWithNFBudget, reusing s's buffers. Both
 // returned Results alias s.
-func (s *Scratch) RandomWalkWithNFBudget(g *graph.Graph, src, maxTTL, kMin int, rng *xrand.RNG) (rw, nf Result, err error) {
+func (s *Scratch) RandomWalkWithNFBudget(f *graph.Frozen, src, maxTTL, kMin int, rng *xrand.RNG) (rw, nf Result, err error) {
 	s.reset()
-	nf, err = s.normalizedFlood(g, src, maxTTL, kMin, rng)
+	nf, err = s.normalizedFlood(f, src, maxTTL, kMin, rng)
 	if err != nil {
 		return Result{}, Result{}, err
 	}
 	budget := nf.Messages[maxTTL]
-	walk, err := s.randomWalk(g, src, budget, rng)
+	walk, err := s.randomWalk(f, src, budget, rng)
 	if err != nil {
 		return Result{}, Result{}, err
 	}
@@ -340,13 +340,12 @@ func (s *Scratch) RandomWalkWithNFBudget(g *graph.Graph, src, maxTTL, kMin int, 
 // discovered node; visit returning false stops the sweep early. It is the
 // allocation-free counterpart of graph.BFSWithin, used by the content
 // layer's flooding query resolver.
-func (s *Scratch) FloodVisit(g *graph.Graph, src, maxTTL int, visit func(node, depth int) bool) error {
-	if err := validate(g, src, maxTTL); err != nil {
+func (s *Scratch) FloodVisit(f *graph.Frozen, src, maxTTL int, visit func(node, depth int) bool) error {
+	if err := validate(f, src, maxTTL); err != nil {
 		return err
 	}
 	s.reset()
-	v := g.View()
-	s.ensure(v.N())
+	s.ensure(f.N())
 	ep := s.newEpoch()
 	s.mark[src] = ep
 	s.depth[src] = 0
@@ -360,7 +359,7 @@ func (s *Scratch) FloodVisit(g *graph.Graph, src, maxTTL int, visit func(node, d
 		if du == maxTTL {
 			continue
 		}
-		for _, w := range v.Neighbors(int(u)) {
+		for _, w := range f.Neighbors(int(u)) {
 			if s.mark[w] != ep {
 				s.mark[w] = ep
 				s.depth[w] = int32(du + 1)
@@ -374,16 +373,15 @@ func (s *Scratch) FloodVisit(g *graph.Graph, src, maxTTL int, visit func(node, d
 
 // FloodLoad runs flooding from src exactly as the package-level FloodLoad,
 // reusing s's buffers for the visited set and frontier.
-func (s *Scratch) FloodLoad(g *graph.Graph, src, maxTTL int, load *Load) error {
-	if err := validate(g, src, maxTTL); err != nil {
+func (s *Scratch) FloodLoad(f *graph.Frozen, src, maxTTL int, load *Load) error {
+	if err := validate(f, src, maxTTL); err != nil {
 		return err
 	}
-	if err := load.check(g); err != nil {
+	if err := load.check(f); err != nil {
 		return err
 	}
 	s.reset()
-	v := g.View()
-	s.ensure(v.N())
+	s.ensure(f.N())
 	ep := s.newEpoch()
 	s.mark[src] = ep
 	s.depth[src] = 0
@@ -395,7 +393,7 @@ func (s *Scratch) FloodLoad(g *graph.Graph, src, maxTTL int, load *Load) error {
 		if du == maxTTL {
 			continue
 		}
-		for _, w := range v.Neighbors(int(u)) {
+		for _, w := range f.Neighbors(int(u)) {
 			if w == sender {
 				continue
 			}
@@ -415,22 +413,21 @@ func (s *Scratch) FloodLoad(g *graph.Graph, src, maxTTL int, load *Load) error {
 
 // NormalizedFloodLoad runs NF from src exactly as the package-level
 // NormalizedFloodLoad, reusing s's buffers.
-func (s *Scratch) NormalizedFloodLoad(g *graph.Graph, src, maxTTL, kMin int, rng *xrand.RNG, load *Load) error {
-	if err := validate(g, src, maxTTL); err != nil {
+func (s *Scratch) NormalizedFloodLoad(f *graph.Frozen, src, maxTTL, kMin int, rng *xrand.RNG, load *Load) error {
+	if err := validate(f, src, maxTTL); err != nil {
 		return err
 	}
 	if kMin < 1 {
 		return errBadKMin(kMin)
 	}
-	if err := load.check(g); err != nil {
+	if err := load.check(f); err != nil {
 		return err
 	}
 	if rng == nil {
 		rng = xrand.New(0)
 	}
 	s.reset()
-	v := g.View()
-	s.ensure(v.N())
+	s.ensure(f.N())
 	ep := s.newEpoch()
 	s.mark[src] = ep
 	s.depth[src] = 0
@@ -442,7 +439,7 @@ func (s *Scratch) NormalizedFloodLoad(g *graph.Graph, src, maxTTL, kMin int, rng
 		if du == maxTTL {
 			continue
 		}
-		for _, w := range s.nfTargets(v, u, sender, kMin, rng) {
+		for _, w := range s.nfTargets(f, u, sender, kMin, rng) {
 			load.Forwards[u]++
 			load.Receipts[w]++
 			if s.mark[w] != ep {

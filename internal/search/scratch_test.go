@@ -20,6 +20,12 @@ func scratchTestGraph(t testing.TB) *graph.Graph {
 	return g
 }
 
+// scratchTestFrozen is the CSR snapshot of scratchTestGraph, the form the
+// Scratch kernels consume.
+func scratchTestFrozen(t testing.TB) *graph.Frozen {
+	return scratchTestGraph(t).Freeze()
+}
+
 func sameResult(t *testing.T, name string, a, b Result) {
 	t.Helper()
 	if len(a.Hits) != len(b.Hits) || len(a.Messages) != len(b.Messages) {
@@ -45,13 +51,14 @@ func sameResult(t *testing.T, name string, a, b Result) {
 func TestScratchMatchesPackageFunctions(t *testing.T) {
 	t.Parallel()
 	g := scratchTestGraph(t)
+	f := g.Freeze()
 	s := NewScratch(0) // deliberately unsized: buffers must grow on demand
 	for _, src := range []int{0, 7, 99, 1234} {
 		a, err := Flood(g, src, 6)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := s.Flood(g, src, 6)
+		b, err := s.Flood(f, src, 6)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -61,7 +68,7 @@ func TestScratchMatchesPackageFunctions(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		bn, err := s.NormalizedFlood(g, src, 6, 2, xrand.New(5))
+		bn, err := s.NormalizedFlood(f, src, 6, 2, xrand.New(5))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -71,7 +78,7 @@ func TestScratchMatchesPackageFunctions(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		bw, err := s.RandomWalk(g, src, 500, xrand.New(7))
+		bw, err := s.RandomWalk(f, src, 500, xrand.New(7))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -81,7 +88,7 @@ func TestScratchMatchesPackageFunctions(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		brw, bnf, err := s.RandomWalkWithNFBudget(g, src, 6, 2, xrand.New(9))
+		brw, bnf, err := s.RandomWalkWithNFBudget(f, src, 6, 2, xrand.New(9))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -95,13 +102,14 @@ func TestScratchMatchesPackageFunctions(t *testing.T) {
 func TestScratchLoadMatchesPackageFunctions(t *testing.T) {
 	t.Parallel()
 	g := scratchTestGraph(t)
-	s := NewScratch(g.N())
+	f := g.Freeze()
+	s := NewScratch(f.N())
 	for _, src := range []int{3, 42} {
 		la, lb := NewLoad(g.N()), NewLoad(g.N())
-		if err := FloodLoad(g, src, 5, la); err != nil {
+		if err := FloodLoad(f, src, 5, la); err != nil {
 			t.Fatal(err)
 		}
-		if err := s.FloodLoad(g, src, 5, lb); err != nil {
+		if err := s.FloodLoad(f, src, 5, lb); err != nil {
 			t.Fatal(err)
 		}
 		for v := range la.Forwards {
@@ -111,10 +119,10 @@ func TestScratchLoadMatchesPackageFunctions(t *testing.T) {
 		}
 
 		la, lb = NewLoad(g.N()), NewLoad(g.N())
-		if err := NormalizedFloodLoad(g, src, 5, 2, xrand.New(13), la); err != nil {
+		if err := NormalizedFloodLoad(f, src, 5, 2, xrand.New(13), la); err != nil {
 			t.Fatal(err)
 		}
-		if err := s.NormalizedFloodLoad(g, src, 5, 2, xrand.New(13), lb); err != nil {
+		if err := s.NormalizedFloodLoad(f, src, 5, 2, xrand.New(13), lb); err != nil {
 			t.Fatal(err)
 		}
 		for v := range la.Forwards {
@@ -130,6 +138,7 @@ func TestScratchLoadMatchesPackageFunctions(t *testing.T) {
 func TestFloodVisitMatchesBFSWithin(t *testing.T) {
 	t.Parallel()
 	g := scratchTestGraph(t)
+	f := g.Freeze()
 	s := NewScratch(0)
 	type visitRec struct{ node, depth int }
 	for _, ttl := range []int{0, 1, 3} {
@@ -138,7 +147,7 @@ func TestFloodVisitMatchesBFSWithin(t *testing.T) {
 			want = append(want, visitRec{node, depth})
 			return true
 		})
-		if err := s.FloodVisit(g, 50, ttl, func(node, depth int) bool {
+		if err := s.FloodVisit(f, 50, ttl, func(node, depth int) bool {
 			got = append(got, visitRec{node, depth})
 			return true
 		}); err != nil {
@@ -155,7 +164,7 @@ func TestFloodVisitMatchesBFSWithin(t *testing.T) {
 	}
 	// Early stop after 3 visits.
 	count := 0
-	if err := s.FloodVisit(g, 50, 3, func(node, depth int) bool {
+	if err := s.FloodVisit(f, 50, 3, func(node, depth int) bool {
 		count++
 		return count < 3
 	}); err != nil {
@@ -165,7 +174,7 @@ func TestFloodVisitMatchesBFSWithin(t *testing.T) {
 		t.Fatalf("early stop visited %d nodes, want 3", count)
 	}
 	// Errors propagate.
-	if err := s.FloodVisit(g, -1, 3, func(int, int) bool { return true }); err == nil {
+	if err := s.FloodVisit(f, -1, 3, func(int, int) bool { return true }); err == nil {
 		t.Fatal("bad source should error")
 	}
 }
@@ -174,18 +183,18 @@ func TestFloodVisitMatchesBFSWithin(t *testing.T) {
 // the package functions do.
 func TestScratchValidation(t *testing.T) {
 	t.Parallel()
-	g := scratchTestGraph(t)
+	f := scratchTestFrozen(t)
 	s := NewScratch(0)
-	if _, err := s.Flood(g, -1, 3); err == nil {
+	if _, err := s.Flood(f, -1, 3); err == nil {
 		t.Fatal("bad source should error")
 	}
-	if _, err := s.Flood(g, 0, -1); err == nil {
+	if _, err := s.Flood(f, 0, -1); err == nil {
 		t.Fatal("negative TTL should error")
 	}
-	if _, err := s.NormalizedFlood(g, 0, 3, 0, xrand.New(1)); err == nil {
+	if _, err := s.NormalizedFlood(f, 0, 3, 0, xrand.New(1)); err == nil {
 		t.Fatal("kMin=0 should error")
 	}
-	if _, err := s.RandomWalk(g, g.N(), 3, xrand.New(1)); err == nil {
+	if _, err := s.RandomWalk(f, f.N(), 3, xrand.New(1)); err == nil {
 		t.Fatal("out-of-range source should error")
 	}
 }
@@ -194,15 +203,15 @@ func TestScratchValidation(t *testing.T) {
 // checks the visited marks are rebuilt rather than misread.
 func TestScratchEpochWrap(t *testing.T) {
 	t.Parallel()
-	g := scratchTestGraph(t)
-	s := NewScratch(g.N())
-	want, err := s.Flood(g, 1, 5)
+	f := scratchTestFrozen(t)
+	s := NewScratch(f.N())
+	want, err := s.Flood(f, 1, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
 	wantHits := append([]int(nil), want.Hits...)
 	s.epoch = math.MaxInt32 // next newEpoch must clear and restart
-	got, err := s.Flood(g, 1, 5)
+	got, err := s.Flood(f, 1, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,17 +231,17 @@ func TestScratchGrowsAcrossGraphs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	big := scratchTestGraph(t)
+	big := scratchTestFrozen(t)
 	s := NewScratch(0)
-	for _, g := range []*graph.Graph{small, big, small, big} {
-		res, err := s.Flood(g, 0, 30)
+	for _, f := range []*graph.Frozen{small.Freeze(), big, small.Freeze(), big} {
+		res, err := s.Flood(f, 0, 30)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if res.HitsAt(30) != g.N() {
+		if res.HitsAt(30) != f.N() {
 			// Both graphs are connected PA graphs; a 30-hop flood covers
 			// them entirely.
-			t.Fatalf("flood on n=%d covered %d nodes", g.N(), res.HitsAt(30))
+			t.Fatalf("flood on n=%d covered %d nodes", f.N(), res.HitsAt(30))
 		}
 	}
 }
@@ -243,15 +252,15 @@ func TestScratchGrowsAcrossGraphs(t *testing.T) {
 // topology allocate nothing.
 
 func TestScratchFloodZeroAllocs(t *testing.T) {
-	g := scratchTestGraph(t)
-	s := NewScratch(g.N())
+	f := scratchTestFrozen(t)
+	s := NewScratch(f.N())
 	// Warmup: a full-coverage flood grows the frontier queue to its
 	// maximum (N) and sizes the result arena.
-	if _, err := s.Flood(g, 17, 30); err != nil {
+	if _, err := s.Flood(f, 17, 30); err != nil {
 		t.Fatal(err)
 	}
 	allocs := testing.AllocsPerRun(100, func() {
-		if _, err := s.Flood(g, 17, 8); err != nil {
+		if _, err := s.Flood(f, 17, 8); err != nil {
 			t.Fatal(err)
 		}
 	})
@@ -261,14 +270,14 @@ func TestScratchFloodZeroAllocs(t *testing.T) {
 }
 
 func TestScratchRandomWalkZeroAllocs(t *testing.T) {
-	g := scratchTestGraph(t)
-	s := NewScratch(g.N())
+	f := scratchTestFrozen(t)
+	s := NewScratch(f.N())
 	rng := xrand.New(23)
-	if _, err := s.RandomWalk(g, 17, 2000, rng); err != nil {
+	if _, err := s.RandomWalk(f, 17, 2000, rng); err != nil {
 		t.Fatal(err)
 	}
 	allocs := testing.AllocsPerRun(100, func() {
-		if _, err := s.RandomWalk(g, 17, 2000, rng); err != nil {
+		if _, err := s.RandomWalk(f, 17, 2000, rng); err != nil {
 			t.Fatal(err)
 		}
 	})
@@ -278,26 +287,67 @@ func TestScratchRandomWalkZeroAllocs(t *testing.T) {
 }
 
 func TestScratchNormalizedFloodZeroAllocs(t *testing.T) {
-	g := scratchTestGraph(t)
-	s := NewScratch(g.N())
+	f := scratchTestFrozen(t)
+	s := NewScratch(f.N())
 	rng := xrand.New(29)
 	// Warmup: a full flood sizes the queues to N, and one NF pass sizes
 	// the candidate buffer; afterwards no NF search can need more.
-	if _, err := s.Flood(g, 17, 30); err != nil {
+	if _, err := s.Flood(f, 17, 30); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 8; i++ {
-		if _, err := s.NormalizedFlood(g, 17, 8, 2, rng); err != nil {
+		if _, err := s.NormalizedFlood(f, 17, 8, 2, rng); err != nil {
 			t.Fatal(err)
 		}
 	}
 	allocs := testing.AllocsPerRun(100, func() {
-		if _, err := s.NormalizedFlood(g, 17, 8, 2, rng); err != nil {
+		if _, err := s.NormalizedFlood(f, 17, 8, 2, rng); err != nil {
 			t.Fatal(err)
 		}
 	})
 	if allocs != 0 {
 		t.Fatalf("NormalizedFlood with reused scratch: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestScratchFloodVisitZeroAllocs(t *testing.T) {
+	f := scratchTestFrozen(t)
+	s := NewScratch(f.N())
+	visit := func(node, depth int) bool { return true }
+	if err := s.FloodVisit(f, 17, 30, visit); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := s.FloodVisit(f, 17, 8, visit); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("FloodVisit with reused scratch: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestScratchLoadKernelsZeroAllocs(t *testing.T) {
+	f := scratchTestFrozen(t)
+	s := NewScratch(f.N())
+	load := NewLoad(f.N())
+	rng := xrand.New(41)
+	if err := s.FloodLoad(f, 17, 30, load); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.NormalizedFloodLoad(f, 17, 8, 2, rng, load); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := s.FloodLoad(f, 17, 6, load); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.NormalizedFloodLoad(f, 17, 8, 2, rng, load); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("load kernels with reused scratch: %.1f allocs/op, want 0", allocs)
 	}
 }
 
@@ -307,12 +357,12 @@ func TestScratchNormalizedFloodZeroAllocs(t *testing.T) {
 // allocation-free kernels; run with `go test -bench=Scratch -benchmem`.
 
 func BenchmarkScratchFlood(b *testing.B) {
-	g := scratchTestGraph(b)
-	s := NewScratch(g.N())
+	f := scratchTestFrozen(b)
+	s := NewScratch(f.N())
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.Flood(g, i%g.N(), 8); err != nil {
+		if _, err := s.Flood(f, i%f.N(), 8); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -330,13 +380,13 @@ func BenchmarkFreshFlood(b *testing.B) {
 }
 
 func BenchmarkScratchNormalizedFlood(b *testing.B) {
-	g := scratchTestGraph(b)
-	s := NewScratch(g.N())
+	f := scratchTestFrozen(b)
+	s := NewScratch(f.N())
 	rng := xrand.New(31)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.NormalizedFlood(g, i%g.N(), 8, 2, rng); err != nil {
+		if _, err := s.NormalizedFlood(f, i%f.N(), 8, 2, rng); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -355,13 +405,13 @@ func BenchmarkFreshNormalizedFlood(b *testing.B) {
 }
 
 func BenchmarkScratchRandomWalkNFBudget(b *testing.B) {
-	g := scratchTestGraph(b)
-	s := NewScratch(g.N())
+	f := scratchTestFrozen(b)
+	s := NewScratch(f.N())
 	rng := xrand.New(37)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := s.RandomWalkWithNFBudget(g, i%g.N(), 8, 2, rng); err != nil {
+		if _, _, err := s.RandomWalkWithNFBudget(f, i%f.N(), 8, 2, rng); err != nil {
 			b.Fatal(err)
 		}
 	}

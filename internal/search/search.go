@@ -75,14 +75,32 @@ func (r Result) MessagesAt(t int) int {
 	return r.Messages[t]
 }
 
-func validate(g *graph.Graph, src, maxTTL int) error {
-	if src < 0 || src >= g.N() {
-		return fmt.Errorf("%w: %d (n=%d)", ErrBadSource, src, g.N())
+func validate(f *graph.Frozen, src, maxTTL int) error {
+	if src < 0 || src >= f.N() {
+		return fmt.Errorf("%w: %d (n=%d)", ErrBadSource, src, f.N())
 	}
 	if maxTTL < 0 {
 		return fmt.Errorf("%w: %d", ErrBadTTL, maxTTL)
 	}
 	return nil
+}
+
+// Step advances a non-backtracking walker one hop: a uniformly random
+// neighbor of cur excluding prev, backtracking to prev when cur is a dead
+// end. ok is false only when the walker cannot move at all (an isolated
+// node with no previous position). It is the single per-hop primitive
+// behind RandomWalk, KRandomWalks, HybridSearch, the delivery walkers, the
+// load profiles, and the content layer's replica probing, so their RNG
+// consumption can never diverge.
+func Step(f *graph.Frozen, cur, prev int, rng *xrand.RNG) (next int, ok bool) {
+	next = f.RandomNeighborExcluding(cur, prev, rng)
+	if next < 0 {
+		if prev < 0 {
+			return -1, false
+		}
+		next = prev // dead end: backtrack, the convention for walks on trees
+	}
+	return next, true
 }
 
 func errBadKMin(kMin int) error {
@@ -98,11 +116,12 @@ func errBadKMin(kMin int) error {
 // approaches N as t grows (Figs. 6–8), while on CM with m=1 it saturates at
 // the source's component size (§V-B1).
 //
-// Flood allocates its working buffers per call; hot paths that search the
-// same topology repeatedly should use Scratch.Flood instead.
+// Flood freezes g and allocates its working buffers per call; hot paths
+// that search the same topology repeatedly should Freeze once and use
+// Scratch.Flood instead.
 func Flood(g *graph.Graph, src, maxTTL int) (Result, error) {
 	var s Scratch
-	return s.Flood(g, src, maxTTL)
+	return s.Flood(g.Freeze(), src, maxTTL)
 }
 
 // NormalizedFlood runs NF search from src (§V-A2). kMin is the network's
@@ -114,11 +133,11 @@ func Flood(g *graph.Graph, src, maxTTL int) (Result, error) {
 // NF is randomized: the paper averages hits over many sources and
 // realizations (internal/sim does the averaging).
 //
-// NormalizedFlood allocates its working buffers per call; hot paths should
-// use Scratch.NormalizedFlood instead.
+// NormalizedFlood freezes g and allocates its working buffers per call;
+// hot paths should Freeze once and use Scratch.NormalizedFlood instead.
 func NormalizedFlood(g *graph.Graph, src, maxTTL, kMin int, rng *xrand.RNG) (Result, error) {
 	var s Scratch
-	return s.NormalizedFlood(g, src, maxTTL, kMin, rng)
+	return s.NormalizedFlood(g.Freeze(), src, maxTTL, kMin, rng)
 }
 
 // RandomWalk runs a random walk of exactly `steps` hops from src (§V-A3).
@@ -128,11 +147,11 @@ func NormalizedFlood(g *graph.Graph, src, maxTTL, kMin int, rng *xrand.RNG) (Res
 // standard convention for non-backtracking walks on trees. Hits[t] counts
 // distinct nodes seen within the first t steps; Messages[t] == t.
 //
-// RandomWalk allocates its working buffers per call; hot paths should use
-// Scratch.RandomWalk instead.
+// RandomWalk freezes g and allocates its working buffers per call; hot
+// paths should Freeze once and use Scratch.RandomWalk instead.
 func RandomWalk(g *graph.Graph, src, steps int, rng *xrand.RNG) (Result, error) {
 	var s Scratch
-	return s.RandomWalk(g, src, steps, rng)
+	return s.RandomWalk(g.Freeze(), src, steps, rng)
 }
 
 // RandomWalkWithNFBudget reproduces the paper's RW normalization (§V-B):
@@ -143,9 +162,10 @@ func RandomWalk(g *graph.Graph, src, steps int, rng *xrand.RNG) (Result, error) 
 // walk, reading hits at each budget point. Returns the RW result (indexed
 // by NF-τ) and the NF result that defined the budget.
 //
-// RandomWalkWithNFBudget allocates its working buffers per call; hot paths
-// should use Scratch.RandomWalkWithNFBudget instead.
+// RandomWalkWithNFBudget freezes g and allocates its working buffers per
+// call; hot paths should Freeze once and use Scratch.RandomWalkWithNFBudget
+// instead.
 func RandomWalkWithNFBudget(g *graph.Graph, src, maxTTL, kMin int, rng *xrand.RNG) (rw, nf Result, err error) {
 	var s Scratch
-	return s.RandomWalkWithNFBudget(g, src, maxTTL, kMin, rng)
+	return s.RandomWalkWithNFBudget(g.Freeze(), src, maxTTL, kMin, rng)
 }

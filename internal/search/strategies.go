@@ -18,7 +18,8 @@ package search
 //     continue from frontier nodes.
 //
 // All three report Result in the same Hits/Messages form as FL/NF/RW so
-// internal/sim can sweep them with the same harness.
+// internal/sim can sweep them with the same harness, and all three read
+// the topology through the CSR *graph.Frozen.
 
 import (
 	"fmt"
@@ -36,8 +37,8 @@ var ErrBadProb = fmt.Errorf("search: forwarding probability must be in [0,1]")
 // neighbor has been visited it falls back to a uniformly random neighbor
 // excluding the one it just came from, as in RandomWalk. Hits[t] counts
 // distinct nodes seen within the first t steps; Messages[t] == t.
-func HighDegreeWalk(g *graph.Graph, src, steps int, rng *xrand.RNG) (Result, error) {
-	if err := validate(g, src, steps); err != nil {
+func HighDegreeWalk(f *graph.Frozen, src, steps int, rng *xrand.RNG) (Result, error) {
+	if err := validate(f, src, steps); err != nil {
 		return Result{}, err
 	}
 	if rng == nil {
@@ -47,22 +48,18 @@ func HighDegreeWalk(g *graph.Graph, src, steps int, rng *xrand.RNG) (Result, err
 		Hits:     make([]int, steps+1),
 		Messages: make([]int, steps+1),
 	}
-	visited := make([]bool, g.N())
+	visited := make([]bool, f.N())
 	visited[src] = true
 	hits := 1
 	res.Hits[0] = 1
 	cur, prev := src, -1
 	for t := 1; t <= steps; t++ {
-		next := bestUnvisitedNeighbor(g, cur, visited, rng)
+		next := bestUnvisitedNeighbor(f, cur, visited, rng)
 		if next < 0 {
-			next = g.RandomNeighborExcluding(cur, prev, rng)
-		}
-		if next < 0 {
-			// Dead end: backtrack if possible, else the walker is stuck on
-			// an isolated node.
-			if prev >= 0 {
-				next = prev
-			} else {
+			var ok bool
+			next, ok = Step(f, cur, prev, rng)
+			if !ok {
+				// Stuck on an isolated node.
 				res.Hits[t] = hits
 				res.Messages[t] = res.Messages[t-1]
 				continue
@@ -82,13 +79,13 @@ func HighDegreeWalk(g *graph.Graph, src, steps int, rng *xrand.RNG) (Result, err
 // bestUnvisitedNeighbor returns the highest-degree neighbor of u that has
 // not been visited, breaking ties uniformly at random, or -1 when every
 // neighbor is visited (or u has none).
-func bestUnvisitedNeighbor(g *graph.Graph, u int, visited []bool, rng *xrand.RNG) int {
+func bestUnvisitedNeighbor(f *graph.Frozen, u int, visited []bool, rng *xrand.RNG) int {
 	best, bestDeg, ties := -1, -1, 0
-	for _, v := range g.Neighbors(u) {
+	for _, v := range f.Neighbors(u) {
 		if visited[v] {
 			continue
 		}
-		d := g.Degree(int(v))
+		d := f.Degree(int(v))
 		switch {
 		case d > bestDeg:
 			best, bestDeg, ties = int(v), d, 1
@@ -109,8 +106,8 @@ func bestUnvisitedNeighbor(g *graph.Graph, u int, visited []bool, rng *xrand.RNG
 // neighbor other than the sender independently with probability p. With
 // p=1 the result is identical to Flood. Duplicate receipts are suppressed
 // exactly as in Flood.
-func ProbabilisticFlood(g *graph.Graph, src, maxTTL int, p float64, rng *xrand.RNG) (Result, error) {
-	if err := validate(g, src, maxTTL); err != nil {
+func ProbabilisticFlood(f *graph.Frozen, src, maxTTL int, p float64, rng *xrand.RNG) (Result, error) {
+	if err := validate(f, src, maxTTL); err != nil {
 		return Result{}, err
 	}
 	if p < 0 || p > 1 {
@@ -127,7 +124,7 @@ func ProbabilisticFlood(g *graph.Graph, src, maxTTL int, p float64, rng *xrand.R
 		node int32
 		from int32 // sender; -1 for the source
 	}
-	depth := make([]int32, g.N())
+	depth := make([]int32, f.N())
 	for i := range depth {
 		depth[i] = -1
 	}
@@ -149,7 +146,7 @@ func ProbabilisticFlood(g *graph.Graph, src, maxTTL int, p float64, rng *xrand.R
 		if du == maxTTL {
 			continue
 		}
-		for _, v := range g.Neighbors(int(it.node)) {
+		for _, v := range f.Neighbors(int(it.node)) {
 			if v == it.from {
 				continue
 			}
@@ -183,8 +180,8 @@ func ProbabilisticFlood(g *graph.Graph, src, maxTTL int, p float64, rng *xrand.R
 // Hits[0..floodTTL] is the flood phase and Hits[floodTTL+s] adds the
 // distinct nodes the walkers reached within their first s steps.
 // Messages follows the same axis (flood transmissions, then walkers·s).
-func HybridSearch(g *graph.Graph, src, floodTTL, walkers, steps int, rng *xrand.RNG) (Result, error) {
-	if err := validate(g, src, floodTTL); err != nil {
+func HybridSearch(f *graph.Frozen, src, floodTTL, walkers, steps int, rng *xrand.RNG) (Result, error) {
+	if err := validate(f, src, floodTTL); err != nil {
 		return Result{}, err
 	}
 	if walkers < 1 {
@@ -196,13 +193,14 @@ func HybridSearch(g *graph.Graph, src, floodTTL, walkers, steps int, rng *xrand.
 	if rng == nil {
 		rng = xrand.New(0)
 	}
-	flood, err := Flood(g, src, floodTTL)
+	var scratch Scratch
+	flood, err := scratch.Flood(f, src, floodTTL)
 	if err != nil {
 		return Result{}, err
 	}
 	// Recover the flood's coverage and outermost frontier from BFS depths.
-	dist := g.BFS(src)
-	covered := make([]bool, g.N())
+	dist := f.BFS(src)
+	covered := make([]bool, f.N())
 	var frontier []int
 	var ball []int
 	for v, d := range dist {
@@ -230,19 +228,16 @@ func HybridSearch(g *graph.Graph, src, floodTTL, walkers, steps int, rng *xrand.
 
 	// firstSeen[v] is the earliest per-walker step at which any walker
 	// reached an uncovered node v; -1 means never.
-	firstSeen := make([]int32, g.N())
+	firstSeen := make([]int32, f.N())
 	for i := range firstSeen {
 		firstSeen[i] = -1
 	}
 	for w := 0; w < walkers; w++ {
 		cur, prev := starts[rng.Intn(len(starts))], -1
 		for t := 1; t <= steps; t++ {
-			next := g.RandomNeighborExcluding(cur, prev, rng)
-			if next < 0 {
-				if prev < 0 {
-					break
-				}
-				next = prev
+			next, ok := Step(f, cur, prev, rng)
+			if !ok {
+				break
 			}
 			prev, cur = cur, next
 			if !covered[cur] && (firstSeen[cur] < 0 || int32(t) < firstSeen[cur]) {

@@ -22,10 +22,10 @@ func paGraph(t testing.TB, n, m int, seed uint64) *graph.Graph {
 func TestHighDegreeWalkValidation(t *testing.T) {
 	t.Parallel()
 	g := star(t, 4)
-	if _, err := HighDegreeWalk(g, -1, 2, nil); err == nil {
+	if _, err := HighDegreeWalk(g.Freeze(), -1, 2, nil); err == nil {
 		t.Error("negative source should fail")
 	}
-	if _, err := HighDegreeWalk(g, 0, -1, nil); err == nil {
+	if _, err := HighDegreeWalk(g.Freeze(), 0, -1, nil); err == nil {
 		t.Error("negative steps should fail")
 	}
 }
@@ -35,7 +35,7 @@ func TestHighDegreeWalkPrefersHub(t *testing.T) {
 	// Leaf 1's only move is the hub; from the hub the walk must pick an
 	// unvisited leaf, never revisit immediately.
 	g := star(t, 8)
-	res, err := HighDegreeWalk(g, 1, 4, xrand.New(1))
+	res, err := HighDegreeWalk(g.Freeze(), 1, 4, xrand.New(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +60,7 @@ func TestHighDegreeWalkTwoHubs(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	res, err := HighDegreeWalk(g, 2, 2, xrand.New(7))
+	res, err := HighDegreeWalk(g.Freeze(), 2, 2, xrand.New(7))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +72,7 @@ func TestHighDegreeWalkTwoHubs(t *testing.T) {
 func TestHighDegreeWalkIsolatedSource(t *testing.T) {
 	t.Parallel()
 	g := graph.New(3)
-	res, err := HighDegreeWalk(g, 0, 5, xrand.New(1))
+	res, err := HighDegreeWalk(g.Freeze(), 0, 5, xrand.New(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +93,7 @@ func TestHighDegreeWalkBeatsBlindWalkOnPA(t *testing.T) {
 	var hd, blind int
 	for trial := 0; trial < 20; trial++ {
 		src := rng.Intn(g.N())
-		rh, err := HighDegreeWalk(g, src, steps, rng)
+		rh, err := HighDegreeWalk(g.Freeze(), src, steps, rng)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -112,7 +112,7 @@ func TestHighDegreeWalkBeatsBlindWalkOnPA(t *testing.T) {
 func TestHighDegreeWalkHitsMonotone(t *testing.T) {
 	t.Parallel()
 	g := paGraph(t, 500, 2, 3)
-	res, err := HighDegreeWalk(g, 0, 100, xrand.New(5))
+	res, err := HighDegreeWalk(g.Freeze(), 0, 100, xrand.New(5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,13 +126,13 @@ func TestHighDegreeWalkHitsMonotone(t *testing.T) {
 func TestProbabilisticFloodValidation(t *testing.T) {
 	t.Parallel()
 	g := star(t, 4)
-	if _, err := ProbabilisticFlood(g, 0, 2, -0.1, nil); err == nil {
+	if _, err := ProbabilisticFlood(g.Freeze(), 0, 2, -0.1, nil); err == nil {
 		t.Error("p < 0 should fail")
 	}
-	if _, err := ProbabilisticFlood(g, 0, 2, 1.1, nil); err == nil {
+	if _, err := ProbabilisticFlood(g.Freeze(), 0, 2, 1.1, nil); err == nil {
 		t.Error("p > 1 should fail")
 	}
-	if _, err := ProbabilisticFlood(g, 9, 2, 0.5, nil); err == nil {
+	if _, err := ProbabilisticFlood(g.Freeze(), 9, 2, 0.5, nil); err == nil {
 		t.Error("bad source should fail")
 	}
 }
@@ -145,7 +145,7 @@ func TestProbabilisticFloodP1EqualsFlood(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := ProbabilisticFlood(g, src, 6, 1, xrand.New(1))
+		got, err := ProbabilisticFlood(g.Freeze(), src, 6, 1, xrand.New(1))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -166,7 +166,7 @@ func TestProbabilisticFloodP0OnlySourceNeighborhood(t *testing.T) {
 	// closed neighborhood regardless of TTL.
 	g := paGraph(t, 500, 2, 13)
 	src := 0
-	res, err := ProbabilisticFlood(g, src, 8, 0, xrand.New(2))
+	res, err := ProbabilisticFlood(g.Freeze(), src, 8, 0, xrand.New(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +193,7 @@ func TestProbabilisticFloodCoverageBetween(t *testing.T) {
 	var hits, msgs int
 	const trials = 10
 	for i := 0; i < trials; i++ {
-		res, err := ProbabilisticFlood(g, src, 5, 0.5, rng)
+		res, err := ProbabilisticFlood(g.Freeze(), src, 5, 0.5, rng)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -218,11 +218,11 @@ func TestProbabilisticFloodCoverageBetween(t *testing.T) {
 func TestProbabilisticFloodDeterministicWithSeed(t *testing.T) {
 	t.Parallel()
 	g := paGraph(t, 600, 2, 23)
-	a, err := ProbabilisticFlood(g, 2, 6, 0.4, xrand.New(77))
+	a, err := ProbabilisticFlood(g.Freeze(), 2, 6, 0.4, xrand.New(77))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := ProbabilisticFlood(g, 2, 6, 0.4, xrand.New(77))
+	b, err := ProbabilisticFlood(g.Freeze(), 2, 6, 0.4, xrand.New(77))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,13 +236,13 @@ func TestProbabilisticFloodDeterministicWithSeed(t *testing.T) {
 func TestHybridSearchValidation(t *testing.T) {
 	t.Parallel()
 	g := star(t, 5)
-	if _, err := HybridSearch(g, -1, 1, 1, 5, nil); err == nil {
+	if _, err := HybridSearch(g.Freeze(), -1, 1, 1, 5, nil); err == nil {
 		t.Error("bad source should fail")
 	}
-	if _, err := HybridSearch(g, 0, 1, 0, 5, nil); err == nil {
+	if _, err := HybridSearch(g.Freeze(), 0, 1, 0, 5, nil); err == nil {
 		t.Error("zero walkers should fail")
 	}
-	if _, err := HybridSearch(g, 0, 1, 1, -1, nil); err == nil {
+	if _, err := HybridSearch(g.Freeze(), 0, 1, 1, -1, nil); err == nil {
 		t.Error("negative steps should fail")
 	}
 }
@@ -255,7 +255,7 @@ func TestHybridSearchFloodPhaseMatchesFlood(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := HybridSearch(g, src, floodTTL, 4, 20, xrand.New(9))
+	res, err := HybridSearch(g.Freeze(), src, floodTTL, 4, 20, xrand.New(9))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -273,7 +273,7 @@ func TestHybridSearchWalkPhaseExtendsCoverage(t *testing.T) {
 	t.Parallel()
 	g := paGraph(t, 3000, 2, 37)
 	src, floodTTL, walkers, steps := 0, 2, 8, 150
-	res, err := HybridSearch(g, src, floodTTL, walkers, steps, xrand.New(13))
+	res, err := HybridSearch(g.Freeze(), src, floodTTL, walkers, steps, xrand.New(13))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -303,7 +303,7 @@ func TestHybridSearchZeroStepsIsFlood(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := HybridSearch(g, 3, 4, 2, 0, xrand.New(1))
+	res, err := HybridSearch(g.Freeze(), 3, 4, 2, 0, xrand.New(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -322,7 +322,7 @@ func TestHybridSearchSmallComponentFrontierFallback(t *testing.T) {
 	// A flood that sweeps its whole component leaves an empty frontier;
 	// the walkers must still start (from within the ball) without panic.
 	g := pathN(t, 4) // diameter 3 < floodTTL
-	res, err := HybridSearch(g, 0, 5, 2, 10, xrand.New(3))
+	res, err := HybridSearch(g.Freeze(), 0, 5, 2, 10, xrand.New(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -340,20 +340,21 @@ func TestHybridSearchSmallComponentFrontierFallback(t *testing.T) {
 func TestStrategiesHitsWithinN(t *testing.T) {
 	t.Parallel()
 	g := paGraph(t, 400, 2, 51)
+	fz := g.Freeze()
 	f := func(seed uint64, srcRaw, pRaw uint8) bool {
 		src := int(srcRaw) % g.N()
 		p := float64(pRaw%101) / 100
 		rng := xrand.New(seed)
 		results := make([]Result, 0, 3)
-		r1, err := HighDegreeWalk(g, src, 50, rng)
+		r1, err := HighDegreeWalk(fz, src, 50, rng)
 		if err != nil {
 			return false
 		}
-		r2, err := ProbabilisticFlood(g, src, 5, p, rng)
+		r2, err := ProbabilisticFlood(fz, src, 5, p, rng)
 		if err != nil {
 			return false
 		}
-		r3, err := HybridSearch(g, src, 2, 3, 30, rng)
+		r3, err := HybridSearch(fz, src, 2, 3, 30, rng)
 		if err != nil {
 			return false
 		}
@@ -376,33 +377,33 @@ func TestStrategiesHitsWithinN(t *testing.T) {
 }
 
 func BenchmarkHighDegreeWalkPA10k(b *testing.B) {
-	g := paGraph(b, 10000, 2, 1)
+	f := paGraph(b, 10000, 2, 1).Freeze()
 	rng := xrand.New(2)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := HighDegreeWalk(g, i%g.N(), 500, rng); err != nil {
+		if _, err := HighDegreeWalk(f, i%f.N(), 500, rng); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
 func BenchmarkProbabilisticFloodPA10k(b *testing.B) {
-	g := paGraph(b, 10000, 2, 1)
+	f := paGraph(b, 10000, 2, 1).Freeze()
 	rng := xrand.New(2)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ProbabilisticFlood(g, i%g.N(), 6, 0.5, rng); err != nil {
+		if _, err := ProbabilisticFlood(f, i%f.N(), 6, 0.5, rng); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
 func BenchmarkHybridSearchPA10k(b *testing.B) {
-	g := paGraph(b, 10000, 2, 1)
+	f := paGraph(b, 10000, 2, 1).Freeze()
 	rng := xrand.New(2)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := HybridSearch(g, i%g.N(), 2, 8, 200, rng); err != nil {
+		if _, err := HybridSearch(f, i%f.N(), 2, 8, 200, rng); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -6,6 +6,10 @@ package search
 // specific target, which backs the scaling laws the paper quotes:
 // T_N = log(N) for flooding (Eq. 6) and T_N ~ N^0.79 for random walks on
 // γ≈2.1 scale-free networks (Eq. 7, from Adamic et al.).
+//
+// All walkers take the CSR *graph.Frozen and advance via the shared Step
+// primitive, so each hop is a flat-array neighbor pick with no per-hop
+// bounds validation.
 
 import (
 	"fmt"
@@ -19,8 +23,8 @@ import (
 // by any walker within its first t steps; Messages[t] = walkers·t. One
 // k-walker search with k·steps total messages is the paper's "multiple
 // RWs" alternative to a single long walk.
-func KRandomWalks(g *graph.Graph, src, walkers, steps int, rng *xrand.RNG) (Result, error) {
-	if err := validate(g, src, steps); err != nil {
+func KRandomWalks(f *graph.Frozen, src, walkers, steps int, rng *xrand.RNG) (Result, error) {
+	if err := validate(f, src, steps); err != nil {
 		return Result{}, err
 	}
 	if walkers < 1 {
@@ -35,7 +39,7 @@ func KRandomWalks(g *graph.Graph, src, walkers, steps int, rng *xrand.RNG) (Resu
 	}
 	// firstSeen[v] is the earliest per-walker step at which v was
 	// reached; -1 means never.
-	firstSeen := make([]int32, g.N())
+	firstSeen := make([]int32, f.N())
 	for i := range firstSeen {
 		firstSeen[i] = -1
 	}
@@ -43,12 +47,9 @@ func KRandomWalks(g *graph.Graph, src, walkers, steps int, rng *xrand.RNG) (Resu
 	for w := 0; w < walkers; w++ {
 		cur, prev := src, -1
 		for t := 1; t <= steps; t++ {
-			next := g.RandomNeighborExcluding(cur, prev, rng)
-			if next < 0 {
-				if prev < 0 {
-					break // isolated source
-				}
-				next = prev
+			next, ok := Step(f, cur, prev, rng)
+			if !ok {
+				break // isolated source
 			}
 			prev, cur = cur, next
 			if firstSeen[cur] < 0 || int32(t) < firstSeen[cur] {
@@ -83,21 +84,22 @@ type Delivery struct {
 // the number of intermediate links traversed, i.e. the shortest-path
 // length (paper §V-A1, Eq. 6), along with the messages flooded until the
 // target's BFS depth completed.
-func FloodDelivery(g *graph.Graph, src, target, maxTTL int) (Delivery, error) {
-	if err := validate(g, src, maxTTL); err != nil {
+func FloodDelivery(f *graph.Frozen, src, target, maxTTL int) (Delivery, error) {
+	if err := validate(f, src, maxTTL); err != nil {
 		return Delivery{}, err
 	}
-	if target < 0 || target >= g.N() {
+	if target < 0 || target >= f.N() {
 		return Delivery{}, fmt.Errorf("%w: target %d", ErrBadSource, target)
 	}
 	if target == src {
 		return Delivery{Found: true}, nil
 	}
-	res, err := Flood(g, src, maxTTL)
+	var s Scratch
+	res, err := s.Flood(f, src, maxTTL)
 	if err != nil {
 		return Delivery{}, err
 	}
-	dist := g.BFS(src)
+	dist := f.BFS(src)
 	d := int(dist[target])
 	if d < 0 || d > maxTTL {
 		return Delivery{Found: false, Time: maxTTL, Messages: res.MessagesAt(maxTTL)}, nil
@@ -108,11 +110,11 @@ func FloodDelivery(g *graph.Graph, src, target, maxTTL int) (Delivery, error) {
 // RandomWalkDelivery measures a single walker's delivery time to a target:
 // the number of steps until first arrival (Eq. 7 predicts scaling ~N^0.79
 // on γ≈2.1 networks), bounded by maxSteps.
-func RandomWalkDelivery(g *graph.Graph, src, target, maxSteps int, rng *xrand.RNG) (Delivery, error) {
-	if err := validate(g, src, maxSteps); err != nil {
+func RandomWalkDelivery(f *graph.Frozen, src, target, maxSteps int, rng *xrand.RNG) (Delivery, error) {
+	if err := validate(f, src, maxSteps); err != nil {
 		return Delivery{}, err
 	}
-	if target < 0 || target >= g.N() {
+	if target < 0 || target >= f.N() {
 		return Delivery{}, fmt.Errorf("%w: target %d", ErrBadSource, target)
 	}
 	if rng == nil {
@@ -123,12 +125,9 @@ func RandomWalkDelivery(g *graph.Graph, src, target, maxSteps int, rng *xrand.RN
 	}
 	cur, prev := src, -1
 	for t := 1; t <= maxSteps; t++ {
-		next := g.RandomNeighborExcluding(cur, prev, rng)
-		if next < 0 {
-			if prev < 0 {
-				break
-			}
-			next = prev
+		next, ok := Step(f, cur, prev, rng)
+		if !ok {
+			break
 		}
 		prev, cur = cur, next
 		if cur == target {

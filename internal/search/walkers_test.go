@@ -10,10 +10,10 @@ import (
 func TestKRandomWalksValidation(t *testing.T) {
 	t.Parallel()
 	g := pathN(t, 4)
-	if _, err := KRandomWalks(g, 0, 0, 5, xrand.New(1)); err == nil {
+	if _, err := KRandomWalks(g.Freeze(), 0, 0, 5, xrand.New(1)); err == nil {
 		t.Error("walkers=0 should fail")
 	}
-	if _, err := KRandomWalks(g, -1, 2, 5, xrand.New(1)); err == nil {
+	if _, err := KRandomWalks(g.Freeze(), -1, 2, 5, xrand.New(1)); err == nil {
 		t.Error("bad source should fail")
 	}
 }
@@ -26,7 +26,7 @@ func TestKRandomWalksSingleEqualsRandomWalkShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := KRandomWalks(g, 0, 1, 300, xrand.New(2))
+	res, err := KRandomWalks(g.Freeze(), 0, 1, 300, xrand.New(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,11 +43,11 @@ func TestKRandomWalksMoreWalkersMoreCoverage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	one, err := KRandomWalks(g, 5, 1, 200, xrand.New(4))
+	one, err := KRandomWalks(g.Freeze(), 5, 1, 200, xrand.New(4))
 	if err != nil {
 		t.Fatal(err)
 	}
-	eight, err := KRandomWalks(g, 5, 8, 200, xrand.New(4))
+	eight, err := KRandomWalks(g.Freeze(), 5, 8, 200, xrand.New(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,6 +72,7 @@ func TestKRandomWalksApproachNF(t *testing.T) {
 	const ttl, kMin = 8, 2
 	var nfHits, oneHits, multiHits float64
 	const sources = 20
+	fz := g.Freeze()
 	for s := 0; s < sources; s++ {
 		src := rng.Intn(g.N())
 		nf, err := NormalizedFlood(g, src, ttl, kMin, rng)
@@ -83,7 +84,7 @@ func TestKRandomWalksApproachNF(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		multi, err := KRandomWalks(g, src, 8, budget/8, rng)
+		multi, err := KRandomWalks(fz, src, 8, budget/8, rng)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -100,7 +101,7 @@ func TestKRandomWalksApproachNF(t *testing.T) {
 func TestFloodDelivery(t *testing.T) {
 	t.Parallel()
 	g := pathN(t, 8)
-	d, err := FloodDelivery(g, 0, 5, 10)
+	d, err := FloodDelivery(g.Freeze(), 0, 5, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestFloodDelivery(t *testing.T) {
 		t.Fatalf("delivery %+v, want found at 5 hops", d)
 	}
 	// Out of TTL range.
-	d, err = FloodDelivery(g, 0, 7, 3)
+	d, err = FloodDelivery(g.Freeze(), 0, 7, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestFloodDelivery(t *testing.T) {
 		t.Fatalf("target beyond TTL reported found: %+v", d)
 	}
 	// Self-delivery.
-	d, err = FloodDelivery(g, 2, 2, 5)
+	d, err = FloodDelivery(g.Freeze(), 2, 2, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestFloodDelivery(t *testing.T) {
 func TestFloodDeliveryValidation(t *testing.T) {
 	t.Parallel()
 	g := pathN(t, 3)
-	if _, err := FloodDelivery(g, 0, 9, 5); err == nil {
+	if _, err := FloodDelivery(g.Freeze(), 0, 9, 5); err == nil {
 		t.Error("bad target should fail")
 	}
 }
@@ -138,7 +139,7 @@ func TestRandomWalkDelivery(t *testing.T) {
 	g := pathN(t, 6)
 	// Non-backtracking walk on a path marches straight: target at
 	// distance 4 is hit in exactly 4 steps.
-	d, err := RandomWalkDelivery(g, 0, 4, 100, xrand.New(1))
+	d, err := RandomWalkDelivery(g.Freeze(), 0, 4, 100, xrand.New(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +147,7 @@ func TestRandomWalkDelivery(t *testing.T) {
 		t.Fatalf("delivery %+v", d)
 	}
 	// Unreachable within budget.
-	d, err = RandomWalkDelivery(g, 0, 5, 2, xrand.New(1))
+	d, err = RandomWalkDelivery(g.Freeze(), 0, 5, 2, xrand.New(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +160,7 @@ func TestRandomWalkDeliveryDisconnected(t *testing.T) {
 	t.Parallel()
 	g := pathN(t, 3)
 	g.AddNode() // isolated node 3
-	d, err := RandomWalkDelivery(g, 0, 3, 1000, xrand.New(2))
+	d, err := RandomWalkDelivery(g.Freeze(), 0, 3, 1000, xrand.New(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,13 +179,14 @@ func TestDeliveryScalingSanity(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		fz := g.Freeze()
 		rng := xrand.New(seed + 1)
 		const pairs = 25
 		var flSum, rwSum float64
 		flN, rwN := 0, 0
 		for i := 0; i < pairs; i++ {
-			src, dst := rng.Intn(g.N()), rng.Intn(g.N())
-			fd, err := FloodDelivery(g, src, dst, 50)
+			src, dst := rng.Intn(fz.N()), rng.Intn(fz.N())
+			fd, err := FloodDelivery(fz, src, dst, 50)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -192,7 +194,7 @@ func TestDeliveryScalingSanity(t *testing.T) {
 				flSum += float64(fd.Time)
 				flN++
 			}
-			rd, err := RandomWalkDelivery(g, src, dst, 100*n, rng)
+			rd, err := RandomWalkDelivery(fz, src, dst, 100*n, rng)
 			if err != nil {
 				t.Fatal(err)
 			}

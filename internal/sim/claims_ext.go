@@ -68,12 +68,13 @@ func checkSqrtReplication(sc Scale, seed uint64) (bool, string, error) {
 	if err != nil {
 		return false, "", err
 	}
+	fg := g.Freeze() // every replication strategy probes the same overlay
 	ess := func(s content.Strategy) (float64, error) {
 		p, err := content.Replicate(cat, g.N(), g.N(), s, xrand.New(seed+1))
 		if err != nil {
 			return 0, err
 		}
-		r, err := content.ExpectedSearchSize(g, p, cat, 12*sc.Sources, 40*sc.NSearch, xrand.New(seed+2))
+		r, err := content.ExpectedSearchSize(fg, p, cat, 12*sc.Sources, 40*sc.NSearch, xrand.New(seed+2))
 		if err != nil {
 			return 0, err
 		}
@@ -132,18 +133,18 @@ func checkHDSCutoffDependence(sc Scale, seed uint64) (bool, string, error) {
 		var hds, rw float64
 		factory := paTopo(sc.NSearch, 2, kc)
 		err := forEachRealizationScratch(sc.Workers, sc.Realizations, seed+uint64(kc), func(r int, rng *xrand.RNG, scratch *search.Scratch) error {
-			g, err := factory(r, rng)
+			f, err := frozenTopo(factory, r, rng)
 			if err != nil {
 				return err
 			}
 			steps := sc.NSearch / 2
 			for s := 0; s < sc.Sources; s++ {
-				src := rng.Intn(g.N())
-				rh, err := search.HighDegreeWalk(g, src, steps, rng)
+				src := rng.Intn(f.N())
+				rh, err := search.HighDegreeWalk(f, src, steps, rng)
 				if err != nil {
 					return err
 				}
-				rb, err := scratch.RandomWalk(g, src, steps, rng)
+				rb, err := scratch.RandomWalk(f, src, steps, rng)
 				if err != nil {
 					return err
 				}
@@ -178,11 +179,12 @@ func checkCutoffFlattensLoad(sc Scale, seed uint64) (bool, string, error) {
 		if err != nil {
 			return 0, err
 		}
+		f := g.Freeze()
 		rng := xrand.New(seed + 1)
-		load := search.NewLoad(g.N())
-		scratch := search.NewScratch(g.N())
+		load := search.NewLoad(f.N())
+		scratch := search.NewScratch(f.N())
 		for q := 0; q < 12*sc.Sources; q++ {
-			if err := scratch.NormalizedFloodLoad(g, rng.Intn(g.N()), sc.MaxTTLNF, 2, rng, load); err != nil {
+			if err := scratch.NormalizedFloodLoad(f, rng.Intn(f.N()), sc.MaxTTLNF, 2, rng, load); err != nil {
 				return 0, err
 			}
 		}

@@ -82,14 +82,14 @@ func Fairness(sc Scale, seed uint64) ([]Figure, error) {
 		vals := make([]float64, sc.Realizations)
 		factory := paTopo(sc.NSearch, 2, kc)
 		err := forEachRealizationScratch(sc.Workers, sc.Realizations, seed+uint64(9000+ci), func(r int, rng *xrand.RNG, scratch *search.Scratch) error {
-			g, err := factory(r, rng)
+			f, err := frozenTopo(factory, r, rng)
 			if err != nil {
 				return err
 			}
-			load := search.NewLoad(g.N())
+			load := search.NewLoad(f.N())
 			queries := 8 * sc.Sources
 			for q := 0; q < queries; q++ {
-				if err := scratch.NormalizedFloodLoad(g, rng.Intn(g.N()), sc.MaxTTLNF, 2, rng, load); err != nil {
+				if err := scratch.NormalizedFloodLoad(f, rng.Intn(f.N()), sc.MaxTTLNF, 2, rng, load); err != nil {
 					return err
 				}
 			}

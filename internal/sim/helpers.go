@@ -16,6 +16,19 @@ import (
 // concurrent runner.
 type topoFactory func(r int, rng *xrand.RNG) (*graph.Graph, error)
 
+// frozenTopo builds the r-th realization and immediately freezes it into
+// CSR form. The mutable Graph (per-node adjacency slices plus the edge
+// multiplicity map) becomes garbage before the search sweep starts, which
+// roughly halves the engine's steady-state memory per in-flight
+// realization — the margin that makes the xl scale fit.
+func frozenTopo(factory topoFactory, r int, rng *xrand.RNG) (*graph.Frozen, error) {
+	g, err := factory(r, rng)
+	if err != nil {
+		return nil, err
+	}
+	return g.Freeze(), nil
+}
+
 func paTopo(n, m, kc int) topoFactory {
 	return func(_ int, rng *xrand.RNG) (*graph.Graph, error) {
 		g, _, err := gen.PA(gen.PAConfig{N: n, M: m, KC: kc}, rng)
@@ -140,14 +153,14 @@ type searchCfg struct {
 
 // runSearch dispatches one search on the per-worker scratch. The Result
 // aliases the scratch: consume it before the next search.
-func (cfg searchCfg) runSearch(scratch *search.Scratch, g *graph.Graph, src int, rng *xrand.RNG) (search.Result, error) {
+func (cfg searchCfg) runSearch(scratch *search.Scratch, f *graph.Frozen, src int, rng *xrand.RNG) (search.Result, error) {
 	switch cfg.alg {
 	case algFL:
-		return scratch.Flood(g, src, cfg.maxTTL)
+		return scratch.Flood(f, src, cfg.maxTTL)
 	case algNF:
-		return scratch.NormalizedFlood(g, src, cfg.maxTTL, cfg.kMin, rng)
+		return scratch.NormalizedFlood(f, src, cfg.maxTTL, cfg.kMin, rng)
 	case algRW:
-		res, _, err := scratch.RandomWalkWithNFBudget(g, src, cfg.maxTTL, cfg.kMin, rng)
+		res, _, err := scratch.RandomWalkWithNFBudget(f, src, cfg.maxTTL, cfg.kMin, rng)
 		return res, err
 	default:
 		return search.Result{}, fmt.Errorf("sim: unknown algorithm %v", cfg.alg)
@@ -162,14 +175,14 @@ func (cfg searchCfg) runSearch(scratch *search.Scratch, g *graph.Graph, src int,
 func searchSeries(label string, factory topoFactory, cfg searchCfg, seed uint64) (Series, error) {
 	perReal := make([][]float64, cfg.realizations)
 	err := forEachRealizationScratch(cfg.workers, cfg.realizations, seed, func(r int, rng *xrand.RNG, scratch *search.Scratch) error {
-		g, err := factory(r, rng)
+		f, err := frozenTopo(factory, r, rng)
 		if err != nil {
 			return err
 		}
 		sums := make([]float64, cfg.maxTTL+1)
 		for s := 0; s < cfg.sources; s++ {
-			src := rng.Intn(g.N())
-			res, err := cfg.runSearch(scratch, g, src, rng)
+			src := rng.Intn(f.N())
+			res, err := cfg.runSearch(scratch, f, src, rng)
 			if err != nil {
 				return err
 			}
@@ -194,14 +207,14 @@ func searchSeries(label string, factory topoFactory, cfg searchCfg, seed uint64)
 func messageSeries(label string, factory topoFactory, cfg searchCfg, seed uint64) (Series, error) {
 	perReal := make([][]float64, cfg.realizations)
 	err := forEachRealizationScratch(cfg.workers, cfg.realizations, seed, func(r int, rng *xrand.RNG, scratch *search.Scratch) error {
-		g, err := factory(r, rng)
+		f, err := frozenTopo(factory, r, rng)
 		if err != nil {
 			return err
 		}
 		sums := make([]float64, cfg.maxTTL+1)
 		for s := 0; s < cfg.sources; s++ {
-			src := rng.Intn(g.N())
-			res, err := cfg.runSearch(scratch, g, src, rng)
+			src := rng.Intn(f.N())
+			res, err := cfg.runSearch(scratch, f, src, rng)
 			if err != nil {
 				return err
 			}

@@ -75,6 +75,26 @@ var SmokeScale = Scale{
 	MaxTTLNF:     8,
 }
 
+// XLScale pushes an order of magnitude past the paper: 10⁶-node degree
+// distributions and 10⁵-node search topologies. It is sized for the
+// CSR-frozen read path — each realization is frozen right after
+// generation, so the search sweep holds only the flat offsets/neighbors
+// arrays (~8 bytes per adjacency entry) instead of the generator's
+// per-node slices plus edge map. Realizations are reduced to 3: at 10⁶
+// nodes a single realization's degree distribution is already smooth.
+// See EXPERIMENTS.md ("Scales" and "Performance model") for the memory
+// arithmetic and the recommended per-experiment subsets.
+var XLScale = Scale{
+	NDegree:      1_000_000,
+	NSearch:      100_000,
+	NSubstrate:   200_000,
+	NOverlay:     100_000,
+	Realizations: 3,
+	Sources:      20,
+	MaxTTLFlood:  30,
+	MaxTTLNF:     10,
+}
+
 // Figure is one regenerated paper artifact: a set of labeled series plus
 // axis metadata, renderable as CSV or an ASCII log-log plot.
 type Figure struct {

@@ -109,15 +109,16 @@ func Delivery(sc Scale, seed uint64) ([]Figure, error) {
 			}
 			giant := g.GiantComponent()
 			sub, _ := g.InducedSubgraph(giant)
+			fsub := sub.Freeze() // one CSR snapshot serves every delivery pair
 			var flSum, rwSum float64
 			flN, rwN := 0, 0
 			pairs := sc.Sources
 			for i := 0; i < pairs; i++ {
-				src, dst := rng.Intn(sub.N()), rng.Intn(sub.N())
+				src, dst := rng.Intn(fsub.N()), rng.Intn(fsub.N())
 				if src == dst {
 					continue
 				}
-				fd, err := search.FloodDelivery(sub, src, dst, 60)
+				fd, err := search.FloodDelivery(fsub, src, dst, 60)
 				if err != nil {
 					return err
 				}
@@ -125,7 +126,7 @@ func Delivery(sc Scale, seed uint64) ([]Figure, error) {
 					flSum += float64(fd.Time)
 					flN++
 				}
-				rd, err := search.RandomWalkDelivery(sub, src, dst, 200*n, rng)
+				rd, err := search.RandomWalkDelivery(fsub, src, dst, 200*n, rng)
 				if err != nil {
 					return err
 				}
@@ -177,25 +178,25 @@ func KWalk(sc Scale, seed uint64) ([]Figure, error) {
 	factory := paTopo(sc.NSearch, 2, 40)
 	variants := []struct {
 		label string
-		run   func(scratch *search.Scratch, g *graph.Graph, src int, rng *xrand.RNG) ([]float64, error)
+		run   func(scratch *search.Scratch, f *graph.Frozen, src int, rng *xrand.RNG) ([]float64, error)
 	}{
-		{"NF", func(scratch *search.Scratch, g *graph.Graph, src int, rng *xrand.RNG) ([]float64, error) {
-			res, err := scratch.NormalizedFlood(g, src, sc.MaxTTLNF, 2, rng)
+		{"NF", func(scratch *search.Scratch, f *graph.Frozen, src int, rng *xrand.RNG) ([]float64, error) {
+			res, err := scratch.NormalizedFlood(f, src, sc.MaxTTLNF, 2, rng)
 			if err != nil {
 				return nil, err
 			}
 			return hitsPerTau(res, sc.MaxTTLNF), nil
 		}},
-		{"1 walker (NF budget)", func(scratch *search.Scratch, g *graph.Graph, src int, rng *xrand.RNG) ([]float64, error) {
-			rw, nf, err := scratch.RandomWalkWithNFBudget(g, src, sc.MaxTTLNF, 2, rng)
+		{"1 walker (NF budget)", func(scratch *search.Scratch, f *graph.Frozen, src int, rng *xrand.RNG) ([]float64, error) {
+			rw, nf, err := scratch.RandomWalkWithNFBudget(f, src, sc.MaxTTLNF, 2, rng)
 			if err != nil {
 				return nil, err
 			}
 			_ = nf
 			return hitsPerTau(rw, sc.MaxTTLNF), nil
 		}},
-		{fmt.Sprintf("%d walkers (NF budget)", kWalkers), func(scratch *search.Scratch, g *graph.Graph, src int, rng *xrand.RNG) ([]float64, error) {
-			nf, err := scratch.NormalizedFlood(g, src, sc.MaxTTLNF, 2, rng)
+		{fmt.Sprintf("%d walkers (NF budget)", kWalkers), func(scratch *search.Scratch, f *graph.Frozen, src int, rng *xrand.RNG) ([]float64, error) {
+			nf, err := scratch.NormalizedFlood(f, src, sc.MaxTTLNF, 2, rng)
 			if err != nil {
 				return nil, err
 			}
@@ -204,7 +205,7 @@ func KWalk(sc Scale, seed uint64) ([]Figure, error) {
 			if steps < 1 {
 				steps = 1
 			}
-			kw, err := search.KRandomWalks(g, src, kWalkers, steps, rng)
+			kw, err := search.KRandomWalks(f, src, kWalkers, steps, rng)
 			if err != nil {
 				return nil, err
 			}
@@ -219,13 +220,13 @@ func KWalk(sc Scale, seed uint64) ([]Figure, error) {
 		v := v
 		perReal := make([][]float64, sc.Realizations)
 		err := forEachRealizationScratch(sc.Workers, sc.Realizations, seed+uint64(vi)*4099, func(r int, rng *xrand.RNG, scratch *search.Scratch) error {
-			g, err := factory(r, rng)
+			f, err := frozenTopo(factory, r, rng)
 			if err != nil {
 				return err
 			}
 			sums := make([]float64, sc.MaxTTLNF+1)
 			for s := 0; s < sc.Sources; s++ {
-				row, err := v.run(scratch, g, rng.Intn(g.N()), rng)
+				row, err := v.run(scratch, f, rng.Intn(f.N()), rng)
 				if err != nil {
 					return err
 				}

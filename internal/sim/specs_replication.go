@@ -51,21 +51,22 @@ func Replication(sc Scale, seed uint64) ([]Figure, error) {
 				if err != nil {
 					return err
 				}
+				fg := g.Freeze() // all budgets probe the same realization
 				cat, err := content.NewCatalog(items, alpha)
 				if err != nil {
 					return err
 				}
 				row := make([]float64, len(budgetsPerN))
 				for bi, f := range budgetsPerN {
-					budget := int(f * float64(g.N()))
+					budget := int(f * float64(fg.N()))
 					if budget < items {
 						budget = items
 					}
-					p, err := content.Replicate(cat, g.N(), budget, strat, rng)
+					p, err := content.Replicate(cat, fg.N(), budget, strat, rng)
 					if err != nil {
 						return err
 					}
-					res, err := content.ExpectedSearchSize(g, p, cat, queries, maxSteps, rng)
+					res, err := content.ExpectedSearchSize(fg, p, cat, queries, maxSteps, rng)
 					if err != nil {
 						return err
 					}

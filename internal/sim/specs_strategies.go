@@ -51,53 +51,53 @@ func Strategies(sc Scale, seed uint64) ([]Figure, error) {
 	const m = 2
 	variants := []struct {
 		label string
-		run   func(scratch *search.Scratch, g *graph.Graph, src int, budgets []int, rng *xrand.RNG) ([]float64, error)
+		run   func(scratch *search.Scratch, f *graph.Frozen, src int, budgets []int, rng *xrand.RNG) ([]float64, error)
 	}{
-		{"FL", func(scratch *search.Scratch, g *graph.Graph, src int, budgets []int, rng *xrand.RNG) ([]float64, error) {
-			res, err := scratch.Flood(g, src, sc.MaxTTLFlood)
+		{"FL", func(scratch *search.Scratch, f *graph.Frozen, src int, budgets []int, rng *xrand.RNG) ([]float64, error) {
+			res, err := scratch.Flood(f, src, sc.MaxTTLFlood)
 			if err != nil {
 				return nil, err
 			}
 			return sampleBudgets(res, budgets), nil
 		}},
-		{"NF", func(scratch *search.Scratch, g *graph.Graph, src int, budgets []int, rng *xrand.RNG) ([]float64, error) {
-			res, err := scratch.NormalizedFlood(g, src, sc.MaxTTLFlood, m, rng)
+		{"NF", func(scratch *search.Scratch, f *graph.Frozen, src int, budgets []int, rng *xrand.RNG) ([]float64, error) {
+			res, err := scratch.NormalizedFlood(f, src, sc.MaxTTLFlood, m, rng)
 			if err != nil {
 				return nil, err
 			}
 			return sampleBudgets(res, budgets), nil
 		}},
-		{"RW", func(scratch *search.Scratch, g *graph.Graph, src int, budgets []int, rng *xrand.RNG) ([]float64, error) {
-			res, err := scratch.RandomWalk(g, src, budgets[len(budgets)-1], rng)
+		{"RW", func(scratch *search.Scratch, f *graph.Frozen, src int, budgets []int, rng *xrand.RNG) ([]float64, error) {
+			res, err := scratch.RandomWalk(f, src, budgets[len(budgets)-1], rng)
 			if err != nil {
 				return nil, err
 			}
 			return sampleBudgets(res, budgets), nil
 		}},
-		{"8 walkers", func(_ *search.Scratch, g *graph.Graph, src int, budgets []int, rng *xrand.RNG) ([]float64, error) {
+		{"8 walkers", func(_ *search.Scratch, f *graph.Frozen, src int, budgets []int, rng *xrand.RNG) ([]float64, error) {
 			const k = 8
-			res, err := search.KRandomWalks(g, src, k, budgets[len(budgets)-1]/k+1, rng)
+			res, err := search.KRandomWalks(f, src, k, budgets[len(budgets)-1]/k+1, rng)
 			if err != nil {
 				return nil, err
 			}
 			return sampleBudgets(res, budgets), nil
 		}},
-		{"HDS walk", func(_ *search.Scratch, g *graph.Graph, src int, budgets []int, rng *xrand.RNG) ([]float64, error) {
-			res, err := search.HighDegreeWalk(g, src, budgets[len(budgets)-1], rng)
+		{"HDS walk", func(_ *search.Scratch, f *graph.Frozen, src int, budgets []int, rng *xrand.RNG) ([]float64, error) {
+			res, err := search.HighDegreeWalk(f, src, budgets[len(budgets)-1], rng)
 			if err != nil {
 				return nil, err
 			}
 			return sampleBudgets(res, budgets), nil
 		}},
-		{"PF p=0.5", func(_ *search.Scratch, g *graph.Graph, src int, budgets []int, rng *xrand.RNG) ([]float64, error) {
-			res, err := search.ProbabilisticFlood(g, src, sc.MaxTTLFlood, 0.5, rng)
+		{"PF p=0.5", func(_ *search.Scratch, f *graph.Frozen, src int, budgets []int, rng *xrand.RNG) ([]float64, error) {
+			res, err := search.ProbabilisticFlood(f, src, sc.MaxTTLFlood, 0.5, rng)
 			if err != nil {
 				return nil, err
 			}
 			return sampleBudgets(res, budgets), nil
 		}},
-		{"hybrid (flood 2 + 8 walkers)", func(_ *search.Scratch, g *graph.Graph, src int, budgets []int, rng *xrand.RNG) ([]float64, error) {
-			res, err := search.HybridSearch(g, src, 2, 8, budgets[len(budgets)-1]/8+1, rng)
+		{"hybrid (flood 2 + 8 walkers)", func(_ *search.Scratch, f *graph.Frozen, src int, budgets []int, rng *xrand.RNG) ([]float64, error) {
+			res, err := search.HybridSearch(f, src, 2, 8, budgets[len(budgets)-1]/8+1, rng)
 			if err != nil {
 				return nil, err
 			}
@@ -124,13 +124,13 @@ func Strategies(sc Scale, seed uint64) ([]Figure, error) {
 			v := v
 			perReal := make([][]float64, sc.Realizations)
 			err := forEachRealizationScratch(sc.Workers, sc.Realizations, seed+uint64(vi)*7919+uint64(kc), func(r int, rng *xrand.RNG, scratch *search.Scratch) error {
-				g, err := factory(r, rng)
+				f, err := frozenTopo(factory, r, rng)
 				if err != nil {
 					return err
 				}
 				sums := make([]float64, len(budgets))
 				for s := 0; s < sc.Sources; s++ {
-					row, err := v.run(scratch, g, rng.Intn(g.N()), budgets, rng)
+					row, err := v.run(scratch, f, rng.Intn(f.N()), budgets, rng)
 					if err != nil {
 						return err
 					}

@@ -59,6 +59,21 @@ type Graph = graph.Graph
 // NewGraph returns a graph with n isolated nodes.
 func NewGraph(n int) *Graph { return graph.New(n) }
 
+// FrozenTopology is a compressed-sparse-row (CSR) snapshot of a Graph: the
+// read-only fast path every search kernel and structural metric runs on.
+// Freeze a generated topology once, let the mutable Graph be collected,
+// and run any number of searches against the snapshot — neighbor order is
+// preserved, so results are bit-for-bit identical to searching the Graph
+// directly.
+type FrozenTopology = graph.Frozen
+
+// Freeze snapshots g into CSR form. The convenience functions below that
+// accept a *Graph freeze internally per call; hot loops (many searches or
+// metrics on one topology) should Freeze once and use the
+// *FrozenTopology-based APIs (SearchScratch methods, Graph-method
+// counterparts on FrozenTopology).
+func Freeze(g *Graph) *FrozenTopology { return g.Freeze() }
+
 // ReadEdgeList parses the edge-list format written by Graph.WriteEdgeList.
 func ReadEdgeList(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
 
@@ -191,27 +206,27 @@ func NewSearchScratch(n int) *SearchScratch { return search.NewScratch(n) }
 // KRandomWalks runs `walkers` parallel non-backtracking random walks from
 // src (the paper's "multiple RWs" alternative, §V-B1).
 func KRandomWalks(g *Graph, src, walkers, steps int, rng *RNG) (SearchResult, error) {
-	return search.KRandomWalks(g, src, walkers, steps, rng)
+	return search.KRandomWalks(g.Freeze(), src, walkers, steps, rng)
 }
 
 // HighDegreeWalk runs the degree-seeking walk of Adamic et al. (paper ref
 // [62]): each hop moves to the highest-degree unvisited neighbor,
 // exploiting hubs — the strategy hard cutoffs deliberately weaken.
 func HighDegreeWalk(g *Graph, src, steps int, rng *RNG) (SearchResult, error) {
-	return search.HighDegreeWalk(g, src, steps, rng)
+	return search.HighDegreeWalk(g.Freeze(), src, steps, rng)
 }
 
 // ProbabilisticFlood runs flooding in which interior nodes forward each
 // copy independently with probability p (paper ref [29]); p=1 is Flood.
 func ProbabilisticFlood(g *Graph, src, maxTTL int, p float64, rng *RNG) (SearchResult, error) {
-	return search.ProbabilisticFlood(g, src, maxTTL, p, rng)
+	return search.ProbabilisticFlood(g.Freeze(), src, maxTTL, p, rng)
 }
 
 // HybridSearch runs the Gkantsidis–Mihail–Saberi flood-then-walk hybrid
 // (paper ref [30]): a flood of depth floodTTL, then `walkers` random walks
 // of `steps` hops from the flood frontier.
 func HybridSearch(g *Graph, src, floodTTL, walkers, steps int, rng *RNG) (SearchResult, error) {
-	return search.HybridSearch(g, src, floodTTL, walkers, steps, rng)
+	return search.HybridSearch(g.Freeze(), src, floodTTL, walkers, steps, rng)
 }
 
 // Delivery is the outcome of a targeted search (found, time, messages).
@@ -220,13 +235,13 @@ type Delivery = search.Delivery
 // FloodDelivery measures flooding's delivery time to a target
 // (the shortest-path length; Eq. 6 predicts ~log N growth).
 func FloodDelivery(g *Graph, src, target, maxTTL int) (Delivery, error) {
-	return search.FloodDelivery(g, src, target, maxTTL)
+	return search.FloodDelivery(g.Freeze(), src, target, maxTTL)
 }
 
 // RandomWalkDelivery measures a single walker's first-arrival time at a
 // target (Eq. 7 predicts ~N^0.79 growth on γ≈2.1 networks).
 func RandomWalkDelivery(g *Graph, src, target, maxSteps int, rng *RNG) (Delivery, error) {
-	return search.RandomWalkDelivery(g, src, target, maxSteps, rng)
+	return search.RandomWalkDelivery(g.Freeze(), src, target, maxSteps, rng)
 }
 
 // RingResult is the outcome of an expanding-ring search.
@@ -236,7 +251,7 @@ type RingResult = search.RingResult
 // flood TTLs (Lv et al.'s technique; nil schedule doubles 1,2,4.. up to
 // maxTTL), saving messages on nearby content.
 func ExpandingRing(g *Graph, src int, isTarget func(node int) bool, schedule []int, maxTTL int) (RingResult, error) {
-	return search.ExpandingRing(g, src, isTarget, schedule, maxTTL)
+	return search.ExpandingRing(g.Freeze(), src, isTarget, schedule, maxTTL)
 }
 
 // CrawlResult is an overlay topology reconstructed by protocol-level
@@ -259,16 +274,16 @@ const (
 )
 
 // GlobalClustering returns the graph's transitivity.
-func GlobalClustering(g *Graph) float64 { return metrics.GlobalClustering(g) }
+func GlobalClustering(g *Graph) float64 { return metrics.GlobalClustering(g.Freeze()) }
 
 // KNNPoint is one point of the average-neighbor-degree curve k_nn(k).
 type KNNPoint = metrics.KNNPoint
 
 // AverageNeighborDegree computes the degree-correlation function k_nn(k).
-func AverageNeighborDegree(g *Graph) []KNNPoint { return metrics.AverageNeighborDegree(g) }
+func AverageNeighborDegree(g *Graph) []KNNPoint { return metrics.AverageNeighborDegree(g.Freeze()) }
 
 // DegreeAssortativity returns Newman's degree-correlation coefficient r.
-func DegreeAssortativity(g *Graph) (float64, error) { return metrics.DegreeAssortativity(g) }
+func DegreeAssortativity(g *Graph) (float64, error) { return metrics.DegreeAssortativity(g.Freeze()) }
 
 // Robustness measures giant-component survival under progressive node
 // removal (random failures or targeted hub attacks).
@@ -414,13 +429,13 @@ func Replicate(c *Catalog, n, budget int, s ReplicationStrategy, rng *RNG) (*Pla
 // ExpectedSearchSize resolves popularity-distributed queries by random
 // walk and reports the mean probe count (Cohen & Shenker's ESS objective).
 func ExpectedSearchSize(g *Graph, p *Placement, c *Catalog, queries, maxSteps int, rng *RNG) (ESSResult, error) {
-	return content.ExpectedSearchSize(g, p, c, queries, maxSteps, rng)
+	return content.ExpectedSearchSize(g.Freeze(), p, c, queries, maxSteps, rng)
 }
 
 // FloodQuerySuccess resolves popularity-distributed queries by TTL-bounded
 // flooding and reports success rate and message cost.
 func FloodQuerySuccess(g *Graph, p *Placement, c *Catalog, queries, ttl int, rng *RNG) (FloodQueryResult, error) {
-	return content.FloodSuccess(g, p, c, queries, ttl, rng)
+	return content.FloodSuccess(g.Freeze(), p, c, queries, ttl, rng)
 }
 
 // Churn simulation: the paper's §VI future work (join/leave dynamics with
@@ -467,13 +482,13 @@ type RichClubPoint = metrics.RichClubPoint
 // RichClub computes the rich-club coefficient phi(k): the edge density
 // among nodes of degree > k. Hard cutoffs flatten the hub clubs that
 // HAPA's star-like cores otherwise form.
-func RichClub(g *Graph) []RichClubPoint { return metrics.RichClub(g) }
+func RichClub(g *Graph) []RichClubPoint { return metrics.RichClub(g.Freeze()) }
 
 // EffectiveDiameter estimates the q-quantile (typically 0.9) of pairwise
 // distances from BFS over `sources` random sources — the robust companion
 // to Table I's diameter regimes.
 func EffectiveDiameter(g *Graph, q float64, sources int, rng *RNG) (int, error) {
-	return metrics.EffectiveDiameter(g, q, sources, rng)
+	return metrics.EffectiveDiameter(g.Freeze(), q, sources, rng)
 }
 
 // PercolationPoint is one sample of the site-percolation curve.
@@ -503,16 +518,16 @@ func NewSearchLoad(n int) *SearchLoad { return search.NewLoad(n) }
 // FloodLoadProfile charges one flooding search from src to the
 // accumulator.
 func FloodLoadProfile(g *Graph, src, maxTTL int, load *SearchLoad) error {
-	return search.FloodLoad(g, src, maxTTL, load)
+	return search.FloodLoad(g.Freeze(), src, maxTTL, load)
 }
 
 // NormalizedFloodLoadProfile charges one NF search from src to the
 // accumulator.
 func NormalizedFloodLoadProfile(g *Graph, src, maxTTL, kMin int, rng *RNG, load *SearchLoad) error {
-	return search.NormalizedFloodLoad(g, src, maxTTL, kMin, rng, load)
+	return search.NormalizedFloodLoad(g.Freeze(), src, maxTTL, kMin, rng, load)
 }
 
 // RandomWalkLoadProfile charges one walk from src to the accumulator.
 func RandomWalkLoadProfile(g *Graph, src, steps int, rng *RNG, load *SearchLoad) error {
-	return search.RandomWalkLoad(g, src, steps, rng, load)
+	return search.RandomWalkLoad(g.Freeze(), src, steps, rng, load)
 }

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# bench.sh — run the kernel-level benchmarks and emit a JSON snapshot of
+# the performance trajectory (benchmark name -> ns/op, B/op, allocs/op).
+#
+# Usage:
+#   scripts/bench.sh                 # writes BENCH_PR2.json
+#   scripts/bench.sh out.json        # custom output path
+#   BENCHTIME=2s scripts/bench.sh    # longer sampling (default 0.5s)
+#
+# Covered suites:
+#   internal/graph    Freeze cost, HasEdge map-vs-CSR point probes
+#   internal/search   Reference (pre-CSR) vs Scratch (CSR) kernels
+#   internal/metrics  clustering coefficient, map probes vs CSR scan
+#   .                 end-to-end search throughput + worker scaling
+#
+# The Reference* benchmarks preserve the pre-CSR implementations in-tree
+# (see internal/search/reference_test.go, internal/metrics/bench_test.go),
+# so every future run re-measures the before/after gap on current
+# hardware instead of trusting stale numbers.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_PR2.json}"
+BENCHTIME="${BENCHTIME:-0.5s}"
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+run() { # run <pkg> <pattern>
+  echo ">>> go test -bench '$2' -benchtime $BENCHTIME $1" >&2
+  go test -run '^$' -bench "$2" -benchtime "$BENCHTIME" -benchmem "$1" | tee -a "$raw" >&2
+}
+
+run ./internal/graph .
+run ./internal/search .
+run ./internal/metrics .
+run . 'BenchmarkSearches|BenchmarkWorkersScaling'
+
+awk '
+/^Benchmark/ {
+  name = $1
+  sub(/-[0-9]+$/, "", name)
+  ns = ""; bytes = ""; allocs = ""
+  for (i = 2; i <= NF; i++) {
+    if ($i == "ns/op")     ns     = $(i-1)
+    if ($i == "B/op")      bytes  = $(i-1)
+    if ($i == "allocs/op") allocs = $(i-1)
+  }
+  if (ns == "") next
+  if (n++) printf ",\n"
+  printf "  %c%s%c: {%cns_op%c: %s", 34, name, 34, 34, 34, ns
+  if (bytes  != "") printf ", %cB_op%c: %s", 34, 34, bytes
+  if (allocs != "") printf ", %callocs_op%c: %s", 34, 34, allocs
+  printf "}"
+}
+BEGIN { printf "{\n" }
+END   { printf "\n}\n" }
+' "$raw" > "$OUT"
+
+echo "wrote $OUT ($(grep -c ns_op "$OUT") benchmarks)" >&2

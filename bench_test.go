@@ -11,7 +11,6 @@ package scalefree
 
 import (
 	"fmt"
-	"runtime"
 	"testing"
 
 	"scalefree/internal/gen"
@@ -83,13 +82,29 @@ func BenchmarkExtReplication(b *testing.B)        { runSpec(b, "replication") }
 func BenchmarkExtChurn(b *testing.B)              { runSpec(b, "churn") }
 
 // BenchmarkWorkersScaling regenerates Fig. 9 (the NF sweep, the heaviest
-// search spec) with a bounded worker pool of 1, 2, and GOMAXPROCS workers.
-// Output is bit-for-bit identical at every width; only wall-clock changes.
+// search spec) across the two-level scheduler grid: realization workers ×
+// source shards. workers=1/shards=1 is the fully serial baseline;
+// workers=2/shards=1 is the PR 2 configuration (realization-level
+// parallelism only, which starves once realizations < cores);
+// workers=4/shards=4 is the CI smoke point; "default" is the real default
+// (Workers=0, SourceShards=0), where the engine auto-sizes shards so that
+// workers × shards ≈ GOMAXPROCS. Output is bit-for-bit identical at every
+// grid point; only wall-clock changes.
 func BenchmarkWorkersScaling(b *testing.B) {
-	for _, workers := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+	grid := []struct {
+		name            string
+		workers, shards int
+	}{
+		{"workers=1,shards=1", 1, 1},
+		{"workers=2,shards=1", 2, 1},
+		{"workers=4,shards=4", 4, 4},
+		{"default", 0, 0},
+	}
+	for _, c := range grid {
 		sc := benchScale
-		sc.Workers = workers
-		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+		sc.Workers = c.workers
+		sc.SourceShards = c.shards
+		b.Run(c.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := sim.Fig9(sc, 1000); err != nil {
 					b.Fatal(err)

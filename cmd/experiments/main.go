@@ -8,12 +8,16 @@
 //	experiments -exp fig6 -scale smoke -outdir results
 //	experiments -exp all  -scale paper -outdir results   # hours at paper scale
 //	experiments -exp fig9 -workers 4                     # bound realization concurrency
+//	experiments -exp fig6 -source-shards 1               # serial source sweeps
 //	experiments -scale xl                                # N=10^6 degree distributions
 //	experiments -exp fig9 -cpuprofile cpu.pprof          # profile a hot experiment
 //
 // -workers bounds how many realizations run concurrently within each
-// experiment (default 0 = GOMAXPROCS). The output is bit-for-bit identical
-// for every worker count; see EXPERIMENTS.md.
+// experiment (default 0 = GOMAXPROCS) and -source-shards bounds how many
+// sources of one realization are swept concurrently against its shared
+// frozen topology (default 0 = automatic: workers × shards fills
+// GOMAXPROCS). The output is bit-for-bit identical for every
+// (workers, source-shards) combination; see EXPERIMENTS.md.
 //
 // The xl scale runs an order of magnitude past the paper (10⁶-node degree
 // distributions, 10⁵-node search topologies) on the CSR-frozen read path;
@@ -57,6 +61,7 @@ func run(args []string, stdout io.Writer) error {
 		verify     = fs.Bool("verify", false, "check the paper's headline claims and exit")
 		plot       = fs.Bool("plot", true, "print ASCII renderings to stdout")
 		workers    = fs.Int("workers", 0, "concurrent realizations per experiment (0 = GOMAXPROCS); results are identical for any value")
+		shards     = fs.Int("source-shards", 0, "concurrent sources per realization (0 = automatic: workers x shards fills GOMAXPROCS); results are identical for any value")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile covering the selected experiments")
 		memprofile = fs.String("memprofile", "", "write a heap profile taken after the last experiment")
 	)
@@ -89,6 +94,7 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("unknown scale %q (want smoke, paper, or xl)", *scale)
 	}
 	sc.Workers = *workers
+	sc.SourceShards = *shards
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)

@@ -61,6 +61,40 @@ func WalkToItem(f *graph.Frozen, p *Placement, src int, item Item, maxSteps int,
 	return maxSteps, false
 }
 
+// ResolveQuery issues one popularity-distributed query from a uniformly
+// random source and resolves it with a non-backtracking random walk
+// bounded by maxSteps. It is the per-query kernel of ExpectedSearchSize,
+// exposed so sharded workloads can run each query on its own RNG stream
+// and aggregate the slots with CollectESS.
+func ResolveQuery(f *graph.Frozen, p *Placement, c *Catalog, maxSteps int, rng *xrand.RNG) (steps int, found bool) {
+	item := c.SampleQuery(rng)
+	src := rng.Intn(f.N())
+	return WalkToItem(f, p, src, item, maxSteps, rng)
+}
+
+// CollectESS aggregates per-query (steps, found) slots — indexed by query,
+// in workload order — into the ESSResult ExpectedSearchSize returns. The
+// mean sums integer step counts in slot order and the percentile sorts, so
+// the result does not depend on how the queries were scheduled.
+func CollectESS(steps []int, found []bool) ESSResult {
+	res := ESSResult{Queries: len(steps)}
+	var successSteps []int
+	var sum float64
+	for q, ok := range found {
+		if !ok {
+			continue
+		}
+		res.Found++
+		sum += float64(steps[q])
+		successSteps = append(successSteps, steps[q])
+	}
+	if res.Found > 0 {
+		res.MeanSteps = sum / float64(res.Found)
+		res.P95Steps = percentileInt(successSteps, 0.95)
+	}
+	return res
+}
+
 // ExpectedSearchSize issues `queries` popularity-distributed queries from
 // uniformly random sources and resolves each with a non-backtracking
 // random walk bounded by maxSteps, returning the aggregate ESS statistics.
@@ -76,25 +110,12 @@ func ExpectedSearchSize(f *graph.Frozen, p *Placement, c *Catalog, queries, maxS
 	if rng == nil {
 		rng = xrand.New(0)
 	}
-	res := ESSResult{Queries: queries}
-	var successSteps []int
-	var sum float64
+	steps := make([]int, queries)
+	found := make([]bool, queries)
 	for q := 0; q < queries; q++ {
-		item := c.SampleQuery(rng)
-		src := rng.Intn(f.N())
-		steps, found := WalkToItem(f, p, src, item, maxSteps, rng)
-		if !found {
-			continue
-		}
-		res.Found++
-		sum += float64(steps)
-		successSteps = append(successSteps, steps)
+		steps[q], found[q] = ResolveQuery(f, p, c, maxSteps, rng)
 	}
-	if res.Found > 0 {
-		res.MeanSteps = sum / float64(res.Found)
-		res.P95Steps = percentileInt(successSteps, 0.95)
-	}
-	return res, nil
+	return CollectESS(steps, found), nil
 }
 
 // FloodResult aggregates flooding query resolution over a workload.

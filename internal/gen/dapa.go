@@ -2,6 +2,7 @@ package gen
 
 import (
 	"fmt"
+	"math"
 
 	"scalefree/internal/graph"
 	"scalefree/internal/xrand"
@@ -90,13 +91,28 @@ const dapaAttemptBudget = 10_000
 // 50·N_S consecutive selections without a successful join, DAPA returns
 // the partial overlay wrapped in ErrStalled; Stats.Joined reports how far
 // it got. With the paper's parameters (GRN, k̄=10) this does not happen.
+//
+// DAPA freezes the substrate per call; when the same substrate backs many
+// overlays (the sim engine grows one overlay per series × realization on a
+// shared substrate), freeze it once and call DAPAFrozen directly.
 func DAPA(substrate *graph.Graph, cfg DAPAConfig, rng *xrand.RNG) (*Overlay, Stats, error) {
+	return DAPAFrozen(substrate.Freeze(), cfg, rng)
+}
+
+// DAPAFrozen is DAPA reading the substrate through its CSR snapshot. The
+// discovery floods — one bounded BFS per join attempt, the dominant cost of
+// overlay growth — run on an epoch-marked two-queue frontier reused across
+// every join, so a whole overlay build allocates a handful of buffers
+// instead of one visited map per flood. Horizon order matches the mutable
+// substrate walk exactly (Frozen preserves adjacency order), so overlays
+// are bit-for-bit identical to DAPA's.
+func DAPAFrozen(sub *graph.Frozen, cfg DAPAConfig, rng *xrand.RNG) (*Overlay, Stats, error) {
 	var st Stats
-	if err := cfg.validate(substrate.N()); err != nil {
+	if err := cfg.validate(sub.N()); err != nil {
 		return nil, st, err
 	}
 	rng = defaultRNG(rng)
-	ns := substrate.N()
+	ns := sub.N()
 
 	ov := &Overlay{
 		G:         graph.New(0),
@@ -131,6 +147,16 @@ func DAPA(substrate *graph.Graph, cfg DAPAConfig, rng *xrand.RNG) (*Overlay, Sta
 	stallLimit := 50 * ns
 	consecutiveFailures := 0
 	horizon := make([]int, 0, 256)
+	// Discovery-flood scratch, reused across every join attempt: an
+	// epoch-stamped visited array plus the two-queue frontier. Bumping the
+	// epoch clears the visited set in O(1). This mirrors
+	// search.Scratch.FloodVisit, which gen cannot import: the search
+	// package's in-package tests import gen, so gen → search would be an
+	// import cycle in the test binary.
+	mark := make([]int32, ns)
+	var epoch int32
+	curq := make([]int32, 0, 256)
+	nextq := make([]int32, 0, 256)
 	for st.Joined < cfg.NOverlay {
 		if consecutiveFailures >= stallLimit {
 			return ov, st, fmt.Errorf("%w: overlay stuck at %d/%d peers", ErrStalled, st.Joined, cfg.NOverlay)
@@ -142,19 +168,37 @@ func DAPA(substrate *graph.Graph, cfg DAPAConfig, rng *xrand.RNG) (*Overlay, Sta
 		}
 
 		// Discovery flood: overlay peers within TauSub substrate hops,
-		// below the cutoff (Appendix D lines 4-10).
+		// below the cutoff (Appendix D lines 4-10). Horizon peers are
+		// collected in breadth-first discovery order, the order the
+		// map-based substrate BFS visited them.
 		st.HorizonQueries++
 		horizon = horizon[:0]
-		substrate.BFSWithin(node, cfg.TauSub, func(v, depth int) bool {
-			if depth == 0 {
-				return true
+		if epoch == math.MaxInt32 {
+			for i := range mark {
+				mark[i] = 0
 			}
-			oid := ov.OverlayID[v]
-			if oid >= 0 && cutoffOK(ov.G, oid, cfg.KC) {
-				horizon = append(horizon, oid)
+			epoch = 0
+		}
+		epoch++
+		mark[node] = epoch
+		curq = append(curq[:0], int32(node))
+		nextq = nextq[:0]
+		for depth := 0; depth < cfg.TauSub && len(curq) > 0; depth++ {
+			for _, u := range curq {
+				for _, v := range sub.Neighbors(int(u)) {
+					if mark[v] == epoch {
+						continue
+					}
+					mark[v] = epoch
+					nextq = append(nextq, v)
+					oid := ov.OverlayID[v]
+					if oid >= 0 && cutoffOK(ov.G, oid, cfg.KC) {
+						horizon = append(horizon, oid)
+					}
+				}
 			}
-			return true
-		})
+			curq, nextq = nextq, curq[:0]
+		}
 		if len(horizon) == 0 {
 			st.EmptyHorizons++
 			consecutiveFailures++

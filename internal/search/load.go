@@ -38,6 +38,22 @@ func (l *Load) Total() int64 {
 	return t
 }
 
+// Merge adds other's counters into l. Both must be sized for the same
+// graph. Integer addition is commutative and associative, so merging
+// per-shard accumulators in any order yields identical totals — the
+// property the sharded fairness sweeps rely on for bit-for-bit
+// reproducibility.
+func (l *Load) Merge(other *Load) error {
+	if len(l.Forwards) != len(other.Forwards) {
+		return fmt.Errorf("search: merging loads sized %d and %d", len(l.Forwards), len(other.Forwards))
+	}
+	for v := range l.Forwards {
+		l.Forwards[v] += other.Forwards[v]
+		l.Receipts[v] += other.Receipts[v]
+	}
+	return nil
+}
+
 // Work returns per-node total work (forwards + receipts) as ints, the
 // shape stats.Gini and stats.TopShare consume.
 func (l *Load) Work() []int {

@@ -1,0 +1,331 @@
+package search
+
+// Pre-Scratch reference implementations of the strategy kernels, preserved
+// verbatim from before the allocation-free migration (the same pattern
+// reference_test.go uses for FL/NF/RW). The Scratch variants must
+// reproduce them bit-for-bit — hits, messages, and RNG draw sequence — so
+// any behavioral drift in the hot kernels is caught here rather than as a
+// silent change in experiment output.
+
+import (
+	"fmt"
+	"testing"
+
+	"scalefree/internal/graph"
+	"scalefree/internal/xrand"
+)
+
+// referenceKRandomWalks is the pre-Scratch KRandomWalks implementation.
+func referenceKRandomWalks(f *graph.Frozen, src, walkers, steps int, rng *xrand.RNG) (Result, error) {
+	if err := validate(f, src, steps); err != nil {
+		return Result{}, err
+	}
+	if walkers < 1 {
+		return Result{}, fmt.Errorf("search: walkers %d must be >= 1", walkers)
+	}
+	res := Result{
+		Hits:     make([]int, steps+1),
+		Messages: make([]int, steps+1),
+	}
+	firstSeen := make([]int32, f.N())
+	for i := range firstSeen {
+		firstSeen[i] = -1
+	}
+	firstSeen[src] = 0
+	for w := 0; w < walkers; w++ {
+		cur, prev := src, -1
+		for t := 1; t <= steps; t++ {
+			next, ok := Step(f, cur, prev, rng)
+			if !ok {
+				break
+			}
+			prev, cur = cur, next
+			if firstSeen[cur] < 0 || int32(t) < firstSeen[cur] {
+				firstSeen[cur] = int32(t)
+			}
+		}
+	}
+	for _, t := range firstSeen {
+		if t >= 0 {
+			res.Hits[t]++
+		}
+	}
+	for t := 1; t <= steps; t++ {
+		res.Hits[t] += res.Hits[t-1]
+		res.Messages[t] = walkers * t
+	}
+	return res, nil
+}
+
+// referenceHighDegreeWalk is the pre-Scratch HighDegreeWalk implementation.
+func referenceHighDegreeWalk(f *graph.Frozen, src, steps int, rng *xrand.RNG) (Result, error) {
+	if err := validate(f, src, steps); err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		Hits:     make([]int, steps+1),
+		Messages: make([]int, steps+1),
+	}
+	visited := make([]bool, f.N())
+	visited[src] = true
+	hits := 1
+	res.Hits[0] = 1
+	cur, prev := src, -1
+	for t := 1; t <= steps; t++ {
+		next := referenceBestUnvisited(f, cur, visited, rng)
+		if next < 0 {
+			var ok bool
+			next, ok = Step(f, cur, prev, rng)
+			if !ok {
+				res.Hits[t] = hits
+				res.Messages[t] = res.Messages[t-1]
+				continue
+			}
+		}
+		prev, cur = cur, next
+		if !visited[cur] {
+			visited[cur] = true
+			hits++
+		}
+		res.Hits[t] = hits
+		res.Messages[t] = t
+	}
+	return res, nil
+}
+
+func referenceBestUnvisited(f *graph.Frozen, u int, visited []bool, rng *xrand.RNG) int {
+	best, bestDeg, ties := -1, -1, 0
+	for _, v := range f.Neighbors(u) {
+		if visited[v] {
+			continue
+		}
+		d := f.Degree(int(v))
+		switch {
+		case d > bestDeg:
+			best, bestDeg, ties = int(v), d, 1
+		case d == bestDeg:
+			ties++
+			if rng.Intn(ties) == 0 {
+				best = int(v)
+			}
+		}
+	}
+	return best
+}
+
+// referenceProbabilisticFlood is the pre-Scratch ProbabilisticFlood
+// implementation.
+func referenceProbabilisticFlood(f *graph.Frozen, src, maxTTL int, p float64, rng *xrand.RNG) (Result, error) {
+	if err := validate(f, src, maxTTL); err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		Hits:     make([]int, maxTTL+1),
+		Messages: make([]int, maxTTL+1),
+	}
+	type item struct {
+		node int32
+		from int32
+	}
+	depth := make([]int32, f.N())
+	for i := range depth {
+		depth[i] = -1
+	}
+	depth[src] = 0
+	queue := []item{{node: int32(src), from: -1}}
+	hits, msgs := 0, 0
+	prevDepth := 0
+	for head := 0; head < len(queue); head++ {
+		it := queue[head]
+		du := int(depth[it.node])
+		if du > prevDepth {
+			for t := prevDepth; t < du; t++ {
+				res.Hits[t] = hits
+				res.Messages[t+1] = msgs
+			}
+			prevDepth = du
+		}
+		hits++
+		if du == maxTTL {
+			continue
+		}
+		for _, v := range f.Neighbors(int(it.node)) {
+			if v == it.from {
+				continue
+			}
+			if du > 0 && !rng.Bool(p) {
+				continue
+			}
+			msgs++
+			if depth[v] < 0 {
+				depth[v] = int32(du + 1)
+				queue = append(queue, item{node: v, from: it.node})
+			}
+		}
+	}
+	for t := prevDepth; t <= maxTTL; t++ {
+		res.Hits[t] = hits
+		if t+1 <= maxTTL {
+			res.Messages[t+1] = msgs
+		}
+	}
+	res.Messages[0] = 0
+	return res, nil
+}
+
+// referenceHybridSearch is the pre-Scratch HybridSearch implementation
+// (flood, full BFS for coverage/frontier, per-call firstSeen array).
+func referenceHybridSearch(f *graph.Frozen, src, floodTTL, walkers, steps int, rng *xrand.RNG) (Result, error) {
+	var scratch Scratch
+	flood, err := scratch.Flood(f, src, floodTTL)
+	if err != nil {
+		return Result{}, err
+	}
+	dist := f.BFS(src)
+	covered := make([]bool, f.N())
+	var frontier []int
+	var ball []int
+	for v, d := range dist {
+		if d < 0 || int(d) > floodTTL {
+			continue
+		}
+		covered[v] = true
+		ball = append(ball, v)
+		if int(d) == floodTTL {
+			frontier = append(frontier, v)
+		}
+	}
+	starts := frontier
+	if len(starts) == 0 {
+		starts = ball
+	}
+	total := floodTTL + steps
+	res := Result{
+		Hits:     make([]int, total+1),
+		Messages: make([]int, total+1),
+	}
+	copy(res.Hits, flood.Hits)
+	copy(res.Messages, flood.Messages)
+	firstSeen := make([]int32, f.N())
+	for i := range firstSeen {
+		firstSeen[i] = -1
+	}
+	for w := 0; w < walkers; w++ {
+		cur, prev := starts[rng.Intn(len(starts))], -1
+		for t := 1; t <= steps; t++ {
+			next, ok := Step(f, cur, prev, rng)
+			if !ok {
+				break
+			}
+			prev, cur = cur, next
+			if !covered[cur] && (firstSeen[cur] < 0 || int32(t) < firstSeen[cur]) {
+				firstSeen[cur] = int32(t)
+			}
+		}
+	}
+	newHits := make([]int, steps+1)
+	for _, t := range firstSeen {
+		if t >= 0 {
+			newHits[t]++
+		}
+	}
+	base := flood.HitsAt(floodTTL)
+	baseMsgs := flood.MessagesAt(floodTTL)
+	cum := 0
+	for s := 1; s <= steps; s++ {
+		cum += newHits[s]
+		res.Hits[floodTTL+s] = base + cum
+		res.Messages[floodTTL+s] = baseMsgs + walkers*s
+	}
+	res.Hits[floodTTL] = base
+	return res, nil
+}
+
+// TestScratchStrategiesMatchReference pins every Scratch strategy kernel to
+// its pre-Scratch reference implementation on the canonical topology:
+// identical Hits, Messages, and RNG draw sequences, across repeated calls
+// on one reused scratch.
+func TestScratchStrategiesMatchReference(t *testing.T) {
+	t.Parallel()
+	f := scratchTestFrozen(t)
+	s := NewScratch(0) // deliberately unsized: buffers must grow on demand
+	for _, src := range []int{0, 17, 99, 1234} {
+		a, err := referenceKRandomWalks(f, src, 8, 200, xrand.New(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := s.KRandomWalks(f, src, 8, 200, xrand.New(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResult(t, "kwalks", a, b)
+
+		a, err = referenceHighDegreeWalk(f, src, 400, xrand.New(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err = s.HighDegreeWalk(f, src, 400, xrand.New(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResult(t, "hds", a, b)
+
+		for _, p := range []float64{0, 0.5, 1} {
+			a, err = referenceProbabilisticFlood(f, src, 8, p, xrand.New(7))
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err = s.ProbabilisticFlood(f, src, 8, p, xrand.New(7))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResult(t, "pf", a, b)
+		}
+
+		for _, floodTTL := range []int{0, 2, 30} {
+			// floodTTL=30 sweeps the whole component: exercises the
+			// empty-frontier ball fallback.
+			a, err = referenceHybridSearch(f, src, floodTTL, 8, 100, xrand.New(9))
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err = s.HybridSearch(f, src, floodTTL, 8, 100, xrand.New(9))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResult(t, "hybrid", a, b)
+		}
+	}
+}
+
+// TestScratchFloodDeliveryMatchesReference pins Scratch.FloodDelivery to
+// the pre-Scratch flood+BFS formulation.
+func TestScratchFloodDeliveryMatchesReference(t *testing.T) {
+	t.Parallel()
+	f := scratchTestFrozen(t)
+	s := NewScratch(0)
+	dist := f.BFS(17)
+	var scratch Scratch
+	res, err := scratch.Flood(f, 17, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, target := range []int{17, 0, 40, 999, 1999} {
+		got, err := s.FloodDelivery(f, 17, target, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := Delivery{Found: true}
+		if target != 17 {
+			d := int(dist[target])
+			if d < 0 || d > 5 {
+				want = Delivery{Found: false, Time: 5, Messages: res.MessagesAt(5)}
+			} else {
+				want = Delivery{Found: true, Time: d, Messages: res.MessagesAt(d)}
+			}
+		}
+		if got != want {
+			t.Fatalf("FloodDelivery(17 -> %d) = %+v, want %+v", target, got, want)
+		}
+	}
+}

@@ -5,9 +5,15 @@ package search
 // handful of topologies; allocating O(N) visited and frontier buffers per
 // call made the garbage collector the dominant cost. A Scratch owns those
 // buffers — an epoch-stamped visited array (cleared in O(1) by bumping the
-// epoch instead of rewriting N entries), frontier queues, the NF candidate
-// buffer, and a small arena of per-TTL result series — so repeated searches
-// on one topology allocate nothing after the first call.
+// epoch instead of rewriting N entries), the two-queue BFS frontier, the
+// NF candidate buffer, and a small arena of per-TTL result series — so
+// repeated searches on one topology allocate nothing after the first call.
+//
+// The BFS kernels use a structure-of-arrays two-queue frontier: `cur`
+// holds the nodes of the depth being processed and `next` collects the
+// depth below, swapped at each level boundary. The depth of a node is the
+// loop counter, so no per-node depth array exists at all — one less O(N)
+// store per discovery and one less array to cache-miss on.
 //
 // Every kernel reads the topology through *graph.Frozen, the CSR snapshot:
 // flat offsets/neighbors arrays instead of a slice of slices, so the hot
@@ -23,9 +29,10 @@ package search
 // same Scratch, so consume (or copy) them before searching again.
 //
 // The zero value is ready to use. The package-level Flood, NormalizedFlood,
-// RandomWalk, and RandomWalkWithNFBudget functions are thin wrappers that
-// freeze the *graph.Graph and run on a fresh Scratch per call; they remain
-// the convenient API when allocation cost does not matter.
+// RandomWalk, RandomWalkWithNFBudget, KRandomWalks, HighDegreeWalk,
+// ProbabilisticFlood, and HybridSearch functions are thin wrappers that run
+// on a fresh Scratch per call; they remain the convenient API when
+// allocation cost does not matter.
 
 import (
 	"math"
@@ -45,12 +52,16 @@ type Scratch struct {
 	// visited by it. Bumping epoch invalidates every stamp at once.
 	epoch int32
 	mark  []int32
-	// depth[v] is v's BFS depth, valid only while mark[v] == epoch.
-	depth []int32
-	// queue and from are the frontier: from[i] is the node that forwarded
-	// the query to queue[i] (-1 for the source).
-	queue []int32
-	from  []int32
+	// val[v] is a per-node value tied to a mark stamp (walker kernels
+	// store the earliest step a node was seen); valid only while mark[v]
+	// carries the epoch that wrote it.
+	val []int32
+	// cur and next are the two-queue BFS frontier: the depth being
+	// processed and the depth being discovered.
+	cur, next []int32
+	// fromCur and fromNext run parallel to cur/next for kernels that need
+	// the forwarding sender (NF, the load variants, PF).
+	fromCur, fromNext []int32
 	// cand is the NF candidate buffer (neighbors minus the sender).
 	cand []int32
 	// bufs is a small arena of per-TTL series reused across calls; nbuf
@@ -75,7 +86,7 @@ func (s *Scratch) reset() { s.nbuf = 0 }
 func (s *Scratch) ensure(n int) {
 	if len(s.mark) < n {
 		s.mark = make([]int32, n)
-		s.depth = make([]int32, n)
+		s.val = make([]int32, n)
 		s.epoch = 0 // fresh zeroed marks: restart the epoch counter
 	}
 }
@@ -90,6 +101,18 @@ func (s *Scratch) newEpoch() int32 {
 	}
 	s.epoch++
 	return s.epoch
+}
+
+// reserveEpochs guarantees the next n newEpoch calls will not wrap, so a
+// kernel can hold several live epochs at once (hybrid search keeps the
+// flood's coverage stamp while the walkers stamp first-seen steps).
+func (s *Scratch) reserveEpochs(n int32) {
+	if s.epoch > math.MaxInt32-n {
+		for i := range s.mark {
+			s.mark[i] = 0
+		}
+		s.epoch = 0
+	}
 }
 
 // intBuf hands out a zeroed length-n series from the arena.
@@ -123,58 +146,82 @@ func (s *Scratch) flood(f *graph.Frozen, src, maxTTL int) (Result, error) {
 		return Result{}, err
 	}
 	s.ensure(f.N())
-	ep := s.newEpoch()
 	res := Result{
 		Hits:     s.intBuf(maxTTL + 1),
 		Messages: s.intBuf(maxTTL + 1),
 	}
+	s.floodLevels(f, src, maxTTL, res, -1)
+	return res, nil
+}
+
+// floodLevels is the two-queue flooding core: it fills res and returns the
+// final frontier — the nodes at depth exactly maxTTL, in discovery order —
+// plus the depth at which `target` was discovered (-1 when target is -1 or
+// unreached). The frontier aliases s's queues and is valid until the next
+// search on s.
+func (s *Scratch) floodLevels(f *graph.Frozen, src, maxTTL int, res Result, target int32) (frontier []int32, foundDepth int) {
+	ep := s.newEpoch()
 	s.mark[src] = ep
-	s.depth[src] = 0
-	queue := append(s.queue[:0], int32(src))
-	hits, msgs := 0, 0
-	prevDepth := 0
-	for head := 0; head < len(queue); head++ {
-		u := queue[head]
-		du := int(s.depth[u])
-		if du > prevDepth {
-			// Frontier advanced: record cumulative values at the
-			// completed depth.
-			for t := prevDepth; t < du; t++ {
-				res.Hits[t] = hits
-				res.Messages[t+1] = msgs // messages sent by depth<=t arrive by t+1
-			}
-			prevDepth = du
-		}
-		hits++
-		if du == maxTTL {
-			continue
-		}
-		// Forward to all neighbors except the sender. With duplicate
-		// suppression the sender is never re-enqueued anyway; the message
-		// count excludes the reverse transmission per the protocol.
-		deg := f.Degree(int(u))
-		if du == 0 {
-			msgs += deg
-		} else if deg > 0 {
-			msgs += deg - 1
-		}
-		for _, w := range f.Neighbors(int(u)) {
-			if s.mark[w] != ep {
-				s.mark[w] = ep
-				s.depth[w] = int32(du + 1)
-				queue = append(queue, w)
-			}
-		}
+	cur := append(s.cur[:0], int32(src))
+	next := s.next[:0]
+	foundDepth = -1
+	if target == int32(src) {
+		foundDepth = 0
 	}
-	s.queue = queue
-	for t := prevDepth; t <= maxTTL; t++ {
+	hits, msgs := 0, 0
+	d := 0
+	for len(cur) > 0 {
+		for _, u := range cur {
+			hits++
+			if d == maxTTL {
+				continue
+			}
+			// Forward to all neighbors except the sender. With duplicate
+			// suppression the sender is never re-enqueued anyway; the
+			// message count excludes the reverse transmission per the
+			// protocol.
+			deg := f.Degree(int(u))
+			if d == 0 {
+				msgs += deg
+			} else if deg > 0 {
+				msgs += deg - 1
+			}
+			for _, w := range f.Neighbors(int(u)) {
+				if s.mark[w] != ep {
+					s.mark[w] = ep
+					if w == target {
+						foundDepth = d + 1
+					}
+					next = append(next, w)
+				}
+			}
+		}
+		// Level complete: record cumulative values. Messages sent by
+		// depth <= d arrive by d+1.
+		res.Hits[d] = hits
+		if d+1 <= maxTTL {
+			res.Messages[d+1] = msgs
+		}
+		if d == maxTTL {
+			break
+		}
+		cur, next = next, cur[:0]
+		d++
+	}
+	// The sweep exhausted its component (or reached maxTTL): later TTLs
+	// see the same cumulative totals.
+	for t := d; t <= maxTTL; t++ {
 		res.Hits[t] = hits
 		if t+1 <= maxTTL {
 			res.Messages[t+1] = msgs
 		}
 	}
 	res.Messages[0] = 0
-	return res, nil
+	s.cur, s.next = cur, next
+	if d == maxTTL && len(cur) > 0 {
+		return cur, foundDepth
+	}
+	return nil, foundDepth
 }
 
 // nfTargets builds node u's NF forward set: all neighbors except the
@@ -224,44 +271,47 @@ func (s *Scratch) normalizedFlood(f *graph.Frozen, src, maxTTL, kMin int, rng *x
 		Messages: s.intBuf(maxTTL + 1),
 	}
 	s.mark[src] = ep
-	s.depth[src] = 0
-	queue := append(s.queue[:0], int32(src))
-	from := append(s.from[:0], -1)
+	cur := append(s.cur[:0], int32(src))
+	fromCur := append(s.fromCur[:0], -1)
+	next, fromNext := s.next[:0], s.fromNext[:0]
 	hits, msgs := 0, 0
-	prevDepth := 0
-	for head := 0; head < len(queue); head++ {
-		u, sender := queue[head], from[head]
-		du := int(s.depth[u])
-		if du > prevDepth {
-			for t := prevDepth; t < du; t++ {
-				res.Hits[t] = hits
-				res.Messages[t+1] = msgs
+	d := 0
+	for len(cur) > 0 {
+		for i, u := range cur {
+			sender := fromCur[i]
+			hits++
+			if d == maxTTL {
+				continue
 			}
-			prevDepth = du
-		}
-		hits++
-		if du == maxTTL {
-			continue
-		}
-		targets := s.nfTargets(f, u, sender, kMin, rng)
-		msgs += len(targets)
-		for _, w := range targets {
-			if s.mark[w] != ep {
-				s.mark[w] = ep
-				s.depth[w] = int32(du + 1)
-				queue = append(queue, w)
-				from = append(from, u)
+			targets := s.nfTargets(f, u, sender, kMin, rng)
+			msgs += len(targets)
+			for _, w := range targets {
+				if s.mark[w] != ep {
+					s.mark[w] = ep
+					next = append(next, w)
+					fromNext = append(fromNext, u)
+				}
 			}
 		}
+		res.Hits[d] = hits
+		if d+1 <= maxTTL {
+			res.Messages[d+1] = msgs
+		}
+		if d == maxTTL {
+			break
+		}
+		cur, next = next, cur[:0]
+		fromCur, fromNext = fromNext, fromCur[:0]
+		d++
 	}
-	s.queue, s.from = queue, from
-	for t := prevDepth; t <= maxTTL; t++ {
+	for t := d; t <= maxTTL; t++ {
 		res.Hits[t] = hits
 		if t+1 <= maxTTL {
 			res.Messages[t+1] = msgs
 		}
 	}
 	res.Messages[0] = 0
+	s.cur, s.next, s.fromCur, s.fromNext = cur, next, fromCur, fromNext
 	return res, nil
 }
 
@@ -348,26 +398,32 @@ func (s *Scratch) FloodVisit(f *graph.Frozen, src, maxTTL int, visit func(node, 
 	s.ensure(f.N())
 	ep := s.newEpoch()
 	s.mark[src] = ep
-	s.depth[src] = 0
-	queue := append(s.queue[:0], int32(src))
-	for head := 0; head < len(queue); head++ {
-		u := queue[head]
-		du := int(s.depth[u])
-		if !visit(int(u), du) {
-			break
-		}
-		if du == maxTTL {
-			continue
-		}
-		for _, w := range f.Neighbors(int(u)) {
-			if s.mark[w] != ep {
-				s.mark[w] = ep
-				s.depth[w] = int32(du + 1)
-				queue = append(queue, w)
+	cur := append(s.cur[:0], int32(src))
+	next := s.next[:0]
+	d := 0
+sweep:
+	for len(cur) > 0 {
+		for _, u := range cur {
+			if !visit(int(u), d) {
+				break sweep
+			}
+			if d == maxTTL {
+				continue
+			}
+			for _, w := range f.Neighbors(int(u)) {
+				if s.mark[w] != ep {
+					s.mark[w] = ep
+					next = append(next, w)
+				}
 			}
 		}
+		if d == maxTTL {
+			break
+		}
+		cur, next = next, cur[:0]
+		d++
 	}
-	s.queue = queue
+	s.cur, s.next = cur, next
 	return nil
 }
 
@@ -384,30 +440,37 @@ func (s *Scratch) FloodLoad(f *graph.Frozen, src, maxTTL int, load *Load) error 
 	s.ensure(f.N())
 	ep := s.newEpoch()
 	s.mark[src] = ep
-	s.depth[src] = 0
-	queue := append(s.queue[:0], int32(src))
-	from := append(s.from[:0], -1)
-	for head := 0; head < len(queue); head++ {
-		u, sender := queue[head], from[head]
-		du := int(s.depth[u])
-		if du == maxTTL {
-			continue
-		}
-		for _, w := range f.Neighbors(int(u)) {
-			if w == sender {
+	cur := append(s.cur[:0], int32(src))
+	fromCur := append(s.fromCur[:0], -1)
+	next, fromNext := s.next[:0], s.fromNext[:0]
+	d := 0
+	for len(cur) > 0 {
+		for i, u := range cur {
+			sender := fromCur[i]
+			if d == maxTTL {
 				continue
 			}
-			load.Forwards[u]++
-			load.Receipts[w]++
-			if s.mark[w] != ep {
-				s.mark[w] = ep
-				s.depth[w] = int32(du + 1)
-				queue = append(queue, w)
-				from = append(from, u)
+			for _, w := range f.Neighbors(int(u)) {
+				if w == sender {
+					continue
+				}
+				load.Forwards[u]++
+				load.Receipts[w]++
+				if s.mark[w] != ep {
+					s.mark[w] = ep
+					next = append(next, w)
+					fromNext = append(fromNext, u)
+				}
 			}
 		}
+		if d == maxTTL {
+			break
+		}
+		cur, next = next, cur[:0]
+		fromCur, fromNext = fromNext, fromCur[:0]
+		d++
 	}
-	s.queue, s.from = queue, from
+	s.cur, s.next, s.fromCur, s.fromNext = cur, next, fromCur, fromNext
 	return nil
 }
 
@@ -430,26 +493,33 @@ func (s *Scratch) NormalizedFloodLoad(f *graph.Frozen, src, maxTTL, kMin int, rn
 	s.ensure(f.N())
 	ep := s.newEpoch()
 	s.mark[src] = ep
-	s.depth[src] = 0
-	queue := append(s.queue[:0], int32(src))
-	from := append(s.from[:0], -1)
-	for head := 0; head < len(queue); head++ {
-		u, sender := queue[head], from[head]
-		du := int(s.depth[u])
-		if du == maxTTL {
-			continue
-		}
-		for _, w := range s.nfTargets(f, u, sender, kMin, rng) {
-			load.Forwards[u]++
-			load.Receipts[w]++
-			if s.mark[w] != ep {
-				s.mark[w] = ep
-				s.depth[w] = int32(du + 1)
-				queue = append(queue, w)
-				from = append(from, u)
+	cur := append(s.cur[:0], int32(src))
+	fromCur := append(s.fromCur[:0], -1)
+	next, fromNext := s.next[:0], s.fromNext[:0]
+	d := 0
+	for len(cur) > 0 {
+		for i, u := range cur {
+			sender := fromCur[i]
+			if d == maxTTL {
+				continue
+			}
+			for _, w := range s.nfTargets(f, u, sender, kMin, rng) {
+				load.Forwards[u]++
+				load.Receipts[w]++
+				if s.mark[w] != ep {
+					s.mark[w] = ep
+					next = append(next, w)
+					fromNext = append(fromNext, u)
+				}
 			}
 		}
+		if d == maxTTL {
+			break
+		}
+		cur, next = next, cur[:0]
+		fromCur, fromNext = fromNext, fromCur[:0]
+		d++
 	}
-	s.queue, s.from = queue, from
+	s.cur, s.next, s.fromCur, s.fromNext = cur, next, fromCur, fromNext
 	return nil
 }

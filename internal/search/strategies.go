@@ -19,7 +19,9 @@ package search
 //
 // All three report Result in the same Hits/Messages form as FL/NF/RW so
 // internal/sim can sweep them with the same harness, and all three read
-// the topology through the CSR *graph.Frozen.
+// the topology through the CSR *graph.Frozen. The implementations live on
+// Scratch (see scratch_strategies.go) so query sweeps reuse buffers and
+// allocate nothing; the functions here run each call on a fresh scratch.
 
 import (
 	"fmt"
@@ -37,68 +39,12 @@ var ErrBadProb = fmt.Errorf("search: forwarding probability must be in [0,1]")
 // neighbor has been visited it falls back to a uniformly random neighbor
 // excluding the one it just came from, as in RandomWalk. Hits[t] counts
 // distinct nodes seen within the first t steps; Messages[t] == t.
+//
+// It runs on a fresh Scratch per call; query sweeps should use
+// Scratch.HighDegreeWalk with a reused scratch.
 func HighDegreeWalk(f *graph.Frozen, src, steps int, rng *xrand.RNG) (Result, error) {
-	if err := validate(f, src, steps); err != nil {
-		return Result{}, err
-	}
-	if rng == nil {
-		rng = xrand.New(0)
-	}
-	res := Result{
-		Hits:     make([]int, steps+1),
-		Messages: make([]int, steps+1),
-	}
-	visited := make([]bool, f.N())
-	visited[src] = true
-	hits := 1
-	res.Hits[0] = 1
-	cur, prev := src, -1
-	for t := 1; t <= steps; t++ {
-		next := bestUnvisitedNeighbor(f, cur, visited, rng)
-		if next < 0 {
-			var ok bool
-			next, ok = Step(f, cur, prev, rng)
-			if !ok {
-				// Stuck on an isolated node.
-				res.Hits[t] = hits
-				res.Messages[t] = res.Messages[t-1]
-				continue
-			}
-		}
-		prev, cur = cur, next
-		if !visited[cur] {
-			visited[cur] = true
-			hits++
-		}
-		res.Hits[t] = hits
-		res.Messages[t] = t
-	}
-	return res, nil
-}
-
-// bestUnvisitedNeighbor returns the highest-degree neighbor of u that has
-// not been visited, breaking ties uniformly at random, or -1 when every
-// neighbor is visited (or u has none).
-func bestUnvisitedNeighbor(f *graph.Frozen, u int, visited []bool, rng *xrand.RNG) int {
-	best, bestDeg, ties := -1, -1, 0
-	for _, v := range f.Neighbors(u) {
-		if visited[v] {
-			continue
-		}
-		d := f.Degree(int(v))
-		switch {
-		case d > bestDeg:
-			best, bestDeg, ties = int(v), d, 1
-		case d == bestDeg:
-			// Reservoir sampling over the tied candidates keeps the choice
-			// uniform without collecting them.
-			ties++
-			if rng.Intn(ties) == 0 {
-				best = int(v)
-			}
-		}
-	}
-	return best
+	var s Scratch
+	return s.HighDegreeWalk(f, src, steps, rng)
 }
 
 // ProbabilisticFlood runs flooding in which the source forwards to all its
@@ -106,68 +52,12 @@ func bestUnvisitedNeighbor(f *graph.Frozen, u int, visited []bool, rng *xrand.RN
 // neighbor other than the sender independently with probability p. With
 // p=1 the result is identical to Flood. Duplicate receipts are suppressed
 // exactly as in Flood.
+//
+// It runs on a fresh Scratch per call; query sweeps should use
+// Scratch.ProbabilisticFlood with a reused scratch.
 func ProbabilisticFlood(f *graph.Frozen, src, maxTTL int, p float64, rng *xrand.RNG) (Result, error) {
-	if err := validate(f, src, maxTTL); err != nil {
-		return Result{}, err
-	}
-	if p < 0 || p > 1 {
-		return Result{}, fmt.Errorf("%w: %v", ErrBadProb, p)
-	}
-	if rng == nil {
-		rng = xrand.New(0)
-	}
-	res := Result{
-		Hits:     make([]int, maxTTL+1),
-		Messages: make([]int, maxTTL+1),
-	}
-	type item struct {
-		node int32
-		from int32 // sender; -1 for the source
-	}
-	depth := make([]int32, f.N())
-	for i := range depth {
-		depth[i] = -1
-	}
-	depth[src] = 0
-	queue := []item{{node: int32(src), from: -1}}
-	hits, msgs := 0, 0
-	prevDepth := 0
-	for head := 0; head < len(queue); head++ {
-		it := queue[head]
-		du := int(depth[it.node])
-		if du > prevDepth {
-			for t := prevDepth; t < du; t++ {
-				res.Hits[t] = hits
-				res.Messages[t+1] = msgs
-			}
-			prevDepth = du
-		}
-		hits++
-		if du == maxTTL {
-			continue
-		}
-		for _, v := range f.Neighbors(int(it.node)) {
-			if v == it.from {
-				continue
-			}
-			if du > 0 && !rng.Bool(p) {
-				continue // interior node dropped this copy
-			}
-			msgs++
-			if depth[v] < 0 {
-				depth[v] = int32(du + 1)
-				queue = append(queue, item{node: v, from: it.node})
-			}
-		}
-	}
-	for t := prevDepth; t <= maxTTL; t++ {
-		res.Hits[t] = hits
-		if t+1 <= maxTTL {
-			res.Messages[t+1] = msgs
-		}
-	}
-	res.Messages[0] = 0
-	return res, nil
+	var s Scratch
+	return s.ProbabilisticFlood(f, src, maxTTL, p, rng)
 }
 
 // HybridSearch runs the GMS flood-then-walk hybrid: a flood of depth
@@ -180,85 +70,10 @@ func ProbabilisticFlood(f *graph.Frozen, src, maxTTL int, p float64, rng *xrand.
 // Hits[0..floodTTL] is the flood phase and Hits[floodTTL+s] adds the
 // distinct nodes the walkers reached within their first s steps.
 // Messages follows the same axis (flood transmissions, then walkers·s).
+//
+// It runs on a fresh Scratch per call; query sweeps should use
+// Scratch.HybridSearch with a reused scratch.
 func HybridSearch(f *graph.Frozen, src, floodTTL, walkers, steps int, rng *xrand.RNG) (Result, error) {
-	if err := validate(f, src, floodTTL); err != nil {
-		return Result{}, err
-	}
-	if walkers < 1 {
-		return Result{}, fmt.Errorf("search: walkers %d must be >= 1", walkers)
-	}
-	if steps < 0 {
-		return Result{}, fmt.Errorf("%w: %d walk steps", ErrBadTTL, steps)
-	}
-	if rng == nil {
-		rng = xrand.New(0)
-	}
-	var scratch Scratch
-	flood, err := scratch.Flood(f, src, floodTTL)
-	if err != nil {
-		return Result{}, err
-	}
-	// Recover the flood's coverage and outermost frontier from BFS depths.
-	dist := f.BFS(src)
-	covered := make([]bool, f.N())
-	var frontier []int
-	var ball []int
-	for v, d := range dist {
-		if d < 0 || int(d) > floodTTL {
-			continue
-		}
-		covered[v] = true
-		ball = append(ball, v)
-		if int(d) == floodTTL {
-			frontier = append(frontier, v)
-		}
-	}
-	starts := frontier
-	if len(starts) == 0 {
-		starts = ball // flood already swept its component
-	}
-
-	total := floodTTL + steps
-	res := Result{
-		Hits:     make([]int, total+1),
-		Messages: make([]int, total+1),
-	}
-	copy(res.Hits, flood.Hits)
-	copy(res.Messages, flood.Messages)
-
-	// firstSeen[v] is the earliest per-walker step at which any walker
-	// reached an uncovered node v; -1 means never.
-	firstSeen := make([]int32, f.N())
-	for i := range firstSeen {
-		firstSeen[i] = -1
-	}
-	for w := 0; w < walkers; w++ {
-		cur, prev := starts[rng.Intn(len(starts))], -1
-		for t := 1; t <= steps; t++ {
-			next, ok := Step(f, cur, prev, rng)
-			if !ok {
-				break
-			}
-			prev, cur = cur, next
-			if !covered[cur] && (firstSeen[cur] < 0 || int32(t) < firstSeen[cur]) {
-				firstSeen[cur] = int32(t)
-			}
-		}
-	}
-	newHits := make([]int, steps+1)
-	for _, t := range firstSeen {
-		if t >= 0 {
-			newHits[t]++
-		}
-	}
-	base := flood.HitsAt(floodTTL)
-	baseMsgs := flood.MessagesAt(floodTTL)
-	cum := 0
-	for s := 1; s <= steps; s++ {
-		cum += newHits[s]
-		res.Hits[floodTTL+s] = base + cum
-		res.Messages[floodTTL+s] = baseMsgs + walkers*s
-	}
-	res.Hits[floodTTL] = base
-	return res, nil
+	var s Scratch
+	return s.HybridSearch(f, src, floodTTL, walkers, steps, rng)
 }

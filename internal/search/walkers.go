@@ -23,50 +23,12 @@ import (
 // by any walker within its first t steps; Messages[t] = walkers·t. One
 // k-walker search with k·steps total messages is the paper's "multiple
 // RWs" alternative to a single long walk.
+//
+// It runs on a fresh Scratch per call; query sweeps should use
+// Scratch.KRandomWalks with a reused scratch.
 func KRandomWalks(f *graph.Frozen, src, walkers, steps int, rng *xrand.RNG) (Result, error) {
-	if err := validate(f, src, steps); err != nil {
-		return Result{}, err
-	}
-	if walkers < 1 {
-		return Result{}, fmt.Errorf("search: walkers %d must be >= 1", walkers)
-	}
-	if rng == nil {
-		rng = xrand.New(0)
-	}
-	res := Result{
-		Hits:     make([]int, steps+1),
-		Messages: make([]int, steps+1),
-	}
-	// firstSeen[v] is the earliest per-walker step at which v was
-	// reached; -1 means never.
-	firstSeen := make([]int32, f.N())
-	for i := range firstSeen {
-		firstSeen[i] = -1
-	}
-	firstSeen[src] = 0
-	for w := 0; w < walkers; w++ {
-		cur, prev := src, -1
-		for t := 1; t <= steps; t++ {
-			next, ok := Step(f, cur, prev, rng)
-			if !ok {
-				break // isolated source
-			}
-			prev, cur = cur, next
-			if firstSeen[cur] < 0 || int32(t) < firstSeen[cur] {
-				firstSeen[cur] = int32(t)
-			}
-		}
-	}
-	for _, t := range firstSeen {
-		if t >= 0 {
-			res.Hits[t]++
-		}
-	}
-	for t := 1; t <= steps; t++ {
-		res.Hits[t] += res.Hits[t-1]
-		res.Messages[t] = walkers * t
-	}
-	return res, nil
+	var s Scratch
+	return s.KRandomWalks(f, src, walkers, steps, rng)
 }
 
 // Delivery is the outcome of a targeted search.
@@ -84,27 +46,12 @@ type Delivery struct {
 // the number of intermediate links traversed, i.e. the shortest-path
 // length (paper §V-A1, Eq. 6), along with the messages flooded until the
 // target's BFS depth completed.
+//
+// It runs on a fresh Scratch per call; delivery sweeps should use
+// Scratch.FloodDelivery with a reused scratch.
 func FloodDelivery(f *graph.Frozen, src, target, maxTTL int) (Delivery, error) {
-	if err := validate(f, src, maxTTL); err != nil {
-		return Delivery{}, err
-	}
-	if target < 0 || target >= f.N() {
-		return Delivery{}, fmt.Errorf("%w: target %d", ErrBadSource, target)
-	}
-	if target == src {
-		return Delivery{Found: true}, nil
-	}
 	var s Scratch
-	res, err := s.Flood(f, src, maxTTL)
-	if err != nil {
-		return Delivery{}, err
-	}
-	dist := f.BFS(src)
-	d := int(dist[target])
-	if d < 0 || d > maxTTL {
-		return Delivery{Found: false, Time: maxTTL, Messages: res.MessagesAt(maxTTL)}, nil
-	}
-	return Delivery{Found: true, Time: d, Messages: res.MessagesAt(d)}, nil
+	return s.FloodDelivery(f, src, target, maxTTL)
 }
 
 // RandomWalkDelivery measures a single walker's delivery time to a target:

@@ -89,7 +89,7 @@ func lastY(s Series) float64 {
 }
 
 func checkNFCutoffGain(sc Scale, seed uint64) (bool, string, error) {
-	cfg := searchCfg{alg: algNF, maxTTL: sc.MaxTTLNF, kMin: 2, sources: sc.Sources, realizations: sc.Realizations, workers: sc.Workers}
+	cfg := sc.searchCfg(algNF, sc.MaxTTLNF, 2)
 	tight, err := searchSeries("kc=10", paTopo(sc.NSearch, 2, 10), cfg, seed)
 	if err != nil {
 		return false, "", err
@@ -103,7 +103,7 @@ func checkNFCutoffGain(sc Scale, seed uint64) (bool, string, error) {
 }
 
 func checkCMException(sc Scale, seed uint64) (bool, string, error) {
-	cfg := searchCfg{alg: algNF, maxTTL: sc.MaxTTLNF, kMin: 1, sources: sc.Sources, realizations: sc.Realizations, workers: sc.Workers}
+	cfg := sc.searchCfg(algNF, sc.MaxTTLNF, 1)
 	tight, err := searchSeries("kc=10", cmTopo(sc.NSearch, 1, 10, 2.2), cfg, seed)
 	if err != nil {
 		return false, "", err
@@ -118,7 +118,7 @@ func checkCMException(sc Scale, seed uint64) (bool, string, error) {
 
 func checkM3ErasesFLPenalty(sc Scale, seed uint64) (bool, string, error) {
 	gap := func(m int, s uint64) (float64, error) {
-		cfg := searchCfg{alg: algFL, maxTTL: 6, sources: sc.Sources, realizations: sc.Realizations, workers: sc.Workers}
+		cfg := sc.searchCfg(algFL, 6, 0)
 		tight, err := searchSeries("kc", paTopo(sc.NSearch, m, 10), cfg, s)
 		if err != nil {
 			return 0, err
@@ -146,7 +146,7 @@ func checkWeakDAPACutoffHelpsFL(sc Scale, seed uint64) (bool, string, error) {
 	if err != nil {
 		return false, "", err
 	}
-	cfg := searchCfg{alg: algFL, maxTTL: 20, sources: sc.Sources, realizations: sc.Realizations, workers: sc.Workers}
+	cfg := sc.searchCfg(algFL, 20, 0)
 	tight, err := searchSeries("kc=10", dapaTopo(subs, sc.NOverlay, 1, 10, 4), cfg, seed+1)
 	if err != nil {
 		return false, "", err
@@ -178,7 +178,7 @@ func checkExponentMonotone(sc Scale, seed uint64) (bool, string, error) {
 
 func checkNFBeatsRW(sc Scale, seed uint64) (bool, string, error) {
 	factory := paTopo(sc.NSearch, 2, 40)
-	cfgNF := searchCfg{alg: algNF, maxTTL: sc.MaxTTLNF, kMin: 2, sources: sc.Sources, realizations: sc.Realizations, workers: sc.Workers}
+	cfgNF := sc.searchCfg(algNF, sc.MaxTTLNF, 2)
 	cfgRW := cfgNF
 	cfgRW.alg = algRW
 	nf, err := searchSeries("nf", factory, cfgNF, seed)

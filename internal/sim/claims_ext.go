@@ -69,15 +69,28 @@ func checkSqrtReplication(sc Scale, seed uint64) (bool, string, error) {
 		return false, "", err
 	}
 	fg := g.Freeze() // every replication strategy probes the same overlay
+	queries := 12 * sc.Sources
+	maxSteps := 40 * sc.NSearch
 	ess := func(s content.Strategy) (float64, error) {
-		p, err := content.Replicate(cat, g.N(), g.N(), s, xrand.New(seed+1))
+		p, err := content.Replicate(cat, fg.N(), fg.N(), s, xrand.New(seed+1))
 		if err != nil {
 			return 0, err
 		}
-		r, err := content.ExpectedSearchSize(fg, p, cat, 12*sc.Sources, 40*sc.NSearch, xrand.New(seed+2))
+		// Sharded query sweep on the shared frozen overlay; stream 0 for
+		// every strategy, so all three resolve the identical paired
+		// workload.
+		steps := make([]int, queries)
+		found := make([]bool, queries)
+		err = forEachRealizationSweep(1, sc.SourceShards, 1, seed+2, func(_ int, _ *xrand.RNG, sw *sweeper) error {
+			return sw.Sources(0, queries, func(_, q int, rng *xrand.RNG, _ *search.Scratch) error {
+				steps[q], found[q] = content.ResolveQuery(fg, p, cat, maxSteps, rng)
+				return nil
+			})
+		})
 		if err != nil {
 			return 0, err
 		}
+		r := content.CollectESS(steps, found)
 		if r.Found == 0 {
 			return 0, fmt.Errorf("no queries resolved for %s", s)
 		}
@@ -130,31 +143,38 @@ func checkChurnRepair(sc Scale, seed uint64) (bool, string, error) {
 
 func checkHDSCutoffDependence(sc Scale, seed uint64) (bool, string, error) {
 	ratio := func(kc int) (float64, error) {
-		var hds, rw float64
 		factory := paTopo(sc.NSearch, 2, kc)
-		err := forEachRealizationScratch(sc.Workers, sc.Realizations, seed+uint64(kc), func(r int, rng *xrand.RNG, scratch *search.Scratch) error {
+		steps := sc.NSearch / 2
+		hdsHits := make([]float64, sc.Realizations*sc.Sources)
+		rwHits := make([]float64, sc.Realizations*sc.Sources)
+		err := forEachRealizationSweep(sc.Workers, sc.SourceShards, sc.Realizations, seed+uint64(kc), func(r int, rng *xrand.RNG, sw *sweeper) error {
 			f, err := frozenTopo(factory, r, rng)
 			if err != nil {
 				return err
 			}
-			steps := sc.NSearch / 2
-			for s := 0; s < sc.Sources; s++ {
+			return sw.Sources(uint64(r), sc.Sources, func(_, s int, rng *xrand.RNG, scratch *search.Scratch) error {
 				src := rng.Intn(f.N())
-				rh, err := search.HighDegreeWalk(f, src, steps, rng)
+				rh, err := scratch.HighDegreeWalk(f, src, steps, rng)
 				if err != nil {
 					return err
 				}
+				// Consume rh before the next scratch call recycles it.
+				hdsHits[r*sc.Sources+s] = float64(rh.HitsAt(steps))
 				rb, err := scratch.RandomWalk(f, src, steps, rng)
 				if err != nil {
 					return err
 				}
-				hds += float64(rh.HitsAt(steps))
-				rw += float64(rb.HitsAt(steps))
-			}
-			return nil
+				rwHits[r*sc.Sources+s] = float64(rb.HitsAt(steps))
+				return nil
+			})
 		})
 		if err != nil {
 			return 0, err
+		}
+		var hds, rw float64
+		for i := range hdsHits {
+			hds += hdsHits[i]
+			rw += rwHits[i]
 		}
 		if rw == 0 {
 			return 0, fmt.Errorf("blind walk covered nothing")
@@ -180,15 +200,34 @@ func checkCutoffFlattensLoad(sc Scale, seed uint64) (bool, string, error) {
 			return 0, err
 		}
 		f := g.Freeze()
-		rng := xrand.New(seed + 1)
-		load := search.NewLoad(f.N())
-		scratch := search.NewScratch(f.N())
-		for q := 0; q < 12*sc.Sources; q++ {
-			if err := scratch.NormalizedFloodLoad(f, rng.Intn(f.N()), sc.MaxTTLNF, 2, rng, load); err != nil {
-				return 0, err
+		queries := 12 * sc.Sources
+		var gini float64
+		err = forEachRealizationSweep(1, sc.SourceShards, 1, seed+1, func(_ int, _ *xrand.RNG, sw *sweeper) error {
+			// Each shard charges its own Load; integer merges commute, so
+			// the total is identical for any shard count.
+			loads := make([]*search.Load, sw.shards)
+			err := sw.Sources(0, queries, func(shard, q int, rng *xrand.RNG, scratch *search.Scratch) error {
+				if loads[shard] == nil {
+					loads[shard] = search.NewLoad(f.N())
+				}
+				return scratch.NormalizedFloodLoad(f, rng.Intn(f.N()), sc.MaxTTLNF, 2, rng, loads[shard])
+			})
+			if err != nil {
+				return err
 			}
-		}
-		return stats.Gini(load.Work()), nil
+			total := search.NewLoad(f.N())
+			for _, ld := range loads {
+				if ld == nil {
+					continue
+				}
+				if err := total.Merge(ld); err != nil {
+					return err
+				}
+			}
+			gini = stats.Gini(total.Work())
+			return nil
+		})
+		return gini, err
 	}
 	free, err := loadGini(gen.NoCutoff)
 	if err != nil {

@@ -81,19 +81,35 @@ func Fairness(sc Scale, seed uint64) ([]Figure, error) {
 	for ci, kc := range cutoffs {
 		vals := make([]float64, sc.Realizations)
 		factory := paTopo(sc.NSearch, 2, kc)
-		err := forEachRealizationScratch(sc.Workers, sc.Realizations, seed+uint64(9000+ci), func(r int, rng *xrand.RNG, scratch *search.Scratch) error {
+		queries := 8 * sc.Sources
+		err := forEachRealizationSweep(sc.Workers, sc.SourceShards, sc.Realizations, seed+uint64(9000+ci), func(r int, rng *xrand.RNG, sw *sweeper) error {
 			f, err := frozenTopo(factory, r, rng)
 			if err != nil {
 				return err
 			}
-			load := search.NewLoad(f.N())
-			queries := 8 * sc.Sources
-			for q := 0; q < queries; q++ {
-				if err := scratch.NormalizedFloodLoad(f, rng.Intn(f.N()), sc.MaxTTLNF, 2, rng, load); err != nil {
+			// Each shard charges its own Load accumulator; integer merges
+			// commute, so the per-realization total — and its Gini — is
+			// identical for any (Workers, SourceShards) setting.
+			loads := make([]*search.Load, sw.shards)
+			err = sw.Sources(uint64(r), queries, func(shard, q int, rng *xrand.RNG, scratch *search.Scratch) error {
+				if loads[shard] == nil {
+					loads[shard] = search.NewLoad(f.N())
+				}
+				return scratch.NormalizedFloodLoad(f, rng.Intn(f.N()), sc.MaxTTLNF, 2, rng, loads[shard])
+			})
+			if err != nil {
+				return err
+			}
+			total := search.NewLoad(f.N())
+			for _, ld := range loads {
+				if ld == nil {
+					continue
+				}
+				if err := total.Merge(ld); err != nil {
 					return err
 				}
 			}
-			vals[r] = stats.Gini(load.Work())
+			vals[r] = stats.Gini(total.Work())
 			return nil
 		})
 		if err != nil {

@@ -52,11 +52,13 @@ func cmTopo(n, m, kc int, gamma float64) topoFactory {
 
 // dapaTopo grows an overlay on the r-th pre-generated substrate. Substrates
 // are shared across series of a figure (the paper's figures vary overlay
-// parameters, not the substrate model).
-func dapaTopo(substrates []*graph.Graph, nOverlay, m, kc, tauSub int) topoFactory {
+// parameters, not the substrate model) and arrive already frozen, so every
+// (series × realization) overlay build reads one CSR snapshot instead of
+// re-deriving substrate adjacency per factory call.
+func dapaTopo(substrates []*graph.Frozen, nOverlay, m, kc, tauSub int) topoFactory {
 	return func(r int, rng *xrand.RNG) (*graph.Graph, error) {
 		sub := substrates[r%len(substrates)]
-		ov, _, err := gen.DAPA(sub, gen.DAPAConfig{
+		ov, _, err := gen.DAPAFrozen(sub, gen.DAPAConfig{
 			NOverlay: nOverlay, M: m, KC: kc, TauSub: tauSub,
 		}, rng)
 		if err != nil {
@@ -67,13 +69,18 @@ func dapaTopo(substrates []*graph.Graph, nOverlay, m, kc, tauSub int) topoFactor
 }
 
 // makeSubstrates generates one GRN substrate per realization with the
-// paper's parameters (k̄ = 10).
-func makeSubstrates(n, realizations, workers int, seed uint64) ([]*graph.Graph, error) {
-	subs := make([]*graph.Graph, realizations)
+// paper's parameters (k̄ = 10), frozen once for the whole figure: every
+// series reuses the snapshots, and the mutable generator graphs become
+// garbage before the first overlay grows.
+func makeSubstrates(n, realizations, workers int, seed uint64) ([]*graph.Frozen, error) {
+	subs := make([]*graph.Frozen, realizations)
 	err := forEachRealization(workers, realizations, seed, func(r int, rng *xrand.RNG) error {
 		g, _, err := gen.GRN(gen.GRNConfig{N: n, MeanDegree: 10}, rng)
-		subs[r] = g
-		return err
+		if err != nil {
+			return err
+		}
+		subs[r] = g.Freeze()
+		return nil
 	})
 	return subs, err
 }
@@ -149,6 +156,18 @@ type searchCfg struct {
 	sources      int
 	realizations int
 	workers      int // concurrent realizations; 0 = GOMAXPROCS
+	sourceShards int // concurrent sources per realization; 0 = GOMAXPROCS
+}
+
+// searchCfg wires a series configuration to the scale's workload and
+// scheduler knobs, so every spec passes Workers and SourceShards through
+// uniformly.
+func (sc Scale) searchCfg(alg algKind, maxTTL, kMin int) searchCfg {
+	return searchCfg{
+		alg: alg, maxTTL: maxTTL, kMin: kMin,
+		sources: sc.Sources, realizations: sc.Realizations,
+		workers: sc.Workers, sourceShards: sc.SourceShards,
+	}
 }
 
 // runSearch dispatches one search on the per-worker scratch. The Result
@@ -172,66 +191,76 @@ func (cfg searchCfg) runSearch(scratch *search.Scratch, f *graph.Frozen, src int
 // across realizations. The returned series has x = τ (1..maxTTL) and
 // y = mean number of hits. For algRW, hits follow the paper's
 // normalization: a walk of as many steps as NF sent messages at that τ.
+//
+// The source sweep of each realization is sharded across
+// cfg.sourceShards goroutines sharing the frozen topology: source s draws
+// its own source node and all search randomness from the (seed, r, s)
+// stream, and its curve lands in slot (r, s), reduced in source order.
 func searchSeries(label string, factory topoFactory, cfg searchCfg, seed uint64) (Series, error) {
-	perReal := make([][]float64, cfg.realizations)
-	err := forEachRealizationScratch(cfg.workers, cfg.realizations, seed, func(r int, rng *xrand.RNG, scratch *search.Scratch) error {
-		f, err := frozenTopo(factory, r, rng)
-		if err != nil {
-			return err
+	return sweepSeries(label, factory, cfg, seed, func(res search.Result, row []float64) {
+		for t := range row {
+			row[t] = float64(res.HitsAt(t))
 		}
-		sums := make([]float64, cfg.maxTTL+1)
-		for s := 0; s < cfg.sources; s++ {
-			src := rng.Intn(f.N())
-			res, err := cfg.runSearch(scratch, f, src, rng)
-			if err != nil {
-				return err
-			}
-			for t := 0; t <= cfg.maxTTL; t++ {
-				sums[t] += float64(res.HitsAt(t))
-			}
-		}
-		for t := range sums {
-			sums[t] /= float64(cfg.sources)
-		}
-		perReal[r] = sums
-		return nil
 	})
-	if err != nil {
-		return Series{}, fmt.Errorf("series %s: %w", label, err)
-	}
-	return aggregate(label, perReal, 1)
 }
 
 // messageSeries is searchSeries for messaging complexity: y = mean number
 // of messages per search request at each τ (§V-B2).
 func messageSeries(label string, factory topoFactory, cfg searchCfg, seed uint64) (Series, error) {
-	perReal := make([][]float64, cfg.realizations)
-	err := forEachRealizationScratch(cfg.workers, cfg.realizations, seed, func(r int, rng *xrand.RNG, scratch *search.Scratch) error {
+	return sweepSeries(label, factory, cfg, seed, func(res search.Result, row []float64) {
+		for t := range row {
+			row[t] = float64(res.MessagesAt(t))
+		}
+	})
+}
+
+// sweepSeries is the shared engine of searchSeries and messageSeries:
+// freeze each realization, fan its sources out across the shard pool, and
+// reduce the per-(realization, source) curves deterministically.
+func sweepSeries(label string, factory topoFactory, cfg searchCfg, seed uint64, sample func(res search.Result, row []float64)) (Series, error) {
+	perSource := make([][]float64, cfg.realizations*cfg.sources)
+	err := forEachRealizationSweep(cfg.workers, cfg.sourceShards, cfg.realizations, seed, func(r int, rng *xrand.RNG, sw *sweeper) error {
 		f, err := frozenTopo(factory, r, rng)
 		if err != nil {
 			return err
 		}
-		sums := make([]float64, cfg.maxTTL+1)
-		for s := 0; s < cfg.sources; s++ {
+		return sw.Sources(uint64(r), cfg.sources, func(_, s int, rng *xrand.RNG, scratch *search.Scratch) error {
 			src := rng.Intn(f.N())
 			res, err := cfg.runSearch(scratch, f, src, rng)
 			if err != nil {
 				return err
 			}
-			for t := 0; t <= cfg.maxTTL; t++ {
-				sums[t] += float64(res.MessagesAt(t))
-			}
-		}
-		for t := range sums {
-			sums[t] /= float64(cfg.sources)
-		}
-		perReal[r] = sums
-		return nil
+			row := make([]float64, cfg.maxTTL+1)
+			sample(res, row)
+			perSource[r*cfg.sources+s] = row
+			return nil
+		})
 	})
 	if err != nil {
 		return Series{}, fmt.Errorf("series %s: %w", label, err)
 	}
-	return aggregate(label, perReal, 1)
+	return aggregate(label, meanRows(perSource, cfg.realizations, cfg.sources), 1)
+}
+
+// meanRows reduces per-(realization, source) rows (slot layout
+// r*sources+s) to per-realization means, summing in source order so the
+// result is bit-for-bit independent of how the sweep was scheduled.
+func meanRows(perSource [][]float64, realizations, sources int) [][]float64 {
+	perReal := make([][]float64, realizations)
+	for r := range perReal {
+		sums := make([]float64, len(perSource[r*sources]))
+		for s := 0; s < sources; s++ {
+			row := perSource[r*sources+s]
+			for t := range sums {
+				sums[t] += row[t]
+			}
+		}
+		for t := range sums {
+			sums[t] /= float64(sources)
+		}
+		perReal[r] = sums
+	}
+	return perReal
 }
 
 // aggregate converts per-realization curves (indexed from 0) into a Series

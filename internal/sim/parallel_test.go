@@ -181,3 +181,202 @@ func TestForEachRealizationReturnsLowestIndexError(t *testing.T) {
 		t.Fatalf("err = %v, want the lowest-index error %v", err, errA)
 	}
 }
+
+// TestSourceShardsBitForBitDeterminism is the golden-seed regression for
+// the two-level scheduler: a deterministic spec (Fig. 6, flooding — no
+// search randomness, so it isolates the slot/reduction machinery and the
+// shared-Frozen sweep) must produce byte-identical Figures for every
+// (Workers, SourceShards) combination.
+func TestSourceShardsBitForBitDeterminism(t *testing.T) {
+	t.Parallel()
+	run := func(workers, shards int) []Figure {
+		sc := tinyScale
+		sc.Workers = workers
+		sc.SourceShards = shards
+		figs, err := Fig6(sc, 2007)
+		if err != nil {
+			t.Fatalf("workers=%d shards=%d: %v", workers, shards, err)
+		}
+		return figs
+	}
+	want := run(1, 1)
+	for _, tc := range []struct{ workers, shards int }{
+		{1, 3}, {1, 8}, {2, 3}, {8, 8}, {0, 0},
+	} {
+		if got := run(tc.workers, tc.shards); !reflect.DeepEqual(want, got) {
+			t.Fatalf("Fig6 output differs between (1,1) and (Workers=%d, SourceShards=%d)",
+				tc.workers, tc.shards)
+		}
+	}
+}
+
+// TestSourceShardsDeterminismRandomizedAlg repeats the check on randomized
+// kernels — NF consumes the per-source stream heavily and RW additionally
+// couples walk length to NF's draw sequence — the paths most at risk from
+// a scheduling-dependent stream assignment.
+func TestSourceShardsDeterminismRandomizedAlg(t *testing.T) {
+	t.Parallel()
+	for _, alg := range []algKind{algNF, algRW} {
+		alg := alg
+		run := func(workers, shards int) Series {
+			s, err := searchSeries(alg.String(), paTopo(1000, 2, 40),
+				searchCfg{alg: alg, maxTTL: 5, kMin: 2, sources: 9,
+					realizations: 4, workers: workers, sourceShards: shards}, 99)
+			if err != nil {
+				t.Fatalf("%v workers=%d shards=%d: %v", alg, workers, shards, err)
+			}
+			return s
+		}
+		want := run(1, 1)
+		for _, tc := range []struct{ workers, shards int }{
+			{1, 3}, {1, 8}, {4, 3}, {2, 8},
+		} {
+			if got := run(tc.workers, tc.shards); !reflect.DeepEqual(want, got) {
+				t.Fatalf("%v series differs between (1,1) and (Workers=%d, SourceShards=%d)",
+					alg, tc.workers, tc.shards)
+			}
+		}
+	}
+}
+
+// TestSweeperSourcesStreams pins the stream-derivation contract: every
+// source runs exactly once, receives xrand.NewStream(seed, stream, s)
+// regardless of shard count (including degenerate counts), and shard
+// scheduling cannot leak one source's draws into another's.
+func TestSweeperSourcesStreams(t *testing.T) {
+	t.Parallel()
+	const sources = 20
+	collect := func(shards int) []uint64 {
+		out := make([]uint64, sources)
+		ran := make([]atomic.Int32, sources)
+		err := forEachRealizationSweep(1, shards, 1, 7, func(r int, _ *xrand.RNG, sw *sweeper) error {
+			return sw.Sources(uint64(r), sources, func(_, s int, rng *xrand.RNG, scratch *search.Scratch) error {
+				if scratch == nil {
+					return errors.New("nil scratch")
+				}
+				ran[s].Add(1)
+				out[s] = rng.Uint64()
+				return nil
+			})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < sources; s++ {
+			if c := ran[s].Load(); c != 1 {
+				t.Fatalf("shards=%d: source %d ran %d times", shards, s, c)
+			}
+		}
+		return out
+	}
+	want := collect(1)
+	for s := range want {
+		if got := xrand.NewStream(7, 0, uint64(s)).Uint64(); want[s] != got {
+			t.Fatalf("source %d stream is not NewStream(seed, stream, s)", s)
+		}
+	}
+	for _, shards := range []int{-1, 0, 2, 3, 8, 16, 64} {
+		if got := collect(shards); !reflect.DeepEqual(want, got) {
+			t.Fatalf("shards=%d: source streams differ from serial sweep", shards)
+		}
+	}
+}
+
+// TestSweeperSourcesConcurrencyBounded checks the sweep never runs more
+// than `shards` sources at once (the calling worker counts as shard 0).
+func TestSweeperSourcesConcurrencyBounded(t *testing.T) {
+	t.Parallel()
+	const shards, sources = 3, 24
+	var inFlight, peak atomic.Int32
+	err := forEachRealizationSweep(1, shards, 1, 7, func(r int, _ *xrand.RNG, sw *sweeper) error {
+		return sw.Sources(0, sources, func(_, s int, rng *xrand.RNG, _ *search.Scratch) error {
+			cur := inFlight.Add(1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			_ = rng.Uint64()
+			inFlight.Add(-1)
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > shards {
+		t.Fatalf("observed %d concurrent sources, shard bound is %d", p, shards)
+	}
+}
+
+// TestSweeperSourcesLowestIndexError pins the sweep's error contract to
+// the outer pool's: the lowest source index wins, matching what a serial
+// sweep would have reported first.
+func TestSweeperSourcesLowestIndexError(t *testing.T) {
+	t.Parallel()
+	errA, errB := errors.New("a"), errors.New("b")
+	for _, shards := range []int{1, 4} {
+		err := forEachRealizationSweep(1, shards, 1, 7, func(r int, _ *xrand.RNG, sw *sweeper) error {
+			return sw.Sources(0, 16, func(_, s int, _ *xrand.RNG, _ *search.Scratch) error {
+				switch s {
+				case 9:
+					return errB
+				case 3:
+					return errA
+				}
+				return nil
+			})
+		})
+		if err != errA {
+			t.Fatalf("shards=%d: err = %v, want the lowest-index error %v", shards, err, errA)
+		}
+	}
+}
+
+// TestSweeperScratchPerShard checks each shard keeps its own scratch (the
+// -race build would flag concurrent sharing) and that scratches are reused
+// across repeated sweeps rather than reallocated.
+func TestSweeperScratchPerShard(t *testing.T) {
+	t.Parallel()
+	const shards, sources, sweeps = 4, 32, 3
+	var mu sync.Mutex
+	byShard := make([]map[*search.Scratch]bool, shards)
+	for i := range byShard {
+		byShard[i] = map[*search.Scratch]bool{}
+	}
+	err := forEachRealizationSweep(1, shards, 1, 5, func(r int, _ *xrand.RNG, sw *sweeper) error {
+		for k := 0; k < sweeps; k++ {
+			if err := sw.Sources(uint64(k), sources, func(shard, s int, _ *xrand.RNG, scratch *search.Scratch) error {
+				mu.Lock()
+				byShard[shard][scratch] = true
+				mu.Unlock()
+				return nil
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[*search.Scratch]int{}
+	for shard, set := range byShard {
+		// A shard may process zero sources when faster shards drain the
+		// queue first; it must never use more than one scratch, nor one
+		// another shard uses.
+		if len(set) > 1 {
+			t.Fatalf("shard %d used %d distinct scratches, want at most 1", shard, len(set))
+		}
+		for sc := range set {
+			if prev, dup := seen[sc]; dup {
+				t.Fatalf("shards %d and %d share a scratch", prev, shard)
+			}
+			seen[sc] = shard
+		}
+	}
+	if len(byShard[0]) != 1 {
+		t.Fatalf("shard 0 (the calling worker) used %d scratches, want 1", len(byShard[0]))
+	}
+}

@@ -48,6 +48,17 @@ type Scale struct {
 	// every value: realization r's RNG stream is derived solely from
 	// (seed, r), never from scheduling order.
 	Workers int
+	// SourceShards bounds how many sources of one realization are swept
+	// concurrently against the shared frozen topology; 0 (the default)
+	// sizes the shard pool automatically so that Workers × SourceShards
+	// fills GOMAXPROCS without oversubscribing it (when realizations
+	// already cover the cores, sweeps stay serial; when they don't — the
+	// paper's 10 realizations on a big box — shards supply the missing
+	// parallelism). Results are bit-for-bit identical for every
+	// (Workers, SourceShards) combination: source s of realization r draws
+	// from an RNG stream derived solely from (seed, r, s), and per-source
+	// results land in per-index slots reduced in source order.
+	SourceShards int
 }
 
 // PaperScale reproduces the paper's simulation parameters.
@@ -188,8 +199,8 @@ func Lookup(id string) (Spec, error) {
 // derived solely from (seed, r), and results land in per-index slots, so
 // neither the worker count nor scheduling order perturbs results.
 func forEachRealization(workers, n int, seed uint64, fn func(r int, rng *xrand.RNG) error) error {
-	return forEachRealizationScratch(workers, n, seed,
-		func(r int, rng *xrand.RNG, _ *search.Scratch) error { return fn(r, rng) })
+	return forEachRealizationSweep(workers, 1, n, seed,
+		func(r int, rng *xrand.RNG, _ *sweeper) error { return fn(r, rng) })
 }
 
 // forEachRealizationScratch is forEachRealization for search-heavy
@@ -197,6 +208,28 @@ func forEachRealization(workers, n int, seed uint64, fn func(r int, rng *xrand.R
 // realization it processes, so the inner search kernels allocate nothing.
 // The scratch passed to fn is only valid for that invocation's duration.
 func forEachRealizationScratch(workers, n int, seed uint64, fn func(r int, rng *xrand.RNG, scratch *search.Scratch) error) error {
+	return forEachRealizationSweep(workers, 1, n, seed,
+		func(r int, rng *xrand.RNG, sw *sweeper) error { return fn(r, rng, sw.scratches[0]) })
+}
+
+// forEachRealizationSweep is the two-level experiment scheduler. The outer
+// level is the realization pool of forEachRealization: `workers`
+// goroutines (<=0 means GOMAXPROCS) pull realization indices and run fn
+// with the realization's split RNG stream, which drives topology
+// generation exactly as before. The inner level is the source sweep: fn
+// receives a per-worker sweeper whose Sources method fans the per-source
+// queries of the just-frozen topology out across `shards` goroutines
+// sharing the one immutable *graph.Frozen (<=0 sizes the pool so that
+// workers × shards ≈ GOMAXPROCS).
+//
+// Determinism contract (pinned by the scheduler tests): realization r's
+// stream depends only on (seed, r); source s of sweep `stream` draws from
+// xrand.NewStream(seed, stream, s), which depends on nothing else; and all
+// per-source outputs land in per-index slots (or order-independent integer
+// accumulators) reduced in index order. Under that contract the figure
+// output is bit-for-bit identical for every (workers, shards) combination,
+// including fully serial runs.
+func forEachRealizationSweep(workers, shards, n int, seed uint64, fn func(r int, rng *xrand.RNG, sw *sweeper) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -208,6 +241,13 @@ func forEachRealizationScratch(workers, n int, seed uint64, fn func(r int, rng *
 	if workers > n {
 		workers = n
 	}
+	if shards <= 0 {
+		// Automatic sizing: give the worker pool as many shards as it
+		// takes to fill the machine, not GOMAXPROCS each — workers ×
+		// shards ≈ GOMAXPROCS, so the default never runs P² goroutines
+		// (or retains P² scratches) on a P-core box.
+		shards = (runtime.GOMAXPROCS(0) + workers - 1) / workers
+	}
 	errs := make([]error, n)
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -215,16 +255,99 @@ func forEachRealizationScratch(workers, n int, seed uint64, fn func(r int, rng *
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			scratch := search.NewScratch(0)
+			sw := newSweeper(seed, shards)
 			for {
 				r := int(next.Add(1)) - 1
 				if r >= n {
 					return
 				}
-				errs[r] = fn(r, rngs[r], scratch)
+				errs[r] = fn(r, rngs[r], sw)
 			}
 		}()
 	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sweeper is one outer worker's source-sweep pool: a fixed set of shard
+// scratches reused across every realization the worker processes, so the
+// search kernels stay allocation-free no matter how work is scheduled.
+// A sweeper belongs to its worker goroutine; Sources may be called any
+// number of times per realization (one call per sub-experiment).
+type sweeper struct {
+	seed      uint64
+	shards    int
+	scratches []*search.Scratch
+}
+
+// newSweeper builds a sweeper with `shards` scratches (the engine resolves
+// automatic sizing before construction; <=1 means serial sweeps).
+// Scratches start empty and grow on first use.
+func newSweeper(seed uint64, shards int) *sweeper {
+	if shards < 1 {
+		shards = 1
+	}
+	sw := &sweeper{seed: seed, shards: shards, scratches: make([]*search.Scratch, shards)}
+	for i := range sw.scratches {
+		sw.scratches[i] = search.NewScratch(0)
+	}
+	return sw
+}
+
+// Sources enumerates the (source, stream) pairs of one sweep and runs
+// query for s = 0..sources-1 across the sweeper's shard pool, the calling
+// goroutine acting as shard 0. Each query receives the RNG stream
+// NewStream(seed, stream, s) — derived solely from those three values, so
+// neither shard count nor scheduling order can perturb it — and the shard's
+// scratch. `stream` names the sweep (realization index for single-sweep
+// specs; any collision-free tag when a spec sweeps several times per
+// realization).
+//
+// query must deposit results into per-s slots, or into per-shard integer
+// accumulators whose merge is order-independent; anything else breaks the
+// bit-for-bit contract. The lowest-index error wins, as in the outer pool.
+func (sw *sweeper) Sources(stream uint64, sources int, query func(shard, s int, rng *xrand.RNG, scratch *search.Scratch) error) error {
+	if sources <= 0 {
+		return nil
+	}
+	shards := sw.shards
+	if shards > sources {
+		shards = sources
+	}
+	if shards <= 1 {
+		for s := 0; s < sources; s++ {
+			if err := query(0, s, xrand.NewStream(sw.seed, stream, uint64(s)), sw.scratches[0]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, sources)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	work := func(shard int) {
+		scratch := sw.scratches[shard]
+		for {
+			s := int(next.Add(1)) - 1
+			if s >= sources {
+				return
+			}
+			errs[s] = query(shard, s, xrand.NewStream(sw.seed, stream, uint64(s)), scratch)
+		}
+	}
+	wg.Add(shards - 1)
+	for sh := 1; sh < shards; sh++ {
+		go func(sh int) {
+			defer wg.Done()
+			work(sh)
+		}(sh)
+	}
+	work(0)
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {

@@ -100,9 +100,12 @@ func Delivery(sc Scale, seed uint64) ([]Figure, error) {
 	flSeries := Series{Label: "FL (shortest path)"}
 	rwSeries := Series{Label: "RW (first arrival)"}
 	for si, n := range sizes {
-		flMeans := make([]float64, sc.Realizations)
-		rwMeans := make([]float64, sc.Realizations)
-		err := forEachRealization(sc.Workers, sc.Realizations, seed+uint64(si)*977, func(r int, rng *xrand.RNG) error {
+		pairs := sc.Sources
+		flTimes := make([]int, sc.Realizations*pairs)
+		flFound := make([]bool, sc.Realizations*pairs)
+		rwTimes := make([]int, sc.Realizations*pairs)
+		rwFound := make([]bool, sc.Realizations*pairs)
+		err := forEachRealizationSweep(sc.Workers, sc.SourceShards, sc.Realizations, seed+uint64(si)*977, func(r int, rng *xrand.RNG, sw *sweeper) error {
 			g, _, err := gen.CM(gen.CMConfig{N: n, M: 2, Gamma: 2.2}, rng)
 			if err != nil {
 				return err
@@ -110,40 +113,51 @@ func Delivery(sc Scale, seed uint64) ([]Figure, error) {
 			giant := g.GiantComponent()
 			sub, _ := g.InducedSubgraph(giant)
 			fsub := sub.Freeze() // one CSR snapshot serves every delivery pair
-			var flSum, rwSum float64
-			flN, rwN := 0, 0
-			pairs := sc.Sources
-			for i := 0; i < pairs; i++ {
+			return sw.Sources(uint64(r), pairs, func(_, i int, rng *xrand.RNG, scratch *search.Scratch) error {
 				src, dst := rng.Intn(fsub.N()), rng.Intn(fsub.N())
 				if src == dst {
-					continue
+					return nil // slot stays not-found, as the serial skip did
 				}
-				fd, err := search.FloodDelivery(fsub, src, dst, 60)
+				fd, err := scratch.FloodDelivery(fsub, src, dst, 60)
 				if err != nil {
 					return err
 				}
 				if fd.Found {
-					flSum += float64(fd.Time)
-					flN++
+					flTimes[r*pairs+i], flFound[r*pairs+i] = fd.Time, true
 				}
 				rd, err := search.RandomWalkDelivery(fsub, src, dst, 200*n, rng)
 				if err != nil {
 					return err
 				}
 				if rd.Found {
-					rwSum += float64(rd.Time)
+					rwTimes[r*pairs+i], rwFound[r*pairs+i] = rd.Time, true
+				}
+				return nil
+			})
+		})
+		if err != nil {
+			return nil, err
+		}
+		flMeans := make([]float64, sc.Realizations)
+		rwMeans := make([]float64, sc.Realizations)
+		for r := 0; r < sc.Realizations; r++ {
+			var flSum, rwSum float64
+			flN, rwN := 0, 0
+			for i := 0; i < pairs; i++ {
+				if flFound[r*pairs+i] {
+					flSum += float64(flTimes[r*pairs+i])
+					flN++
+				}
+				if rwFound[r*pairs+i] {
+					rwSum += float64(rwTimes[r*pairs+i])
 					rwN++
 				}
 			}
 			if flN == 0 || rwN == 0 {
-				return fmt.Errorf("no deliveries at n=%d", n)
+				return nil, fmt.Errorf("no deliveries at n=%d", n)
 			}
 			flMeans[r] = flSum / float64(flN)
 			rwMeans[r] = rwSum / float64(rwN)
-			return nil
-		})
-		if err != nil {
-			return nil, err
 		}
 		flSeries.Points = append(flSeries.Points, Point{X: float64(n), Y: stats.Mean(flMeans), Err: stats.StdDev(flMeans)})
 		rwSeries.Points = append(rwSeries.Points, Point{X: float64(n), Y: stats.Mean(rwMeans), Err: stats.StdDev(rwMeans)})
@@ -200,50 +214,48 @@ func KWalk(sc Scale, seed uint64) ([]Figure, error) {
 			if err != nil {
 				return nil, err
 			}
-			budget := nf.MessagesAt(sc.MaxTTLNF)
-			steps := budget / kWalkers
+			// Copy the NF budget curve out: the walker call below recycles
+			// the scratch buffers nf aliases.
+			msgs := make([]int, sc.MaxTTLNF+1)
+			for t := range msgs {
+				msgs[t] = nf.MessagesAt(t)
+			}
+			steps := msgs[sc.MaxTTLNF] / kWalkers
 			if steps < 1 {
 				steps = 1
 			}
-			kw, err := search.KRandomWalks(f, src, kWalkers, steps, rng)
+			kw, err := scratch.KRandomWalks(f, src, kWalkers, steps, rng)
 			if err != nil {
 				return nil, err
 			}
 			out := make([]float64, sc.MaxTTLNF+1)
 			for t := 0; t <= sc.MaxTTLNF; t++ {
-				out[t] = float64(kw.HitsAt(nf.MessagesAt(t) / kWalkers))
+				out[t] = float64(kw.HitsAt(msgs[t] / kWalkers))
 			}
 			return out, nil
 		}},
 	}
 	for vi, v := range variants {
 		v := v
-		perReal := make([][]float64, sc.Realizations)
-		err := forEachRealizationScratch(sc.Workers, sc.Realizations, seed+uint64(vi)*4099, func(r int, rng *xrand.RNG, scratch *search.Scratch) error {
+		perSource := make([][]float64, sc.Realizations*sc.Sources)
+		err := forEachRealizationSweep(sc.Workers, sc.SourceShards, sc.Realizations, seed+uint64(vi)*4099, func(r int, rng *xrand.RNG, sw *sweeper) error {
 			f, err := frozenTopo(factory, r, rng)
 			if err != nil {
 				return err
 			}
-			sums := make([]float64, sc.MaxTTLNF+1)
-			for s := 0; s < sc.Sources; s++ {
+			return sw.Sources(uint64(r), sc.Sources, func(_, s int, rng *xrand.RNG, scratch *search.Scratch) error {
 				row, err := v.run(scratch, f, rng.Intn(f.N()), rng)
 				if err != nil {
 					return err
 				}
-				for t := range sums {
-					sums[t] += row[t]
-				}
-			}
-			for t := range sums {
-				sums[t] /= float64(sc.Sources)
-			}
-			perReal[r] = sums
-			return nil
+				perSource[r*sc.Sources+s] = row
+				return nil
+			})
 		})
 		if err != nil {
 			return nil, fmt.Errorf("kwalk %s: %w", v.label, err)
 		}
-		s, err := aggregate(v.label, perReal, 1)
+		s, err := aggregate(v.label, meanRows(perSource, sc.Realizations, sc.Sources), 1)
 		if err != nil {
 			return nil, err
 		}

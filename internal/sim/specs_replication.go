@@ -13,6 +13,7 @@ import (
 
 	"scalefree/internal/content"
 	"scalefree/internal/gen"
+	"scalefree/internal/search"
 	"scalefree/internal/xrand"
 )
 
@@ -46,7 +47,7 @@ func Replication(sc Scale, seed uint64) ([]Figure, error) {
 		for si, strat := range strategies {
 			strat := strat
 			perReal := make([][]float64, sc.Realizations)
-			err := forEachRealization(sc.Workers, sc.Realizations, seed+uint64(si)*6151+uint64(kc), func(r int, rng *xrand.RNG) error {
+			err := forEachRealizationSweep(sc.Workers, sc.SourceShards, sc.Realizations, seed+uint64(si)*6151+uint64(kc), func(r int, rng *xrand.RNG, sw *sweeper) error {
 				g, _, err := gen.PA(gen.PAConfig{N: sc.NSearch, M: m, KC: kc}, rng)
 				if err != nil {
 					return err
@@ -57,6 +58,8 @@ func Replication(sc Scale, seed uint64) ([]Figure, error) {
 					return err
 				}
 				row := make([]float64, len(budgetsPerN))
+				steps := make([]int, queries)
+				found := make([]bool, queries)
 				for bi, f := range budgetsPerN {
 					budget := int(f * float64(fg.N()))
 					if budget < items {
@@ -66,10 +69,16 @@ func Replication(sc Scale, seed uint64) ([]Figure, error) {
 					if err != nil {
 						return err
 					}
-					res, err := content.ExpectedSearchSize(fg, p, cat, queries, maxSteps, rng)
+					// Sharded query sweep against the shared snapshot; the
+					// stream tag separates budgets within the realization.
+					err = sw.Sources(uint64(r)*uint64(len(budgetsPerN))+uint64(bi), queries, func(_, q int, rng *xrand.RNG, _ *search.Scratch) error {
+						steps[q], found[q] = content.ResolveQuery(fg, p, cat, maxSteps, rng)
+						return nil
+					})
 					if err != nil {
 						return err
 					}
+					res := content.CollectESS(steps, found)
 					if res.Found == 0 {
 						return fmt.Errorf("replication: no queries resolved at budget %d", budget)
 					}

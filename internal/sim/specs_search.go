@@ -36,7 +36,7 @@ func Fig6(sc Scale, seed uint64) ([]Figure, error) {
 				s, err := searchSeries(
 					fmt.Sprintf("m=%d, %s", m, cutoffLabel(kc)),
 					p.mk(m, kc),
-					searchCfg{alg: algFL, maxTTL: sc.flSweepTTL(), sources: sc.Sources, realizations: sc.Realizations, workers: sc.Workers},
+					sc.searchCfg(algFL, sc.flSweepTTL(), 0),
 					seed+uint64(pi*10000+m*100+kc),
 				)
 				if err != nil {
@@ -68,7 +68,7 @@ func Fig7(sc Scale, seed uint64) ([]Figure, error) {
 				s, err := searchSeries(
 					fmt.Sprintf("m=%d, %s", m, cutoffLabel(kc)),
 					cmTopo(sc.NSearch, m, kc, gamma),
-					searchCfg{alg: algFL, maxTTL: sc.flSweepTTL(), sources: sc.Sources, realizations: sc.Realizations, workers: sc.Workers},
+					sc.searchCfg(algFL, sc.flSweepTTL(), 0),
 					seed+uint64(pi*10000+m*100+kc),
 				)
 				if err != nil {
@@ -106,7 +106,7 @@ func Fig8(sc Scale, seed uint64) ([]Figure, error) {
 				s, err := searchSeries(
 					fmt.Sprintf("%s, tau_sub=%d", cutoffLabel(kc), tau),
 					dapaTopo(substrates, sc.NOverlay, m, kc, tau),
-					searchCfg{alg: algFL, maxTTL: maxTTL, sources: sc.Sources, realizations: sc.Realizations, workers: sc.Workers},
+					sc.searchCfg(algFL, maxTTL, 0),
 					seed+uint64(m*100000+kc*100+tau),
 				)
 				if err != nil {
@@ -147,7 +147,7 @@ func nfRwPanels(sc Scale, seed uint64, alg algKind, figBase string, titleAlg str
 				s, err := searchSeries(
 					fmt.Sprintf("m=%d, %s", m, cutoffLabel(kc)),
 					paTopo(sc.NSearch, m, kc),
-					searchCfg{alg: alg, maxTTL: sc.MaxTTLNF, kMin: searchKMin(m), sources: sc.Sources, realizations: sc.Realizations, workers: sc.Workers},
+					sc.searchCfg(alg, sc.MaxTTLNF, searchKMin(m)),
 					seed+uint64(i*100000+m*1000+kc),
 				)
 				if err != nil {
@@ -171,7 +171,7 @@ func nfRwPanels(sc Scale, seed uint64, alg algKind, figBase string, titleAlg str
 					s, err := searchSeries(
 						fmt.Sprintf("m=%d, gamma=%.1f, %s", m, gamma, cutoffLabel(kc)),
 						cmTopo(sc.NSearch, m, kc, gamma),
-						searchCfg{alg: alg, maxTTL: sc.MaxTTLNF, kMin: searchKMin(m), sources: sc.Sources, realizations: sc.Realizations, workers: sc.Workers},
+						sc.searchCfg(alg, sc.MaxTTLNF, searchKMin(m)),
 						seed+uint64(i*200000+m*1000+kc+int(gamma*10)),
 					)
 					if err != nil {
@@ -195,7 +195,7 @@ func nfRwPanels(sc Scale, seed uint64, alg algKind, figBase string, titleAlg str
 				s, err := searchSeries(
 					fmt.Sprintf("m=%d, %s", m, cutoffLabel(kc)),
 					hapaTopo(sc.NSearch, m, kc),
-					searchCfg{alg: alg, maxTTL: sc.MaxTTLNF, kMin: searchKMin(m), sources: sc.Sources, realizations: sc.Realizations, workers: sc.Workers},
+					sc.searchCfg(alg, sc.MaxTTLNF, searchKMin(m)),
 					seed+uint64(i*300000+m*1000+kc),
 				)
 				if err != nil {
@@ -246,7 +246,7 @@ func dapaNFRW(sc Scale, seed uint64, alg algKind, figBase, titleAlg string) ([]F
 				s, err := searchSeries(
 					fmt.Sprintf("tau_sub=%d", tau),
 					dapaTopo(substrates, sc.NOverlay, m, kc, tau),
-					searchCfg{alg: alg, maxTTL: sc.MaxTTLNF, kMin: searchKMin(m), sources: sc.Sources, realizations: sc.Realizations, workers: sc.Workers},
+					sc.searchCfg(alg, sc.MaxTTLNF, searchKMin(m)),
 					seed+uint64(panel*10000+tau),
 				)
 				if err != nil {

@@ -74,30 +74,30 @@ func Strategies(sc Scale, seed uint64) ([]Figure, error) {
 			}
 			return sampleBudgets(res, budgets), nil
 		}},
-		{"8 walkers", func(_ *search.Scratch, f *graph.Frozen, src int, budgets []int, rng *xrand.RNG) ([]float64, error) {
+		{"8 walkers", func(scratch *search.Scratch, f *graph.Frozen, src int, budgets []int, rng *xrand.RNG) ([]float64, error) {
 			const k = 8
-			res, err := search.KRandomWalks(f, src, k, budgets[len(budgets)-1]/k+1, rng)
+			res, err := scratch.KRandomWalks(f, src, k, budgets[len(budgets)-1]/k+1, rng)
 			if err != nil {
 				return nil, err
 			}
 			return sampleBudgets(res, budgets), nil
 		}},
-		{"HDS walk", func(_ *search.Scratch, f *graph.Frozen, src int, budgets []int, rng *xrand.RNG) ([]float64, error) {
-			res, err := search.HighDegreeWalk(f, src, budgets[len(budgets)-1], rng)
+		{"HDS walk", func(scratch *search.Scratch, f *graph.Frozen, src int, budgets []int, rng *xrand.RNG) ([]float64, error) {
+			res, err := scratch.HighDegreeWalk(f, src, budgets[len(budgets)-1], rng)
 			if err != nil {
 				return nil, err
 			}
 			return sampleBudgets(res, budgets), nil
 		}},
-		{"PF p=0.5", func(_ *search.Scratch, f *graph.Frozen, src int, budgets []int, rng *xrand.RNG) ([]float64, error) {
-			res, err := search.ProbabilisticFlood(f, src, sc.MaxTTLFlood, 0.5, rng)
+		{"PF p=0.5", func(scratch *search.Scratch, f *graph.Frozen, src int, budgets []int, rng *xrand.RNG) ([]float64, error) {
+			res, err := scratch.ProbabilisticFlood(f, src, sc.MaxTTLFlood, 0.5, rng)
 			if err != nil {
 				return nil, err
 			}
 			return sampleBudgets(res, budgets), nil
 		}},
-		{"hybrid (flood 2 + 8 walkers)", func(_ *search.Scratch, f *graph.Frozen, src int, budgets []int, rng *xrand.RNG) ([]float64, error) {
-			res, err := search.HybridSearch(f, src, 2, 8, budgets[len(budgets)-1]/8+1, rng)
+		{"hybrid (flood 2 + 8 walkers)", func(scratch *search.Scratch, f *graph.Frozen, src int, budgets []int, rng *xrand.RNG) ([]float64, error) {
+			res, err := scratch.HybridSearch(f, src, 2, 8, budgets[len(budgets)-1]/8+1, rng)
 			if err != nil {
 				return nil, err
 			}
@@ -122,32 +122,25 @@ func Strategies(sc Scale, seed uint64) ([]Figure, error) {
 		factory := paTopo(sc.NSearch, m, kc)
 		for vi, v := range variants {
 			v := v
-			perReal := make([][]float64, sc.Realizations)
-			err := forEachRealizationScratch(sc.Workers, sc.Realizations, seed+uint64(vi)*7919+uint64(kc), func(r int, rng *xrand.RNG, scratch *search.Scratch) error {
+			perSource := make([][]float64, sc.Realizations*sc.Sources)
+			err := forEachRealizationSweep(sc.Workers, sc.SourceShards, sc.Realizations, seed+uint64(vi)*7919+uint64(kc), func(r int, rng *xrand.RNG, sw *sweeper) error {
 				f, err := frozenTopo(factory, r, rng)
 				if err != nil {
 					return err
 				}
-				sums := make([]float64, len(budgets))
-				for s := 0; s < sc.Sources; s++ {
+				return sw.Sources(uint64(r), sc.Sources, func(_, s int, rng *xrand.RNG, scratch *search.Scratch) error {
 					row, err := v.run(scratch, f, rng.Intn(f.N()), budgets, rng)
 					if err != nil {
 						return err
 					}
-					for i := range sums {
-						sums[i] += row[i]
-					}
-				}
-				for i := range sums {
-					sums[i] /= float64(sc.Sources)
-				}
-				perReal[r] = sums
-				return nil
+					perSource[r*sc.Sources+s] = row
+					return nil
+				})
 			})
 			if err != nil {
 				return nil, fmt.Errorf("strategies %s %s: %w", cutoffLabel(kc), v.label, err)
 			}
-			s, err := aggregate(v.label, perReal, 0)
+			s, err := aggregate(v.label, meanRows(perSource, sc.Realizations, sc.Sources), 0)
 			if err != nil {
 				return nil, err
 			}

@@ -141,7 +141,7 @@ func Messaging(sc Scale, seed uint64) ([]Figure, error) {
 		for _, kc := range []int{10, gen.NoCutoff} {
 			factory := paTopo(sc.NSearch, m, kc)
 			base := fmt.Sprintf("m=%d, %s", m, cutoffLabel(kc))
-			cfg := searchCfg{maxTTL: sc.MaxTTLNF, kMin: searchKMin(m), sources: sc.Sources, realizations: sc.Realizations, workers: sc.Workers}
+			cfg := sc.searchCfg(0, sc.MaxTTLNF, searchKMin(m))
 
 			cfg.alg = algNF
 			nfMsgs, err := messageSeries("NF "+base, factory, cfg, seed+uint64(m*100+kc))

@@ -39,10 +39,30 @@ func New(seed uint64) *RNG {
 // only to expand seeds into full xoshiro state.
 func splitmix64(x *uint64) uint64 {
 	*x += 0x9e3779b97f4a7c15
-	z := *x
+	return mix64(*x)
+}
+
+// mix64 is the splitmix64 finalizer: a strong 64-bit bijective mixer.
+func mix64(z uint64) uint64 {
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	return z ^ (z >> 31)
+}
+
+// NewStream derives a deterministic RNG for one position in a nested
+// experiment, identified by a path of indices under a root seed — e.g.
+// NewStream(seed, realization, source) for the source-sharded query
+// scheduler. The stream depends only on (seed, path): never on scheduling
+// order, worker count, or how many values any other stream consumed. Each
+// path component passes through the splitmix64 finalizer, so neighboring
+// indices yield statistically independent streams, and an offset constant
+// domain-separates the result from New(seed) and its Split descendants.
+func NewStream(seed uint64, path ...uint64) *RNG {
+	x := mix64(seed + 0x6a09e667f3bcc909)
+	for _, p := range path {
+		x = mix64(x ^ (p + 0x9e3779b97f4a7c15))
+	}
+	return New(x)
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

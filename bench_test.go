@@ -82,28 +82,33 @@ func BenchmarkExtReplication(b *testing.B)        { runSpec(b, "replication") }
 func BenchmarkExtChurn(b *testing.B)              { runSpec(b, "churn") }
 
 // BenchmarkWorkersScaling regenerates Fig. 9 (the NF sweep, the heaviest
-// search spec) across the two-level scheduler grid: realization workers ×
-// source shards. workers=1/shards=1 is the fully serial baseline;
-// workers=2/shards=1 is the PR 2 configuration (realization-level
-// parallelism only, which starves once realizations < cores);
-// workers=4/shards=4 is the CI smoke point; "default" is the real default
-// (Workers=0, SourceShards=0), where the engine auto-sizes shards so that
-// workers × shards ≈ GOMAXPROCS. Output is bit-for-bit identical at every
-// grid point; only wall-clock changes.
+// search spec) across the three-stage scheduler grid: sweep workers ×
+// source shards × gen workers. workers=1/shards=1/gen=1 is the fully
+// serial baseline; workers=2/shards=1/gen=1 is the PR 2 configuration
+// (realization-level parallelism only, which starves once realizations <
+// cores); the gen=1 vs gen=4 pair at workers=4/shards=4 isolates the PR 4
+// pipelined build stage on a build-dominated run (benchScale has 2
+// realizations, so generation is the long pole exactly as in the fig9
+// smoke pprof that motivated the pipeline); "default" is the real default
+// (all knobs 0), where the engine auto-sizes shards so that workers ×
+// shards ≈ GOMAXPROCS and matches gen workers to sweep workers. Output is
+// bit-for-bit identical at every grid point; only wall-clock changes.
 func BenchmarkWorkersScaling(b *testing.B) {
 	grid := []struct {
-		name            string
-		workers, shards int
+		name                 string
+		workers, shards, gen int
 	}{
-		{"workers=1,shards=1", 1, 1},
-		{"workers=2,shards=1", 2, 1},
-		{"workers=4,shards=4", 4, 4},
-		{"default", 0, 0},
+		{"workers=1,shards=1,gen=1", 1, 1, 1},
+		{"workers=2,shards=1,gen=1", 2, 1, 1},
+		{"workers=4,shards=4,gen=1", 4, 4, 1},
+		{"workers=4,shards=4,gen=4", 4, 4, 4},
+		{"default", 0, 0, 0},
 	}
 	for _, c := range grid {
 		sc := benchScale
 		sc.Workers = c.workers
 		sc.SourceShards = c.shards
+		sc.GenWorkers = c.gen
 		b.Run(c.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := sim.Fig9(sc, 1000); err != nil {

@@ -9,15 +9,20 @@
 //	experiments -exp all  -scale paper -outdir results   # hours at paper scale
 //	experiments -exp fig9 -workers 4                     # bound realization concurrency
 //	experiments -exp fig6 -source-shards 1               # serial source sweeps
+//	experiments -exp fig9 -gen-workers 4                 # bound the pipelined build stage
 //	experiments -scale xl                                # N=10^6 degree distributions
 //	experiments -exp fig9 -cpuprofile cpu.pprof          # profile a hot experiment
 //
-// -workers bounds how many realizations run concurrently within each
-// experiment (default 0 = GOMAXPROCS) and -source-shards bounds how many
+// -workers bounds how many realizations are swept concurrently within
+// each experiment (default 0 = GOMAXPROCS), -source-shards bounds how many
 // sources of one realization are swept concurrently against its shared
 // frozen topology (default 0 = automatic: workers × shards fills
-// GOMAXPROCS). The output is bit-for-bit identical for every
-// (workers, source-shards) combination; see EXPERIMENTS.md.
+// GOMAXPROCS), and -gen-workers bounds the pipelined build stage that
+// generates and freezes upcoming realizations while earlier ones are being
+// swept (default 0 = match workers; also the intra-generator parallelism
+// budget when realizations are scarcer than the bound). The output is
+// bit-for-bit identical for every (workers, source-shards, gen-workers)
+// combination; see EXPERIMENTS.md.
 //
 // The xl scale runs an order of magnitude past the paper (10⁶-node degree
 // distributions, 10⁵-node search topologies) on the CSR-frozen read path;
@@ -62,6 +67,7 @@ func run(args []string, stdout io.Writer) error {
 		plot       = fs.Bool("plot", true, "print ASCII renderings to stdout")
 		workers    = fs.Int("workers", 0, "concurrent realizations per experiment (0 = GOMAXPROCS); results are identical for any value")
 		shards     = fs.Int("source-shards", 0, "concurrent sources per realization (0 = automatic: workers x shards fills GOMAXPROCS); results are identical for any value")
+		genWorkers = fs.Int("gen-workers", 0, "pipelined build-stage bound: concurrent topology builds, and intra-generator parallelism when realizations are scarce (0 = match workers); results are identical for any value")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile covering the selected experiments")
 		memprofile = fs.String("memprofile", "", "write a heap profile taken after the last experiment")
 	)
@@ -95,6 +101,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 	sc.Workers = *workers
 	sc.SourceShards = *shards
+	sc.GenWorkers = *genWorkers
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -185,22 +192,32 @@ func run(args []string, stdout io.Writer) error {
 }
 
 // runVerify checks every machine-checkable paper claim and reports
-// PASS/FAIL; it exits non-zero if any claim fails.
+// PASS/FAIL; it exits non-zero if any claim fails. Claims marked as
+// documented fidelity deviations report DEVIA and never fail the run —
+// the measurement stays on record, the expected outcome is "not
+// reproduced".
 func runVerify(stdout io.Writer, sc sim.Scale, seed uint64) error {
 	results := sim.CheckAllClaims(sc, seed)
-	failed := 0
+	failed, deviations := 0, 0
 	for _, r := range results {
 		status := "PASS"
-		if r.Err != nil {
+		switch {
+		case r.Err != nil:
 			status = "ERROR"
 			failed++
-		} else if !r.Pass {
+		case r.Deviation != "":
+			status = "DEVIA"
+			deviations++
+		case !r.Pass:
 			status = "FAIL"
 			failed++
 		}
 		fmt.Fprintf(stdout, "[%-5s] %-28s %s\n", status, r.ID, r.Statement)
 		if r.Detail != "" {
 			fmt.Fprintf(stdout, "        measured: %s\n", r.Detail)
+		}
+		if r.Deviation != "" {
+			fmt.Fprintf(stdout, "        deviation: %s\n", r.Deviation)
 		}
 		if r.Err != nil {
 			fmt.Fprintf(stdout, "        error: %v\n", r.Err)
@@ -209,7 +226,8 @@ func runVerify(stdout io.Writer, sc sim.Scale, seed uint64) error {
 	if failed > 0 {
 		return fmt.Errorf("%d/%d claims failed", failed, len(results))
 	}
-	fmt.Fprintf(stdout, "all %d paper claims verified\n", len(results))
+	fmt.Fprintf(stdout, "%d/%d paper claims verified (%d documented deviations)\n",
+		len(results)-deviations, len(results), deviations)
 	return nil
 }
 

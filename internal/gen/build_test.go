@@ -1,0 +1,184 @@
+package gen
+
+import (
+	"reflect"
+	"testing"
+
+	"scalefree/internal/graph"
+	"scalefree/internal/xrand"
+)
+
+// graphFingerprint captures a graph's full adjacency structure, insertion
+// order included, so two builds can be compared bit for bit.
+func graphFingerprint(t *testing.T, g *graph.Graph) [][]int32 {
+	t.Helper()
+	out := make([][]int32, g.N())
+	for u := 0; u < g.N(); u++ {
+		out[u] = append([]int32(nil), g.Neighbors(u)...)
+	}
+	return out
+}
+
+func phasesFor(seed, realization uint64) xrand.Phases {
+	return xrand.Phases{Seed: seed, Realization: realization}
+}
+
+// TestCMBuildWorkerInvariance pins the chunked-degree contract: a phased
+// CM build yields the identical graph (and Stats) for every Workers value.
+func TestCMBuildWorkerInvariance(t *testing.T) {
+	t.Parallel()
+	cfg := CMConfig{N: 9000, M: 2, KC: 60, Gamma: 2.5}
+	build := func(workers int) ([][]int32, Stats) {
+		g, st, err := CMBuild(cfg, NewBuild(phasesFor(11, 3), workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return graphFingerprint(t, g), st
+	}
+	wantG, wantSt := build(1)
+	for _, w := range []int{2, 4, 7} {
+		g, st := build(w)
+		if !reflect.DeepEqual(wantG, g) {
+			t.Fatalf("CM graph differs between Workers=1 and Workers=%d", w)
+		}
+		if st != wantSt {
+			t.Fatalf("CM stats differ between Workers=1 and Workers=%d: %+v vs %+v", w, wantSt, st)
+		}
+	}
+}
+
+// TestGRNBuildWorkerInvariance pins the GRN contract: chunked placement
+// and parallel radius queries yield identical points and edges for every
+// Workers value.
+func TestGRNBuildWorkerInvariance(t *testing.T) {
+	t.Parallel()
+	cfg := GRNConfig{N: 9000, MeanDegree: 10}
+	build := func(workers int) ([][]int32, []Point) {
+		g, pts, err := GRNBuild(cfg, NewBuild(phasesFor(5, 1), workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return graphFingerprint(t, g), pts
+	}
+	wantG, wantPts := build(1)
+	for _, w := range []int{2, 4, 7} {
+		g, pts := build(w)
+		if !reflect.DeepEqual(wantPts, pts) {
+			t.Fatalf("GRN points differ between Workers=1 and Workers=%d", w)
+		}
+		if !reflect.DeepEqual(wantG, g) {
+			t.Fatalf("GRN graph differs between Workers=1 and Workers=%d", w)
+		}
+	}
+}
+
+// TestDAPABuildWorkerInvariance pins the batched-flood contract: a phased
+// DAPA build — candidate lookahead, parallel horizon floods — yields the
+// identical overlay (mapping, adjacency, Stats) for every Workers value.
+func TestDAPABuildWorkerInvariance(t *testing.T) {
+	t.Parallel()
+	sub, _, err := GRN(GRNConfig{N: 4000, MeanDegree: 10}, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsub := sub.Freeze()
+	for _, tau := range []int{2, 10} {
+		cfg := DAPAConfig{NOverlay: 1500, M: 2, KC: 40, TauSub: tau}
+		build := func(workers int) ([][]int32, []int, Stats) {
+			ov, st, err := DAPABuild(fsub, cfg, NewBuild(phasesFor(13, 2), workers))
+			if err != nil {
+				t.Fatalf("tau=%d workers=%d: %v", tau, workers, err)
+			}
+			return graphFingerprint(t, ov.G), ov.SubstrateID, st
+		}
+		wantG, wantIDs, wantSt := build(1)
+		for _, w := range []int{2, 4} {
+			g, ids, st := build(w)
+			if !reflect.DeepEqual(wantIDs, ids) {
+				t.Fatalf("tau=%d: DAPA join order differs between Workers=1 and Workers=%d", tau, w)
+			}
+			if !reflect.DeepEqual(wantG, g) {
+				t.Fatalf("tau=%d: DAPA overlay differs between Workers=1 and Workers=%d", tau, w)
+			}
+			if st != wantSt {
+				t.Fatalf("tau=%d: DAPA stats differ between Workers=1 and Workers=%d: %+v vs %+v", tau, w, wantSt, st)
+			}
+		}
+	}
+}
+
+// TestLegacyBuildMatchesPlainEntryPoints pins the compatibility contract:
+// the plain PA/CM/GRN/DAPAFrozen entry points and a legacy Build (Phases
+// nil) draw from the single stream in the identical order.
+func TestLegacyBuildMatchesPlainEntryPoints(t *testing.T) {
+	t.Parallel()
+	pa1, _, err := PA(PAConfig{N: 600, M: 2, KC: 40}, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa2, _, err := PABuild(PAConfig{N: 600, M: 2, KC: 40}, Build{RNG: xrand.New(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(graphFingerprint(t, pa1), graphFingerprint(t, pa2)) {
+		t.Fatal("PABuild(legacy) diverged from PA")
+	}
+	cm1, _, err := CM(CMConfig{N: 600, M: 2, Gamma: 2.4}, xrand.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm2, _, err := CMBuild(CMConfig{N: 600, M: 2, Gamma: 2.4}, Build{RNG: xrand.New(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(graphFingerprint(t, cm1), graphFingerprint(t, cm2)) {
+		t.Fatal("CMBuild(legacy) diverged from CM")
+	}
+	sub, _, err := GRN(GRNConfig{N: 1500, MeanDegree: 10}, xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsub := sub.Freeze()
+	dcfg := DAPAConfig{NOverlay: 500, M: 2, KC: 40, TauSub: 4}
+	ov1, st1, err := DAPAFrozen(fsub, dcfg, xrand.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov2, st2, err := DAPABuild(fsub, dcfg, Build{RNG: xrand.New(6)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(graphFingerprint(t, ov1.G), graphFingerprint(t, ov2.G)) || st1 != st2 {
+		t.Fatal("DAPABuild(legacy) diverged from DAPAFrozen")
+	}
+}
+
+// TestZeroValueBuildMatchesNilRNG pins the zero-value contract: Build{}
+// must behave exactly like passing a nil RNG to the plain entry points —
+// one shared fixed-seed stream across all phases, not one identical
+// stream per phase.
+func TestZeroValueBuildMatchesNilRNG(t *testing.T) {
+	t.Parallel()
+	want, _, err := CM(CMConfig{N: 500, M: 2, Gamma: 2.4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := CMBuild(CMConfig{N: 500, M: 2, Gamma: 2.4}, Build{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(graphFingerprint(t, want), graphFingerprint(t, got)) {
+		t.Fatal("CMBuild(Build{}) diverged from CM(cfg, nil)")
+	}
+}
+
+// TestStubListParallelMatchesSerial pins the stub expansion on both paths.
+func TestStubListParallelMatchesSerial(t *testing.T) {
+	t.Parallel()
+	seq := PowerLawDegreeSequence(20000, 1, 100, 2.3, xrand.New(9))
+	serial := stubList(seq, Build{RNG: xrand.New(0)})
+	par := stubList(seq, NewBuild(phasesFor(0, 0), 4))
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatal("parallel stub list diverged from serial expansion")
+	}
+}

@@ -55,32 +55,110 @@ func (c CMConfig) validate() error {
 // [56–58] define and what reproduces the prescribed degree sequence. We
 // implement stub pairing and document the difference here.
 func CM(cfg CMConfig, rng *xrand.RNG) (*graph.Graph, Stats, error) {
+	return CMBuild(cfg, Build{RNG: defaultRNG(rng)})
+}
+
+// CMBuild is CM under an explicit build context. A phased build splits the
+// randomness into the "cm.degrees" phase (sampled in fixed-size chunks,
+// one sub-stream per chunk, so any number of workers draws identical
+// degrees), the "cm.parity" phase (the even-total repair), and the
+// "cm.wire" phase (the stub shuffle, sequential by nature); degree
+// sampling and the stub-list setup fan out across Build.Workers
+// goroutines. Output is bit-for-bit identical for every Workers value. A
+// legacy Build (Phases nil) reproduces CM's historical single-stream draw
+// sequence byte for byte.
+func CMBuild(cfg CMConfig, b Build) (*graph.Graph, Stats, error) {
 	var st Stats
 	if err := cfg.validate(); err != nil {
 		return nil, st, err
 	}
-	rng = defaultRNG(rng)
+	b = b.normalize()
 	kc := cfg.KC
 	if kc == NoCutoff || kc > cfg.N {
 		kc = cfg.N
 	}
 
-	seq := PowerLawDegreeSequence(cfg.N, cfg.M, kc, cfg.Gamma, rng)
+	var seq []int
+	if b.phased() {
+		seq = powerLawDegreeSequenceChunked(cfg.N, cfg.M, kc, cfg.Gamma, b)
+	} else {
+		seq = PowerLawDegreeSequence(cfg.N, cfg.M, kc, cfg.Gamma, b.phase("cm.degrees"))
+	}
 
 	g := graph.New(cfg.N)
-	stubs := make([]int32, 0, sum(seq))
-	for u, k := range seq {
-		for i := 0; i < k; i++ {
-			stubs = append(stubs, int32(u))
-		}
-	}
-	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	stubs := stubList(seq, b)
+	wire := b.phase("cm.wire")
+	wire.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
 	for i := 0; i+1 < len(stubs); i += 2 {
 		mustEdge(g, int(stubs[i]), int(stubs[i+1]))
 	}
 
 	st.SelfLoopsRemoved, st.MultiEdgesRemoved = g.Simplify()
 	return g, st, nil
+}
+
+// powerLawDegreeSequenceChunked is the phased counterpart of
+// PowerLawDegreeSequence: chunk c of the sequence draws from the
+// (seed, realization, "cm.degrees", c) sub-stream, so the sampled degrees
+// are identical no matter how many goroutines process the chunks. The
+// parity repair draws from its own "cm.parity" stream.
+func powerLawDegreeSequenceChunked(n, kMin, kMax int, gamma float64, b Build) []int {
+	seq := make([]int, n)
+	subtotals := make([]int, chunks(n))
+	b.forChunks(n, func(chunk, lo, hi int) {
+		rng := b.Phases.Chunk("cm.degrees", chunk)
+		t := 0
+		for i := lo; i < hi; i++ {
+			seq[i] = rng.PowerLawInt(kMin, kMax, gamma)
+			t += seq[i]
+		}
+		subtotals[chunk] = t
+	})
+	total := 0
+	for _, t := range subtotals {
+		total += t
+	}
+	if total%2 == 1 {
+		// Same repair rule as PowerLawDegreeSequence, from the dedicated
+		// parity stream.
+		i := b.phase("cm.parity").Intn(n)
+		if seq[i] < kMax {
+			seq[i]++
+		} else {
+			seq[i]--
+		}
+	}
+	return seq
+}
+
+// stubList expands a degree sequence into the stub array (node u appearing
+// seq[u] times, in node order). The expansion is RNG-free; a phased build
+// fills disjoint chunk ranges in parallel from the sequence's prefix sums,
+// a legacy build appends serially — both produce the identical array.
+func stubList(seq []int, b Build) []int32 {
+	if !b.phased() || b.workers() <= 1 {
+		stubs := make([]int32, 0, sum(seq))
+		for u, k := range seq {
+			for i := 0; i < k; i++ {
+				stubs = append(stubs, int32(u))
+			}
+		}
+		return stubs
+	}
+	n := len(seq)
+	offsets := make([]int, n+1)
+	for u, k := range seq {
+		offsets[u+1] = offsets[u] + k
+	}
+	stubs := make([]int32, offsets[n])
+	b.forChunks(n, func(_, lo, hi int) {
+		for u := lo; u < hi; u++ {
+			for p := offsets[u]; p < offsets[u+1]; p++ {
+				stubs[p] = int32(u)
+			}
+		}
+	})
+	return stubs
 }
 
 // PowerLawDegreeSequence draws n degrees from P(k) ∝ k^-gamma on

@@ -3,6 +3,7 @@ package gen
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"scalefree/internal/graph"
 	"scalefree/internal/xrand"
@@ -107,11 +108,29 @@ func DAPA(substrate *graph.Graph, cfg DAPAConfig, rng *xrand.RNG) (*Overlay, Sta
 // substrate walk exactly (Frozen preserves adjacency order), so overlays
 // are bit-for-bit identical to DAPA's.
 func DAPAFrozen(sub *graph.Frozen, cfg DAPAConfig, rng *xrand.RNG) (*Overlay, Stats, error) {
+	return DAPABuild(sub, cfg, Build{RNG: defaultRNG(rng)})
+}
+
+// DAPABuild is DAPAFrozen under an explicit build context. A phased build
+// splits the randomness into the "dapa.seeds" stream (seed-peer draws),
+// the "dapa.select" stream (candidate draws), and the "dapa.attach"
+// stream (preferential-attachment draws). The separation is what makes
+// the horizon floods batchable: candidate nodes are a pure function of
+// the select stream, and the TauSub-hop substrate ball around a candidate
+// is a pure function of the immutable substrate, so with Build.Workers > 1
+// the engine pre-draws a small batch of candidates and floods their balls
+// in parallel while the join loop itself stays sequential. Each ball is
+// filtered against the live overlay state only when its candidate is
+// consumed, in draw order, so the overlay is bit-for-bit identical for
+// every Workers value. A legacy Build (Phases nil) aliases all three
+// streams to the one RNG and runs with a lookahead of one, reproducing
+// DAPAFrozen's historical draw interleaving byte for byte.
+func DAPABuild(sub *graph.Frozen, cfg DAPAConfig, b Build) (*Overlay, Stats, error) {
 	var st Stats
 	if err := cfg.validate(sub.N()); err != nil {
 		return nil, st, err
 	}
-	rng = defaultRNG(rng)
+	b = b.normalize()
 	ns := sub.N()
 
 	ov := &Overlay{
@@ -131,9 +150,10 @@ func DAPAFrozen(sub *graph.Frozen, cfg DAPAConfig, rng *xrand.RNG) (*Overlay, St
 
 	// Seed peers: random distinct substrate nodes, fully connected in the
 	// overlay (the paper connects its 2 seeds to each other).
+	seedRNG := b.phase("dapa.seeds")
 	seeds := cfg.seeds()
 	for len(ov.SubstrateID) < seeds {
-		cand := rng.Intn(ns)
+		cand := seedRNG.Intn(ns)
 		if ov.OverlayID[cand] < 0 {
 			join(cand)
 		}
@@ -144,60 +164,101 @@ func DAPAFrozen(sub *graph.Frozen, cfg DAPAConfig, rng *xrand.RNG) (*Overlay, St
 		}
 	}
 
-	stallLimit := 50 * ns
-	consecutiveFailures := 0
-	horizon := make([]int, 0, 256)
-	// Discovery-flood scratch, reused across every join attempt: an
-	// epoch-stamped visited array plus the two-queue frontier. Bumping the
-	// epoch clears the visited set in O(1). This mirrors
+	selectRNG := b.phase("dapa.select")
+	attachRNG := b.phase("dapa.attach")
+
+	// Candidate lookahead. Legacy builds share one RNG across the three
+	// phases, so any lookahead beyond one would reorder its draws; phased
+	// builds give the select stream its own derivation, so the batch size
+	// affects wall-clock only, never output.
+	workers := b.workers()
+	look := 1
+	if b.phased() && workers > 1 {
+		look = 2 * workers
+	}
+	// Per-worker discovery-flood scratches: an epoch-stamped visited array
+	// plus the two-queue frontier each, reused across every join attempt
+	// (bumping the epoch clears the visited set in O(1)). This mirrors
 	// search.Scratch.FloodVisit, which gen cannot import: the search
 	// package's in-package tests import gen, so gen → search would be an
 	// import cycle in the test binary.
-	mark := make([]int32, ns)
-	var epoch int32
-	curq := make([]int32, 0, 256)
-	nextq := make([]int32, 0, 256)
+	scratches := make([]*dapaFlood, workers)
+	scratch := func(i int) *dapaFlood {
+		if scratches[i] == nil {
+			scratches[i] = newDAPAFlood(ns)
+		}
+		return scratches[i]
+	}
+
+	stallLimit := 50 * ns
+	consecutiveFailures := 0
+	horizon := make([]int, 0, 256)
+	candNodes := make([]int32, look)
+	candBalls := make([][]int32, look)
+	hasBall := make([]bool, look)
+	candPos, candLen := 0, 0
 	for st.Joined < cfg.NOverlay {
 		if consecutiveFailures >= stallLimit {
 			return ov, st, fmt.Errorf("%w: overlay stuck at %d/%d peers", ErrStalled, st.Joined, cfg.NOverlay)
 		}
-		node := rng.Intn(ns)
+		if candPos == candLen {
+			// Refill: draw the next batch of candidates from the select
+			// stream and flood the substrate ball of every candidate not
+			// already in the overlay. Membership can only grow, so a
+			// candidate skipped here is guaranteed to fail the membership
+			// check at consumption and its ball is never needed.
+			candLen = look
+			for i := 0; i < candLen; i++ {
+				candNodes[i] = int32(selectRNG.Intn(ns))
+			}
+			if candLen == 1 {
+				hasBall[0] = false
+				if ov.OverlayID[candNodes[0]] < 0 {
+					candBalls[0] = scratch(0).ball(sub, int(candNodes[0]), cfg.TauSub, candBalls[0][:0])
+					hasBall[0] = true
+				}
+			} else {
+				var wg sync.WaitGroup
+				wg.Add(workers)
+				for gid := 0; gid < workers; gid++ {
+					go func(gid int) {
+						defer wg.Done()
+						fs := scratch(gid)
+						for i := gid; i < candLen; i += workers {
+							hasBall[i] = false
+							if ov.OverlayID[candNodes[i]] < 0 {
+								candBalls[i] = fs.ball(sub, int(candNodes[i]), cfg.TauSub, candBalls[i][:0])
+								hasBall[i] = true
+							}
+						}
+					}(gid)
+				}
+				wg.Wait()
+			}
+			candPos = 0
+		}
+		i := candPos
+		candPos++
+		node := int(candNodes[i])
 		if ov.OverlayID[node] >= 0 {
 			consecutiveFailures++
 			continue
 		}
 
-		// Discovery flood: overlay peers within TauSub substrate hops,
-		// below the cutoff (Appendix D lines 4-10). Horizon peers are
-		// collected in breadth-first discovery order, the order the
-		// map-based substrate BFS visited them.
+		// Discovery horizon: overlay peers within TauSub substrate hops,
+		// below the cutoff (Appendix D lines 4-10), in breadth-first
+		// discovery order. The ball was computed at refill; the overlay
+		// filter runs now, against the live membership and degrees.
 		st.HorizonQueries++
-		horizon = horizon[:0]
-		if epoch == math.MaxInt32 {
-			for i := range mark {
-				mark[i] = 0
-			}
-			epoch = 0
+		if !hasBall[i] { // unreachable (membership never reverts); kept as a safety net
+			candBalls[i] = scratch(0).ball(sub, node, cfg.TauSub, candBalls[i][:0])
 		}
-		epoch++
-		mark[node] = epoch
-		curq = append(curq[:0], int32(node))
-		nextq = nextq[:0]
-		for depth := 0; depth < cfg.TauSub && len(curq) > 0; depth++ {
-			for _, u := range curq {
-				for _, v := range sub.Neighbors(int(u)) {
-					if mark[v] == epoch {
-						continue
-					}
-					mark[v] = epoch
-					nextq = append(nextq, v)
-					oid := ov.OverlayID[v]
-					if oid >= 0 && cutoffOK(ov.G, oid, cfg.KC) {
-						horizon = append(horizon, oid)
-					}
-				}
+		horizon = horizon[:0]
+		for _, v := range candBalls[i] {
+			oid := ov.OverlayID[v]
+			if oid >= 0 && cutoffOK(ov.G, oid, cfg.KC) {
+				horizon = append(horizon, oid)
 			}
-			curq, nextq = nextq, curq[:0]
 		}
 		if len(horizon) == 0 {
 			st.EmptyHorizons++
@@ -214,9 +275,59 @@ func DAPAFrozen(sub *graph.Frozen, cfg DAPAConfig, rng *xrand.RNG) (*Overlay, St
 			}
 			continue
 		}
-		dapaPreferential(ov.G, id, horizon, cfg, rng, &st)
+		dapaPreferential(ov.G, id, horizon, cfg, attachRNG, &st)
 	}
 	return ov, st, nil
+}
+
+// dapaFlood is one worker's discovery-flood scratch: the epoch-marked
+// visited array and the two-queue frontier.
+type dapaFlood struct {
+	mark        []int32
+	epoch       int32
+	curq, nextq []int32
+}
+
+func newDAPAFlood(ns int) *dapaFlood {
+	return &dapaFlood{
+		mark:  make([]int32, ns),
+		curq:  make([]int32, 0, 256),
+		nextq: make([]int32, 0, 256),
+	}
+}
+
+// ball appends the substrate nodes within tau hops of node (excluding node
+// itself) to out, in breadth-first discovery order — the order the horizon
+// filter must observe. It depends only on the immutable substrate, so
+// balls for different candidates can be computed concurrently on separate
+// scratches.
+func (s *dapaFlood) ball(sub *graph.Frozen, node, tau int, out []int32) []int32 {
+	if s.epoch == math.MaxInt32 {
+		for i := range s.mark {
+			s.mark[i] = 0
+		}
+		s.epoch = 0
+	}
+	s.epoch++
+	ep := s.epoch
+	s.mark[node] = ep
+	curq := append(s.curq[:0], int32(node))
+	nextq := s.nextq[:0]
+	for depth := 0; depth < tau && len(curq) > 0; depth++ {
+		for _, u := range curq {
+			for _, v := range sub.Neighbors(int(u)) {
+				if s.mark[v] == ep {
+					continue
+				}
+				s.mark[v] = ep
+				nextq = append(nextq, v)
+				out = append(out, v)
+			}
+		}
+		curq, nextq = nextq, curq[:0]
+	}
+	s.curq, s.nextq = curq, nextq
+	return out
 }
 
 // dapaPreferential fills M stubs of overlay node id from the horizon list

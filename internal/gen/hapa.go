@@ -49,11 +49,20 @@ const (
 // by an exact degree-weighted draw (Stats.Fallbacks) or recorded as
 // unfilled if every candidate is saturated.
 func HAPA(cfg HAPAConfig, rng *xrand.RNG) (*graph.Graph, Stats, error) {
+	return HAPABuild(cfg, Build{RNG: defaultRNG(rng)})
+}
+
+// HAPABuild is HAPA under an explicit build context. Like PA, the hop walk
+// is inherently sequential, so a phased build draws from the single
+// "hapa.grow" stream and Workers has no effect on the output; a legacy
+// Build reproduces HAPA's historical draw sequence byte for byte.
+func HAPABuild(cfg HAPAConfig, b Build) (*graph.Graph, Stats, error) {
 	var st Stats
 	if err := cfg.validate(); err != nil {
 		return nil, st, err
 	}
-	rng = defaultRNG(rng)
+	b = b.normalize()
+	rng := b.phase("hapa.grow")
 	g := graph.New(cfg.N)
 	if err := seedClique(g, cfg.M); err != nil {
 		return nil, st, err

@@ -43,11 +43,22 @@ const paAttemptBudget = 10_000
 // N=10^5, Fig. 1a); with a cutoff the distribution accumulates a spike at
 // kc and the fitted exponent drops (Figs. 1b, 1c).
 func PA(cfg PAConfig, rng *xrand.RNG) (*graph.Graph, Stats, error) {
+	return PABuild(cfg, Build{RNG: defaultRNG(rng)})
+}
+
+// PABuild is PA under an explicit build context. The growth process is
+// inherently sequential (each join's acceptance depends on the degrees
+// left by every earlier join), so a phased build draws everything from the
+// single "pa.grow" phase stream and Workers has no effect; the topology is
+// therefore trivially identical for any build parallelism. A legacy Build
+// (Phases nil) reproduces PA's historical draw sequence byte for byte.
+func PABuild(cfg PAConfig, b Build) (*graph.Graph, Stats, error) {
 	var st Stats
 	if err := cfg.validate(); err != nil {
 		return nil, st, err
 	}
-	rng = defaultRNG(rng)
+	b = b.normalize()
+	rng := b.phase("pa.grow")
 	g := graph.New(cfg.N)
 	if err := seedClique(g, cfg.M); err != nil {
 		return nil, st, err

@@ -49,6 +49,19 @@ func GRNRadiusForMeanDegree(n int, kbar float64) float64 {
 // k̄ = 10 the network has a giant component spanning nearly all nodes,
 // which is what DAPA's discovery protocol relies on.
 func GRN(cfg GRNConfig, rng *xrand.RNG) (*graph.Graph, []Point, error) {
+	return GRNBuild(cfg, Build{RNG: defaultRNG(rng)})
+}
+
+// GRNBuild is GRN under an explicit build context. A phased build places
+// points in fixed-size chunks, one "grn.points" sub-stream per chunk, so
+// the coordinates are identical for every Build.Workers value; the radius
+// queries consume no randomness at all and fan out across workers, each
+// chunk collecting its candidate pairs into a private buffer that is
+// flushed into the graph in chunk order — the exact edge order the serial
+// scan produces. A legacy Build reproduces GRN's historical single-stream
+// placement byte for byte.
+func GRNBuild(cfg GRNConfig, b Build) (*graph.Graph, []Point, error) {
+	b = b.normalize()
 	if cfg.N < 1 {
 		return nil, nil, fmt.Errorf("%w: n=%d", ErrBadN, cfg.N)
 	}
@@ -62,21 +75,31 @@ func GRN(cfg GRNConfig, rng *xrand.RNG) (*graph.Graph, []Point, error) {
 	if r <= 0 || r > math.Sqrt2 {
 		return nil, nil, fmt.Errorf("gen: GRN radius %v out of (0, sqrt(2)]", r)
 	}
-	rng = defaultRNG(rng)
 
 	pts := make([]Point, cfg.N)
-	for i := range pts {
-		pts[i] = Point{X: rng.Float64(), Y: rng.Float64()}
+	if b.phased() {
+		b.forChunks(cfg.N, func(chunk, lo, hi int) {
+			rng := b.Phases.Chunk("grn.points", chunk)
+			for i := lo; i < hi; i++ {
+				pts[i] = Point{X: rng.Float64(), Y: rng.Float64()}
+			}
+		})
+	} else {
+		rng := b.phase("grn.points")
+		for i := range pts {
+			pts[i] = Point{X: rng.Float64(), Y: rng.Float64()}
+		}
 	}
 
 	// Uniform grid spatial hash with cell size >= r: candidate pairs live
-	// in the same or adjacent cells.
+	// in the same or adjacent cells. Buckets are built by counting sort, so
+	// each cell lists its nodes in ascending ID order — the same order the
+	// historical append-based build produced.
 	cells := int(1 / r)
 	if cells < 1 {
 		cells = 1
 	}
 	cellSize := 1.0 / float64(cells)
-	grid := make(map[int][]int32, cfg.N)
 	cellOf := func(p Point) (int, int) {
 		cx := int(p.X / cellSize)
 		cy := int(p.Y / cellSize)
@@ -88,15 +111,32 @@ func GRN(cfg GRNConfig, rng *xrand.RNG) (*graph.Graph, []Point, error) {
 		}
 		return cx, cy
 	}
+	cellKeys := make([]int32, cfg.N)
+	start := make([]int32, cells*cells+1)
 	for i, p := range pts {
 		cx, cy := cellOf(p)
-		key := cy*cells + cx
-		grid[key] = append(grid[key], int32(i))
+		k := int32(cy*cells + cx)
+		cellKeys[i] = k
+		start[k+1]++
+	}
+	for k := 1; k < len(start); k++ {
+		start[k] += start[k-1]
+	}
+	bucket := make([]int32, cfg.N)
+	next := make([]int32, cells*cells)
+	copy(next, start[:cells*cells])
+	for i := range cellKeys {
+		k := cellKeys[i]
+		bucket[next[k]] = int32(i)
+		next[k]++
 	}
 
 	g := graph.New(cfg.N)
 	r2 := r * r
-	for i, p := range pts {
+	// scanNode appends node i's candidate edges (j > i, within radius) to
+	// out, in the fixed cell/bucket order.
+	scanNode := func(i int, out []int32) []int32 {
+		p := pts[i]
 		cx, cy := cellOf(p)
 		for dy := -1; dy <= 1; dy++ {
 			for dx := -1; dx <= 1; dx++ {
@@ -104,16 +144,45 @@ func GRN(cfg GRNConfig, rng *xrand.RNG) (*graph.Graph, []Point, error) {
 				if nx < 0 || ny < 0 || nx >= cells || ny >= cells {
 					continue
 				}
-				for _, j := range grid[ny*cells+nx] {
+				k := ny*cells + nx
+				for _, j := range bucket[start[k]:start[k+1]] {
 					if int(j) <= i {
 						continue // handle each unordered pair once
 					}
 					q := pts[j]
 					ddx, ddy := p.X-q.X, p.Y-q.Y
 					if ddx*ddx+ddy*ddy < r2 {
-						mustEdge(g, i, int(j))
+						out = append(out, j)
 					}
 				}
+			}
+		}
+		return out
+	}
+	if b.phased() && b.workers() > 1 {
+		edges := make([][]int32, chunks(cfg.N))
+		b.forChunks(cfg.N, func(chunk, lo, hi int) {
+			var buf []int32 // interleaved (i, j) pairs for this chunk
+			var nbr []int32
+			for i := lo; i < hi; i++ {
+				nbr = scanNode(i, nbr[:0])
+				for _, j := range nbr {
+					buf = append(buf, int32(i), j)
+				}
+			}
+			edges[chunk] = buf
+		})
+		for _, buf := range edges {
+			for e := 0; e+1 < len(buf); e += 2 {
+				mustEdge(g, int(buf[e]), int(buf[e+1]))
+			}
+		}
+	} else {
+		var nbr []int32
+		for i := 0; i < cfg.N; i++ {
+			nbr = scanNode(i, nbr[:0])
+			for _, j := range nbr {
+				mustEdge(g, i, int(j))
 			}
 		}
 	}

@@ -1,0 +1,102 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+)
+
+// frozenArrays extracts a Frozen's full state for bit-for-bit comparison,
+// forcing the sorted ranges to exist.
+func frozenArrays(f *Frozen) ([]int32, []int32, []int32) {
+	f.ensureSorted()
+	return f.offsets, f.neighbors, f.sorted
+}
+
+// buildTestMultigraph returns a graph with hubs, self-loops, parallel
+// edges, and isolated nodes — every layout case freezing must preserve.
+func buildTestMultigraph(t *testing.T) *Graph {
+	t.Helper()
+	g := New(600)
+	add := func(u, v int) {
+		t.Helper()
+		if err := g.AddEdge(u, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for v := 1; v < 550; v++ {
+		add(0, v) // hub with a long adjacency range (exercises the sort path)
+		add(v, (v*7)%550+1)
+	}
+	add(3, 3) // self-loop
+	add(4, 5)
+	add(4, 5) // parallel edge
+	return g
+}
+
+// TestFreezeParEquivalence pins the parallel CSR fill: FreezePar yields
+// the identical snapshot as the serial Freeze for every worker count,
+// including degenerate ones.
+func TestFreezeParEquivalence(t *testing.T) {
+	t.Parallel()
+	g := buildTestMultigraph(t)
+	wo, wn, ws := frozenArrays(g.Freeze())
+	// 32 and 100 exceed √600: regression for the ceil-division range split,
+	// which used to hand trailing workers lo > n and panic.
+	for _, workers := range []int{-1, 0, 1, 2, 4, 16, 32, 100, 1000} {
+		f := g.FreezePar(workers)
+		o, n, s := frozenArrays(f)
+		if !reflect.DeepEqual(wo, o) || !reflect.DeepEqual(wn, n) || !reflect.DeepEqual(ws, s) {
+			t.Fatalf("FreezePar(%d) diverged from Freeze()", workers)
+		}
+		if f.M() != g.M() {
+			t.Fatalf("FreezePar(%d).M() = %d, want %d", workers, f.M(), g.M())
+		}
+	}
+}
+
+// TestFreezeSortedEquivalence pins the eager sorted build: FreezeSorted
+// produces exactly the arrays the lazy path would have built, for both
+// the serial counting transpose and the parallel per-range sort, and the
+// snapshot answers membership queries without further initialization.
+func TestFreezeSortedEquivalence(t *testing.T) {
+	t.Parallel()
+	g := buildTestMultigraph(t)
+	wo, wn, ws := frozenArrays(g.Freeze())
+	for _, workers := range []int{1, 2, 4, 16, 64} {
+		f := g.FreezeSorted(workers)
+		if f.sorted == nil {
+			t.Fatalf("FreezeSorted(%d) left sorted ranges lazy", workers)
+		}
+		o, n, s := frozenArrays(f)
+		if !reflect.DeepEqual(wo, o) || !reflect.DeepEqual(wn, n) || !reflect.DeepEqual(ws, s) {
+			t.Fatalf("FreezeSorted(%d) diverged from the lazy build", workers)
+		}
+		if !f.HasEdge(4, 5) || f.HasEdge(4, 6) {
+			t.Fatalf("FreezeSorted(%d) membership wrong", workers)
+		}
+		if f.EdgeMultiplicity(4, 5) != 2 || f.EdgeMultiplicity(3, 3) != 1 {
+			t.Fatalf("FreezeSorted(%d) multiplicity wrong", workers)
+		}
+	}
+}
+
+// TestFrozenPrefetchInBounds checks the prefetch hook never faults on
+// boundary rows (last node, isolated nodes, empty trailing ranges).
+func TestFrozenPrefetchInBounds(t *testing.T) {
+	t.Parallel()
+	g := New(4)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	f := g.Freeze()
+	var sink int32
+	for u := int32(0); u < 4; u++ {
+		sink += f.Prefetch(u)
+	}
+	_ = sink
+	// Fully empty graph: every offset is 0, neighbors is empty.
+	e := New(3).Freeze()
+	for u := int32(0); u < 3; u++ {
+		sink += e.Prefetch(u)
+	}
+}

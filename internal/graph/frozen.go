@@ -1,6 +1,9 @@
 package graph
 
-import "sync"
+import (
+	"slices"
+	"sync"
+)
 
 // Frozen is a compressed-sparse-row (CSR) snapshot of a Graph: the whole
 // adjacency structure flattened into two int32 arrays (offsets, neighbors)
@@ -22,9 +25,12 @@ import "sync"
 //     identical, which the equivalence tests pin.
 //   - sorted[offsets[u]:offsets[u+1]] is the same multiset ascending, so
 //     HasEdge/EdgeMultiplicity are a binary search over the
-//     smaller-degree endpoint instead of a global map probe. It is built
-//     lazily on first use: search kernels, walkers, and BFS never touch
-//     it, so freeze-per-realization sweeps don't pay for it.
+//     smaller-degree endpoint instead of a global map probe. Freeze builds
+//     it lazily on first use (search kernels, walkers, and BFS never touch
+//     it, so one-shot freezes don't pay for it); FreezeSorted builds it
+//     eagerly, which the experiment engine uses to move the O(E)
+//     construction into the pipelined build stage, off the sweep's
+//     critical path.
 //   - Self-loops appear twice per adjacency list and parallel edges once
 //     per copy, exactly as in Graph (multigraphs freeze faithfully).
 //
@@ -56,8 +62,16 @@ type Frozen struct {
 
 // Freeze snapshots g into CSR form. The Frozen shares nothing with g:
 // mutating g afterwards does not invalidate it. Typical use is once per
-// generated topology, after Simplify, before the read-only sweep.
-func (g *Graph) Freeze() *Frozen {
+// generated topology, after Simplify, before the read-only sweep. The
+// sorted membership ranges stay lazy; see FreezeSorted for the eager
+// variant the experiment engine's build stage uses.
+func (g *Graph) Freeze() *Frozen { return g.FreezePar(1) }
+
+// FreezePar is Freeze with the neighbor-array fill fanned out across up to
+// `workers` goroutines (<=1 runs serially). The snapshot is identical for
+// every worker count — each worker copies a disjoint node range of the
+// already-fixed layout.
+func (g *Graph) FreezePar(workers int) *Frozen {
 	n := len(g.adj)
 	f := &Frozen{
 		offsets: make([]int32, n+1),
@@ -70,10 +84,91 @@ func (g *Graph) Freeze() *Frozen {
 	}
 	f.offsets[n] = int32(total)
 	f.neighbors = make([]int32, total)
-	for u, a := range g.adj {
-		copy(f.neighbors[f.offsets[u]:], a)
-	}
+	parallelNodeRanges(n, workers, func(lo, hi int) {
+		for i, a := range g.adj[lo:hi] {
+			copy(f.neighbors[f.offsets[lo+i]:], a)
+		}
+	})
 	return f
+}
+
+// FreezeSorted is FreezePar plus an eager build of the sorted HasEdge
+// ranges, for snapshots that will serve membership queries from many
+// goroutines: the O(E) sorted-range construction runs here, on the build
+// side, instead of inside the first HasEdge call of the sweep, so the
+// sweep's hot path never takes (or contends on) the lazy-init slow path.
+func (g *Graph) FreezeSorted(workers int) *Frozen {
+	f := g.FreezePar(workers)
+	if workers > 1 {
+		f.sorted = sortedParallel(f.offsets, f.neighbors, workers)
+	} else {
+		f.sorted = sortedFromAdjacency(f.offsets, f.neighbors)
+	}
+	// Consume the Once so a later ensureSorted is a no-op fast path.
+	f.sortedOnce.Do(func() {})
+	return f
+}
+
+// parallelNodeRanges splits [0, n) into up to `workers` contiguous ranges
+// and runs fn on each concurrently (serially when workers <= 1). fn must
+// write only range-disjoint state. Iterating by range start (not worker
+// index) guarantees every spawned range is non-empty: with ceil division
+// a per-worker loop would hand trailing workers lo > n once workers
+// exceeds ~√n.
+func parallelNodeRanges(n, workers int, fn func(lo, hi int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	per := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += per {
+		hi := lo + per
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// sortedParallel builds the same per-node ascending neighbor array as
+// sortedFromAdjacency by sorting each node's range independently, which
+// parallelizes over node ranges (the counting transpose writes to
+// arbitrary target buckets and cannot). The sorted multiset of a range is
+// unique, so both constructions yield the identical array.
+func sortedParallel(offsets, neighbors []int32, workers int) []int32 {
+	n := len(offsets) - 1
+	sorted := make([]int32, len(neighbors))
+	copy(sorted, neighbors)
+	parallelNodeRanges(n, workers, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			a := sorted[offsets[u]:offsets[u+1]]
+			if len(a) <= 24 {
+				// Insertion sort: most adjacency ranges are mean-degree
+				// short, where this beats slices.Sort's overhead.
+				for i := 1; i < len(a); i++ {
+					v := a[i]
+					j := i - 1
+					for j >= 0 && a[j] > v {
+						a[j+1] = a[j]
+						j--
+					}
+					a[j+1] = v
+				}
+				continue
+			}
+			slices.Sort(a) // hubs: degree can reach O(N) without a cutoff
+		}
+	})
+	return sorted
 }
 
 // ensureSorted builds the sorted ranges once, on the first membership
@@ -129,6 +224,21 @@ func (f *Frozen) SortedNeighbors(u int) []int32 {
 
 // NeighborAt returns the i-th neighbor of u (insertion order).
 func (f *Frozen) NeighborAt(u, i int) int { return int(f.neighbors[int(f.offsets[u])+i]) }
+
+// Prefetch touches u's offsets entry — the first link of the dependent
+// load chain offsets[u] → neighbors[offsets[u]] — and returns it. It is
+// the software-prefetch hook for BFS kernels: called for the frontier
+// node a few dequeue iterations ahead, it starts u's row-metadata load
+// resolving behind the current iteration's neighbor chase. Deliberately a
+// single bounds-checked load, issued at a short distance: both a deeper
+// touch (following into the neighbors array) and an enqueue-time touch (a
+// whole frontier level early, evicted again before use on large
+// frontiers) measured slower than no prefetch at all. Callers must
+// accumulate the return value into state that outlives the loop so the
+// compiler cannot elide the touch.
+func (f *Frozen) Prefetch(u int32) int32 {
+	return f.offsets[u]
+}
 
 // TotalDegree returns the sum of all node degrees.
 func (f *Frozen) TotalDegree() int { return len(f.neighbors) }

@@ -1,0 +1,158 @@
+package search
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"scalefree/internal/gen"
+	"scalefree/internal/graph"
+	"scalefree/internal/xrand"
+)
+
+// This file is the before/after record for the software-prefetch change
+// in the two-queue Flood/NF kernels: floodNoPrefetch below preserves the
+// pre-prefetch flood core verbatim (minus the Frozen.Prefetch touches), so
+// `go test -bench 'FloodPrefetch' -benchmem` re-measures the gap on
+// current hardware instead of trusting stale numbers — the same pattern
+// reference_test.go uses for the pre-CSR kernels. The shipped kernels
+// touch offsets[cur[i+prefetchDist]] — the head of the dependent-load
+// chain offsets[w] → neighbors[offsets[w]] — a few dequeue iterations
+// ahead, so the load resolves behind the current iteration's neighbor
+// chase. Two rejected variants are documented on Frozen.Prefetch: an
+// enqueue-time touch (a whole level early, evicted before use on large
+// frontiers) and a deeper two-load touch, both of which measured slower
+// than no prefetch at all.
+
+// floodNoPrefetch is the pre-prefetch flood core (PR 3 state), kept
+// in-tree for equivalence tests and the before/after benchmark.
+func (s *Scratch) floodNoPrefetch(f *graph.Frozen, src, maxTTL int) (Result, error) {
+	s.reset()
+	if err := validate(f, src, maxTTL); err != nil {
+		return Result{}, err
+	}
+	s.ensure(f.N())
+	res := Result{
+		Hits:     s.intBuf(maxTTL + 1),
+		Messages: s.intBuf(maxTTL + 1),
+	}
+	ep := s.newEpoch()
+	s.mark[src] = ep
+	cur := append(s.cur[:0], int32(src))
+	next := s.next[:0]
+	hits, msgs := 0, 0
+	d := 0
+	for len(cur) > 0 {
+		for _, u := range cur {
+			hits++
+			if d == maxTTL {
+				continue
+			}
+			deg := f.Degree(int(u))
+			if d == 0 {
+				msgs += deg
+			} else if deg > 0 {
+				msgs += deg - 1
+			}
+			for _, w := range f.Neighbors(int(u)) {
+				if s.mark[w] != ep {
+					s.mark[w] = ep
+					next = append(next, w)
+				}
+			}
+		}
+		res.Hits[d] = hits
+		if d+1 <= maxTTL {
+			res.Messages[d+1] = msgs
+		}
+		if d == maxTTL {
+			break
+		}
+		cur, next = next, cur[:0]
+		d++
+	}
+	for t := d; t <= maxTTL; t++ {
+		res.Hits[t] = hits
+		if t+1 <= maxTTL {
+			res.Messages[t+1] = msgs
+		}
+	}
+	res.Messages[0] = 0
+	s.cur, s.next = cur, next
+	return res, nil
+}
+
+// prefetchBenchFrozen lazily builds a search-scale topology big enough
+// that the frontier spills the cache — where prefetch is supposed to pay.
+var prefetchBenchFrozen = sync.OnceValue(func() *graph.Frozen {
+	g, _, err := gen.PA(gen.PAConfig{N: 100_000, M: 2, KC: 100}, xrand.New(42))
+	if err != nil {
+		panic(err)
+	}
+	return g.Freeze()
+})
+
+// TestFloodPrefetchEquivalence pins that the prefetch touches are
+// observationally free: identical Results with and without them.
+func TestFloodPrefetchEquivalence(t *testing.T) {
+	t.Parallel()
+	g, _, err := gen.PA(gen.PAConfig{N: 3000, M: 2, KC: 40}, xrand.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := g.Freeze()
+	s := NewScratch(f.N())
+	for src := 0; src < 40; src++ {
+		with, err := s.Flood(f, src*37, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		withHits := append([]int(nil), with.Hits...)
+		withMsgs := append([]int(nil), with.Messages...)
+		without, err := s.floodNoPrefetch(f, src*37, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(withHits, without.Hits) || !reflect.DeepEqual(withMsgs, without.Messages) {
+			t.Fatalf("src %d: prefetch changed the flood result", src*37)
+		}
+	}
+}
+
+// BenchmarkFloodPrefetch/on vs /off is the before/after measurement for
+// the ROADMAP prefetch item, on a 100k-node topology.
+func BenchmarkFloodPrefetch(b *testing.B) {
+	f := prefetchBenchFrozen()
+	s := NewScratch(f.N())
+	b.Run("off", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.floodNoPrefetch(f, i%f.N(), 12); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Flood(f, i%f.N(), 12); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkNFPrefetch measures the NF kernel with prefetch on the same
+// topology (no pre-prefetch NF copy is kept: the flood pair above isolates
+// the technique; this tracks the shipping kernel's absolute cost).
+func BenchmarkNFPrefetch(b *testing.B) {
+	f := prefetchBenchFrozen()
+	s := NewScratch(f.N())
+	rng := xrand.New(7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.NormalizedFlood(f, i%f.N(), 10, 2, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -22,6 +22,10 @@ type ClaimResult struct {
 	Pass bool
 	// Detail holds the measured numbers behind the verdict.
 	Detail string
+	// Deviation, copied from the claim, marks a documented fidelity
+	// deviation: the measurement still runs and reports, but a false
+	// Pass is the expected outcome, not a verification failure.
+	Deviation string
 	// Err is set when the experiment itself failed to run.
 	Err error
 }
@@ -31,6 +35,12 @@ type Claim struct {
 	ID        string
 	Statement string
 	Check     func(sc Scale, seed uint64) (pass bool, detail string, err error)
+	// Deviation, when non-empty, documents that this reproduction
+	// measurably does not support the paper's conclusion (a fidelity
+	// deviation, like the CM stub-pairing note on gen.CM). The check
+	// still runs so the measured ordering stays on record, but callers
+	// must not gate on Pass.
+	Deviation string
 }
 
 // Claims returns the paper's headline conclusions as checkable claims, in
@@ -56,6 +66,18 @@ func Claims() []Claim {
 			ID:        "weak-dapa-cutoff-helps-fl",
 			Statement: "With weak connectedness (m=1), imposing hard cutoffs improves FL on DAPA (§V-B1, Fig. 8a)",
 			Check:     checkWeakDAPACutoffHelpsFL,
+			// Measured repeatedly (multiple seeds, 9 realizations × 24
+			// sources, smoke and paper-size overlays): this reproduction
+			// shows the OPPOSITE ordering, or a tie, in every averaged
+			// run — at N_O=10⁴/τ_sub∈{2,4} the no-cutoff overlay covers
+			// ~10-20% more peers at equal τ. Structural explanation: a
+			// DAPA m=1 overlay is a connected tree by construction
+			// (Appendix D admits a peer iff it linked to ≥1 horizon
+			// peer), so FL saturates at 100% either way and the cutoff
+			// only deepens the tree, slowing coverage. Earlier revisions
+			// "passed" this check on single-seed noise; the pipelined
+			// engine's stream re-derivation exposed the coin flip.
+			Deviation: "not reproduced: measured FL ordering favors no-cutoff m=1 DAPA overlays at every tested scale",
 		},
 		{
 			ID:        "exponent-monotone-in-cutoff",
@@ -72,11 +94,16 @@ func Claims() []Claim {
 
 // CheckClaims runs every claim at the given scale.
 func CheckClaims(sc Scale, seed uint64) []ClaimResult {
-	claims := Claims()
+	return checkClaimList(Claims(), sc, seed)
+}
+
+// checkClaimList evaluates claims in order, deriving each claim's seed
+// from its position as the verifier always has.
+func checkClaimList(claims []Claim, sc Scale, seed uint64) []ClaimResult {
 	out := make([]ClaimResult, len(claims))
 	for i, c := range claims {
 		pass, detail, err := c.Check(sc, seed+uint64(i)*7717)
-		out[i] = ClaimResult{ID: c.ID, Statement: c.Statement, Pass: pass && err == nil, Detail: detail, Err: err}
+		out[i] = ClaimResult{ID: c.ID, Statement: c.Statement, Pass: pass && err == nil, Detail: detail, Deviation: c.Deviation, Err: err}
 	}
 	return out
 }
@@ -142,11 +169,18 @@ func checkM3ErasesFLPenalty(sc Scale, seed uint64) (bool, string, error) {
 }
 
 func checkWeakDAPACutoffHelpsFL(sc Scale, seed uint64) (bool, string, error) {
-	subs, err := makeSubstrates(sc.NSubstrate, sc.Realizations, sc.Workers, seed)
+	subs, err := makeSubstrates(sc.NSubstrate, sc, seed)
 	if err != nil {
 		return false, "", err
 	}
 	cfg := sc.searchCfg(algFL, 20, 0)
+	// This check records a documented deviation (see the claim entry), so
+	// the measurement must be real, not one seed's draw: average over
+	// extra overlays per substrate (dapaTopo cycles r over the substrate
+	// pool) and extra sources. With this averaging the no-cutoff overlays
+	// win or tie at every tested seed and scale.
+	cfg.realizations *= 3
+	cfg.sources *= 2
 	tight, err := searchSeries("kc=10", dapaTopo(subs, sc.NOverlay, 1, 10, 4), cfg, seed+1)
 	if err != nil {
 		return false, "", err

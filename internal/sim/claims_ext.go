@@ -10,6 +10,7 @@ import (
 	"scalefree/internal/churn"
 	"scalefree/internal/content"
 	"scalefree/internal/gen"
+	"scalefree/internal/graph"
 	"scalefree/internal/search"
 	"scalefree/internal/stats"
 	"scalefree/internal/xrand"
@@ -49,13 +50,7 @@ func AllClaims() []Claim {
 
 // CheckAllClaims runs the paper claims and the extension claims.
 func CheckAllClaims(sc Scale, seed uint64) []ClaimResult {
-	claims := AllClaims()
-	out := make([]ClaimResult, len(claims))
-	for i, c := range claims {
-		pass, detail, err := c.Check(sc, seed+uint64(i)*7717)
-		out[i] = ClaimResult{ID: c.ID, Statement: c.Statement, Pass: pass && err == nil, Detail: detail, Err: err}
-	}
-	return out
+	return checkClaimList(AllClaims(), sc, seed)
 }
 
 func checkSqrtReplication(sc Scale, seed uint64) (bool, string, error) {
@@ -81,7 +76,7 @@ func checkSqrtReplication(sc Scale, seed uint64) (bool, string, error) {
 		// workload.
 		steps := make([]int, queries)
 		found := make([]bool, queries)
-		err = forEachRealizationSweep(1, sc.SourceShards, 1, seed+2, func(_ int, _ *xrand.RNG, sw *sweeper) error {
+		err = withSweeper(sc.SourceShards, seed+2, func(sw *sweeper) error {
 			return sw.Sources(0, queries, func(_, q int, rng *xrand.RNG, _ *search.Scratch) error {
 				steps[q], found[q] = content.ResolveQuery(fg, p, cat, maxSteps, rng)
 				return nil
@@ -147,11 +142,9 @@ func checkHDSCutoffDependence(sc Scale, seed uint64) (bool, string, error) {
 		steps := sc.NSearch / 2
 		hdsHits := make([]float64, sc.Realizations*sc.Sources)
 		rwHits := make([]float64, sc.Realizations*sc.Sources)
-		err := forEachRealizationSweep(sc.Workers, sc.SourceShards, sc.Realizations, seed+uint64(kc), func(r int, rng *xrand.RNG, sw *sweeper) error {
-			f, err := frozenTopo(factory, r, rng)
-			if err != nil {
-				return err
-			}
+		err := forEachRealizationPipeline(sc.Workers, sc.SourceShards, sc.GenWorkers, sc.Realizations, seed+uint64(kc), func(r int, b *builder) (*graph.Frozen, error) {
+			return frozenTopo(factory, r, b)
+		}, func(r int, f *graph.Frozen, sw *sweeper) error {
 			return sw.Sources(uint64(r), sc.Sources, func(_, s int, rng *xrand.RNG, scratch *search.Scratch) error {
 				src := rng.Intn(f.N())
 				rh, err := scratch.HighDegreeWalk(f, src, steps, rng)
@@ -202,7 +195,7 @@ func checkCutoffFlattensLoad(sc Scale, seed uint64) (bool, string, error) {
 		f := g.Freeze()
 		queries := 12 * sc.Sources
 		var gini float64
-		err = forEachRealizationSweep(1, sc.SourceShards, 1, seed+1, func(_ int, _ *xrand.RNG, sw *sweeper) error {
+		err = withSweeper(sc.SourceShards, seed+1, func(sw *sweeper) error {
 			// Each shard charges its own Load; integer merges commute, so
 			// the total is identical for any shard count.
 			loads := make([]*search.Load, sw.shards)

@@ -21,13 +21,19 @@ func TestClaimsWellFormed(t *testing.T) {
 
 // TestCheckClaims runs every paper claim at findings scale and requires
 // all of them to hold — the one-command verification behind
-// `cmd/experiments -verify`.
+// `cmd/experiments -verify`. Claims marked as documented deviations must
+// still run cleanly, but their Pass value is reported, not gated: the
+// expected outcome is "not reproduced".
 func TestCheckClaims(t *testing.T) {
 	t.Parallel()
 	results := CheckClaims(findScale, 555)
 	for _, r := range results {
 		if r.Err != nil {
 			t.Errorf("%s: experiment error: %v", r.ID, r.Err)
+			continue
+		}
+		if r.Deviation != "" {
+			t.Logf("%s deviation (%s): %s", r.ID, r.Deviation, r.Detail)
 			continue
 		}
 		if !r.Pass {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"scalefree/internal/gen"
+	"scalefree/internal/graph"
 	"scalefree/internal/search"
 	"scalefree/internal/stats"
 	"scalefree/internal/xrand"
@@ -16,7 +17,7 @@ import (
 // the hard cutoff, for PA and DAPA topologies.
 func Fairness(sc Scale, seed uint64) ([]Figure, error) {
 	cutoffs := []int{10, 20, 40, 80, gen.NoCutoff}
-	substrates, err := makeSubstrates(sc.NSubstrate, sc.Realizations, sc.Workers, seed^0xfa17)
+	substrates, err := makeSubstrates(sc.NSubstrate, sc, seed^0xfa17)
 	if err != nil {
 		return nil, err
 	}
@@ -47,8 +48,8 @@ func Fairness(sc Scale, seed uint64) ([]Figure, error) {
 			giniVals := make([]float64, sc.Realizations)
 			topVals := make([]float64, sc.Realizations)
 			factory := model.mk(kc)
-			err := forEachRealization(sc.Workers, sc.Realizations, seed+uint64(mi*1000+ci), func(r int, rng *xrand.RNG) error {
-				g, err := factory(r, rng)
+			err := forEachRealization(sc.Workers, sc.GenWorkers, sc.Realizations, seed+uint64(mi*1000+ci), func(r int, b *builder) error {
+				g, err := factory(r, b)
 				if err != nil {
 					return err
 				}
@@ -82,16 +83,14 @@ func Fairness(sc Scale, seed uint64) ([]Figure, error) {
 		vals := make([]float64, sc.Realizations)
 		factory := paTopo(sc.NSearch, 2, kc)
 		queries := 8 * sc.Sources
-		err := forEachRealizationSweep(sc.Workers, sc.SourceShards, sc.Realizations, seed+uint64(9000+ci), func(r int, rng *xrand.RNG, sw *sweeper) error {
-			f, err := frozenTopo(factory, r, rng)
-			if err != nil {
-				return err
-			}
+		err := forEachRealizationPipeline(sc.Workers, sc.SourceShards, sc.GenWorkers, sc.Realizations, seed+uint64(9000+ci), func(r int, b *builder) (*graph.Frozen, error) {
+			return frozenTopo(factory, r, b)
+		}, func(r int, f *graph.Frozen, sw *sweeper) error {
 			// Each shard charges its own Load accumulator; integer merges
 			// commute, so the per-realization total — and its Gini — is
 			// identical for any (Workers, SourceShards) setting.
 			loads := make([]*search.Load, sw.shards)
-			err = sw.Sources(uint64(r), queries, func(shard, q int, rng *xrand.RNG, scratch *search.Scratch) error {
+			err := sw.Sources(uint64(r), queries, func(shard, q int, rng *xrand.RNG, scratch *search.Scratch) error {
 				if loads[shard] == nil {
 					loads[shard] = search.NewLoad(f.N())
 				}

@@ -57,7 +57,7 @@ func labels(fig Figure) []string {
 // search, and matters more at higher connectedness m.
 func TestFindingTauSubHelpsMoreAtHighM(t *testing.T) {
 	t.Parallel()
-	subs, err := makeSubstrates(findScale.NSubstrate, findScale.Realizations, findScale.Workers, 113)
+	subs, err := makeSubstrates(findScale.NSubstrate, findScale, 113)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +95,7 @@ func TestFindingLocalModelsTrackCM(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	subs, err := makeSubstrates(findScale.NSubstrate, findScale.Realizations, findScale.Workers, 121)
+	subs, err := makeSubstrates(findScale.NSubstrate, findScale, 121)
 	if err != nil {
 		t.Fatal(err)
 	}

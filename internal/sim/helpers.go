@@ -10,42 +10,52 @@ import (
 	"scalefree/internal/xrand"
 )
 
-// topoFactory builds the r-th topology realization from an RNG stream. The
-// realization index r lets factories pick per-realization shared inputs
-// (DAPA substrates) without mutable state, keeping them safe for the
-// concurrent runner.
-type topoFactory func(r int, rng *xrand.RNG) (*graph.Graph, error)
+// topoFactory builds the r-th topology realization from a build context.
+// The realization index r lets factories pick per-realization shared
+// inputs (DAPA substrates) without mutable state; the builder supplies the
+// phase sub-streams and intra-generator parallelism budget, so a factory
+// invoked on any pipeline worker with any GenWorkers value produces the
+// identical topology.
+type topoFactory func(r int, b *builder) (*graph.Graph, error)
 
 // frozenTopo builds the r-th realization and immediately freezes it into
-// CSR form. The mutable Graph (per-node adjacency slices plus the edge
-// multiplicity map) becomes garbage before the search sweep starts, which
-// roughly halves the engine's steady-state memory per in-flight
-// realization — the margin that makes the xl scale fit.
-func frozenTopo(factory topoFactory, r int, rng *xrand.RNG) (*graph.Frozen, error) {
-	g, err := factory(r, rng)
+// CSR form, sorted HasEdge ranges included — the whole snapshot is
+// constructed here, in the pipelined build stage, so a sweep that probes
+// membership can never take (or contend on) the lazy-init path. Today's
+// sweep kernels read only Neighbors, so the sorted ranges are a guarantee
+// for future membership-probing specs bought at D·4 bytes per in-flight
+// snapshot (bounded by the pipeline's 2·GenWorkers+Workers cap) and an
+// O(E) build-stage pass the sweep overlap hides; substrates, which are
+// never probed, deliberately stay lazy (makeSubstrates). The mutable
+// Graph (per-node adjacency slices plus the edge multiplicity map)
+// becomes garbage before the search sweep starts, which roughly halves
+// the engine's steady-state memory per in-flight realization — the
+// margin that makes the xl scale fit.
+func frozenTopo(factory topoFactory, r int, b *builder) (*graph.Frozen, error) {
+	g, err := factory(r, b)
 	if err != nil {
 		return nil, err
 	}
-	return g.Freeze(), nil
+	return g.FreezeSorted(b.genWorkers), nil
 }
 
 func paTopo(n, m, kc int) topoFactory {
-	return func(_ int, rng *xrand.RNG) (*graph.Graph, error) {
-		g, _, err := gen.PA(gen.PAConfig{N: n, M: m, KC: kc}, rng)
+	return func(_ int, b *builder) (*graph.Graph, error) {
+		g, _, err := gen.PABuild(gen.PAConfig{N: n, M: m, KC: kc}, b.gen())
 		return g, err
 	}
 }
 
 func hapaTopo(n, m, kc int) topoFactory {
-	return func(_ int, rng *xrand.RNG) (*graph.Graph, error) {
-		g, _, err := gen.HAPA(gen.HAPAConfig{N: n, M: m, KC: kc}, rng)
+	return func(_ int, b *builder) (*graph.Graph, error) {
+		g, _, err := gen.HAPABuild(gen.HAPAConfig{N: n, M: m, KC: kc}, b.gen())
 		return g, err
 	}
 }
 
 func cmTopo(n, m, kc int, gamma float64) topoFactory {
-	return func(_ int, rng *xrand.RNG) (*graph.Graph, error) {
-		g, _, err := gen.CM(gen.CMConfig{N: n, M: m, KC: kc, Gamma: gamma}, rng)
+	return func(_ int, b *builder) (*graph.Graph, error) {
+		g, _, err := gen.CMBuild(gen.CMConfig{N: n, M: m, KC: kc, Gamma: gamma}, b.gen())
 		return g, err
 	}
 }
@@ -56,11 +66,11 @@ func cmTopo(n, m, kc int, gamma float64) topoFactory {
 // (series × realization) overlay build reads one CSR snapshot instead of
 // re-deriving substrate adjacency per factory call.
 func dapaTopo(substrates []*graph.Frozen, nOverlay, m, kc, tauSub int) topoFactory {
-	return func(r int, rng *xrand.RNG) (*graph.Graph, error) {
+	return func(r int, b *builder) (*graph.Graph, error) {
 		sub := substrates[r%len(substrates)]
-		ov, _, err := gen.DAPAFrozen(sub, gen.DAPAConfig{
+		ov, _, err := gen.DAPABuild(sub, gen.DAPAConfig{
 			NOverlay: nOverlay, M: m, KC: kc, TauSub: tauSub,
-		}, rng)
+		}, b.gen())
 		if err != nil {
 			return nil, err
 		}
@@ -71,15 +81,16 @@ func dapaTopo(substrates []*graph.Frozen, nOverlay, m, kc, tauSub int) topoFacto
 // makeSubstrates generates one GRN substrate per realization with the
 // paper's parameters (k̄ = 10), frozen once for the whole figure: every
 // series reuses the snapshots, and the mutable generator graphs become
-// garbage before the first overlay grows.
-func makeSubstrates(n, realizations, workers int, seed uint64) ([]*graph.Frozen, error) {
-	subs := make([]*graph.Frozen, realizations)
-	err := forEachRealization(workers, realizations, seed, func(r int, rng *xrand.RNG) error {
-		g, _, err := gen.GRN(gen.GRNConfig{N: n, MeanDegree: 10}, rng)
+// garbage before the first overlay grows. Substrates serve only Neighbors
+// scans (DAPA's discovery floods), so the sorted ranges stay lazy.
+func makeSubstrates(n int, sc Scale, seed uint64) ([]*graph.Frozen, error) {
+	subs := make([]*graph.Frozen, sc.Realizations)
+	err := forEachRealization(sc.Workers, sc.GenWorkers, sc.Realizations, seed, func(r int, b *builder) error {
+		g, _, err := gen.GRNBuild(gen.GRNConfig{N: n, MeanDegree: 10}, b.gen())
 		if err != nil {
 			return err
 		}
-		subs[r] = g.Freeze()
+		subs[r] = g.FreezePar(b.genWorkers)
 		return nil
 	})
 	return subs, err
@@ -93,13 +104,13 @@ func cutoffLabel(kc int) string {
 	return fmt.Sprintf("kc=%d", kc)
 }
 
-// mergedDegreeDist generates `realizations` networks and merges their
+// mergedDegreeDist generates sc.Realizations networks and merges their
 // degree distributions, the paper's averaging procedure ("for every data
 // point 10 different realizations of the network have been used").
-func mergedDegreeDist(factory topoFactory, realizations, workers int, seed uint64) (stats.DegreeDist, error) {
-	dists := make([]stats.DegreeDist, realizations)
-	err := forEachRealization(workers, realizations, seed, func(r int, rng *xrand.RNG) error {
-		g, err := factory(r, rng)
+func mergedDegreeDist(factory topoFactory, sc Scale, seed uint64) (stats.DegreeDist, error) {
+	dists := make([]stats.DegreeDist, sc.Realizations)
+	err := forEachRealization(sc.Workers, sc.GenWorkers, sc.Realizations, seed, func(r int, b *builder) error {
+		g, err := factory(r, b)
 		if err != nil {
 			return err
 		}
@@ -155,18 +166,20 @@ type searchCfg struct {
 	kMin         int // NF fan-out; the paper uses the prescribed m
 	sources      int
 	realizations int
-	workers      int // concurrent realizations; 0 = GOMAXPROCS
-	sourceShards int // concurrent sources per realization; 0 = GOMAXPROCS
+	workers      int // concurrent sweeps; 0 = GOMAXPROCS
+	sourceShards int // concurrent sources per realization; 0 = automatic
+	genWorkers   int // pipelined build-stage bound; 0 = match workers
 }
 
 // searchCfg wires a series configuration to the scale's workload and
-// scheduler knobs, so every spec passes Workers and SourceShards through
-// uniformly.
+// scheduler knobs, so every spec passes Workers, SourceShards, and
+// GenWorkers through uniformly.
 func (sc Scale) searchCfg(alg algKind, maxTTL, kMin int) searchCfg {
 	return searchCfg{
 		alg: alg, maxTTL: maxTTL, kMin: kMin,
 		sources: sc.Sources, realizations: sc.Realizations,
 		workers: sc.Workers, sourceShards: sc.SourceShards,
+		genWorkers: sc.GenWorkers,
 	}
 }
 
@@ -214,28 +227,31 @@ func messageSeries(label string, factory topoFactory, cfg searchCfg, seed uint64
 	})
 }
 
-// sweepSeries is the shared engine of searchSeries and messageSeries:
-// freeze each realization, fan its sources out across the shard pool, and
-// reduce the per-(realization, source) curves deterministically.
+// sweepSeries is the shared engine of searchSeries and messageSeries,
+// run through the three-stage pipeline: the build stage generates and
+// freezes each realization (sorted ranges included) while the sweep stage
+// fans an earlier realization's sources out across the shard pool; the
+// per-(realization, source) curves land in index slots and reduce
+// deterministically.
 func sweepSeries(label string, factory topoFactory, cfg searchCfg, seed uint64, sample func(res search.Result, row []float64)) (Series, error) {
 	perSource := make([][]float64, cfg.realizations*cfg.sources)
-	err := forEachRealizationSweep(cfg.workers, cfg.sourceShards, cfg.realizations, seed, func(r int, rng *xrand.RNG, sw *sweeper) error {
-		f, err := frozenTopo(factory, r, rng)
-		if err != nil {
-			return err
-		}
-		return sw.Sources(uint64(r), cfg.sources, func(_, s int, rng *xrand.RNG, scratch *search.Scratch) error {
-			src := rng.Intn(f.N())
-			res, err := cfg.runSearch(scratch, f, src, rng)
-			if err != nil {
-				return err
-			}
-			row := make([]float64, cfg.maxTTL+1)
-			sample(res, row)
-			perSource[r*cfg.sources+s] = row
-			return nil
+	err := forEachRealizationPipeline(cfg.workers, cfg.sourceShards, cfg.genWorkers, cfg.realizations, seed,
+		func(r int, b *builder) (*graph.Frozen, error) {
+			return frozenTopo(factory, r, b)
+		},
+		func(r int, f *graph.Frozen, sw *sweeper) error {
+			return sw.Sources(uint64(r), cfg.sources, func(_, s int, rng *xrand.RNG, scratch *search.Scratch) error {
+				src := rng.Intn(f.N())
+				res, err := cfg.runSearch(scratch, f, src, rng)
+				if err != nil {
+					return err
+				}
+				row := make([]float64, cfg.maxTTL+1)
+				sample(res, row)
+				perSource[r*cfg.sources+s] = row
+				return nil
+			})
 		})
-	})
 	if err != nil {
 		return Series{}, fmt.Errorf("series %s: %w", label, err)
 	}
@@ -290,10 +306,10 @@ func aggregate(label string, perReal [][]float64, firstX int) (Series, error) {
 // Figs. 1(c) and 4(g). The fit includes the accumulation spike at kc, as
 // the paper's measurement does ("when the jump on the hard cutoffs is
 // taken into account").
-func exponentVsCutoff(label string, mk func(kc int) topoFactory, cutoffs []int, realizations, workers int, seed uint64) (Series, error) {
+func exponentVsCutoff(label string, mk func(kc int) topoFactory, cutoffs []int, sc Scale, seed uint64) (Series, error) {
 	s := Series{Label: label}
 	for i, kc := range cutoffs {
-		d, err := mergedDegreeDist(mk(kc), realizations, workers, seed+uint64(i)*1000)
+		d, err := mergedDegreeDist(mk(kc), sc, seed+uint64(i)*1000)
 		if err != nil {
 			return Series{}, fmt.Errorf("%s kc=%d: %w", label, kc, err)
 		}

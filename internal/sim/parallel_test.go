@@ -63,8 +63,8 @@ func TestForEachRealizationWorkerPool(t *testing.T) {
 	t.Parallel()
 	reference := func(n int, seed uint64) []uint64 {
 		out := make([]uint64, n)
-		if err := forEachRealization(1, n, seed, func(r int, rng *xrand.RNG) error {
-			out[r] = rng.Uint64()
+		if err := forEachRealization(1, 1, n, seed, func(r int, b *builder) error {
+			out[r] = b.rng.Uint64()
 			return nil
 		}); err != nil {
 			t.Fatal(err)
@@ -82,9 +82,9 @@ func TestForEachRealizationWorkerPool(t *testing.T) {
 			want := reference(tc.n, 42)
 			got := make([]uint64, tc.n)
 			ran := make([]atomic.Int32, tc.n)
-			err := forEachRealization(tc.workers, tc.n, 42, func(r int, rng *xrand.RNG) error {
+			err := forEachRealization(tc.workers, 0, tc.n, 42, func(r int, b *builder) error {
 				ran[r].Add(1)
-				got[r] = rng.Uint64()
+				got[r] = b.rng.Uint64()
 				return nil
 			})
 			if err != nil {
@@ -108,7 +108,7 @@ func TestForEachRealizationConcurrencyBounded(t *testing.T) {
 	t.Parallel()
 	const workers, n = 3, 24
 	var inFlight, peak atomic.Int32
-	err := forEachRealization(workers, n, 7, func(r int, rng *xrand.RNG) error {
+	err := forEachRealization(workers, 0, n, 7, func(r int, b *builder) error {
 		cur := inFlight.Add(1)
 		for {
 			p := peak.Load()
@@ -117,7 +117,7 @@ func TestForEachRealizationConcurrencyBounded(t *testing.T) {
 			}
 		}
 		// Touch the RNG so the loop body is not optimized away.
-		_ = rng.Uint64()
+		_ = b.rng.Uint64()
 		inFlight.Add(-1)
 		return nil
 	})
@@ -129,24 +129,27 @@ func TestForEachRealizationConcurrencyBounded(t *testing.T) {
 	}
 }
 
-// TestForEachRealizationScratchPerWorker checks every realization gets a
-// usable scratch and that scratches are per-worker: never more distinct
-// instances than workers, and never shared between two realizations at
-// once (the -race build would flag concurrent sharing).
+// TestForEachRealizationScratchPerWorker checks every swept realization
+// gets a usable scratch and that scratches are per-sweep-worker: never
+// more distinct instances than workers, and never shared between two
+// realizations at once (the -race build would flag concurrent sharing).
 func TestForEachRealizationScratchPerWorker(t *testing.T) {
 	t.Parallel()
 	const workers, n = 4, 32
 	var mu sync.Mutex
 	seen := make(map[*search.Scratch]int)
-	err := forEachRealizationScratch(workers, n, 5, func(r int, rng *xrand.RNG, scratch *search.Scratch) error {
-		if scratch == nil {
-			return errors.New("nil scratch")
-		}
-		mu.Lock()
-		seen[scratch]++
-		mu.Unlock()
-		return nil
-	})
+	err := forEachRealizationPipeline(workers, 1, 1, n, 5,
+		func(r int, b *builder) (int, error) { return r, nil },
+		func(r int, _ int, sw *sweeper) error {
+			scratch := sw.scratches[0]
+			if scratch == nil {
+				return errors.New("nil scratch")
+			}
+			mu.Lock()
+			seen[scratch]++
+			mu.Unlock()
+			return nil
+		})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +171,7 @@ func TestForEachRealizationScratchPerWorker(t *testing.T) {
 func TestForEachRealizationReturnsLowestIndexError(t *testing.T) {
 	t.Parallel()
 	errA, errB := errors.New("a"), errors.New("b")
-	err := forEachRealization(4, 8, 1, func(r int, rng *xrand.RNG) error {
+	err := forEachRealization(4, 0, 8, 1, func(r int, b *builder) error {
 		switch r {
 		case 3:
 			return errB
@@ -249,8 +252,8 @@ func TestSweeperSourcesStreams(t *testing.T) {
 	collect := func(shards int) []uint64 {
 		out := make([]uint64, sources)
 		ran := make([]atomic.Int32, sources)
-		err := forEachRealizationSweep(1, shards, 1, 7, func(r int, _ *xrand.RNG, sw *sweeper) error {
-			return sw.Sources(uint64(r), sources, func(_, s int, rng *xrand.RNG, scratch *search.Scratch) error {
+		err := withSweeper(shards, 7, func(sw *sweeper) error {
+			return sw.Sources(0, sources, func(_, s int, rng *xrand.RNG, scratch *search.Scratch) error {
 				if scratch == nil {
 					return errors.New("nil scratch")
 				}
@@ -288,7 +291,7 @@ func TestSweeperSourcesConcurrencyBounded(t *testing.T) {
 	t.Parallel()
 	const shards, sources = 3, 24
 	var inFlight, peak atomic.Int32
-	err := forEachRealizationSweep(1, shards, 1, 7, func(r int, _ *xrand.RNG, sw *sweeper) error {
+	err := withSweeper(shards, 7, func(sw *sweeper) error {
 		return sw.Sources(0, sources, func(_, s int, rng *xrand.RNG, _ *search.Scratch) error {
 			cur := inFlight.Add(1)
 			for {
@@ -317,7 +320,7 @@ func TestSweeperSourcesLowestIndexError(t *testing.T) {
 	t.Parallel()
 	errA, errB := errors.New("a"), errors.New("b")
 	for _, shards := range []int{1, 4} {
-		err := forEachRealizationSweep(1, shards, 1, 7, func(r int, _ *xrand.RNG, sw *sweeper) error {
+		err := withSweeper(shards, 7, func(sw *sweeper) error {
 			return sw.Sources(0, 16, func(_, s int, _ *xrand.RNG, _ *search.Scratch) error {
 				switch s {
 				case 9:
@@ -345,7 +348,7 @@ func TestSweeperScratchPerShard(t *testing.T) {
 	for i := range byShard {
 		byShard[i] = map[*search.Scratch]bool{}
 	}
-	err := forEachRealizationSweep(1, shards, 1, 5, func(r int, _ *xrand.RNG, sw *sweeper) error {
+	err := withSweeper(shards, 5, func(sw *sweeper) error {
 		for k := 0; k < sweeps; k++ {
 			if err := sw.Sources(uint64(k), sources, func(shard, s int, _ *xrand.RNG, scratch *search.Scratch) error {
 				mu.Lock()

@@ -1,0 +1,259 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"scalefree/internal/gen"
+	"scalefree/internal/xrand"
+)
+
+// This file is the three-stage pipelined experiment engine that replaced
+// the PR 3 two-level scheduler's generate→freeze→sweep-in-one-callback
+// shape. A figure's realizations now flow through:
+//
+//	build stage   — up to GenWorkers goroutines generate topologies and
+//	                freeze them (CSR fill and the sorted HasEdge ranges
+//	                both built here, in parallel), so realization r+1 (and
+//	                beyond, up to the GenWorkers bound) is being built
+//	                while realization r is being swept;
+//	bounded queue — finished snapshots wait on a channel of capacity
+//	                GenWorkers, which is the pipeline's backpressure: the
+//	                build stage stalls rather than running unboundedly
+//	                ahead of the sweep;
+//	sweep stage   — `workers` goroutines pull snapshots in completion
+//	                order and shard each one's sources across
+//	                `SourceShards` goroutines (the PR 3 sweeper pool,
+//	                unchanged).
+//
+// Determinism contract (extended from PR 3, pinned by the scheduler
+// tests): realization r's build draws only from xrand phase streams
+// derived from (seed, r, phase) — never from which build worker ran it or
+// how many goroutines a generator used internally — and its legacy
+// sibling stream rngs[r] depends only on (seed, r); source s of sweep
+// `stream` draws from xrand.NewStream(seed, stream, s); and all outputs
+// land in per-index slots (or order-independent integer accumulators)
+// reduced in index order. Under that contract the figure output is
+// bit-for-bit identical for every (Workers, SourceShards, GenWorkers)
+// combination, including fully serial runs.
+//
+// Memory: up to 2·GenWorkers + Workers frozen snapshots can be alive at
+// once (building + queued + being swept), versus Workers for the PR 3
+// scheduler. Builds that must stay lean can set GenWorkers=1, which still
+// overlaps one build with the sweeps.
+
+// builder carries one realization's build-phase context: the phase-stream
+// derivation root, the legacy per-realization stream, and the
+// intra-generator parallelism budget. A builder is handed to exactly one
+// build invocation and is only valid for its duration.
+type builder struct {
+	// r is the realization index.
+	r int
+	// rng is the legacy per-realization stream (split r-th from the root,
+	// exactly as every engine since PR 1 derived it), for spec-side draws
+	// that are consumed sequentially within the realization (churn event
+	// schedules, robustness removal orders, path sampling).
+	rng *xrand.RNG
+	// phases derives the (seed, realization, phase) build sub-streams.
+	phases xrand.Phases
+	// genWorkers bounds intra-generator parallelism for this build.
+	genWorkers int
+}
+
+// gen returns the generator build context: phase sub-streams plus the
+// intra-build worker budget.
+func (b *builder) gen() gen.Build { return gen.NewBuild(b.phases, b.genWorkers) }
+
+// resolveWorkers applies the "0 means GOMAXPROCS" default.
+func resolveWorkers(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// resolveShards sizes the per-worker source-shard pool: workers × shards
+// ≈ GOMAXPROCS, so the default never runs P² goroutines on a P-core box.
+func resolveShards(shards, workers int) int {
+	if shards > 0 {
+		return shards
+	}
+	return (runtime.GOMAXPROCS(0) + workers - 1) / workers
+}
+
+// resolveBuilders turns the GenWorkers knob into (pool, intra): `pool`
+// build goroutines (never more than the work available) and an `intra`
+// per-build parallelism budget that soaks up the remainder when
+// realizations are scarcer than GenWorkers — the low-realization
+// configurations where the build phase dominates. GenWorkers<=0 defaults
+// to the resolved sweep worker count.
+func resolveBuilders(genWorkers, workers, n int) (pool, intra int) {
+	if genWorkers <= 0 {
+		genWorkers = workers
+	}
+	pool = genWorkers
+	if pool > n {
+		pool = n
+	}
+	if pool < 1 {
+		pool = 1
+	}
+	return pool, (genWorkers + pool - 1) / pool
+}
+
+// newBuilder assembles one realization's build context.
+func newBuilder(seed uint64, r int, rng *xrand.RNG, intra int) *builder {
+	return &builder{
+		r:          r,
+		rng:        rng,
+		phases:     xrand.Phases{Seed: seed, Realization: uint64(r)},
+		genWorkers: intra,
+	}
+}
+
+// forEachRealizationPipeline is the pipelined engine for specs with a
+// build/sweep split: build(r) generates and freezes realization r's
+// topology (returning the snapshot value the sweep needs), sweep(r)
+// queries it through the per-worker sweeper. Build errors skip the sweep;
+// the lowest-index error wins, whichever stage it came from, exactly as a
+// sequential run would have reported first.
+func forEachRealizationPipeline[T any](workers, shards, genWorkers, n int, seed uint64,
+	build func(r int, b *builder) (T, error),
+	sweep func(r int, v T, sw *sweeper) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = resolveWorkers(workers)
+	// Default GenWorkers from the pre-cap worker count: on a P-core box
+	// running fewer than P realizations — the build-dominated case the
+	// pipeline exists for — the build budget must stay P so the remainder
+	// flows into intra-generator parallelism, exactly as the build-only
+	// pool does. Capping first would silently pin intra to 1 by default.
+	pool, intra := resolveBuilders(genWorkers, workers, n)
+	if workers > n {
+		workers = n
+	}
+	shards = resolveShards(shards, workers)
+
+	root := xrand.New(seed)
+	rngs := root.SplitN(n)
+	errs := make([]error, n)
+
+	type snapshot struct {
+		r int
+		v T
+	}
+	ready := make(chan snapshot, pool)
+	var bnext atomic.Int64
+	var bwg sync.WaitGroup
+	bwg.Add(pool)
+	for w := 0; w < pool; w++ {
+		go func() {
+			defer bwg.Done()
+			for {
+				r := int(bnext.Add(1)) - 1
+				if r >= n {
+					return
+				}
+				v, err := build(r, newBuilder(seed, r, rngs[r], intra))
+				if err != nil {
+					errs[r] = err
+					continue
+				}
+				ready <- snapshot{r: r, v: v}
+			}
+		}()
+	}
+	go func() {
+		bwg.Wait()
+		close(ready)
+	}()
+
+	var swg sync.WaitGroup
+	swg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer swg.Done()
+			sw := newSweeper(seed, shards)
+			for snap := range ready {
+				errs[snap.r] = sweep(snap.r, snap.v, sw)
+			}
+		}()
+	}
+	swg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// forEachRealization runs fn for r = 0..n-1 on a bounded worker pool
+// (`workers` goroutines; <=0 means GOMAXPROCS), collecting the
+// lowest-index error. It is the engine for build-only specs (degree
+// distributions, churn traces, robustness curves): with no sweep stage to
+// overlap there is nothing to pipeline, but the builder still carries the
+// phase streams and the intra-build budget derived from genWorkers, so
+// generators parallelize internally when realizations are scarcer than
+// the build budget. Determinism: b.rng is derived solely from (seed, r)
+// and b.phases from (seed, r, phase); results land in per-index slots, so
+// neither worker count nor scheduling order perturbs results.
+func forEachRealization(workers, genWorkers, n int, seed uint64, fn func(r int, b *builder) error) error {
+	if n <= 0 {
+		return nil
+	}
+	pool := resolveWorkers(workers)
+	if pool > n {
+		pool = n
+	}
+	if genWorkers <= 0 {
+		genWorkers = resolveWorkers(workers)
+	} else if pool > genWorkers {
+		// An explicit GenWorkers bounds concurrent builds here exactly as
+		// in the pipeline — fn IS the build — so `-gen-workers 1` really
+		// does cap in-flight topologies on the build-only degree specs,
+		// the memory-heaviest runs.
+		pool = genWorkers
+	}
+	intra := (genWorkers + pool - 1) / pool
+
+	root := xrand.New(seed)
+	rngs := root.SplitN(n)
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(pool)
+	for w := 0; w < pool; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				r := int(next.Add(1)) - 1
+				if r >= n {
+					return
+				}
+				errs[r] = fn(r, newBuilder(seed, r, rngs[r], intra))
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// withSweeper runs fn with a standalone source-sweep pool of `shards`
+// scratches (<=0 sizes it to GOMAXPROCS), for specs that sweep a topology
+// built outside the realization engine (paired-workload claims that probe
+// one shared overlay). Stream derivation inside Sources is identical to
+// the pipelined engine's.
+func withSweeper(shards int, seed uint64, fn func(sw *sweeper) error) error {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	return fn(newSweeper(seed, shards))
+}

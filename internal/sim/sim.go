@@ -13,7 +13,6 @@ package sim
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -59,6 +58,21 @@ type Scale struct {
 	// from an RNG stream derived solely from (seed, r, s), and per-source
 	// results land in per-index slots reduced in source order.
 	SourceShards int
+	// GenWorkers bounds the pipelined build stage: how many realizations
+	// are generated and frozen concurrently ahead of the sweep, and — when
+	// realizations are scarcer than the budget — how many goroutines a
+	// single generator may use internally (chunked CM degree sampling, GRN
+	// placement and radius queries, batched DAPA horizon floods). 0 (the
+	// default) matches the resolved Workers (GOMAXPROCS or the explicit
+	// value, before any realization-count cap, so scarce realizations get
+	// intra-generator parallelism by default). Results are bit-for-bit
+	// identical for every (Workers, SourceShards, GenWorkers) combination:
+	// every build draws from xrand phase streams derived solely from
+	// (seed, realization, phase), with fixed chunk boundaries, so neither
+	// the pipeline schedule nor intra-generator parallelism can perturb a
+	// topology. GenWorkers=1 still overlaps one build with the sweeps;
+	// memory-bound runs can use it to cap in-flight snapshots.
+	GenWorkers int
 }
 
 // PaperScale reproduces the paper's simulation parameters.
@@ -193,88 +207,11 @@ func Lookup(id string) (Spec, error) {
 	return Spec{}, fmt.Errorf("sim: unknown experiment %q", id)
 }
 
-// forEachRealization runs fn for r = 0..n-1 on a bounded worker pool
-// (`workers` goroutines; <=0 means GOMAXPROCS), one split RNG stream per
-// realization, collecting the lowest-index error. Determinism: stream r is
-// derived solely from (seed, r), and results land in per-index slots, so
-// neither the worker count nor scheduling order perturbs results.
-func forEachRealization(workers, n int, seed uint64, fn func(r int, rng *xrand.RNG) error) error {
-	return forEachRealizationSweep(workers, 1, n, seed,
-		func(r int, rng *xrand.RNG, _ *sweeper) error { return fn(r, rng) })
-}
+// The experiment engine — the three-stage build/sweep pipeline
+// (forEachRealizationPipeline), the build-only pool (forEachRealization),
+// and the standalone sweep pool (withSweeper) — lives in pipeline.go.
 
-// forEachRealizationScratch is forEachRealization for search-heavy
-// experiments: each worker owns one search.Scratch, reused across every
-// realization it processes, so the inner search kernels allocate nothing.
-// The scratch passed to fn is only valid for that invocation's duration.
-func forEachRealizationScratch(workers, n int, seed uint64, fn func(r int, rng *xrand.RNG, scratch *search.Scratch) error) error {
-	return forEachRealizationSweep(workers, 1, n, seed,
-		func(r int, rng *xrand.RNG, sw *sweeper) error { return fn(r, rng, sw.scratches[0]) })
-}
-
-// forEachRealizationSweep is the two-level experiment scheduler. The outer
-// level is the realization pool of forEachRealization: `workers`
-// goroutines (<=0 means GOMAXPROCS) pull realization indices and run fn
-// with the realization's split RNG stream, which drives topology
-// generation exactly as before. The inner level is the source sweep: fn
-// receives a per-worker sweeper whose Sources method fans the per-source
-// queries of the just-frozen topology out across `shards` goroutines
-// sharing the one immutable *graph.Frozen (<=0 sizes the pool so that
-// workers × shards ≈ GOMAXPROCS).
-//
-// Determinism contract (pinned by the scheduler tests): realization r's
-// stream depends only on (seed, r); source s of sweep `stream` draws from
-// xrand.NewStream(seed, stream, s), which depends on nothing else; and all
-// per-source outputs land in per-index slots (or order-independent integer
-// accumulators) reduced in index order. Under that contract the figure
-// output is bit-for-bit identical for every (workers, shards) combination,
-// including fully serial runs.
-func forEachRealizationSweep(workers, shards, n int, seed uint64, fn func(r int, rng *xrand.RNG, sw *sweeper) error) error {
-	if n <= 0 {
-		return nil
-	}
-	root := xrand.New(seed)
-	rngs := root.SplitN(n)
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if shards <= 0 {
-		// Automatic sizing: give the worker pool as many shards as it
-		// takes to fill the machine, not GOMAXPROCS each — workers ×
-		// shards ≈ GOMAXPROCS, so the default never runs P² goroutines
-		// (or retains P² scratches) on a P-core box.
-		shards = (runtime.GOMAXPROCS(0) + workers - 1) / workers
-	}
-	errs := make([]error, n)
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			sw := newSweeper(seed, shards)
-			for {
-				r := int(next.Add(1)) - 1
-				if r >= n {
-					return
-				}
-				errs[r] = fn(r, rngs[r], sw)
-			}
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// sweeper is one outer worker's source-sweep pool: a fixed set of shard
+// sweeper is one sweep worker's source-sweep pool: a fixed set of shard
 // scratches reused across every realization the worker processes, so the
 // search kernels stay allocation-free no matter how work is scheduled.
 // A sweeper belongs to its worker goroutine; Sources may be called any

@@ -4,8 +4,6 @@ import (
 	"bytes"
 	"strings"
 	"testing"
-
-	"scalefree/internal/xrand"
 )
 
 // tinyScale keeps spec tests fast while preserving structure.
@@ -57,8 +55,8 @@ func TestForEachRealizationDeterministic(t *testing.T) {
 	t.Parallel()
 	run := func() []uint64 {
 		out := make([]uint64, 8)
-		err := forEachRealization(0, 8, 42, func(r int, rng *xrand.RNG) error {
-			out[r] = rng.Uint64()
+		err := forEachRealization(0, 0, 8, 42, func(r int, b *builder) error {
+			out[r] = b.rng.Uint64()
 			return nil
 		})
 		if err != nil {
@@ -76,7 +74,7 @@ func TestForEachRealizationDeterministic(t *testing.T) {
 
 func TestForEachRealizationPropagatesError(t *testing.T) {
 	t.Parallel()
-	err := forEachRealization(2, 4, 1, func(r int, rng *xrand.RNG) error {
+	err := forEachRealization(2, 0, 4, 1, func(r int, b *builder) error {
 		if r == 2 {
 			return errTest
 		}

@@ -14,7 +14,6 @@ import (
 
 	"scalefree/internal/churn"
 	"scalefree/internal/stats"
-	"scalefree/internal/xrand"
 )
 
 // Churn measures overlay health vs churn events with and without repair.
@@ -46,7 +45,10 @@ func Churn(sc Scale, seed uint64) ([]Figure, error) {
 		hitRows := make([][]float64, sc.Realizations)
 		msgs := make([]float64, sc.Realizations)
 		var xs []float64
-		err := forEachRealization(sc.Workers, sc.Realizations, seed+uint64(pi)*2713, func(r int, rng *xrand.RNG) error {
+		err := forEachRealization(sc.Workers, sc.GenWorkers, sc.Realizations, seed+uint64(pi)*2713, func(r int, b *builder) error {
+			// The churn trace is one long event sequence; it draws from the
+			// realization's legacy stream, sequential by nature.
+			rng := b.rng
 			sim, err := churn.New(churn.Config{
 				InitialN: sc.NSearch,
 				M:        m,

@@ -19,7 +19,7 @@ func Fig1a(sc Scale, seed uint64) ([]Figure, error) {
 		XLabel: "k", YLabel: "P(k)", LogX: true, LogY: true,
 	}
 	for _, m := range []int{1, 2, 3} {
-		d, err := mergedDegreeDist(paTopo(sc.NDegree, m, gen.NoCutoff), sc.Realizations, sc.Workers, seed+uint64(m))
+		d, err := mergedDegreeDist(paTopo(sc.NDegree, m, gen.NoCutoff), sc, seed+uint64(m))
 		if err != nil {
 			return nil, err
 		}
@@ -51,7 +51,7 @@ func Fig1b(sc Scale, seed uint64) ([]Figure, error) {
 		{3, gen.NoCutoff}, {3, 100}, {2, 40}, {2, 20}, {2, 10},
 	}
 	for i, c := range combos {
-		d, err := mergedDegreeDist(paTopo(sc.NDegree, c.m, c.kc), sc.Realizations, sc.Workers, seed+uint64(i)*101)
+		d, err := mergedDegreeDist(paTopo(sc.NDegree, c.m, c.kc), sc, seed+uint64(i)*101)
 		if err != nil {
 			return nil, err
 		}
@@ -79,7 +79,7 @@ func Fig1c(sc Scale, seed uint64) ([]Figure, error) {
 		s, err := exponentVsCutoff(
 			fmt.Sprintf("m=%d", m),
 			func(kc int) topoFactory { return paTopo(sc.NDegree, m, kc) },
-			cutoffs, sc.Realizations, sc.Workers, seed+uint64(m)*7919,
+			cutoffs, sc, seed+uint64(m)*7919,
 		)
 		if err != nil {
 			return nil, err
@@ -103,7 +103,7 @@ func Fig2(sc Scale, seed uint64) ([]Figure, error) {
 			for _, kc := range []int{gen.NoCutoff, 40, 10} {
 				d, err := mergedDegreeDist(
 					cmTopo(sc.NDegree, m, kc, gamma),
-					sc.Realizations, sc.Workers, seed+uint64(pi*100+m*10+kc),
+					sc, seed+uint64(pi*100+m*10+kc),
 				)
 				if err != nil {
 					return nil, err
@@ -138,7 +138,7 @@ func Fig3(sc Scale, seed uint64) ([]Figure, error) {
 		}
 		for _, n := range sizes {
 			for _, m := range []int{1, 2, 3} {
-				d, err := mergedDegreeDist(hapaTopo(n, m, kc), sc.Realizations, sc.Workers, seed+uint64(pi*1000+n+m))
+				d, err := mergedDegreeDist(hapaTopo(n, m, kc), sc, seed+uint64(pi*1000+n+m))
 				if err != nil {
 					return nil, err
 				}
@@ -158,7 +158,7 @@ func Fig3(sc Scale, seed uint64) ([]Figure, error) {
 // τ_sub ∈ {2,4,6,8,10,20,50}, panels (m, kc) ∈ {1,3} × {none, 40, 10},
 // on GRN substrates with k̄ = 10.
 func Fig4(sc Scale, seed uint64) ([]Figure, error) {
-	substrates, err := makeSubstrates(sc.NSubstrate, sc.Realizations, sc.Workers, seed^0x5eed)
+	substrates, err := makeSubstrates(sc.NSubstrate, sc, seed^0x5eed)
 	if err != nil {
 		return nil, err
 	}
@@ -177,7 +177,7 @@ func Fig4(sc Scale, seed uint64) ([]Figure, error) {
 			for _, tau := range taus {
 				d, err := mergedDegreeDist(
 					dapaTopo(substrates, sc.NOverlay, m, kc, tau),
-					sc.Realizations, sc.Workers, seed+uint64(panel*1000+tau),
+					sc, seed+uint64(panel*1000+tau),
 				)
 				if err != nil {
 					return nil, err
@@ -199,7 +199,7 @@ func Fig4(sc Scale, seed uint64) ([]Figure, error) {
 // large error bars; τ_sub is set high so the overlay is in its power-law
 // regime).
 func Fig4g(sc Scale, seed uint64) ([]Figure, error) {
-	substrates, err := makeSubstrates(sc.NSubstrate, sc.Realizations, sc.Workers, seed^0xdada)
+	substrates, err := makeSubstrates(sc.NSubstrate, sc, seed^0xdada)
 	if err != nil {
 		return nil, err
 	}
@@ -215,7 +215,7 @@ func Fig4g(sc Scale, seed uint64) ([]Figure, error) {
 		s, err := exponentVsCutoff(
 			fmt.Sprintf("m=%d", m),
 			func(kc int) topoFactory { return dapaTopo(substrates, sc.NOverlay, m, kc, 20) },
-			cutoffs, sc.Realizations, sc.Workers, seed+uint64(m)*104729,
+			cutoffs, sc, seed+uint64(m)*104729,
 		)
 		if err != nil {
 			return nil, err

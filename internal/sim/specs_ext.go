@@ -39,12 +39,12 @@ func Attack(sc Scale, seed uint64) ([]Figure, error) {
 			label := fmt.Sprintf("%s, %s", cutoffLabel(kc), strat)
 			curves := make([][]float64, sc.Realizations)
 			var xs []float64
-			err := forEachRealization(sc.Workers, sc.Realizations, seed+uint64(kc)*31+uint64(strat), func(r int, rng *xrand.RNG) error {
-				g, _, err := gen.PA(gen.PAConfig{N: sc.NSearch, M: 2, KC: kc}, rng)
+			err := forEachRealization(sc.Workers, sc.GenWorkers, sc.Realizations, seed+uint64(kc)*31+uint64(strat), func(r int, b *builder) error {
+				g, _, err := gen.PABuild(gen.PAConfig{N: sc.NSearch, M: 2, KC: kc}, b.gen())
 				if err != nil {
 					return err
 				}
-				pts, err := metrics.Robustness(g, strat, 0.02, 0.4, rng)
+				pts, err := metrics.Robustness(g, strat, 0.02, 0.4, b.rng)
 				if err != nil {
 					return err
 				}
@@ -105,14 +105,17 @@ func Delivery(sc Scale, seed uint64) ([]Figure, error) {
 		flFound := make([]bool, sc.Realizations*pairs)
 		rwTimes := make([]int, sc.Realizations*pairs)
 		rwFound := make([]bool, sc.Realizations*pairs)
-		err := forEachRealizationSweep(sc.Workers, sc.SourceShards, sc.Realizations, seed+uint64(si)*977, func(r int, rng *xrand.RNG, sw *sweeper) error {
-			g, _, err := gen.CM(gen.CMConfig{N: n, M: 2, Gamma: 2.2}, rng)
+		err := forEachRealizationPipeline(sc.Workers, sc.SourceShards, sc.GenWorkers, sc.Realizations, seed+uint64(si)*977, func(r int, b *builder) (*graph.Frozen, error) {
+			g, _, err := gen.CMBuild(gen.CMConfig{N: n, M: 2, Gamma: 2.2}, b.gen())
 			if err != nil {
-				return err
+				return nil, err
 			}
 			giant := g.GiantComponent()
 			sub, _ := g.InducedSubgraph(giant)
-			fsub := sub.Freeze() // one CSR snapshot serves every delivery pair
+			// One CSR snapshot serves every delivery pair, sorted ranges
+			// and all built here in the pipelined build stage.
+			return sub.FreezeSorted(b.genWorkers), nil
+		}, func(r int, fsub *graph.Frozen, sw *sweeper) error {
 			return sw.Sources(uint64(r), pairs, func(_, i int, rng *xrand.RNG, scratch *search.Scratch) error {
 				src, dst := rng.Intn(fsub.N()), rng.Intn(fsub.N())
 				if src == dst {
@@ -238,11 +241,9 @@ func KWalk(sc Scale, seed uint64) ([]Figure, error) {
 	for vi, v := range variants {
 		v := v
 		perSource := make([][]float64, sc.Realizations*sc.Sources)
-		err := forEachRealizationSweep(sc.Workers, sc.SourceShards, sc.Realizations, seed+uint64(vi)*4099, func(r int, rng *xrand.RNG, sw *sweeper) error {
-			f, err := frozenTopo(factory, r, rng)
-			if err != nil {
-				return err
-			}
+		err := forEachRealizationPipeline(sc.Workers, sc.SourceShards, sc.GenWorkers, sc.Realizations, seed+uint64(vi)*4099, func(r int, b *builder) (*graph.Frozen, error) {
+			return frozenTopo(factory, r, b)
+		}, func(r int, f *graph.Frozen, sw *sweeper) error {
 			return sw.Sources(uint64(r), sc.Sources, func(_, s int, rng *xrand.RNG, scratch *search.Scratch) error {
 				row, err := v.run(scratch, f, rng.Intn(f.N()), rng)
 				if err != nil {

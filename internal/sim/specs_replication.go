@@ -13,6 +13,7 @@ import (
 
 	"scalefree/internal/content"
 	"scalefree/internal/gen"
+	"scalefree/internal/graph"
 	"scalefree/internal/search"
 	"scalefree/internal/xrand"
 )
@@ -47,12 +48,23 @@ func Replication(sc Scale, seed uint64) ([]Figure, error) {
 		for si, strat := range strategies {
 			strat := strat
 			perReal := make([][]float64, sc.Realizations)
-			err := forEachRealizationSweep(sc.Workers, sc.SourceShards, sc.Realizations, seed+uint64(si)*6151+uint64(kc), func(r int, rng *xrand.RNG, sw *sweeper) error {
-				g, _, err := gen.PA(gen.PAConfig{N: sc.NSearch, M: m, KC: kc}, rng)
+			// The build stage hands the sweep the frozen overlay plus the
+			// realization's "replication" phase stream: placements draw
+			// from it sequentially within the realization, so they depend
+			// only on (seed, realization), never on pipeline scheduling.
+			type replTopo struct {
+				fg  *graph.Frozen
+				rep *xrand.RNG
+			}
+			err := forEachRealizationPipeline(sc.Workers, sc.SourceShards, sc.GenWorkers, sc.Realizations, seed+uint64(si)*6151+uint64(kc), func(r int, b *builder) (replTopo, error) {
+				g, _, err := gen.PABuild(gen.PAConfig{N: sc.NSearch, M: m, KC: kc}, b.gen())
 				if err != nil {
-					return err
+					return replTopo{}, err
 				}
-				fg := g.Freeze() // all budgets probe the same realization
+				// All budgets probe the same realization.
+				return replTopo{fg: g.FreezeSorted(b.genWorkers), rep: b.phases.Stream("replication")}, nil
+			}, func(r int, topo replTopo, sw *sweeper) error {
+				fg := topo.fg
 				cat, err := content.NewCatalog(items, alpha)
 				if err != nil {
 					return err
@@ -65,7 +77,7 @@ func Replication(sc Scale, seed uint64) ([]Figure, error) {
 					if budget < items {
 						budget = items
 					}
-					p, err := content.Replicate(cat, fg.N(), budget, strat, rng)
+					p, err := content.Replicate(cat, fg.N(), budget, strat, topo.rep)
 					if err != nil {
 						return err
 					}

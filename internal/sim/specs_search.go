@@ -86,7 +86,7 @@ func Fig7(sc Scale, seed uint64) ([]Figure, error) {
 // per m ∈ {1,2,3}, series kc ∈ {10,50,none} × τ_sub ∈ {2,4,10,50}. The
 // paper sweeps τ to 100 because small-τ_sub overlays have large diameters.
 func Fig8(sc Scale, seed uint64) ([]Figure, error) {
-	substrates, err := makeSubstrates(sc.NSubstrate, sc.Realizations, sc.Workers, seed^0xf18)
+	substrates, err := makeSubstrates(sc.NSubstrate, sc, seed^0xf18)
 	if err != nil {
 		return nil, err
 	}
@@ -99,7 +99,8 @@ func Fig8(sc Scale, seed uint64) ([]Figure, error) {
 			XLabel: "tau", YLabel: "number of hits",
 		}
 		if m == 1 {
-			fig.Notes = "weak connectedness: hard cutoffs improve FL"
+			fig.Notes = "paper: hard cutoffs improve FL under weak connectedness; " +
+				"this reproduction measures the opposite ordering (documented deviation, see claims)"
 		}
 		for _, kc := range []int{10, 50, gen.NoCutoff} {
 			for _, tau := range []int{2, 4, 10, 50} {
@@ -227,7 +228,7 @@ func Fig11(sc Scale, seed uint64) ([]Figure, error) {
 // DAPA overlays, panels m ∈ {1,2,3} × kc ∈ {none,50,10}, series over
 // τ_sub ∈ {2,4,6,8,10,20,50}.
 func dapaNFRW(sc Scale, seed uint64, alg algKind, figBase, titleAlg string) ([]Figure, error) {
-	substrates, err := makeSubstrates(sc.NSubstrate, sc.Realizations, sc.Workers, seed^0xda9a)
+	substrates, err := makeSubstrates(sc.NSubstrate, sc, seed^0xda9a)
 	if err != nil {
 		return nil, err
 	}

@@ -123,11 +123,9 @@ func Strategies(sc Scale, seed uint64) ([]Figure, error) {
 		for vi, v := range variants {
 			v := v
 			perSource := make([][]float64, sc.Realizations*sc.Sources)
-			err := forEachRealizationSweep(sc.Workers, sc.SourceShards, sc.Realizations, seed+uint64(vi)*7919+uint64(kc), func(r int, rng *xrand.RNG, sw *sweeper) error {
-				f, err := frozenTopo(factory, r, rng)
-				if err != nil {
-					return err
-				}
+			err := forEachRealizationPipeline(sc.Workers, sc.SourceShards, sc.GenWorkers, sc.Realizations, seed+uint64(vi)*7919+uint64(kc), func(r int, b *builder) (*graph.Frozen, error) {
+				return frozenTopo(factory, r, b)
+			}, func(r int, f *graph.Frozen, sw *sweeper) error {
 				return sw.Sources(uint64(r), sc.Sources, func(_, s int, rng *xrand.RNG, scratch *search.Scratch) error {
 					row, err := v.run(scratch, f, rng.Intn(f.N()), budgets, rng)
 					if err != nil {

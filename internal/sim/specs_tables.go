@@ -8,7 +8,6 @@ import (
 
 	"scalefree/internal/gen"
 	"scalefree/internal/stats"
-	"scalefree/internal/xrand"
 )
 
 // Table1 verifies the diameter-scaling regimes of Table I empirically: the
@@ -61,8 +60,8 @@ func Table1(sc Scale, seed uint64) ([]Figure, error) {
 		s := Series{Label: reg.label}
 		for _, n := range sizes {
 			means := make([]float64, sc.Realizations)
-			err := forEachRealization(sc.Workers, sc.Realizations, seed+uint64(ri*1000+n), func(r int, rng *xrand.RNG) error {
-				g, err := reg.mk(n)(r, rng)
+			err := forEachRealization(sc.Workers, sc.GenWorkers, sc.Realizations, seed+uint64(ri*1000+n), func(r int, b *builder) error {
+				g, err := reg.mk(n)(r, b)
 				if err != nil {
 					return err
 				}
@@ -70,7 +69,7 @@ func Table1(sc Scale, seed uint64) ([]Figure, error) {
 				// regimes can have small detached parts.
 				giant := g.GiantComponent()
 				sub, _ := g.InducedSubgraph(giant)
-				means[r] = sub.SamplePathStats(minInt(40, sub.N()), rng).MeanDistance
+				means[r] = sub.SamplePathStats(minInt(40, sub.N()), b.rng).MeanDistance
 				return nil
 			})
 			if err != nil {

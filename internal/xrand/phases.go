@@ -1,0 +1,57 @@
+package xrand
+
+// Phase sub-streams: the build-side counterpart of the query scheduler's
+// (seed, realization, source) streams. A realization's topology build is
+// decomposed into named phases ("cm.degrees", "dapa.select", ...), each
+// drawing from its own RNG derived solely from (seed, realization, phase)
+// — never from which pipeline worker runs the build, how many values any
+// other phase consumed, or how the phase's own work is chunked across
+// goroutines. That is what lets the experiment engine generate realization
+// r+1 on any build worker, or parallelize inside a generator, while
+// producing output bit-for-bit identical to a fully serial build.
+
+// phaseTag domain-separates phase streams from the (seed, realization,
+// source) query streams: a phase path is (realization, phaseTag, key[,
+// chunk]) while a source path is (realization, source), so the two
+// families can never alias even if a phase key happened to collide with a
+// small source index.
+const phaseTag = 0x7068617365746167 // "phasetag"
+
+// PhaseKey hashes a phase name into a stream-path component (FNV-1a 64).
+// Exposed so tests can pin the derivation.
+func PhaseKey(name string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Phases derives the named phase sub-streams of one realization's build.
+// The zero value is a valid derivation root (seed 0, realization 0);
+// copies are free and safe — Phases holds no RNG state, every call
+// derives a fresh stream.
+type Phases struct {
+	// Seed is the experiment's root seed.
+	Seed uint64
+	// Realization is the realization index the build belongs to.
+	Realization uint64
+}
+
+// Stream returns the RNG for the named phase:
+// NewStream(seed, realization, phaseTag, PhaseKey(name)). Calling it twice
+// with the same name returns two independent RNG values positioned at the
+// same stream start; a phase that must be consumed sequentially should
+// derive once and thread the *RNG through.
+func (p Phases) Stream(name string) *RNG {
+	return NewStream(p.Seed, p.Realization, phaseTag, PhaseKey(name))
+}
+
+// Chunk returns the RNG for one fixed-size chunk of a parallelized phase.
+// Chunk boundaries must depend only on the problem size (never on the
+// worker count), so that any number of goroutines processing the chunks
+// draws exactly the same values per chunk.
+func (p Phases) Chunk(name string, chunk int) *RNG {
+	return NewStream(p.Seed, p.Realization, phaseTag, PhaseKey(name), uint64(chunk))
+}

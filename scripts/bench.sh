@@ -3,7 +3,7 @@
 # the performance trajectory (benchmark name -> ns/op, B/op, allocs/op).
 #
 # Usage:
-#   scripts/bench.sh                 # writes BENCH_PR3.json
+#   scripts/bench.sh                 # writes BENCH_PR4.json
 #   scripts/bench.sh out.json        # custom output path
 #   BENCHTIME=2s scripts/bench.sh    # longer sampling (default 0.5s)
 #
@@ -11,9 +11,11 @@
 #   internal/graph    Freeze cost, HasEdge map-vs-CSR point probes
 #   internal/search   Reference (pre-CSR) vs Scratch (CSR) kernels,
 #                     including the Scratch strategy kernels (0 allocs/op)
+#                     and the prefetch on/off flood pair
 #   internal/metrics  clustering coefficient, map probes vs CSR scan
-#   .                 end-to-end search throughput + the two-level
-#                     (workers x source-shards) scheduler grid
+#   .                 end-to-end search throughput + the three-stage
+#                     (workers x source-shards x gen-workers) scheduler
+#                     grid
 #
 # The Reference* benchmarks preserve the pre-CSR implementations in-tree
 # (see internal/search/reference_test.go, internal/metrics/bench_test.go),
@@ -23,7 +25,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR3.json}"
+OUT="${1:-BENCH_PR4.json}"
 BENCHTIME="${BENCHTIME:-0.5s}"
 
 raw="$(mktemp)"

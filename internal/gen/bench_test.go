@@ -1,0 +1,127 @@
+package gen
+
+import (
+	"testing"
+
+	"scalefree/internal/graph"
+)
+
+// Build-path benchmarks: the legacy mutable-Graph path (per-node slice
+// appends + multiplicity map, then Freeze) versus the direct-CSR path
+// (chunked edge buffers + parallel count/scatter), at the scales the
+// experiment engine builds per realization. The *Graph variants include
+// the freeze the sim pipeline performs, so the pair compares the full
+// build-stage cost of producing one sweep-ready snapshot. The *Arena
+// variants reuse one CSRArena across iterations, which is exactly how a
+// pipeline build worker runs back-to-back realizations.
+
+// Paper scale for degree figures (Scale.NDegree) and substrates
+// (Scale.NSubstrate).
+const (
+	benchCMNodes  = 100_000
+	benchGRNNodes = 20_000
+)
+
+// reportSnapshotBytes emits the size of the immortal result (the CSR
+// arrays, plus any coordinate payload) as a custom metric. Every build
+// path must allocate at least this much per iteration — it escapes with
+// the snapshot — so B/op minus snapshotB/op is the transient allocation
+// traffic the direct-CSR path (and its arena) actually eliminates.
+func reportSnapshotBytes(b *testing.B, f *graph.Frozen, sortedMaterialized bool, extra int) {
+	per := 1
+	if sortedMaterialized {
+		per = 2 // insertion-order + sorted copies of the adjacency
+	}
+	bytes := 4*(f.N()+1) + 4*per*f.TotalDegree() + extra
+	b.ReportMetric(float64(bytes), "snapshotB/op")
+}
+
+func benchCMConfig() CMConfig { return CMConfig{N: benchCMNodes, M: 2, Gamma: 2.2} }
+
+func BenchmarkCMBuildGraph(b *testing.B) {
+	cfg := benchCMConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g, _, err := CMBuild(cfg, NewBuild(phasesFor(1, uint64(i)), 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkFrozen = g.FreezeSorted(1)
+	}
+	reportSnapshotBytes(b, sinkFrozen, true, 0)
+}
+
+func BenchmarkCMBuildCSR(b *testing.B) {
+	cfg := benchCMConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f, _, err := CMFrozen(cfg, NewBuild(phasesFor(1, uint64(i)), 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkFrozen = f
+	}
+	reportSnapshotBytes(b, sinkFrozen, true, 0)
+}
+
+func BenchmarkCMBuildCSRArena(b *testing.B) {
+	cfg := benchCMConfig()
+	arena := graph.NewCSRArena()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bld := NewBuild(phasesFor(1, uint64(i)), 1)
+		bld.Arena = arena
+		f, _, err := CMFrozen(cfg, bld)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkFrozen = f
+	}
+	reportSnapshotBytes(b, sinkFrozen, true, 0)
+}
+
+func BenchmarkGRNBuildGraph(b *testing.B) {
+	cfg := GRNConfig{N: benchGRNNodes, MeanDegree: 10}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g, _, err := GRNBuild(cfg, NewBuild(phasesFor(2, uint64(i)), 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkFrozen = g.Freeze()
+	}
+	reportSnapshotBytes(b, sinkFrozen, false, 16*benchGRNNodes)
+}
+
+func BenchmarkGRNBuildCSR(b *testing.B) {
+	cfg := GRNConfig{N: benchGRNNodes, MeanDegree: 10}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f, _, err := GRNFrozen(cfg, NewBuild(phasesFor(2, uint64(i)), 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkFrozen = f
+	}
+	reportSnapshotBytes(b, sinkFrozen, false, 16*benchGRNNodes)
+}
+
+func BenchmarkGRNBuildCSRArena(b *testing.B) {
+	cfg := GRNConfig{N: benchGRNNodes, MeanDegree: 10}
+	arena := graph.NewCSRArena()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bld := NewBuild(phasesFor(2, uint64(i)), 1)
+		bld.Arena = arena
+		f, _, err := GRNFrozen(cfg, bld)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkFrozen = f
+	}
+	reportSnapshotBytes(b, sinkFrozen, false, 16*benchGRNNodes)
+}
+
+// sinkFrozen keeps the built snapshots observable so the compiler cannot
+// elide a build.
+var sinkFrozen *graph.Frozen

@@ -3,6 +3,7 @@ package gen
 import (
 	"sync"
 
+	"scalefree/internal/graph"
 	"scalefree/internal/xrand"
 )
 
@@ -29,6 +30,12 @@ type Build struct {
 	// the calling goroutine. Output is identical for every value — only
 	// wall-clock changes.
 	Workers int
+	// Arena, when non-nil, recycles the direct-to-CSR builders' large
+	// transient buffers (edge chunks, count/scatter/dedup scratch) across
+	// consecutive builds. Output is identical with or without it; only
+	// allocation traffic changes. The experiment pipeline hands each build
+	// worker its own arena; an arena must not serve two concurrent builds.
+	Arena *graph.CSRArena
 }
 
 // NewBuild returns a phase-stream Build for one realization.

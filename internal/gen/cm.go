@@ -67,34 +67,80 @@ func CM(cfg CMConfig, rng *xrand.RNG) (*graph.Graph, Stats, error) {
 // goroutines. Output is bit-for-bit identical for every Workers value. A
 // legacy Build (Phases nil) reproduces CM's historical single-stream draw
 // sequence byte for byte.
+//
+// CMBuild materializes the mutable Graph; the experiment engine uses
+// CMFrozen, which wires the identical stub stream straight into CSR form.
 func CMBuild(cfg CMConfig, b Build) (*graph.Graph, Stats, error) {
 	var st Stats
-	if err := cfg.validate(); err != nil {
+	b = b.normalize()
+	stubs, err := cmShuffledStubs(cfg, b)
+	if err != nil {
 		return nil, st, err
 	}
+	g := graph.New(cfg.N)
+	for i := 0; i+1 < len(stubs); i += 2 {
+		mustEdge(g, int(stubs[i]), int(stubs[i+1]))
+	}
+	b.Arena.Release(stubs)
+	st.SelfLoopsRemoved, st.MultiEdgesRemoved = g.Simplify()
+	return g, st, nil
+}
+
+// CMFrozen is CMBuild built straight into a CSR snapshot: the shuffled
+// stub pairs are emitted into a graph.CSRBuilder in fixed-size chunks
+// (the pairing is RNG-free after the wire shuffle, so the emission fans
+// out across Build.Workers without touching the draw sequence) and
+// finalized with the cleanup pass replayed on the sorted CSR. The result
+// is byte-identical — offsets, neighbor order, sorted membership ranges,
+// Stats — to CMBuild followed by FreezeSorted, for every Workers value
+// and for legacy Builds, but never allocates per-node adjacency slices or
+// the edge-multiplicity map. The snapshot is sweep-ready (sorted ranges
+// eager); Build.Arena, when set, recycles the build's transient buffers.
+func CMFrozen(cfg CMConfig, b Build) (*graph.Frozen, Stats, error) {
+	var st Stats
 	b = b.normalize()
+	stubs, err := cmShuffledStubs(cfg, b)
+	if err != nil {
+		return nil, st, err
+	}
+	pairs := len(stubs) / 2
+	cb := graph.NewCSRBuilder(cfg.N, chunks(pairs), b.Arena)
+	b.forChunks(pairs, func(chunk, lo, hi int) {
+		cb.Reserve(chunk, hi-lo)
+		for p := lo; p < hi; p++ {
+			cb.Edge(chunk, stubs[2*p], stubs[2*p+1])
+		}
+	})
+	// The stub array is fully copied into the chunk buffers; recycle it
+	// before finalize so the count/scatter scratch can reuse its memory.
+	b.Arena.Release(stubs)
+	f, selfLoops, multiEdges := cb.FinalizeSimplified(b.workers())
+	st.SelfLoopsRemoved, st.MultiEdgesRemoved = selfLoops, multiEdges
+	return f, st, nil
+}
+
+// cmShuffledStubs runs the randomized front half shared by CMBuild and
+// CMFrozen — degree sampling, parity repair, stub expansion, wire
+// shuffle — consuming the build's streams identically on both paths.
+// b must already be normalized.
+func cmShuffledStubs(cfg CMConfig, b Build) ([]int32, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	kc := cfg.KC
 	if kc == NoCutoff || kc > cfg.N {
 		kc = cfg.N
 	}
-
 	var seq []int
 	if b.phased() {
 		seq = powerLawDegreeSequenceChunked(cfg.N, cfg.M, kc, cfg.Gamma, b)
 	} else {
 		seq = PowerLawDegreeSequence(cfg.N, cfg.M, kc, cfg.Gamma, b.phase("cm.degrees"))
 	}
-
-	g := graph.New(cfg.N)
 	stubs := stubList(seq, b)
 	wire := b.phase("cm.wire")
 	wire.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
-	for i := 0; i+1 < len(stubs); i += 2 {
-		mustEdge(g, int(stubs[i]), int(stubs[i+1]))
-	}
-
-	st.SelfLoopsRemoved, st.MultiEdgesRemoved = g.Simplify()
-	return g, st, nil
+	return stubs, nil
 }
 
 // powerLawDegreeSequenceChunked is the phased counterpart of
@@ -134,10 +180,12 @@ func powerLawDegreeSequenceChunked(n, kMin, kMax int, gamma float64, b Build) []
 // stubList expands a degree sequence into the stub array (node u appearing
 // seq[u] times, in node order). The expansion is RNG-free; a phased build
 // fills disjoint chunk ranges in parallel from the sequence's prefix sums,
-// a legacy build appends serially — both produce the identical array.
+// a legacy build appends serially — both produce the identical array. The
+// array comes from Build.Arena when one is set (CMFrozen releases it after
+// wiring), so repeated pipeline builds reuse it.
 func stubList(seq []int, b Build) []int32 {
 	if !b.phased() || b.workers() <= 1 {
-		stubs := make([]int32, 0, sum(seq))
+		stubs := b.Arena.Grab(sum(seq))[:0]
 		for u, k := range seq {
 			for i := 0; i < k; i++ {
 				stubs = append(stubs, int32(u))
@@ -146,11 +194,14 @@ func stubList(seq []int, b Build) []int32 {
 		return stubs
 	}
 	n := len(seq)
-	offsets := make([]int, n+1)
+	// Stub totals fit int32 comfortably (2E entries, and the CSR layout is
+	// int32 throughout), so the prefix sums can live in arena scratch.
+	offsets := b.Arena.Grab(n + 1)
+	offsets[0] = 0
 	for u, k := range seq {
-		offsets[u+1] = offsets[u] + k
+		offsets[u+1] = offsets[u] + int32(k)
 	}
-	stubs := make([]int32, offsets[n])
+	stubs := b.Arena.Grab(int(offsets[n]))
 	b.forChunks(n, func(_, lo, hi int) {
 		for u := lo; u < hi; u++ {
 			for p := offsets[u]; p < offsets[u+1]; p++ {
@@ -158,6 +209,7 @@ func stubList(seq []int, b Build) []int32 {
 			}
 		}
 	})
+	b.Arena.Release(offsets)
 	return stubs
 }
 

@@ -60,20 +60,109 @@ func GRN(cfg GRNConfig, rng *xrand.RNG) (*graph.Graph, []Point, error) {
 // flushed into the graph in chunk order — the exact edge order the serial
 // scan produces. A legacy Build reproduces GRN's historical single-stream
 // placement byte for byte.
+//
+// GRNBuild materializes the mutable Graph; the experiment engine uses
+// GRNFrozen, which emits the identical edge stream straight into CSR form.
 func GRNBuild(cfg GRNConfig, b Build) (*graph.Graph, []Point, error) {
 	b = b.normalize()
+	grid, err := grnGridFor(cfg, b)
+	if err != nil {
+		return nil, nil, err
+	}
+	g := graph.New(cfg.N)
+	if b.phased() && b.workers() > 1 {
+		edges := make([][]int32, chunks(cfg.N))
+		b.forChunks(cfg.N, func(chunk, lo, hi int) {
+			var buf []int32 // interleaved (i, j) pairs for this chunk
+			var nbr []int32
+			for i := lo; i < hi; i++ {
+				nbr = grid.scanNode(i, nbr[:0])
+				for _, j := range nbr {
+					buf = append(buf, int32(i), j)
+				}
+			}
+			edges[chunk] = buf
+		})
+		for _, buf := range edges {
+			for e := 0; e+1 < len(buf); e += 2 {
+				mustEdge(g, int(buf[e]), int(buf[e+1]))
+			}
+		}
+	} else {
+		var nbr []int32
+		for i := 0; i < cfg.N; i++ {
+			nbr = grid.scanNode(i, nbr[:0])
+			for _, j := range nbr {
+				mustEdge(g, i, int(j))
+			}
+		}
+	}
+	grid.recycle(b.Arena)
+	return g, grid.pts, nil
+}
+
+// GRNFrozen is GRNBuild built straight into a CSR snapshot: every chunk's
+// radius scan emits its (i, j) pairs into a graph.CSRBuilder chunk
+// buffer, and the parallel count/scatter finalize lays them out in chunk
+// order — the exact edge order the mutable build inserts. The result is
+// byte-identical to GRNBuild followed by FreezePar for every Workers
+// value and for legacy Builds. The scan produces each unordered pair once
+// and no self-loops, so no cleanup pass runs; the sorted membership
+// ranges stay lazy, matching how substrate snapshots are consumed
+// (DAPA's discovery floods only scan Neighbors). Build.Arena, when set,
+// recycles the build's transient buffers.
+func GRNFrozen(cfg GRNConfig, b Build) (*graph.Frozen, []Point, error) {
+	b = b.normalize()
+	grid, err := grnGridFor(cfg, b)
+	if err != nil {
+		return nil, nil, err
+	}
+	cb := graph.NewCSRBuilder(cfg.N, chunks(cfg.N), b.Arena)
+	b.forChunks(cfg.N, func(chunk, lo, hi int) {
+		var nbr []int32
+		for i := lo; i < hi; i++ {
+			nbr = grid.scanNode(i, nbr[:0])
+			for _, j := range nbr {
+				cb.Edge(chunk, int32(i), j)
+			}
+		}
+	})
+	// Emission is done with the spatial hash; recycle its tables before
+	// finalize so the count/scatter scratch can reuse the memory.
+	grid.recycle(b.Arena)
+	return cb.Finalize(b.workers(), false), grid.pts, nil
+}
+
+// grnGrid is the uniform spatial hash shared by GRNBuild and GRNFrozen:
+// cell size >= r, so candidate pairs live in the same or adjacent cells.
+// Buckets are built by counting sort, so each cell lists its nodes in
+// ascending ID order — the same order the historical append-based build
+// produced.
+type grnGrid struct {
+	pts      []Point
+	cells    int
+	cellSize float64
+	start    []int32
+	bucket   []int32
+	r2       float64
+}
+
+// grnGridFor validates cfg, places the points (consuming the "grn.points"
+// stream exactly as the historical build), and indexes them. b must
+// already be normalized.
+func grnGridFor(cfg GRNConfig, b Build) (*grnGrid, error) {
 	if cfg.N < 1 {
-		return nil, nil, fmt.Errorf("%w: n=%d", ErrBadN, cfg.N)
+		return nil, fmt.Errorf("%w: n=%d", ErrBadN, cfg.N)
 	}
 	r := cfg.R
 	if r == 0 {
 		if cfg.MeanDegree <= 0 {
-			return nil, nil, fmt.Errorf("gen: GRN needs R or MeanDegree")
+			return nil, fmt.Errorf("gen: GRN needs R or MeanDegree")
 		}
 		r = GRNRadiusForMeanDegree(cfg.N, cfg.MeanDegree)
 	}
 	if r <= 0 || r > math.Sqrt2 {
-		return nil, nil, fmt.Errorf("gen: GRN radius %v out of (0, sqrt(2)]", r)
+		return nil, fmt.Errorf("gen: GRN radius %v out of (0, sqrt(2)]", r)
 	}
 
 	pts := make([]Point, cfg.N)
@@ -91,102 +180,86 @@ func GRNBuild(cfg GRNConfig, b Build) (*graph.Graph, []Point, error) {
 		}
 	}
 
-	// Uniform grid spatial hash with cell size >= r: candidate pairs live
-	// in the same or adjacent cells. Buckets are built by counting sort, so
-	// each cell lists its nodes in ascending ID order — the same order the
-	// historical append-based build produced.
 	cells := int(1 / r)
 	if cells < 1 {
 		cells = 1
 	}
-	cellSize := 1.0 / float64(cells)
-	cellOf := func(p Point) (int, int) {
-		cx := int(p.X / cellSize)
-		cy := int(p.Y / cellSize)
-		if cx >= cells {
-			cx = cells - 1
-		}
-		if cy >= cells {
-			cy = cells - 1
-		}
-		return cx, cy
+	grid := &grnGrid{
+		pts:      pts,
+		cells:    cells,
+		cellSize: 1.0 / float64(cells),
+		start:    b.Arena.Grab(cells*cells + 1),
+		bucket:   b.Arena.Grab(cfg.N),
+		r2:       r * r,
 	}
-	cellKeys := make([]int32, cfg.N)
-	start := make([]int32, cells*cells+1)
+	clear(grid.start)
+	cellKeys := b.Arena.Grab(cfg.N)
 	for i, p := range pts {
-		cx, cy := cellOf(p)
+		cx, cy := grid.cellOf(p)
 		k := int32(cy*cells + cx)
 		cellKeys[i] = k
-		start[k+1]++
+		grid.start[k+1]++
 	}
-	for k := 1; k < len(start); k++ {
-		start[k] += start[k-1]
+	for k := 1; k < len(grid.start); k++ {
+		grid.start[k] += grid.start[k-1]
 	}
-	bucket := make([]int32, cfg.N)
-	next := make([]int32, cells*cells)
-	copy(next, start[:cells*cells])
+	next := b.Arena.Grab(cells * cells)
+	copy(next, grid.start[:cells*cells])
 	for i := range cellKeys {
 		k := cellKeys[i]
-		bucket[next[k]] = int32(i)
+		grid.bucket[next[k]] = int32(i)
 		next[k]++
 	}
+	b.Arena.Release(next)
+	b.Arena.Release(cellKeys)
+	return grid, nil
+}
 
-	g := graph.New(cfg.N)
-	r2 := r * r
-	// scanNode appends node i's candidate edges (j > i, within radius) to
-	// out, in the fixed cell/bucket order.
-	scanNode := func(i int, out []int32) []int32 {
-		p := pts[i]
-		cx, cy := cellOf(p)
-		for dy := -1; dy <= 1; dy++ {
-			for dx := -1; dx <= 1; dx++ {
-				nx, ny := cx+dx, cy+dy
-				if nx < 0 || ny < 0 || nx >= cells || ny >= cells {
-					continue
-				}
-				k := ny*cells + nx
-				for _, j := range bucket[start[k]:start[k+1]] {
-					if int(j) <= i {
-						continue // handle each unordered pair once
-					}
-					q := pts[j]
-					ddx, ddy := p.X-q.X, p.Y-q.Y
-					if ddx*ddx+ddy*ddy < r2 {
-						out = append(out, j)
-					}
-				}
-			}
-		}
-		return out
+// recycle returns the grid's index tables to the arena. The grid must not
+// be scanned afterwards; pts stays valid (it escapes with the result).
+func (gr *grnGrid) recycle(a *graph.CSRArena) {
+	a.Release(gr.start)
+	a.Release(gr.bucket)
+	gr.start, gr.bucket = nil, nil
+}
+
+func (gr *grnGrid) cellOf(p Point) (int, int) {
+	cx := int(p.X / gr.cellSize)
+	cy := int(p.Y / gr.cellSize)
+	if cx >= gr.cells {
+		cx = gr.cells - 1
 	}
-	if b.phased() && b.workers() > 1 {
-		edges := make([][]int32, chunks(cfg.N))
-		b.forChunks(cfg.N, func(chunk, lo, hi int) {
-			var buf []int32 // interleaved (i, j) pairs for this chunk
-			var nbr []int32
-			for i := lo; i < hi; i++ {
-				nbr = scanNode(i, nbr[:0])
-				for _, j := range nbr {
-					buf = append(buf, int32(i), j)
+	if cy >= gr.cells {
+		cy = gr.cells - 1
+	}
+	return cx, cy
+}
+
+// scanNode appends node i's candidate edges (j > i, within radius) to
+// out, in the fixed cell/bucket order.
+func (gr *grnGrid) scanNode(i int, out []int32) []int32 {
+	p := gr.pts[i]
+	cx, cy := gr.cellOf(p)
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			nx, ny := cx+dx, cy+dy
+			if nx < 0 || ny < 0 || nx >= gr.cells || ny >= gr.cells {
+				continue
+			}
+			k := ny*gr.cells + nx
+			for _, j := range gr.bucket[gr.start[k]:gr.start[k+1]] {
+				if int(j) <= i {
+					continue // handle each unordered pair once
 				}
-			}
-			edges[chunk] = buf
-		})
-		for _, buf := range edges {
-			for e := 0; e+1 < len(buf); e += 2 {
-				mustEdge(g, int(buf[e]), int(buf[e+1]))
-			}
-		}
-	} else {
-		var nbr []int32
-		for i := 0; i < cfg.N; i++ {
-			nbr = scanNode(i, nbr[:0])
-			for _, j := range nbr {
-				mustEdge(g, i, int(j))
+				q := gr.pts[j]
+				ddx, ddy := p.X-q.X, p.Y-q.Y
+				if ddx*ddx+ddy*ddy < gr.r2 {
+					out = append(out, j)
+				}
 			}
 		}
 	}
-	return g, pts, nil
+	return out
 }
 
 // Mesh generates a width×height 2-D regular grid where each node links to

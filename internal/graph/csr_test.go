@@ -1,0 +1,217 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+)
+
+// splitMix64 is a tiny deterministic generator for test edge streams. The
+// graph package cannot import xrand (dependency direction), and these
+// tests only need reproducible chaos, not statistical quality.
+type splitMix64 uint64
+
+func (s *splitMix64) next() uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := uint64(*s)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4b5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// randomEdgeStream draws `edges` node pairs on n nodes with deliberately
+// many collisions: small n relative to edge count yields self-loops and
+// parallel edges, the cases simplification must handle.
+func randomEdgeStream(seed uint64, n, edges int) [][2]int32 {
+	rng := splitMix64(seed)
+	out := make([][2]int32, edges)
+	for i := range out {
+		out[i] = [2]int32{int32(rng.next() % uint64(n)), int32(rng.next() % uint64(n))}
+	}
+	return out
+}
+
+// graphFromStream replays the stream through the mutable Graph.
+func graphFromStream(t testing.TB, n int, stream [][2]int32) *Graph {
+	t.Helper()
+	g := New(n)
+	for _, e := range stream {
+		if err := g.AddEdge(int(e[0]), int(e[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+// builderFromStream replays the stream into a CSRBuilder, split into
+// `chunkCount` contiguous chunks (chunk order = stream order).
+func builderFromStream(n int, stream [][2]int32, chunkCount int, arena *CSRArena) *CSRBuilder {
+	if chunkCount < 1 {
+		chunkCount = 1
+	}
+	b := NewCSRBuilder(n, chunkCount, arena)
+	per := (len(stream) + chunkCount - 1) / chunkCount
+	if per < 1 {
+		per = 1
+	}
+	for i, e := range stream {
+		b.Edge(i/per, e[0], e[1])
+	}
+	return b
+}
+
+// expectIdentical asserts two Frozens match byte for byte: offsets,
+// insertion-order neighbors, sorted ranges, and edge count.
+func expectIdentical(t *testing.T, label string, want, got *Frozen) {
+	t.Helper()
+	wo, wn, ws := frozenArrays(want)
+	o, n, s := frozenArrays(got)
+	if !reflect.DeepEqual(wo, o) {
+		t.Fatalf("%s: offsets diverged", label)
+	}
+	if !reflect.DeepEqual(wn, n) {
+		t.Fatalf("%s: neighbor order diverged", label)
+	}
+	if !reflect.DeepEqual(ws, s) {
+		t.Fatalf("%s: sorted ranges diverged", label)
+	}
+	if want.M() != got.M() {
+		t.Fatalf("%s: edges %d vs %d", label, want.M(), got.M())
+	}
+}
+
+// TestCSRBuilderMatchesFreeze pins the multigraph contract: Finalize on a
+// chunked stream is byte-identical to Graph.AddEdge in stream order plus
+// FreezeSorted, for every chunking, worker count, and arena reuse state.
+func TestCSRBuilderMatchesFreeze(t *testing.T) {
+	t.Parallel()
+	arena := NewCSRArena()
+	for _, tc := range []struct{ n, edges int }{
+		{1, 5}, {2, 0}, {7, 40}, {50, 400}, {300, 900}, {1000, 300},
+	} {
+		stream := randomEdgeStream(uint64(tc.n*31+tc.edges), tc.n, tc.edges)
+		want := graphFromStream(t, tc.n, stream).FreezeSorted(1)
+		for _, chunks := range []int{1, 3, 16} {
+			for _, workers := range []int{1, 4} {
+				got := builderFromStream(tc.n, stream, chunks, nil).Finalize(workers, true)
+				expectIdentical(t, "fresh", want, got)
+				got = builderFromStream(tc.n, stream, chunks, arena).Finalize(workers, true)
+				expectIdentical(t, "arena", want, got)
+			}
+		}
+		// Lazy variant must still answer membership identically.
+		lazy := builderFromStream(tc.n, stream, 4, arena).Finalize(2, false)
+		expectIdentical(t, "lazy", want, lazy)
+	}
+}
+
+// TestCSRBuilderSimplifiedMatchesGraph pins the cleanup contract:
+// FinalizeSimplified is byte-identical to Graph+Simplify+FreezeSorted on
+// the same stream — surviving neighbor order included, which exercises
+// Simplify's swap-with-last removal — and reports the same deletion
+// counts.
+func TestCSRBuilderSimplifiedMatchesGraph(t *testing.T) {
+	t.Parallel()
+	arena := NewCSRArena()
+	for _, tc := range []struct{ n, edges int }{
+		{1, 6}, {2, 9}, {5, 50}, {40, 500}, {256, 2048}, {2000, 1500},
+	} {
+		stream := randomEdgeStream(uint64(tc.n)*977+uint64(tc.edges), tc.n, tc.edges)
+		g := graphFromStream(t, tc.n, stream)
+		wantLoops, wantMulti := g.Simplify()
+		want := g.FreezeSorted(1)
+		for _, chunks := range []int{1, 5, 32} {
+			for _, workers := range []int{1, 3} {
+				got, loops, multi := builderFromStream(tc.n, stream, chunks, arena).FinalizeSimplified(workers)
+				if loops != wantLoops || multi != wantMulti {
+					t.Fatalf("n=%d: deletions (%d,%d), want (%d,%d)", tc.n, loops, multi, wantLoops, wantMulti)
+				}
+				expectIdentical(t, "simplified", want, got)
+			}
+		}
+	}
+}
+
+// TestSegmentChunksEmptyStream pins the empty-stream clamp: an edgeless
+// builder with many chunks must collapse to a single segment, not one
+// segment (and one n-sized count array) per chunk.
+func TestSegmentChunksEmptyStream(t *testing.T) {
+	t.Parallel()
+	if segs := segmentChunks(make([][]int32, 100), 4); len(segs) != 1 {
+		t.Fatalf("empty stream split into %d segments, want 1", len(segs))
+	}
+	f := NewCSRBuilder(50, 100, nil).Finalize(4, true)
+	if f.N() != 50 || f.M() != 0 || f.TotalDegree() != 0 {
+		t.Fatalf("edgeless finalize wrong: N=%d M=%d D=%d", f.N(), f.M(), f.TotalDegree())
+	}
+}
+
+// TestCSRArenaReuseIsInvisible pins the pooling contract: a long sequence
+// of different-shaped builds through one arena yields the same snapshots
+// as fresh allocation every time.
+func TestCSRArenaReuseIsInvisible(t *testing.T) {
+	t.Parallel()
+	arena := NewCSRArena()
+	for round := 0; round < 8; round++ {
+		n := 10 + round*37
+		stream := randomEdgeStream(uint64(round), n, 60+round*91)
+		fresh, fl, fm := builderFromStream(n, stream, 4, nil).FinalizeSimplified(2)
+		pooled, pl, pm := builderFromStream(n, stream, 4, arena).FinalizeSimplified(2)
+		if fl != pl || fm != pm {
+			t.Fatalf("round %d: deletion counts diverged under arena reuse", round)
+		}
+		expectIdentical(t, "arena-round", fresh, pooled)
+	}
+}
+
+// TestFrozenTraverseMatchesGraph pins the CSR-side component/path
+// machinery against the Graph originals on a multigraph with several
+// components, self-loops, and parallel edges.
+func TestFrozenTraverseMatchesGraph(t *testing.T) {
+	t.Parallel()
+	stream := randomEdgeStream(42, 120, 150) // sparse: leaves isolated nodes
+	g := graphFromStream(t, 120, stream)
+	f := g.Freeze()
+	if !reflect.DeepEqual(g.ConnectedComponents(), f.ConnectedComponents()) {
+		t.Fatal("ConnectedComponents diverged")
+	}
+	if !reflect.DeepEqual(g.GiantComponent(), f.GiantComponent()) {
+		t.Fatal("GiantComponent diverged")
+	}
+	gr := splitMix64(7)
+	fr := splitMix64(7)
+	gs := g.SamplePathStats(20, fakeRand{&gr})
+	fs := f.SamplePathStats(20, fakeRand{&fr})
+	if gs != fs {
+		t.Fatalf("SamplePathStats diverged: %+v vs %+v", gs, fs)
+	}
+}
+
+// fakeRand adapts splitMix64 to the randSource interface.
+type fakeRand struct{ s *splitMix64 }
+
+func (r fakeRand) Intn(n int) int { return int(r.s.next() % uint64(n)) }
+
+// TestInducedFrozenMatchesInducedSubgraph pins the byte-level equivalence
+// of the CSR-native induced subgraph with InducedSubgraph+FreezeSorted,
+// including self-loop placement and dropped out-of-set edges.
+func TestInducedFrozenMatchesInducedSubgraph(t *testing.T) {
+	t.Parallel()
+	stream := randomEdgeStream(99, 80, 400) // dense: loops and multi-edges
+	g := graphFromStream(t, 80, stream)
+	f := g.Freeze()
+	sets := [][]int{
+		g.GiantComponent(),
+		{0, 1, 2, 3, 4, 5, 6, 7},
+		{79, 40, 3}, // order is caller-chosen, not ascending
+		{},
+	}
+	for si, nodes := range sets {
+		wantSub, wantOrig := g.InducedSubgraph(nodes)
+		want := wantSub.FreezeSorted(1)
+		got, orig := f.InducedFrozen(nodes)
+		if !reflect.DeepEqual(wantOrig, orig) {
+			t.Fatalf("set %d: orig mapping diverged", si)
+		}
+		expectIdentical(t, "induced", want, got)
+	}
+}

@@ -99,14 +99,26 @@ func (g *Graph) FreezePar(workers int) *Frozen {
 // sweep's hot path never takes (or contends on) the lazy-init slow path.
 func (g *Graph) FreezeSorted(workers int) *Frozen {
 	f := g.FreezePar(workers)
-	if workers > 1 {
-		f.sorted = sortedParallel(f.offsets, f.neighbors, workers)
-	} else {
-		f.sorted = sortedFromAdjacency(f.offsets, f.neighbors)
-	}
-	// Consume the Once so a later ensureSorted is a no-op fast path.
-	f.sortedOnce.Do(func() {})
+	f.MaterializeSorted(workers)
 	return f
+}
+
+// MaterializeSorted builds the sorted HasEdge ranges now, on the calling
+// goroutine (fanning per-node sorts across up to `workers` goroutines),
+// instead of lazily inside the first membership query. The experiment
+// engine calls it in the pipelined build stage for snapshots headed into
+// a sweep, so the sweep's hot path never takes (or contends on) the
+// lazy-init slow path; snapshots that already carry sorted ranges (CM's
+// FinalizeSimplified output) make this a no-op. The resulting array is
+// identical to the lazy build's for every worker count.
+func (f *Frozen) MaterializeSorted(workers int) {
+	f.sortedOnce.Do(func() {
+		if workers > 1 {
+			f.sorted = sortedParallel(f.offsets, f.neighbors, workers)
+		} else {
+			f.sorted = sortedFromAdjacency(f.offsets, f.neighbors)
+		}
+	})
 }
 
 // parallelNodeRanges splits [0, n) into up to `workers` contiguous ranges
@@ -145,8 +157,16 @@ func parallelNodeRanges(n, workers int, fn func(lo, hi int)) {
 // arbitrary target buckets and cannot). The sorted multiset of a range is
 // unique, so both constructions yield the identical array.
 func sortedParallel(offsets, neighbors []int32, workers int) []int32 {
-	n := len(offsets) - 1
 	sorted := make([]int32, len(neighbors))
+	fillSortedParallel(sorted, offsets, neighbors, workers)
+	return sorted
+}
+
+// fillSortedParallel is sortedParallel writing into caller-provided
+// storage, so the CSR builder can stage intermediate sorted ranges in
+// arena scratch instead of fresh allocations.
+func fillSortedParallel(sorted, offsets, neighbors []int32, workers int) {
+	n := len(offsets) - 1
 	copy(sorted, neighbors)
 	parallelNodeRanges(n, workers, func(lo, hi int) {
 		for u := lo; u < hi; u++ {
@@ -168,7 +188,6 @@ func sortedParallel(offsets, neighbors []int32, workers int) []int32 {
 			slices.Sort(a) // hubs: degree can reach O(N) without a cutoff
 		}
 	})
-	return sorted
 }
 
 // ensureSorted builds the sorted ranges once, on the first membership
@@ -187,9 +206,16 @@ func (f *Frozen) ensureSorted() {
 // u ∈ adj[v] with multiplicity c, self-loops contributing two entries on
 // both sides). O(V+E), no comparison sort.
 func sortedFromAdjacency(offsets, neighbors []int32) []int32 {
-	n := len(offsets) - 1
 	sorted := make([]int32, len(neighbors))
-	next := make([]int32, n)
+	next := make([]int32, len(offsets)-1)
+	fillSortedTranspose(sorted, next, offsets, neighbors)
+	return sorted
+}
+
+// fillSortedTranspose is sortedFromAdjacency writing into caller-provided
+// storage (sorted for the result, next as n-entry scratch).
+func fillSortedTranspose(sorted, next, offsets, neighbors []int32) {
+	n := len(next)
 	copy(next, offsets[:n])
 	for u := 0; u < n; u++ {
 		for _, v := range neighbors[offsets[u]:offsets[u+1]] {
@@ -197,7 +223,6 @@ func sortedFromAdjacency(offsets, neighbors []int32) []int32 {
 			next[v]++
 		}
 	}
-	return sorted
 }
 
 // N returns the number of nodes.

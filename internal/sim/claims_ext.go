@@ -143,7 +143,7 @@ func checkHDSCutoffDependence(sc Scale, seed uint64) (bool, string, error) {
 		hdsHits := make([]float64, sc.Realizations*sc.Sources)
 		rwHits := make([]float64, sc.Realizations*sc.Sources)
 		err := forEachRealizationPipeline(sc.Workers, sc.SourceShards, sc.GenWorkers, sc.Realizations, seed+uint64(kc), func(r int, b *builder) (*graph.Frozen, error) {
-			return frozenTopo(factory, r, b)
+			return sweepTopo(factory, r, b)
 		}, func(r int, f *graph.Frozen, sw *sweeper) error {
 			return sw.Sources(uint64(r), sc.Sources, func(_, s int, rng *xrand.RNG, scratch *search.Scratch) error {
 				src := rng.Intn(f.N())

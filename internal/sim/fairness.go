@@ -84,7 +84,7 @@ func Fairness(sc Scale, seed uint64) ([]Figure, error) {
 		factory := paTopo(sc.NSearch, 2, kc)
 		queries := 8 * sc.Sources
 		err := forEachRealizationPipeline(sc.Workers, sc.SourceShards, sc.GenWorkers, sc.Realizations, seed+uint64(9000+ci), func(r int, b *builder) (*graph.Frozen, error) {
-			return frozenTopo(factory, r, b)
+			return sweepTopo(factory, r, b)
 		}, func(r int, f *graph.Frozen, sw *sweeper) error {
 			// Each shard charges its own Load accumulator; integer merges
 			// commute, so the per-realization total — and its Gini — is

@@ -10,53 +10,67 @@ import (
 	"scalefree/internal/xrand"
 )
 
-// topoFactory builds the r-th topology realization from a build context.
-// The realization index r lets factories pick per-realization shared
-// inputs (DAPA substrates) without mutable state; the builder supplies the
-// phase sub-streams and intra-generator parallelism budget, so a factory
+// topoFactory builds the r-th topology realization from a build context,
+// delivering it as a CSR snapshot. The realization index r lets factories
+// pick per-realization shared inputs (DAPA substrates) without mutable
+// state; the builder supplies the phase sub-streams, the intra-generator
+// parallelism budget, and the build worker's CSR arena, so a factory
 // invoked on any pipeline worker with any GenWorkers value produces the
 // identical topology.
-type topoFactory func(r int, b *builder) (*graph.Graph, error)
+//
+// Two build paths hide behind this type. The growth models (PA, HAPA,
+// DAPA) need mid-build HasEdge/Degree, so they grow a mutable Graph and
+// freeze it here, in the pipelined build stage — the Graph's per-node
+// slices and edge-multiplicity map become garbage before the search
+// sweep starts. CM (and the GRN substrates) never query the graph
+// mid-build, so they emit straight into a graph.CSRBuilder and no mutable
+// Graph ever exists.
+//
+// The sorted HasEdge ranges are NOT part of the factory contract:
+// degree-only consumers (mergedDegreeDist, fairness, table1) never probe
+// membership and would pay an O(E) sorted build per realization for
+// nothing. Sweep specs route factories through sweepTopo, which
+// materializes the ranges in the build stage; CM snapshots carry them
+// anyway (the cleanup pass yields them for free).
+type topoFactory func(r int, b *builder) (*graph.Frozen, error)
 
-// frozenTopo builds the r-th realization and immediately freezes it into
-// CSR form, sorted HasEdge ranges included — the whole snapshot is
-// constructed here, in the pipelined build stage, so a sweep that probes
-// membership can never take (or contend on) the lazy-init path. Today's
-// sweep kernels read only Neighbors, so the sorted ranges are a guarantee
-// for future membership-probing specs bought at D·4 bytes per in-flight
-// snapshot (bounded by the pipeline's 2·GenWorkers+Workers cap) and an
-// O(E) build-stage pass the sweep overlap hides; substrates, which are
-// never probed, deliberately stay lazy (makeSubstrates). The mutable
-// Graph (per-node adjacency slices plus the edge multiplicity map)
-// becomes garbage before the search sweep starts, which roughly halves
-// the engine's steady-state memory per in-flight realization — the
-// margin that makes the xl scale fit.
-func frozenTopo(factory topoFactory, r int, b *builder) (*graph.Frozen, error) {
-	g, err := factory(r, b)
+// sweepTopo adapts a factory into a pipeline build callback that delivers
+// sweep-ready snapshots: the sorted membership ranges are materialized
+// here, in the pipelined build stage, so a sweep that probes HasEdge can
+// never take (or contend on) the lazy-init path.
+func sweepTopo(factory topoFactory, r int, b *builder) (*graph.Frozen, error) {
+	f, err := factory(r, b)
 	if err != nil {
 		return nil, err
 	}
-	return g.FreezeSorted(b.genWorkers), nil
+	f.MaterializeSorted(b.genWorkers)
+	return f, nil
 }
 
 func paTopo(n, m, kc int) topoFactory {
-	return func(_ int, b *builder) (*graph.Graph, error) {
+	return func(_ int, b *builder) (*graph.Frozen, error) {
 		g, _, err := gen.PABuild(gen.PAConfig{N: n, M: m, KC: kc}, b.gen())
-		return g, err
+		if err != nil {
+			return nil, err
+		}
+		return g.FreezePar(b.genWorkers), nil
 	}
 }
 
 func hapaTopo(n, m, kc int) topoFactory {
-	return func(_ int, b *builder) (*graph.Graph, error) {
+	return func(_ int, b *builder) (*graph.Frozen, error) {
 		g, _, err := gen.HAPABuild(gen.HAPAConfig{N: n, M: m, KC: kc}, b.gen())
-		return g, err
+		if err != nil {
+			return nil, err
+		}
+		return g.FreezePar(b.genWorkers), nil
 	}
 }
 
 func cmTopo(n, m, kc int, gamma float64) topoFactory {
-	return func(_ int, b *builder) (*graph.Graph, error) {
-		g, _, err := gen.CMBuild(gen.CMConfig{N: n, M: m, KC: kc, Gamma: gamma}, b.gen())
-		return g, err
+	return func(_ int, b *builder) (*graph.Frozen, error) {
+		f, _, err := gen.CMFrozen(gen.CMConfig{N: n, M: m, KC: kc, Gamma: gamma}, b.gen())
+		return f, err
 	}
 }
 
@@ -66,7 +80,7 @@ func cmTopo(n, m, kc int, gamma float64) topoFactory {
 // (series × realization) overlay build reads one CSR snapshot instead of
 // re-deriving substrate adjacency per factory call.
 func dapaTopo(substrates []*graph.Frozen, nOverlay, m, kc, tauSub int) topoFactory {
-	return func(r int, b *builder) (*graph.Graph, error) {
+	return func(r int, b *builder) (*graph.Frozen, error) {
 		sub := substrates[r%len(substrates)]
 		ov, _, err := gen.DAPABuild(sub, gen.DAPAConfig{
 			NOverlay: nOverlay, M: m, KC: kc, TauSub: tauSub,
@@ -74,23 +88,23 @@ func dapaTopo(substrates []*graph.Frozen, nOverlay, m, kc, tauSub int) topoFacto
 		if err != nil {
 			return nil, err
 		}
-		return ov.G, nil
+		return ov.G.FreezePar(b.genWorkers), nil
 	}
 }
 
 // makeSubstrates generates one GRN substrate per realization with the
-// paper's parameters (k̄ = 10), frozen once for the whole figure: every
-// series reuses the snapshots, and the mutable generator graphs become
-// garbage before the first overlay grows. Substrates serve only Neighbors
-// scans (DAPA's discovery floods), so the sorted ranges stay lazy.
+// paper's parameters (k̄ = 10), built straight into CSR form for the whole
+// figure: every series reuses the snapshots, and no mutable substrate
+// graph is ever materialized. Substrates serve only Neighbors scans
+// (DAPA's discovery floods), so the sorted ranges stay lazy.
 func makeSubstrates(n int, sc Scale, seed uint64) ([]*graph.Frozen, error) {
 	subs := make([]*graph.Frozen, sc.Realizations)
 	err := forEachRealization(sc.Workers, sc.GenWorkers, sc.Realizations, seed, func(r int, b *builder) error {
-		g, _, err := gen.GRNBuild(gen.GRNConfig{N: n, MeanDegree: 10}, b.gen())
+		f, _, err := gen.GRNFrozen(gen.GRNConfig{N: n, MeanDegree: 10}, b.gen())
 		if err != nil {
 			return err
 		}
-		subs[r] = g.FreezePar(b.genWorkers)
+		subs[r] = f
 		return nil
 	})
 	return subs, err
@@ -110,11 +124,11 @@ func cutoffLabel(kc int) string {
 func mergedDegreeDist(factory topoFactory, sc Scale, seed uint64) (stats.DegreeDist, error) {
 	dists := make([]stats.DegreeDist, sc.Realizations)
 	err := forEachRealization(sc.Workers, sc.GenWorkers, sc.Realizations, seed, func(r int, b *builder) error {
-		g, err := factory(r, b)
+		f, err := factory(r, b)
 		if err != nil {
 			return err
 		}
-		dists[r] = stats.NewDegreeDist(g.DegreeHistogram())
+		dists[r] = stats.NewDegreeDist(f.DegreeHistogram())
 		return nil
 	})
 	if err != nil {
@@ -237,7 +251,7 @@ func sweepSeries(label string, factory topoFactory, cfg searchCfg, seed uint64, 
 	perSource := make([][]float64, cfg.realizations*cfg.sources)
 	err := forEachRealizationPipeline(cfg.workers, cfg.sourceShards, cfg.genWorkers, cfg.realizations, seed,
 		func(r int, b *builder) (*graph.Frozen, error) {
-			return frozenTopo(factory, r, b)
+			return sweepTopo(factory, r, b)
 		},
 		func(r int, f *graph.Frozen, sw *sweeper) error {
 			return sw.Sources(uint64(r), cfg.sources, func(_, s int, rng *xrand.RNG, scratch *search.Scratch) error {

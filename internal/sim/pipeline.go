@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"scalefree/internal/gen"
+	"scalefree/internal/graph"
 	"scalefree/internal/xrand"
 )
 
@@ -59,11 +60,21 @@ type builder struct {
 	phases xrand.Phases
 	// genWorkers bounds intra-generator parallelism for this build.
 	genWorkers int
+	// arena recycles direct-to-CSR build buffers. It belongs to the build
+	// worker goroutine (one arena per worker, reused across the
+	// realizations that worker builds), so back-to-back xl realizations
+	// reuse their chunk and scratch memory instead of re-growing it.
+	// Output is identical with or without it.
+	arena *graph.CSRArena
 }
 
 // gen returns the generator build context: phase sub-streams plus the
-// intra-build worker budget.
-func (b *builder) gen() gen.Build { return gen.NewBuild(b.phases, b.genWorkers) }
+// intra-build worker budget and the worker's CSR arena.
+func (b *builder) gen() gen.Build {
+	bld := gen.NewBuild(b.phases, b.genWorkers)
+	bld.Arena = b.arena
+	return bld
+}
 
 // resolveWorkers applies the "0 means GOMAXPROCS" default.
 func resolveWorkers(workers int) int {
@@ -102,13 +113,15 @@ func resolveBuilders(genWorkers, workers, n int) (pool, intra int) {
 	return pool, (genWorkers + pool - 1) / pool
 }
 
-// newBuilder assembles one realization's build context.
-func newBuilder(seed uint64, r int, rng *xrand.RNG, intra int) *builder {
+// newBuilder assembles one realization's build context. arena is the
+// owning build worker's buffer pool (may be nil in tests).
+func newBuilder(seed uint64, r int, rng *xrand.RNG, intra int, arena *graph.CSRArena) *builder {
 	return &builder{
 		r:          r,
 		rng:        rng,
 		phases:     xrand.Phases{Seed: seed, Realization: uint64(r)},
 		genWorkers: intra,
+		arena:      arena,
 	}
 }
 
@@ -151,12 +164,16 @@ func forEachRealizationPipeline[T any](workers, shards, genWorkers, n int, seed 
 	for w := 0; w < pool; w++ {
 		go func() {
 			defer bwg.Done()
+			// One arena per build worker: realization r+pool reuses the
+			// chunk and scratch buffers realization r grew, and no arena
+			// ever serves two builds at once.
+			arena := graph.NewCSRArena()
 			for {
 				r := int(bnext.Add(1)) - 1
 				if r >= n {
 					return
 				}
-				v, err := build(r, newBuilder(seed, r, rngs[r], intra))
+				v, err := build(r, newBuilder(seed, r, rngs[r], intra, arena))
 				if err != nil {
 					errs[r] = err
 					continue
@@ -228,12 +245,13 @@ func forEachRealization(workers, genWorkers, n int, seed uint64, fn func(r int, 
 	for w := 0; w < pool; w++ {
 		go func() {
 			defer wg.Done()
+			arena := graph.NewCSRArena()
 			for {
 				r := int(next.Add(1)) - 1
 				if r >= n {
 					return
 				}
-				errs[r] = fn(r, newBuilder(seed, r, rngs[r], intra))
+				errs[r] = fn(r, newBuilder(seed, r, rngs[r], intra, arena))
 			}
 		}()
 	}

@@ -289,7 +289,7 @@ func TestFrozenTopoEagerSorted(t *testing.T) {
 	t.Parallel()
 	err := forEachRealizationPipeline(1, 1, 2, 2, 9,
 		func(r int, b *builder) (*graph.Frozen, error) {
-			return frozenTopo(paTopo(300, 2, gen.NoCutoff), r, b)
+			return sweepTopo(paTopo(300, 2, gen.NoCutoff), r, b)
 		},
 		func(r int, f *graph.Frozen, sw *sweeper) error {
 			// Cross-check membership against the insertion-order adjacency.

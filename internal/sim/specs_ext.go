@@ -106,15 +106,17 @@ func Delivery(sc Scale, seed uint64) ([]Figure, error) {
 		rwTimes := make([]int, sc.Realizations*pairs)
 		rwFound := make([]bool, sc.Realizations*pairs)
 		err := forEachRealizationPipeline(sc.Workers, sc.SourceShards, sc.GenWorkers, sc.Realizations, seed+uint64(si)*977, func(r int, b *builder) (*graph.Frozen, error) {
-			g, _, err := gen.CMBuild(gen.CMConfig{N: n, M: 2, Gamma: 2.2}, b.gen())
+			f, _, err := gen.CMFrozen(gen.CMConfig{N: n, M: 2, Gamma: 2.2}, b.gen())
 			if err != nil {
 				return nil, err
 			}
-			giant := g.GiantComponent()
-			sub, _ := g.InducedSubgraph(giant)
-			// One CSR snapshot serves every delivery pair, sorted ranges
-			// and all built here in the pipelined build stage.
-			return sub.FreezeSorted(b.genWorkers), nil
+			// CSR end to end: the CM realization is built straight into
+			// frozen form and the giant component is carved out of it with
+			// InducedFrozen (byte-identical to the old mutable-Graph
+			// InducedSubgraph+FreezeSorted detour). One sweep-ready
+			// snapshot serves every delivery pair.
+			fsub, _ := f.InducedFrozen(f.GiantComponent())
+			return fsub, nil
 		}, func(r int, fsub *graph.Frozen, sw *sweeper) error {
 			return sw.Sources(uint64(r), pairs, func(_, i int, rng *xrand.RNG, scratch *search.Scratch) error {
 				src, dst := rng.Intn(fsub.N()), rng.Intn(fsub.N())
@@ -242,7 +244,7 @@ func KWalk(sc Scale, seed uint64) ([]Figure, error) {
 		v := v
 		perSource := make([][]float64, sc.Realizations*sc.Sources)
 		err := forEachRealizationPipeline(sc.Workers, sc.SourceShards, sc.GenWorkers, sc.Realizations, seed+uint64(vi)*4099, func(r int, b *builder) (*graph.Frozen, error) {
-			return frozenTopo(factory, r, b)
+			return sweepTopo(factory, r, b)
 		}, func(r int, f *graph.Frozen, sw *sweeper) error {
 			return sw.Sources(uint64(r), sc.Sources, func(_, s int, rng *xrand.RNG, scratch *search.Scratch) error {
 				row, err := v.run(scratch, f, rng.Intn(f.N()), rng)

@@ -61,14 +61,15 @@ func Table1(sc Scale, seed uint64) ([]Figure, error) {
 		for _, n := range sizes {
 			means := make([]float64, sc.Realizations)
 			err := forEachRealization(sc.Workers, sc.GenWorkers, sc.Realizations, seed+uint64(ri*1000+n), func(r int, b *builder) error {
-				g, err := reg.mk(n)(r, b)
+				f, err := reg.mk(n)(r, b)
 				if err != nil {
 					return err
 				}
 				// Measure within the giant component: CM m=1-adjacent
-				// regimes can have small detached parts.
-				giant := g.GiantComponent()
-				sub, _ := g.InducedSubgraph(giant)
+				// regimes can have small detached parts. Both the giant
+				// extraction and the distance sampling run on the CSR
+				// snapshot (CM realizations never materialize a Graph).
+				sub, _ := f.InducedFrozen(f.GiantComponent())
 				means[r] = sub.SamplePathStats(minInt(40, sub.N()), b.rng).MeanDistance
 				return nil
 			})

@@ -80,6 +80,8 @@ func BenchmarkExtFairness(b *testing.B)           { runSpec(b, "fairness") }
 func BenchmarkExtStrategies(b *testing.B)         { runSpec(b, "strategies") }
 func BenchmarkExtReplication(b *testing.B)        { runSpec(b, "replication") }
 func BenchmarkExtChurn(b *testing.B)              { runSpec(b, "churn") }
+func BenchmarkExtDESFlood(b *testing.B)           { runSpec(b, "desflood") }
+func BenchmarkExtDESKWalk(b *testing.B)           { runSpec(b, "deskwalk") }
 
 // BenchmarkWorkersScaling regenerates Fig. 9 (the NF sweep, the heaviest
 // search spec) across the three-stage scheduler grid: sweep workers ×

@@ -12,6 +12,8 @@
 //	experiments -exp fig9 -gen-workers 4                 # bound the pipelined build stage
 //	experiments -scale xl                                # N=10^6 degree distributions
 //	experiments -exp fig9 -cpuprofile cpu.pprof          # profile a hot experiment
+//	experiments -mode des                                # message-level DES specs
+//	experiments -mode des -loss 0.05 -latency-jitter 2   # single loss rate, wider jitter
 //
 // -workers bounds how many realizations are swept concurrently within
 // each experiment (default 0 = GOMAXPROCS), -source-shards bounds how many
@@ -23,6 +25,13 @@
 // budget when realizations are scarcer than the bound). The output is
 // bit-for-bit identical for every (workers, source-shards, gen-workers)
 // combination; see EXPERIMENTS.md.
+//
+// -mode selects the simulation substrate: "csr" (default) runs the
+// algorithmic kernels; "des" runs the message-level discrete-event specs
+// (desflood, deskwalk), where -latency-base/-latency-jitter set the
+// per-edge delay model (both unset = 1 + U[0,1)) and -loss pins a single
+// message-loss rate (unset = sweep {0, 2%, 10%}). With -mode des and no
+// explicit -exp, the DES spec family runs; -exp still selects any spec.
 //
 // The xl scale runs an order of magnitude past the paper (10⁶-node degree
 // distributions, 10⁵-node search topologies) on the CSR-frozen read path;
@@ -70,6 +79,10 @@ func run(args []string, stdout io.Writer) error {
 		genWorkers = fs.Int("gen-workers", 0, "pipelined build-stage bound: concurrent topology builds, and intra-generator parallelism when realizations are scarce (0 = match workers); results are identical for any value")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile covering the selected experiments")
 		memprofile = fs.String("memprofile", "", "write a heap profile taken after the last experiment")
+		mode       = fs.String("mode", "csr", "simulation substrate: csr (algorithmic kernels) or des (message-level discrete-event)")
+		latBase    = fs.Float64("latency-base", 0, "DES fixed per-edge delay component (with -latency-jitter both 0: defaults to 1+U[0,1))")
+		latJitter  = fs.Float64("latency-jitter", 0, "DES per-edge uniform delay component scale")
+		loss       = fs.Float64("loss", 0, "DES message loss rate in [0,1); 0 sweeps the default series {0, 0.02, 0.10}")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -102,6 +115,22 @@ func run(args []string, stdout io.Writer) error {
 	sc.Workers = *workers
 	sc.SourceShards = *shards
 	sc.GenWorkers = *genWorkers
+
+	switch *mode {
+	case "csr":
+	case "des":
+		if *loss < 0 || *loss >= 1 {
+			return fmt.Errorf("-loss %v out of range [0, 1)", *loss)
+		}
+		sc.DESLatencyBase = *latBase
+		sc.DESLatencyJitter = *latJitter
+		sc.DESLoss = *loss
+		if !expSet {
+			*exp = "desflood,deskwalk"
+		}
+	default:
+		return fmt.Errorf("unknown mode %q (want csr or des)", *mode)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -141,7 +170,7 @@ func run(args []string, stdout io.Writer) error {
 		return runVerify(stdout, sc, *seed)
 	}
 
-	if *scale == "xl" && !expSet {
+	if *scale == "xl" && !expSet && *mode == "csr" {
 		// The full registry at xl would run for days (several extension
 		// experiments are superlinear in N); the unset default becomes the
 		// degree-distribution flagship, the artifact the xl scale exists

@@ -65,6 +65,52 @@ func TestRunSingleExperimentWritesCSV(t *testing.T) {
 	}
 }
 
+func TestRunDESModeWritesCSV(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	var buf strings.Builder
+	args := []string{"-mode", "des", "-loss", "0.05", "-exp", "desflood", "-outdir", dir, "-plot=false"}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"desflood-hits.csv", "desflood-time.csv", "desflood-msgs.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("missing %s: %v", f, err)
+		}
+	}
+}
+
+func TestRunDESModeDefaultsToDESSpecs(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	var buf strings.Builder
+	args := []string{"-mode", "des", "-loss", "0.2", "-latency-jitter", "2", "-outdir", dir, "-plot=false"}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"desflood-hits.csv", "deskwalk-hits.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("missing %s: %v", f, err)
+		}
+	}
+}
+
+func TestRunBadMode(t *testing.T) {
+	t.Parallel()
+	var buf strings.Builder
+	if err := run([]string{"-mode", "quantum"}, &buf); err == nil {
+		t.Fatal("unknown mode should fail")
+	}
+}
+
+func TestRunBadLoss(t *testing.T) {
+	t.Parallel()
+	var buf strings.Builder
+	if err := run([]string{"-mode", "des", "-loss", "1.5"}, &buf); err == nil {
+		t.Fatal("out-of-range loss should fail")
+	}
+}
+
 func TestRunCommaSeparatedExperiments(t *testing.T) {
 	t.Parallel()
 	dir := t.TempDir()

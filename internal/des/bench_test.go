@@ -1,0 +1,94 @@
+package des
+
+import (
+	"testing"
+
+	"scalefree/internal/gen"
+	"scalefree/internal/graph"
+	"scalefree/internal/search"
+	"scalefree/internal/xrand"
+)
+
+// Kernel benchmarks: the DES message-level flood and k-walk on a 10k-node
+// PA overlay, next to the CSR Scratch flood on the same topology — the
+// measured price of the event heap and per-edge latency derivation over
+// the pure traversal. All DES variants must report 0 allocs/op: the Sim
+// arena, pooled heap, and the allocation-free ChunkU01 latency path are
+// the point.
+
+func benchTopo(b *testing.B) *graph.Frozen {
+	b.Helper()
+	g, _, err := gen.PA(gen.PAConfig{N: 10_000, M: 2, KC: 40}, xrand.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g.Freeze()
+}
+
+func BenchmarkDESFlood(b *testing.B) {
+	f := benchTopo(b)
+	lat := Latency{Base: 1, Jitter: 1, Phases: xrand.Phases{Seed: 2}}
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"zero-latency", Config{MaxTTL: 10}},
+		{"jitter", Config{MaxTTL: 10, Latency: lat}},
+		{"jitter-loss", Config{MaxTTL: 10, Latency: lat, Loss: 0.05}},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			sim := NewSim(f.N())
+			rng := xrand.New(3)
+			var sent int
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m, err := sim.Flood(f, rng.Intn(f.N()), c.cfg, rng)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sent = m.Sent
+			}
+			b.ReportMetric(float64(sent), "msgs")
+		})
+	}
+}
+
+func BenchmarkDESKWalk(b *testing.B) {
+	f := benchTopo(b)
+	cfg := Config{Latency: Latency{Base: 1, Jitter: 1, Phases: xrand.Phases{Seed: 2}}}
+	sim := NewSim(f.N())
+	rng := xrand.New(4)
+	var hits int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := sim.KWalk(f, rng.Intn(f.N()), 16, 200, cfg, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hits = m.Hits
+	}
+	b.ReportMetric(float64(hits), "hits")
+}
+
+// BenchmarkCSRFloodBaseline is the same flood through search.Scratch, for
+// a side-by-side read in one bench run.
+func BenchmarkCSRFloodBaseline(b *testing.B) {
+	f := benchTopo(b)
+	scratch := search.NewScratch(f.N())
+	rng := xrand.New(3)
+	var sent int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := scratch.Flood(f, rng.Intn(f.N()), 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sent = res.MessagesAt(10)
+	}
+	b.ReportMetric(float64(sent), "msgs")
+}

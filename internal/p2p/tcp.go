@@ -22,10 +22,21 @@ type TCPNetwork struct {
 	listeners map[string]net.Listener
 	inboxes   map[string]chan<- Envelope
 	conns     map[string]*tcpConn
-	inbound   map[net.Conn]struct{}
-	wg        sync.WaitGroup
-	closed    bool
+	// aliases maps a port-0 request string ("host:0") to the resolved
+	// listen address of its most recent registration. Kept separate from
+	// listeners so repeated ephemeral binds never trip the duplicate check.
+	aliases map[string]string
+	// inbound maps each accepted connection to the resolved address of the
+	// listener that accepted it, so Unregister can hang up that listener's
+	// inbound side too.
+	inbound map[net.Conn]string
+	wg      sync.WaitGroup
+	closed  bool
 }
+
+// maxFrame caps one newline-delimited envelope frame (1 MiB); longer
+// inbound lines are discarded without harming the connection.
+const maxFrame = 1 << 20
 
 type tcpConn struct {
 	mu   sync.Mutex
@@ -42,7 +53,8 @@ func NewTCPNetwork() *TCPNetwork {
 		listeners:   make(map[string]net.Listener),
 		inboxes:     make(map[string]chan<- Envelope),
 		conns:       make(map[string]*tcpConn),
-		inbound:     make(map[net.Conn]struct{}),
+		aliases:     make(map[string]string),
+		inbound:     make(map[net.Conn]string),
 	}
 }
 
@@ -66,28 +78,33 @@ func (t *TCPNetwork) Register(addr string, inbox chan<- Envelope) error {
 	t.listeners[real] = ln
 	t.inboxes[real] = inbox
 	if real != addr {
-		// Port-0 binds register under the resolved address too, so the
-		// caller can Register("127.0.0.1:0") and look up ListenAddr.
-		t.listeners[addr] = ln
-		t.inboxes[addr] = inbox
+		// Port-0 bind: remember the resolved address under the request
+		// string so ListenAddr("127.0.0.1:0") works, without occupying a
+		// listener slot — repeated ephemeral binds each get a fresh port.
+		// The alias tracks the most recent such registration.
+		t.aliases[addr] = real
 	}
 	t.wg.Add(1)
-	go t.acceptLoop(ln, inbox)
+	go t.acceptLoop(ln, real, inbox)
 	return nil
 }
 
 // ListenAddr resolves the actual listen address for a registration made
-// with a port-0 bind.
+// with a port-0 bind; when the same request string was registered more
+// than once, it resolves to the most recent registration.
 func (t *TCPNetwork) ListenAddr(addr string) string {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if real, ok := t.aliases[addr]; ok {
+		return real
+	}
 	if ln, ok := t.listeners[addr]; ok {
 		return ln.Addr().String()
 	}
 	return addr
 }
 
-func (t *TCPNetwork) acceptLoop(ln net.Listener, inbox chan<- Envelope) {
+func (t *TCPNetwork) acceptLoop(ln net.Listener, real string, inbox chan<- Envelope) {
 	defer t.wg.Done()
 	for {
 		conn, err := ln.Accept()
@@ -102,7 +119,7 @@ func (t *TCPNetwork) acceptLoop(ln net.Listener, inbox chan<- Envelope) {
 			}
 			return
 		}
-		t.inbound[conn] = struct{}{}
+		t.inbound[conn] = real
 		t.wg.Add(1)
 		t.mu.Unlock()
 		go t.readLoop(conn, inbox)
@@ -119,42 +136,87 @@ func (t *TCPNetwork) readLoop(conn net.Conn, inbox chan<- Envelope) {
 		delete(t.inbound, conn)
 		t.mu.Unlock()
 	}()
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	for sc.Scan() {
-		var env Envelope
-		if err := json.Unmarshal(sc.Bytes(), &env); err != nil {
-			continue // tolerate malformed frames from strangers
+	// Frames are newline-delimited; an oversized frame (> maxFrame) is
+	// discarded byte-by-byte up to its newline and the connection keeps
+	// going — a single huge line from a peer must not kill the link the
+	// way it killed the bufio.Scanner-based loop (which returned a
+	// too-long error and silently ended the readLoop).
+	r := bufio.NewReaderSize(conn, 64*1024)
+	frame := make([]byte, 0, 4096)
+	tooLong := false
+	for {
+		chunk, err := r.ReadSlice('\n')
+		if !tooLong {
+			if len(frame)+len(chunk) > maxFrame {
+				tooLong = true
+				frame = frame[:0]
+			} else {
+				frame = append(frame, chunk...)
+			}
 		}
-		select {
-		case inbox <- env:
-		default:
-			// Inbox overrun: drop, as the in-memory transport does.
+		if err == bufio.ErrBufferFull {
+			continue // frame spans buffer fills; keep accumulating
 		}
+		if err != nil {
+			return // connection closed or broken
+		}
+		if !tooLong {
+			var env Envelope
+			if jerr := json.Unmarshal(frame, &env); jerr == nil {
+				select {
+				case inbox <- env:
+				default:
+					// Inbox overrun: drop, as the in-memory transport does.
+				}
+			}
+			// Malformed frames from strangers are tolerated either way.
+		}
+		frame = frame[:0]
+		tooLong = false
 	}
 }
 
-// Unregister implements Network.
+// Unregister implements Network. addr may be either the resolved listen
+// address or the original port-0 request string. Besides the listener,
+// the peer's accepted inbound connections are closed too — leaving them
+// open kept remote send paths alive long after the peer was gone.
 func (t *TCPNetwork) Unregister(addr string) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if ln, ok := t.listeners[addr]; ok {
-		if err := ln.Close(); err != nil {
-			_ = err
+	real := addr
+	if r, ok := t.aliases[addr]; ok {
+		real = r
+	}
+	ln, ok := t.listeners[real]
+	if !ok {
+		return
+	}
+	if err := ln.Close(); err != nil {
+		_ = err
+	}
+	delete(t.listeners, real)
+	delete(t.inboxes, real)
+	for a, r := range t.aliases {
+		if r == real {
+			delete(t.aliases, a)
 		}
-		// Drop every alias of this listener (port-0 registrations).
-		for a, l := range t.listeners {
-			if l == ln {
-				delete(t.listeners, a)
-				delete(t.inboxes, a)
+	}
+	for conn, owner := range t.inbound {
+		if owner == real {
+			if err := conn.Close(); err != nil {
+				_ = err
 			}
 		}
 	}
 }
 
 // Send implements Network: it reuses or dials a connection to env.To and
-// writes one JSON line. A stale cached connection is re-dialed once.
+// writes one JSON line. A stale cached connection is re-dialed once. An
+// unreachable peer surfaces as ErrUnknownPeer (from the dial); a write
+// that keeps failing on a freshly dialed connection surfaces the actual
+// encode error, so callers can tell the two apart.
 func (t *TCPNetwork) Send(env Envelope) error {
+	var lastErr error
 	for attempt := 0; attempt < 2; attempt++ {
 		c, err := t.connTo(env.To)
 		if err != nil {
@@ -166,9 +228,10 @@ func (t *TCPNetwork) Send(env Envelope) error {
 		if err == nil {
 			return nil
 		}
+		lastErr = err
 		t.dropConn(env.To, c)
 	}
-	return fmt.Errorf("%w: %s", ErrUnknownPeer, env.To)
+	return fmt.Errorf("send %s: %w", env.To, lastErr)
 }
 
 func (t *TCPNetwork) connTo(addr string) (*tcpConn, error) {
@@ -225,6 +288,7 @@ func (t *TCPNetwork) Close() {
 	}
 	t.listeners = make(map[string]net.Listener)
 	t.inboxes = make(map[string]chan<- Envelope)
+	t.aliases = make(map[string]string)
 	for _, c := range t.conns {
 		if err := c.conn.Close(); err != nil {
 			_ = err

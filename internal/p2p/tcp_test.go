@@ -1,6 +1,10 @@
 package p2p
 
 import (
+	"encoding/json"
+	"errors"
+	gonet "net"
+	"strings"
 	"testing"
 	"time"
 )
@@ -144,6 +148,172 @@ func TestTCPCloseWithLivePeerOnOtherNetwork(t *testing.T) {
 	case <-done:
 	case <-time.After(5 * time.Second):
 		t.Fatal("TCPNetwork.Close deadlocked on a live inbound connection")
+	}
+}
+
+// TestTCPDoublePortZeroRegister is the regression test for the ephemeral-
+// bind collision: the second Register("127.0.0.1:0") used to fail with
+// ErrDupAddress because the first registration occupied the literal
+// "host:0" key. Both binds must coexist and deliver independently.
+func TestTCPDoublePortZeroRegister(t *testing.T) {
+	t.Parallel()
+	tn := NewTCPNetwork()
+	t.Cleanup(tn.Close)
+
+	in1 := make(chan Envelope, 1)
+	if err := tn.Register("127.0.0.1:0", in1); err != nil {
+		t.Fatal(err)
+	}
+	addr1 := tn.ListenAddr("127.0.0.1:0")
+
+	in2 := make(chan Envelope, 1)
+	if err := tn.Register("127.0.0.1:0", in2); err != nil {
+		t.Fatalf("second port-0 register: %v", err)
+	}
+	addr2 := tn.ListenAddr("127.0.0.1:0")
+	if addr1 == addr2 {
+		t.Fatalf("both ephemeral binds resolved to %s", addr1)
+	}
+
+	for _, c := range []struct {
+		addr  string
+		inbox chan Envelope
+	}{{addr1, in1}, {addr2, in2}} {
+		if err := tn.Send(Envelope{From: "x", To: c.addr, Msg: Message{Kind: KindPing}}); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case env := <-c.inbox:
+			if env.Msg.Kind != KindPing {
+				t.Fatalf("got %v", env.Msg.Kind)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("no delivery to %s", c.addr)
+		}
+	}
+}
+
+// TestTCPSendSurfacesWriteError is the regression test for the masked
+// encode failure: when the dial succeeds but every write attempt fails,
+// Send used to report ErrUnknownPeer, hiding the real transport error.
+// The remote here accepts and immediately closes, so a large write runs
+// into a reset on both attempts.
+func TestTCPSendSurfacesWriteError(t *testing.T) {
+	t.Parallel()
+	ln, err := gonet.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			_ = c.Close()
+		}
+	}()
+
+	tn := NewTCPNetwork()
+	t.Cleanup(tn.Close)
+	// The payload must exceed the kernel's socket buffering so the write
+	// blocks until the remote's reset arrives instead of being absorbed.
+	huge := strings.Repeat("x", 16<<20)
+	err = tn.Send(Envelope{From: "x", To: ln.Addr().String(), Msg: Message{Kind: KindPing, Key: huge}})
+	if err == nil {
+		t.Fatal("send to a resetting remote should fail")
+	}
+	if errors.Is(err, ErrUnknownPeer) {
+		t.Fatalf("write failure misreported as unknown peer: %v", err)
+	}
+}
+
+// TestTCPOversizedFrameSurvival is the regression test for the silent
+// readLoop death: one inbound line beyond the 1 MiB frame cap used to end
+// the scan and kill the healthy connection. The oversized frame must be
+// discarded and the next frame on the same connection delivered.
+func TestTCPOversizedFrameSurvival(t *testing.T) {
+	t.Parallel()
+	tn := NewTCPNetwork()
+	t.Cleanup(tn.Close)
+	inbox := make(chan Envelope, 4)
+	if err := tn.Register("127.0.0.1:0", inbox); err != nil {
+		t.Fatal(err)
+	}
+	addr := tn.ListenAddr("127.0.0.1:0")
+
+	conn, err := gonet.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = conn.Close() })
+	big := make([]byte, 2<<20)
+	for i := range big {
+		big[i] = 'a'
+	}
+	big[len(big)-1] = '\n'
+	if _, err := conn.Write(big); err != nil {
+		t.Fatal(err)
+	}
+	frame, err := json.Marshal(Envelope{From: "x", To: addr, Msg: Message{Kind: KindPing}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(append(frame, '\n')); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case env := <-inbox:
+		if env.Msg.Kind != KindPing {
+			t.Fatalf("got %v", env.Msg.Kind)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("connection did not survive the oversized frame")
+	}
+}
+
+// TestTCPUnregisterClosesInbound pins the other half of the unregister
+// path: the accepted inbound connections of the unregistered listener are
+// hung up, not left open for remotes to keep writing into.
+func TestTCPUnregisterClosesInbound(t *testing.T) {
+	t.Parallel()
+	tn := NewTCPNetwork()
+	t.Cleanup(tn.Close)
+	inbox := make(chan Envelope, 1)
+	if err := tn.Register("127.0.0.1:0", inbox); err != nil {
+		t.Fatal(err)
+	}
+	addr := tn.ListenAddr("127.0.0.1:0")
+
+	conn, err := gonet.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = conn.Close() })
+	// Deliver one frame so the connection is provably accepted and pumping
+	// before the unregister.
+	frame, err := json.Marshal(Envelope{From: "x", To: addr, Msg: Message{Kind: KindPing}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(append(frame, '\n')); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-inbox:
+	case <-time.After(2 * time.Second):
+		t.Fatal("envelope not delivered before unregister")
+	}
+
+	tn.Unregister(addr)
+	if err := conn.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("inbound connection still open after unregister")
+	} else if ne, ok := err.(gonet.Error); ok && ne.Timeout() {
+		t.Fatal("inbound connection not closed by unregister (read timed out)")
 	}
 }
 

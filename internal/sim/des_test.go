@@ -1,0 +1,170 @@
+package sim
+
+// Spec-level pins for the DES mode (CI races these under -run '...DES...'):
+// the schedule-invariance contract — DES figures are bit-for-bit identical
+// for any (Workers, SourceShards, GenWorkers) — and the CSR equivalence
+// gate lifted from the kernel level to the full pipeline: a zero-latency,
+// lossless DES sweep reproduces the CSR sweep series exactly, sources,
+// aggregation, and all.
+
+import (
+	"reflect"
+	"testing"
+
+	"scalefree/internal/des"
+	"scalefree/internal/gen"
+	"scalefree/internal/graph"
+	"scalefree/internal/search"
+	"scalefree/internal/xrand"
+)
+
+// desTinyScale sizes the schedule-invariance matrix: each spec runs once
+// per scheduler setting, so it is smaller than tinyScale.
+var desTinyScale = Scale{
+	NSearch:      600,
+	Realizations: 2,
+	Sources:      3,
+	MaxTTLFlood:  5,
+	MaxTTLNF:     2,
+}
+
+// TestDESSpecsScheduleInvariant runs both DES specs under serial, automatic,
+// and deliberately skewed scheduler settings and requires bit-identical
+// figures — the (seed, realization, phase) / (seed, realization, source)
+// determinism contract extended to the DES family.
+func TestDESSpecsScheduleInvariant(t *testing.T) {
+	t.Parallel()
+	schedules := []struct {
+		name                              string
+		workers, sourceShards, genWorkers int
+	}{
+		{"serial", 1, 1, 1},
+		{"auto", 0, 0, 0},
+		{"skewed", 3, 2, 2},
+	}
+	for _, spec := range []struct {
+		name string
+		run  SpecFunc
+	}{
+		{"desflood", DESFlood},
+		{"deskwalk", DESKWalk},
+	} {
+		spec := spec
+		t.Run(spec.name, func(t *testing.T) {
+			t.Parallel()
+			var want []Figure
+			for _, sched := range schedules {
+				sc := desTinyScale
+				sc.Workers, sc.SourceShards, sc.GenWorkers = sched.workers, sched.sourceShards, sched.genWorkers
+				figs, err := spec.run(sc, 777)
+				if err != nil {
+					t.Fatalf("%s: %v", sched.name, err)
+				}
+				if want == nil {
+					want = figs
+					continue
+				}
+				if !reflect.DeepEqual(figs, want) {
+					t.Errorf("%s: figures differ from serial run", sched.name)
+				}
+			}
+		})
+	}
+}
+
+// TestDESFloodSweepMatchesCSR pins the pipeline-level equivalence gate for
+// floods: a zero-latency, lossless desSweep must reproduce searchSeries
+// (hits) and messageSeries (messages) bit-for-bit — same topologies, same
+// per-source streams, same aggregation.
+func TestDESFloodSweepMatchesCSR(t *testing.T) {
+	t.Parallel()
+	const seed, maxTTL = 424242, 8
+	factory := paTopo(800, 2, gen.NoCutoff)
+	cfg := searchCfg{alg: algFL, maxTTL: maxTTL, sources: 5, realizations: 2}
+	wantHits, err := searchSeries("fl", factory, cfg, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMsgs, err := messageSeries("fl", factory, cfg, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curves, err := desSweep(factory, cfg, 0, 0, seed, 2, maxTTL+1,
+		func(sim *des.Sim, v desTopo, src int, rng *xrand.RNG) (des.Metrics, error) {
+			return sim.Flood(v.f, src, des.Config{MaxTTL: maxTTL, Latency: v.lat}, rng)
+		},
+		func(m des.Metrics, rows [][]float64) {
+			for h := 0; h <= maxTTL; h++ {
+				rows[0][h] = float64(m.HitsWithin(h))
+				rows[1][h] = float64(m.SentBelow(h))
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []Series{wantHits, wantMsgs} {
+		got, err := aggregate("fl", curves[i], 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("curve %d: DES sweep diverges from CSR sweep\n got: %+v\nwant: %+v", i, got, want)
+		}
+	}
+}
+
+// TestDESKWalkSweepMatchesCSR is the same gate for k walkers: the DES sweep
+// must match a CSR Scratch.KRandomWalks sweep run through the identical
+// pipeline, source streams included.
+func TestDESKWalkSweepMatchesCSR(t *testing.T) {
+	t.Parallel()
+	const seed, k, steps = 171717, 4, 25
+	factory := paTopo(800, 2, gen.NoCutoff)
+	cfg := searchCfg{alg: algFL, maxTTL: steps, sources: 5, realizations: 2}
+	perSource := make([][]float64, cfg.realizations*cfg.sources)
+	err := forEachRealizationPipeline(cfg.workers, cfg.sourceShards, cfg.genWorkers, cfg.realizations, seed,
+		func(r int, b *builder) (*graph.Frozen, error) {
+			return sweepTopo(factory, r, b)
+		},
+		func(r int, f *graph.Frozen, sw *sweeper) error {
+			return sw.Sources(uint64(r), cfg.sources, func(_, s int, rng *xrand.RNG, scratch *search.Scratch) error {
+				src := rng.Intn(f.N())
+				res, err := scratch.KRandomWalks(f, src, k, steps, rng)
+				if err != nil {
+					return err
+				}
+				row := make([]float64, steps+1)
+				for t := range row {
+					row[t] = float64(res.HitsAt(t))
+				}
+				perSource[r*cfg.sources+s] = row
+				return nil
+			})
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := aggregate("kw", meanRows(perSource, cfg.realizations, cfg.sources), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curves, err := desSweep(factory, cfg, 0, 0, seed, 1, steps+1,
+		func(sim *des.Sim, v desTopo, src int, rng *xrand.RNG) (des.Metrics, error) {
+			return sim.KWalk(v.f, src, k, steps, des.Config{Latency: v.lat}, rng)
+		},
+		func(m des.Metrics, rows [][]float64) {
+			for h := 0; h <= steps; h++ {
+				rows[0][h] = float64(m.HitsWithin(h))
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := aggregate("kw", curves[0], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("DES k-walk sweep diverges from CSR sweep\n got: %+v\nwant: %+v", got, want)
+	}
+}

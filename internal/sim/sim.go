@@ -16,6 +16,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"scalefree/internal/des"
 	"scalefree/internal/search"
 	"scalefree/internal/xrand"
 )
@@ -73,6 +74,14 @@ type Scale struct {
 	// topology. GenWorkers=1 still overlaps one build with the sweeps;
 	// memory-bound runs can use it to cap in-flight snapshots.
 	GenWorkers int
+	// DESLatencyBase and DESLatencyJitter set the per-edge latency model of
+	// the DES specs: each edge's delay is Base + Jitter·U(edge), with U
+	// derived from the realization's phase streams. Both zero (the default)
+	// selects Base=1, Jitter=1.
+	DESLatencyBase, DESLatencyJitter float64
+	// DESLoss, when positive, pins the DES specs to that single message
+	// loss rate; zero sweeps the default series {0, 0.02, 0.10}.
+	DESLoss float64
 }
 
 // PaperScale reproduces the paper's simulation parameters.
@@ -194,6 +203,8 @@ func Registry() []Spec {
 		{ID: "strategies", Paper: "§II/§V-B (ext)", Description: "All search strategies (FL/NF/RW/k-walk/HDS/PF/hybrid) at equal message budget", Run: Strategies},
 		{ID: "replication", Paper: "§II refs [22,23] (ext)", Description: "Cohen-Shenker replication strategies: ESS vs budget on PA overlays", Run: Replication},
 		{ID: "churn", Paper: "§VI (ext)", Description: "Join/leave dynamics: repair vs no-repair under balanced churn with kc", Run: Churn},
+		{ID: "desflood", Paper: "§V-A (DES ext)", Description: "Message-level DES flooding: coverage, latency-vs-hops, and message cost under per-edge latency and loss", Run: DESFlood},
+		{ID: "deskwalk", Paper: "§V-B1 (DES ext)", Description: "Message-level DES k-walkers: coverage vs steps under per-edge latency and loss", Run: DESKWalk},
 	}
 }
 
@@ -220,6 +231,7 @@ type sweeper struct {
 	seed      uint64
 	shards    int
 	scratches []*search.Scratch
+	sims      []*des.Sim
 }
 
 // newSweeper builds a sweeper with `shards` scratches (the engine resolves
@@ -229,11 +241,21 @@ func newSweeper(seed uint64, shards int) *sweeper {
 	if shards < 1 {
 		shards = 1
 	}
-	sw := &sweeper{seed: seed, shards: shards, scratches: make([]*search.Scratch, shards)}
+	sw := &sweeper{seed: seed, shards: shards, scratches: make([]*search.Scratch, shards), sims: make([]*des.Sim, shards)}
 	for i := range sw.scratches {
 		sw.scratches[i] = search.NewScratch(0)
 	}
 	return sw
+}
+
+// Sim returns the shard's pooled DES simulator, created on first use so
+// non-DES specs pay nothing. Each shard index is owned by exactly one
+// goroutine for the duration of a Sources call, so lazy init is race-free.
+func (sw *sweeper) Sim(shard int) *des.Sim {
+	if sw.sims[shard] == nil {
+		sw.sims[shard] = des.NewSim(0)
+	}
+	return sw.sims[shard]
 }
 
 // Sources enumerates the (source, stream) pairs of one sweep and runs

@@ -1,0 +1,212 @@
+package sim
+
+// Message-level DES experiments (ROADMAP item 2): the same sweeps the CSR
+// kernels run as algorithmic traversals, re-expressed as messages in
+// flight through internal/des — which makes per-edge latency, message
+// loss, and duplicate traffic measurable scenario knobs instead of
+// inexpressible ones. The specs ride the same three-stage build/sweep
+// pipeline as every other figure: each realization's topology AND its
+// per-edge latency model are fixed in the build stage from the
+// (seed, realization, phase) streams, each source draws from its
+// (seed, realization, source) stream, and results land in per-index
+// slots — so DES figures are bit-for-bit identical for any
+// (Workers, SourceShards, GenWorkers) setting, pinned by the DES
+// determinism tests. With zero latency and loss the desflood/deskwalk
+// hits curves coincide exactly with the CSR flood/k-walk sweeps (the
+// equivalence tests pin that too).
+
+import (
+	"fmt"
+
+	"scalefree/internal/des"
+	"scalefree/internal/gen"
+	"scalefree/internal/graph"
+	"scalefree/internal/search"
+	"scalefree/internal/xrand"
+)
+
+// desLatency resolves the Scale latency knobs: both zero selects the
+// default unit-delay model (Base 1, Jitter 1), the generic "heterogeneous
+// links around one time unit" scenario. cmd/experiments' -latency-base /
+// -latency-jitter flags override.
+func (sc Scale) desLatency() (base, jitter float64) {
+	if sc.DESLatencyBase == 0 && sc.DESLatencyJitter == 0 {
+		return 1, 1
+	}
+	return sc.DESLatencyBase, sc.DESLatencyJitter
+}
+
+// desLossRates resolves the loss-rate series: an explicit positive
+// Scale.DESLoss runs that single rate, otherwise the specs sweep lossless
+// plus two lossy regimes.
+func (sc Scale) desLossRates() []float64 {
+	if sc.DESLoss > 0 {
+		return []float64{sc.DESLoss}
+	}
+	return []float64{0, 0.02, 0.10}
+}
+
+// desTopo couples one realization's frozen snapshot with its latency
+// model. Both are fixed in the pipelined build stage — the latency model
+// carries the realization's phase-stream root — so the sweep stage needs
+// no builder context.
+type desTopo struct {
+	f   *graph.Frozen
+	lat des.Latency
+}
+
+// desSweep is the DES counterpart of sweepSeries: it pushes `realizations`
+// topologies through the build/sweep pipeline, runs one simulation per
+// (realization, source) on the shard's pooled des.Sim, and reduces
+// nCurves per-hop curves (each of rowLen points) to per-realization means
+// in slot order. run executes the simulation with the source's stream;
+// sample extracts the curves from the run's Metrics before the next
+// simulation invalidates them.
+func desSweep(factory topoFactory, cfg searchCfg, base, jitter float64, seed uint64, nCurves, rowLen int,
+	run func(sim *des.Sim, v desTopo, src int, rng *xrand.RNG) (des.Metrics, error),
+	sample func(m des.Metrics, rows [][]float64),
+) ([][][]float64, error) {
+	rs := cfg.realizations * cfg.sources
+	perSource := make([][]float64, nCurves*rs)
+	err := forEachRealizationPipeline(cfg.workers, cfg.sourceShards, cfg.genWorkers, cfg.realizations, seed,
+		func(r int, b *builder) (desTopo, error) {
+			f, err := sweepTopo(factory, r, b)
+			if err != nil {
+				return desTopo{}, err
+			}
+			return desTopo{f: f, lat: des.Latency{Base: base, Jitter: jitter, Phases: b.phases}}, nil
+		},
+		func(r int, v desTopo, sw *sweeper) error {
+			return sw.Sources(uint64(r), cfg.sources, func(shard, s int, rng *xrand.RNG, _ *search.Scratch) error {
+				src := rng.Intn(v.f.N())
+				m, err := run(sw.Sim(shard), v, src, rng)
+				if err != nil {
+					return err
+				}
+				rows := make([][]float64, nCurves)
+				for c := range rows {
+					rows[c] = make([]float64, rowLen)
+				}
+				sample(m, rows)
+				for c := range rows {
+					perSource[c*rs+r*cfg.sources+s] = rows[c]
+				}
+				return nil
+			})
+		})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][][]float64, nCurves)
+	for c := range out {
+		out[c] = meanRows(perSource[c*rs:(c+1)*rs], cfg.realizations, cfg.sources)
+	}
+	return out, nil
+}
+
+// lossLabel renders a loss rate the way the DES legends do.
+func lossLabel(loss float64) string {
+	if loss == 0 {
+		return "lossless"
+	}
+	return fmt.Sprintf("loss=%.0f%%", loss*100)
+}
+
+// DESFlood measures TTL flooding as messages in flight on PA overlays
+// (m=2, no cutoff, the paper's baseline search topology): coverage vs τ
+// under message loss, the latency-vs-hops curve (mean first-receipt
+// arrival time per hop distance), and the cumulative message cost. All
+// loss series share one seed, so the loss knob is isolated against
+// identical topologies and sources.
+func DESFlood(sc Scale, seed uint64) ([]Figure, error) {
+	base, jitter := sc.desLatency()
+	maxTTL := sc.flSweepTTL()
+	cfg := sc.searchCfg(algFL, maxTTL, 0)
+	factory := paTopo(sc.NSearch, 2, gen.NoCutoff)
+	hitsFig := Figure{
+		ID: "desflood-hits", Title: "DES flooding: coverage vs tau under message loss (PA, m=2)",
+		XLabel: "tau", YLabel: "number of hits",
+	}
+	timeFig := Figure{
+		ID: "desflood-time", Title: "DES flooding: mean first-receipt time vs hop (PA, m=2)",
+		XLabel: "hop", YLabel: "mean arrival time",
+		Notes: fmt.Sprintf("per-edge latency %.2g + U[0,%.2g); hops no source reached plot as 0", base, jitter),
+	}
+	msgFig := Figure{
+		ID: "desflood-msgs", Title: "DES flooding: cumulative messages vs tau under message loss (PA, m=2)",
+		XLabel: "tau", YLabel: "messages sent",
+	}
+	for _, loss := range sc.desLossRates() {
+		loss := loss
+		curves, err := desSweep(factory, cfg, base, jitter, seed, 3, maxTTL+1,
+			func(sim *des.Sim, v desTopo, src int, rng *xrand.RNG) (des.Metrics, error) {
+				return sim.Flood(v.f, src, des.Config{MaxTTL: maxTTL, Latency: v.lat, Loss: loss}, rng)
+			},
+			func(m des.Metrics, rows [][]float64) {
+				hits, sent := 0, 0
+				for h := 0; h <= maxTTL; h++ {
+					hits += m.HitsByHop[h]
+					rows[0][h] = float64(hits)
+					if m.HitsByHop[h] > 0 {
+						rows[1][h] = m.TimeByHop[h] / float64(m.HitsByHop[h])
+					}
+					rows[2][h] = float64(sent)
+					if h < maxTTL {
+						sent += m.SentByHop[h]
+					}
+				}
+			})
+		if err != nil {
+			return nil, fmt.Errorf("desflood %s: %w", lossLabel(loss), err)
+		}
+		label := lossLabel(loss)
+		for i, fig := range []*Figure{&hitsFig, &timeFig, &msgFig} {
+			s, err := aggregate(label, curves[i], 1)
+			if err != nil {
+				return nil, fmt.Errorf("desflood %s: %w", label, err)
+			}
+			fig.Series = append(fig.Series, s)
+		}
+	}
+	return []Figure{hitsFig, timeFig, msgFig}, nil
+}
+
+// DESKWalk measures k parallel random walkers as messages in flight on
+// the same PA overlays: coverage vs steps for k ∈ {1, 4, 16} under each
+// loss rate (a lost copy kills its walker — the failure mode the CSR
+// k-walk kernel cannot express).
+func DESKWalk(sc Scale, seed uint64) ([]Figure, error) {
+	base, jitter := sc.desLatency()
+	steps := 10 * sc.MaxTTLNF
+	cfg := sc.searchCfg(algFL, steps, 0)
+	factory := paTopo(sc.NSearch, 2, gen.NoCutoff)
+	fig := Figure{
+		ID: "deskwalk-hits", Title: "DES k-walkers: coverage vs steps under message loss (PA, m=2)",
+		XLabel: "steps", YLabel: "number of hits",
+	}
+	for _, k := range []int{1, 4, 16} {
+		for _, loss := range sc.desLossRates() {
+			k, loss := k, loss
+			curves, err := desSweep(factory, cfg, base, jitter, seed, 1, steps+1,
+				func(sim *des.Sim, v desTopo, src int, rng *xrand.RNG) (des.Metrics, error) {
+					return sim.KWalk(v.f, src, k, steps, des.Config{Latency: v.lat, Loss: loss}, rng)
+				},
+				func(m des.Metrics, rows [][]float64) {
+					hits := 0
+					for h := 0; h <= steps; h++ {
+						hits += m.HitsByHop[h]
+						rows[0][h] = float64(hits)
+					}
+				})
+			if err != nil {
+				return nil, fmt.Errorf("deskwalk k=%d %s: %w", k, lossLabel(loss), err)
+			}
+			s, err := aggregate(fmt.Sprintf("k=%d, %s", k, lossLabel(loss)), curves[0], 1)
+			if err != nil {
+				return nil, err
+			}
+			fig.Series = append(fig.Series, s)
+		}
+	}
+	return []Figure{fig}, nil
+}

@@ -55,3 +55,22 @@ func (p Phases) Stream(name string) *RNG {
 func (p Phases) Chunk(name string, chunk int) *RNG {
 	return NewStream(p.Seed, p.Realization, phaseTag, PhaseKey(name), uint64(chunk))
 }
+
+// ChunkU01 returns the first uniform [0, 1) value of the named chunk
+// stream — bit-identical to Chunk(name, chunk).Float64() — without
+// materializing an RNG. It exists for per-key derived quantities drawn
+// once per key on a hot path (the DES per-edge latencies draw one value
+// per message send), where allocating a heap RNG per derivation would
+// dominate the simulation's allocation profile.
+func (p Phases) ChunkU01(name string, chunk int) float64 {
+	x := mix64(p.Seed + 0x6a09e667f3bcc909)
+	for _, q := range [...]uint64{p.Realization, phaseTag, PhaseKey(name), uint64(chunk)} {
+		x = mix64(x ^ (q + 0x9e3779b97f4a7c15))
+	}
+	var r RNG
+	r.s0 = splitmix64(&x)
+	r.s1 = splitmix64(&x)
+	r.s2 = splitmix64(&x)
+	r.s3 = splitmix64(&x)
+	return float64(r.Uint64()>>11) / (1 << 53)
+}

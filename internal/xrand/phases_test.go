@@ -57,3 +57,27 @@ func TestPhaseKeyStability(t *testing.T) {
 		t.Fatal("distinct names hash equal")
 	}
 }
+
+// TestChunkU01MatchesChunk pins the allocation-free derivation against the
+// RNG-materializing one: ChunkU01 must equal Chunk(...).Float64() bit for
+// bit (the DES latency model depends on this equivalence) and must not
+// allocate.
+func TestChunkU01MatchesChunk(t *testing.T) {
+	p := Phases{Seed: 11, Realization: 4}
+	for _, tc := range []struct {
+		name  string
+		chunk int
+	}{
+		{"des.latency", 0}, {"des.latency", 1}, {"des.latency", 1 << 40}, {"other", 9},
+	} {
+		want := p.Chunk(tc.name, tc.chunk).Float64()
+		if got := p.ChunkU01(tc.name, tc.chunk); got != want {
+			t.Fatalf("ChunkU01(%q, %d) = %v, want %v", tc.name, tc.chunk, got, want)
+		}
+	}
+	if allocs := testing.AllocsPerRun(20, func() {
+		_ = p.ChunkU01("des.latency", 123)
+	}); allocs > 0 {
+		t.Fatalf("ChunkU01 allocates %v/op", allocs)
+	}
+}

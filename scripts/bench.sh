@@ -3,7 +3,7 @@
 # the performance trajectory (benchmark name -> ns/op, B/op, allocs/op).
 #
 # Usage:
-#   scripts/bench.sh                 # writes BENCH_PR5.json
+#   scripts/bench.sh                 # writes BENCH_PR6.json
 #   scripts/bench.sh out.json        # custom output path
 #   BENCHTIME=2s scripts/bench.sh    # longer sampling (default 0.5s)
 #
@@ -15,6 +15,9 @@
 #   internal/gen      CM/GRN build pairs: legacy mutable-Graph+Freeze vs
 #                     direct-CSR (CSRBuilder), fresh and arena-pooled
 #   internal/metrics  clustering coefficient, map probes vs CSR scan
+#   internal/des      message-level DES flood/k-walk vs the CSR flood
+#                     baseline on the same topology (0 allocs/op steady
+#                     state)
 #   .                 end-to-end search throughput + the three-stage
 #                     (workers x source-shards x gen-workers) scheduler
 #                     grid
@@ -32,7 +35,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR5.json}"
+OUT="${1:-BENCH_PR6.json}"
 BENCHTIME="${BENCHTIME:-0.5s}"
 
 raw="$(mktemp)"
@@ -46,7 +49,8 @@ run() { # run <pkg> <pattern>
 run ./internal/graph .
 run ./internal/search .
 run ./internal/metrics .
-run . 'BenchmarkSearches|BenchmarkWorkersScaling'
+run ./internal/des .
+run . 'BenchmarkSearches|BenchmarkWorkersScaling|BenchmarkExtDES'
 
 # The build pair runs a fixed iteration count instead of a time budget:
 # a CM build is ~300 ms, so a time-based budget samples so few

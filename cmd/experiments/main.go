@@ -14,6 +14,7 @@
 //	experiments -exp fig9 -cpuprofile cpu.pprof          # profile a hot experiment
 //	experiments -mode des                                # message-level DES specs
 //	experiments -mode des -loss 0.05 -latency-jitter 2   # single loss rate, wider jitter
+//	experiments -mode des -exp desfail -fail-frac 0.2    # 20% failure sweep
 //
 // -workers bounds how many realizations are swept concurrently within
 // each experiment (default 0 = GOMAXPROCS), -source-shards bounds how many
@@ -28,10 +29,12 @@
 //
 // -mode selects the simulation substrate: "csr" (default) runs the
 // algorithmic kernels; "des" runs the message-level discrete-event specs
-// (desflood, deskwalk), where -latency-base/-latency-jitter set the
-// per-edge delay model (both unset = 1 + U[0,1)) and -loss pins a single
-// message-loss rate (unset = sweep {0, 2%, 10%}). With -mode des and no
-// explicit -exp, the DES spec family runs; -exp still selects any spec.
+// (desflood, deskwalk, desfail), where -latency-base/-latency-jitter set
+// the per-edge delay model (both unset = 1 + U[0,1)), -loss pins a single
+// message-loss rate (unset = sweep {0, 2%, 10%}), and -fail-frac/-fail-mtbf
+// shape the desfail failure schedule (unset = sweep {0, 10%, 20%, 30%} with
+// MTBF 2). With -mode des and no explicit -exp, the DES spec family runs;
+// -exp still selects any spec.
 //
 // The xl scale runs an order of magnitude past the paper (10⁶-node degree
 // distributions, 10⁵-node search topologies) on the CSR-frozen read path;
@@ -83,6 +86,8 @@ func run(args []string, stdout io.Writer) error {
 		latBase    = fs.Float64("latency-base", 0, "DES fixed per-edge delay component (with -latency-jitter both 0: defaults to 1+U[0,1))")
 		latJitter  = fs.Float64("latency-jitter", 0, "DES per-edge uniform delay component scale")
 		loss       = fs.Float64("loss", 0, "DES message loss rate in [0,1); 0 sweeps the default series {0, 0.02, 0.10}")
+		failFrac   = fs.Float64("fail-frac", 0, "desfail failure fraction in [0,1); 0 sweeps the default series {0, 0.10, 0.20, 0.30}")
+		failMTBF   = fs.Float64("fail-mtbf", 0, "desfail mean time before a selected element goes down (0 = default 2 time units)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -122,11 +127,19 @@ func run(args []string, stdout io.Writer) error {
 		if *loss < 0 || *loss >= 1 {
 			return fmt.Errorf("-loss %v out of range [0, 1)", *loss)
 		}
+		if *failFrac < 0 || *failFrac >= 1 {
+			return fmt.Errorf("-fail-frac %v out of range [0, 1)", *failFrac)
+		}
+		if *failMTBF < 0 {
+			return fmt.Errorf("-fail-mtbf %v must be >= 0", *failMTBF)
+		}
 		sc.DESLatencyBase = *latBase
 		sc.DESLatencyJitter = *latJitter
 		sc.DESLoss = *loss
+		sc.DESFailFrac = *failFrac
+		sc.DESFailMTBF = *failMTBF
 		if !expSet {
-			*exp = "desflood,deskwalk"
+			*exp = "desflood,deskwalk,desfail"
 		}
 	default:
 		return fmt.Errorf("unknown mode %q (want csr or des)", *mode)

@@ -45,9 +45,9 @@ import (
 
 // Validation errors.
 var (
-	ErrBadSource = fmt.Errorf("des: source node out of range")
-	ErrBadTTL    = fmt.Errorf("des: TTL must be >= 0")
-	ErrBadLoss   = fmt.Errorf("des: loss rate must be in [0, 1)")
+	ErrBadSource  = fmt.Errorf("des: source node out of range")
+	ErrBadTTL     = fmt.Errorf("des: TTL must be >= 0")
+	ErrBadLoss    = fmt.Errorf("des: loss rate must be in [0, 1)")
 	ErrBadWalkers = fmt.Errorf("des: walkers must be >= 1")
 )
 
@@ -100,6 +100,11 @@ type Config struct {
 	// forwards again (bounded only by the TTL), modeling a protocol
 	// without query GUIDs. Walks never deduplicate.
 	NoDedup bool
+	// Fail is the node-crash/link-partition schedule. The zero value
+	// injects nothing and leaves the run bit-identical to a config
+	// without it (pinned by test): failure draws come from their own
+	// Phases sub-streams, never from the caller's rng.
+	Fail FailPlan
 }
 
 func (cfg Config) check() error {
@@ -109,7 +114,7 @@ func (cfg Config) check() error {
 	if cfg.Loss < 0 || cfg.Loss >= 1 {
 		return fmt.Errorf("%w: %v", ErrBadLoss, cfg.Loss)
 	}
-	return nil
+	return cfg.Fail.check()
 }
 
 // Metrics is the outcome of one DES run. Slices alias the Sim's arena and
@@ -125,6 +130,10 @@ type Metrics struct {
 	Delivered int
 	// Dropped counts copies lost in flight.
 	Dropped int
+	// FailDropped counts copies lost to injected failures: sends over a
+	// partitioned edge and arrivals at a crashed node (both after
+	// Sent/SentByHop counted the transmission attempt, like loss).
+	FailDropped int
 	// Duplicates counts arrivals at already-covered nodes.
 	Duplicates int
 	// Completion is the arrival time of the last delivered message — the
@@ -206,8 +215,8 @@ type Sim struct {
 	val  []int32
 	seen []int32
 	// intBufs/floatBufs arena per-hop result series reused across runs.
-	intBufs   [][]int
-	floatBufs [][]float64
+	intBufs      [][]int
+	floatBufs    [][]float64
 	nInt, nFloat int
 }
 
@@ -355,12 +364,25 @@ func (s *Sim) Flood(f *graph.Frozen, src int, cfg Config, rng *xrand.RNG) (Metri
 		SentByHop: s.intBuf(cfg.MaxTTL + 1),
 		TimeByHop: s.floatBuf(cfg.MaxTTL + 1),
 	}
+	failing := cfg.Fail.Enabled()
+	var downStart, downEnd []float64
+	if failing {
+		downStart, downEnd = s.nodeWindows(cfg.Fail, f.N())
+	}
 	s.heap = s.heap[:0]
 	var seq uint64
 	s.push(event{time: 0, key: seq, node: int32(src), from: -1, hop: 0})
 	seq++
 	for len(s.heap) > 0 {
 		ev := s.pop()
+		if failing && ev.time >= downStart[ev.node] && ev.time < downEnd[ev.node] {
+			// The node is down: an in-flight copy is lost on arrival (the
+			// source's own time-0 copy just fizzles uncounted).
+			if ev.hop > 0 {
+				m.FailDropped++
+			}
+			continue
+		}
 		if ev.hop > 0 {
 			m.Delivered++
 			if ev.time > m.Completion {
@@ -387,6 +409,11 @@ func (s *Sim) Flood(f *graph.Frozen, src int, cfg Config, rng *xrand.RNG) (Metri
 			}
 			m.Sent++
 			m.SentByHop[ev.hop]++
+			if failing && cfg.Fail.edgeDown(ev.node, w, ev.time) {
+				// Partitioned at send time: the copy never leaves.
+				m.FailDropped++
+				continue
+			}
 			if cfg.Loss > 0 && rng.Float64() < cfg.Loss {
 				m.Dropped++
 				continue
@@ -436,6 +463,11 @@ func (s *Sim) KWalk(f *graph.Frozen, src, walkers, steps int, cfg Config, rng *x
 		SentByHop: s.intBuf(steps + 1),
 		TimeByHop: s.floatBuf(steps + 1),
 	}
+	failing := cfg.Fail.Enabled()
+	var downStart, downEnd []float64
+	if failing {
+		downStart, downEnd = s.nodeWindows(cfg.Fail, f.N())
+	}
 	seen := s.seen[:0]
 	s.mark[src] = ep
 	s.val[src] = 0
@@ -450,6 +482,15 @@ func (s *Sim) KWalk(f *graph.Frozen, src, walkers, steps int, cfg Config, rng *x
 	}
 	for len(s.heap) > 0 {
 		ev := s.pop()
+		if failing && ev.time >= downStart[ev.node] && ev.time < downEnd[ev.node] {
+			// The node is down: the walker's copy is lost on arrival and
+			// the walker dies (a walker starting on a crashed source
+			// fizzles uncounted, like the flood's time-0 copy).
+			if ev.hop > 0 {
+				m.FailDropped++
+			}
+			continue
+		}
 		if ev.hop > 0 {
 			m.Delivered++
 			if ev.time > m.Completion {
@@ -473,6 +514,10 @@ func (s *Sim) KWalk(f *graph.Frozen, src, walkers, steps int, cfg Config, rng *x
 		}
 		m.Sent++
 		m.SentByHop[ev.hop]++
+		if failing && cfg.Fail.edgeDown(ev.node, int32(next), ev.time) {
+			m.FailDropped++
+			continue // partitioned at send time; the walker dies
+		}
 		if cfg.Loss > 0 && rng.Float64() < cfg.Loss {
 			m.Dropped++
 			continue // the copy was lost in flight; the walker dies

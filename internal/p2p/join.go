@@ -2,6 +2,7 @@ package p2p
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 )
 
@@ -252,8 +253,26 @@ func (p *Peer) probe(addr string) (info PeerInfo, next string, err error) {
 // PruneDead probes every neighbor with a ping and drops the ones that do
 // not answer within the reply window — the liveness sweep behind overlay
 // maintenance (crashed peers never send Disconnect). It returns the number
-// of links removed.
+// of links removed. It returns as soon as every neighbor has answered
+// (all-alive sweeps don't pay the full window) and aborts promptly on
+// peer shutdown.
 func (p *Peer) PruneDead() int {
+	removed := 0
+	for _, a := range p.pingNeighbors() {
+		if p.forgetNeighbor(a) {
+			removed++
+		}
+	}
+	return removed
+}
+
+// pingNeighbors is the heartbeat primitive behind PruneDead and the
+// Maintainer's failure detector: it pings every current neighbor and
+// returns the addresses that did not answer within the reply window.
+// All probes share one reply channel, so the wait ends the moment the
+// last pong arrives; a closing peer aborts the wait and reports nobody
+// dead (shutdown is not evidence about the neighbors).
+func (p *Peer) pingNeighbors() []string {
 	p.mu.Lock()
 	addrs := make([]string, 0, len(p.neighbors))
 	for a := range p.neighbors {
@@ -261,44 +280,55 @@ func (p *Peer) PruneDead() int {
 	}
 	p.mu.Unlock()
 	if len(addrs) == 0 {
-		return 0
+		return nil
 	}
 
-	type probe struct {
-		addr   string
-		ch     <-chan Message
-		cancel func()
-	}
-	probes := make([]probe, 0, len(addrs))
+	// One shared channel under every probe ID; sized past the probe count
+	// so even duplicated pongs (a FaultyNetwork can inject those) never
+	// force route() to drop a reply.
+	ch := make(chan Message, 2*len(addrs)+4)
+	byID := make(map[string]string, len(addrs))
+	p.mu.Lock()
 	for _, a := range addrs {
-		id := p.newID()
-		ch, cancel := p.await(id)
-		probes = append(probes, probe{addr: a, ch: ch, cancel: cancel})
-		p.send(a, Message{Kind: KindPing, ID: id})
+		id := p.cfg.Addr + "/" + strconv.FormatUint(p.rng.Uint64(), 36)
+		byID[id] = a
+		p.pending[id] = ch
 	}
-	deadline := time.After(p.cfg.DiscoverWindow)
-	<-deadline
-
-	removed := 0
-	for _, pr := range probes {
-		alive := false
-		select {
-		case <-pr.ch:
-			alive = true
-		default:
-		}
-		pr.cancel()
-		if alive {
-			continue
-		}
+	p.mu.Unlock()
+	defer func() {
 		p.mu.Lock()
-		if _, ok := p.neighbors[pr.addr]; ok {
-			delete(p.neighbors, pr.addr)
-			removed++
+		for id := range byID {
+			delete(p.pending, id)
 		}
 		p.mu.Unlock()
+	}()
+	for id, a := range byID {
+		p.send(a, Message{Kind: KindPing, ID: id})
 	}
-	return removed
+
+	alive := make(map[string]bool, len(addrs))
+	deadline := time.NewTimer(p.cfg.DiscoverWindow)
+	defer deadline.Stop()
+collect:
+	for len(alive) < len(addrs) {
+		select {
+		case msg := <-ch:
+			if a, ok := byID[msg.ID]; ok {
+				alive[a] = true
+			}
+		case <-deadline.C:
+			break collect
+		case <-p.stop:
+			return nil
+		}
+	}
+	var dead []string
+	for _, a := range addrs {
+		if !alive[a] {
+			dead = append(dead, a)
+		}
+	}
+	return dead
 }
 
 // joinRandom connects to M uniformly random peers from the discovery

@@ -5,10 +5,14 @@ import (
 	"time"
 )
 
-// Maintainer runs periodic self-healing for one peer: it prunes dead
-// neighbors and re-joins through a bootstrap provider whenever the peer's
-// degree falls below its M — the per-peer form of the paper's §VI
-// join/leave maintenance, requiring only local messages.
+// Maintainer runs periodic self-healing for one peer: heartbeat pings
+// detect dead neighbors (pruned after FailThreshold consecutive missed
+// rounds), and whenever the peer's degree falls below its M it re-joins
+// through a bootstrap provider using the paper's join rules — the
+// per-peer form of the paper's §VI join/leave maintenance, requiring
+// only local messages. Besides sweep/repair counts it reports
+// time-to-reconnect: how long each degree-deficit episode lasted before
+// maintenance (or inbound connections) restored the target degree.
 //
 // Lifecycle follows the package convention: New starts the background
 // goroutine, Stop signals it and waits for exit.
@@ -17,29 +21,86 @@ type Maintainer struct {
 	bootstrap func() string
 	strategy  JoinStrategy
 	interval  time.Duration
+	threshold int
 
 	stop chan struct{}
 	done chan struct{}
 
 	mu       sync.Mutex
+	missed   map[string]int // consecutive heartbeat misses per neighbor
 	repairs  int
 	sweeps   int
+	pruned   int
 	lastErr  error
 	stopOnce sync.Once
+
+	// Recovery accounting: a deficit episode opens when degree < M is
+	// first observed and closes when degree is back at M, however that
+	// happened (successful re-join or inbound links).
+	deficitSince  time.Time
+	recoveries    int
+	lastRecovery  time.Duration
+	totalRecovery time.Duration
 }
 
-// NewMaintainer starts background maintenance for p. bootstrap supplies a
-// re-join contact on demand (e.g. a random known peer); returning "" skips
-// that round. interval <= 0 defaults to 1s.
+// MaintainerConfig parameterizes a Maintainer.
+type MaintainerConfig struct {
+	// Bootstrap supplies a re-join contact on demand (e.g. a random known
+	// peer); returning "" skips that round.
+	Bootstrap func() string
+	// Strategy selects the re-join protocol.
+	Strategy JoinStrategy
+	// Interval is the heartbeat/sweep period; <= 0 defaults to 1s.
+	Interval time.Duration
+	// FailThreshold is how many consecutive missed heartbeats mark a
+	// neighbor dead; <= 0 defaults to 1 (a single missed ping prunes —
+	// the aggressive detector suited to in-process overlays; over lossy
+	// transports 2–3 avoids evicting neighbors on one dropped pong).
+	FailThreshold int
+}
+
+// MaintainerReport is a snapshot of maintenance activity and the
+// overlay-healing metrics the robustness experiments read.
+type MaintainerReport struct {
+	// Sweeps counts completed heartbeat rounds; Repairs counts successful
+	// re-joins; Pruned counts neighbors evicted by the failure detector.
+	Sweeps, Repairs, Pruned int
+	// Recoveries counts closed deficit episodes; LastRecovery and
+	// MeanRecovery are their time-to-reconnect durations. InDeficit
+	// reports an episode still open at snapshot time.
+	Recoveries   int
+	LastRecovery time.Duration
+	MeanRecovery time.Duration
+	InDeficit    bool
+	// LastErr is the most recent re-join error (nil if none).
+	LastErr error
+}
+
+// NewMaintainer starts background maintenance for p with the default
+// single-miss failure detector. bootstrap supplies a re-join contact on
+// demand; returning "" skips that round. interval <= 0 defaults to 1s.
 func NewMaintainer(p *Peer, bootstrap func() string, strategy JoinStrategy, interval time.Duration) *Maintainer {
-	if interval <= 0 {
-		interval = time.Second
+	return NewMaintainerWith(p, MaintainerConfig{
+		Bootstrap: bootstrap, Strategy: strategy, Interval: interval,
+	})
+}
+
+// NewMaintainerWith starts background maintenance with full control over
+// the failure detector.
+func NewMaintainerWith(p *Peer, cfg MaintainerConfig) *Maintainer {
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	if cfg.FailThreshold <= 0 {
+		cfg.FailThreshold = 1
 	}
 	m := &Maintainer{
 		peer:      p,
-		bootstrap: bootstrap,
-		strategy:  strategy,
-		interval:  interval,
+		bootstrap: cfg.Bootstrap,
+		strategy:  cfg.Strategy,
+		interval:  cfg.Interval,
+		threshold: cfg.FailThreshold,
+		missed:    make(map[string]int),
 		stop:      make(chan struct{}),
 		done:      make(chan struct{}),
 	}
@@ -61,14 +122,47 @@ func (m *Maintainer) run() {
 	}
 }
 
-// sweep performs one maintenance round.
+// sweep performs one maintenance round: heartbeat every neighbor, evict
+// the ones past the miss threshold, then repair any degree deficit by
+// re-running the join protocol.
 func (m *Maintainer) sweep() {
 	m.mu.Lock()
 	m.sweeps++
 	m.mu.Unlock()
 
-	m.peer.PruneDead()
-	if m.peer.Degree() >= m.peer.cfg.M {
+	dead := m.peer.pingNeighbors()
+
+	m.mu.Lock()
+	deadSet := make(map[string]bool, len(dead))
+	for _, a := range dead {
+		deadSet[a] = true
+	}
+	// A pong resets the neighbor's miss streak — the detector requires
+	// *consecutive* misses.
+	for a := range m.missed {
+		if !deadSet[a] {
+			delete(m.missed, a)
+		}
+	}
+	var evict []string
+	for _, a := range dead {
+		m.missed[a]++
+		if m.missed[a] >= m.threshold {
+			evict = append(evict, a)
+			delete(m.missed, a)
+		}
+	}
+	m.mu.Unlock()
+
+	for _, a := range evict {
+		if m.peer.forgetNeighbor(a) {
+			m.mu.Lock()
+			m.pruned++
+			m.mu.Unlock()
+		}
+	}
+
+	if m.settleDeficit() {
 		return
 	}
 	boot := ""
@@ -87,6 +181,28 @@ func (m *Maintainer) sweep() {
 	m.mu.Lock()
 	m.repairs++
 	m.mu.Unlock()
+	m.settleDeficit()
+}
+
+// settleDeficit reconciles the deficit episode with the current degree:
+// it opens an episode when degree < M, closes one (recording the
+// time-to-reconnect) when degree is restored, and reports whether the
+// peer is currently healthy.
+func (m *Maintainer) settleDeficit() bool {
+	healthy := m.peer.Degree() >= m.peer.cfg.M
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch {
+	case healthy && !m.deficitSince.IsZero():
+		d := time.Since(m.deficitSince)
+		m.deficitSince = time.Time{}
+		m.recoveries++
+		m.lastRecovery = d
+		m.totalRecovery += d
+	case !healthy && m.deficitSince.IsZero():
+		m.deficitSince = time.Now()
+	}
+	return healthy
 }
 
 // Stats reports maintenance activity: completed sweeps, successful
@@ -95,6 +211,24 @@ func (m *Maintainer) Stats() (sweeps, repairs int, lastErr error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.sweeps, m.repairs, m.lastErr
+}
+
+// Report returns the full maintenance snapshot, including the
+// failure-detector evictions and time-to-reconnect metrics.
+func (m *Maintainer) Report() MaintainerReport {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r := MaintainerReport{
+		Sweeps: m.sweeps, Repairs: m.repairs, Pruned: m.pruned,
+		Recoveries:   m.recoveries,
+		LastRecovery: m.lastRecovery,
+		InDeficit:    !m.deficitSince.IsZero(),
+		LastErr:      m.lastErr,
+	}
+	if m.recoveries > 0 {
+		r.MeanRecovery = m.totalRecovery / time.Duration(m.recoveries)
+	}
+	return r
 }
 
 // Stop terminates the maintenance goroutine and waits for it to exit.

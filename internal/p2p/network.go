@@ -53,10 +53,16 @@ func (n *InMemoryNetwork) Register(addr string, inbox chan<- Envelope) error {
 	return nil
 }
 
-// Unregister implements Network.
+// Unregister implements Network. It is idempotent: unregistering an
+// unknown address, an already-unregistered address, or any address on a
+// closed network is a no-op (mirroring the TCP transport's hardening) —
+// peer teardown paths may overlap and must all be safe.
 func (n *InMemoryNetwork) Unregister(addr string) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if n.inbox == nil {
+		return
+	}
 	delete(n.inbox, addr)
 }
 

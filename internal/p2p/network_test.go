@@ -1,0 +1,52 @@
+package p2p
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestInMemoryUnregisterIdempotent pins the Unregister hardening: double
+// unregisters, unknown addresses, and unregisters on a closed network
+// are all silent no-ops, and the address is immediately reusable.
+func TestInMemoryUnregisterIdempotent(t *testing.T) {
+	t.Parallel()
+	n := NewInMemoryNetwork()
+	inbox := make(chan Envelope, 1)
+	if err := n.Register("a", inbox); err != nil {
+		t.Fatal(err)
+	}
+	n.Unregister("a")
+	n.Unregister("a")     // double unregister
+	n.Unregister("ghost") // never registered
+	if err := n.Send(Envelope{To: "a"}); !errors.Is(err, ErrUnknownPeer) {
+		t.Fatalf("send after unregister: %v", err)
+	}
+	// The slot is free again.
+	if err := n.Register("a", make(chan Envelope, 1)); err != nil {
+		t.Fatalf("re-register after unregister: %v", err)
+	}
+}
+
+func TestInMemoryUnregisterAfterClose(t *testing.T) {
+	t.Parallel()
+	n := NewInMemoryNetwork()
+	if err := n.Register("a", make(chan Envelope, 1)); err != nil {
+		t.Fatal(err)
+	}
+	n.Close()
+	n.Unregister("a") // must not panic or resurrect anything
+	n.Unregister("a")
+	if err := n.Register("b", make(chan Envelope, 1)); !errors.Is(err, ErrPeerClosed) {
+		t.Fatalf("register on closed network: %v", err)
+	}
+	if err := n.Send(Envelope{To: "a"}); !errors.Is(err, ErrUnknownPeer) {
+		t.Fatalf("send on closed network: %v", err)
+	}
+}
+
+func TestInMemoryDoubleClose(t *testing.T) {
+	t.Parallel()
+	n := NewInMemoryNetwork()
+	n.Close()
+	n.Close() // idempotent
+}

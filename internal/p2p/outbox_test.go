@@ -1,0 +1,105 @@
+package p2p
+
+import (
+	"testing"
+	"time"
+)
+
+// blockingNetwork is a Network whose Send blocks until released — it
+// simulates a wedged transport so outbox pressure can build.
+type blockingNetwork struct {
+	inner   *InMemoryNetwork
+	release chan struct{}
+	entered chan struct{} // signaled whenever a Send starts blocking
+}
+
+func (b *blockingNetwork) Register(addr string, inbox chan<- Envelope) error {
+	return b.inner.Register(addr, inbox)
+}
+func (b *blockingNetwork) Unregister(addr string) { b.inner.Unregister(addr) }
+func (b *blockingNetwork) Send(env Envelope) error {
+	select {
+	case b.entered <- struct{}{}:
+	default:
+	}
+	<-b.release
+	return b.inner.Send(env)
+}
+
+// TestOutboxShedsOldest verifies the bounded outbox: with the transport
+// wedged, enqueueing past OutboxSize sheds the oldest messages and
+// counts them in Stats.Shed, and the surviving (newest) messages go out
+// once the transport recovers.
+func TestOutboxShedsOldest(t *testing.T) {
+	t.Parallel()
+	bn := &blockingNetwork{
+		inner:   NewInMemoryNetwork(),
+		release: make(chan struct{}),
+		entered: make(chan struct{}, 32),
+	}
+	cfg := testConfig("a", 1)
+	cfg.OutboxSize = 4
+	p, err := NewPeer(cfg, bn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := make(chan Envelope, 64)
+	if err := bn.inner.Register("sink", sink); err != nil {
+		t.Fatal(err)
+	}
+
+	// First send occupies the writer (blocked in Send) ...
+	p.send("sink", Message{Kind: KindPing, Hops: 0})
+	select {
+	case <-bn.entered:
+	case <-time.After(2 * time.Second):
+		t.Fatal("writer never reached the transport")
+	}
+	// ... the next OutboxSize fill the queue; everything further sheds
+	// the oldest.
+	for i := 1; i < 15; i++ {
+		p.send("sink", Message{Kind: KindPing, Hops: i})
+	}
+	if got := p.Stats().Shed; got != 10 {
+		t.Fatalf("shed %d, want 10 (14 queued sends, queue holds 4)", got)
+	}
+	if p.Stats().Sent != 0 {
+		t.Fatalf("nothing should have been sent yet, got %d", p.Stats().Sent)
+	}
+
+	close(bn.release) // transport recovers
+	if !waitFor(t, 2*time.Second, func() bool { return len(sink) == 5 }) {
+		t.Fatalf("expected 5 survivors, got %d", len(sink))
+	}
+	// The survivors are the newest messages: the one the writer held plus
+	// the last OutboxSize enqueued.
+	first := <-sink
+	if first.Msg.Hops != 0 {
+		t.Fatalf("writer-held message should be hops=0, got %d", first.Msg.Hops)
+	}
+	for want := 11; want <= 14; want++ {
+		env := <-sink
+		if env.Msg.Hops != want {
+			t.Fatalf("survivor hops=%d, want %d (oldest must shed first)", env.Msg.Hops, want)
+		}
+	}
+	p.Close()
+}
+
+// TestCloseFlushesOutbox pins that messages queued before Close (e.g.
+// Leave's farewells) are flushed, not abandoned.
+func TestCloseFlushesOutbox(t *testing.T) {
+	t.Parallel()
+	netw := NewInMemoryNetwork()
+	a := spawn(t, netw, testConfig("a", 1))
+	b := spawn(t, netw, testConfig("b", 2))
+	if err := a.Connect("b"); err != nil {
+		t.Fatal(err)
+	}
+	a.Leave()
+	// b must learn about the departure: the disconnect was queued in a's
+	// outbox and has to survive the Close that follows Leave.
+	if !waitFor(t, 2*time.Second, func() bool { return b.Degree() == 0 }) {
+		t.Fatalf("b still lists a after a.Leave(): %v", b.Neighbors())
+	}
+}

@@ -20,8 +20,10 @@ func msDuration(ms int) time.Duration { return time.Duration(ms) * time.Millisec
 // overlay with real protocol messages, then snapshot it as a graph.Graph
 // and measure exactly what the paper measures.
 type Overlay struct {
-	// Net is the overlay's transport.
-	Net *InMemoryNetwork
+	// Net is the overlay's transport (a fresh InMemoryNetwork unless
+	// OverlayConfig.Transport supplied one — e.g. a FaultyNetwork for
+	// robustness experiments).
+	Net Network
 
 	cfg OverlayConfig
 
@@ -50,6 +52,10 @@ type OverlayConfig struct {
 	// peer (0-based) — the hook population experiments use to mix
 	// cooperative and uncooperative peers deterministically.
 	BehaviorFor func(i int) Behavior
+	// Transport, when non-nil, is the network the overlay runs on (e.g. a
+	// FaultyNetwork wrapping an InMemoryNetwork); nil means a fresh
+	// InMemoryNetwork. Shutdown closes it if it supports closing.
+	Transport Network
 }
 
 // NewOverlay returns an empty overlay on a fresh in-memory network.
@@ -66,8 +72,12 @@ func NewOverlay(cfg OverlayConfig) (*Overlay, error) {
 	if cfg.AddrPrefix == "" {
 		cfg.AddrPrefix = "peer"
 	}
+	net := cfg.Transport
+	if net == nil {
+		net = NewInMemoryNetwork()
+	}
 	return &Overlay{
-		Net:   NewInMemoryNetwork(),
+		Net:   net,
 		cfg:   cfg,
 		peers: make(map[string]*Peer),
 		rng:   xrand.New(cfg.Seed),
@@ -212,7 +222,9 @@ func (o *Overlay) Shutdown() {
 		}(p)
 	}
 	wg.Wait()
-	o.Net.Close()
+	if c, ok := o.Net.(interface{ Close() }); ok {
+		c.Close()
+	}
 }
 
 // Maintain implements the paper's §VI future work: peers whose degree has
@@ -255,6 +267,99 @@ func (o *Overlay) Maintain() int {
 		}
 	}
 	return repaired
+}
+
+// RecoveryReport describes how an overlay healed after failures: how
+// many maintenance rounds it took, how much re-wiring happened, and the
+// coverage-recovery trajectory (giant-component fraction per round).
+type RecoveryReport struct {
+	// Rounds counts maintenance rounds run; Repaired sums successful
+	// re-joins across them.
+	Rounds, Repaired int
+	// Recovered reports whether the surviving peers re-converged to one
+	// connected component within the round budget.
+	Recovered bool
+	// Coverage[i] is the giant-component fraction of live peers after
+	// round i — the coverage-recovery curve.
+	Coverage []float64
+	// Elapsed is the wall-clock time-to-reconnect (or the time spent
+	// before giving up).
+	Elapsed time.Duration
+}
+
+// Heal drives the overlay back to a connected topology after failures:
+// it runs Maintain rounds (prune dead links, re-join deficit peers by
+// the configured paper rule) until every live peer sits in one connected
+// component or maxRounds is exhausted, reporting time-to-reconnect and
+// the coverage recovery per round.
+func (o *Overlay) Heal(maxRounds int) RecoveryReport {
+	start := time.Now()
+	var rep RecoveryReport
+	for r := 0; r < maxRounds; r++ {
+		rep.Rounds++
+		rep.Repaired += o.Maintain()
+		frac := o.giantFraction()
+		rep.Coverage = append(rep.Coverage, frac)
+		if frac >= 1 {
+			rep.Recovered = true
+			break
+		}
+		// Degree repair alone cannot merge a partition whose sides are
+		// both internally healthy (every degree >= M, nothing deficits).
+		// Bridge one stranded peer into the giant component per round so
+		// coverage cannot plateau below 1 while peers are reachable.
+		if o.bridge() {
+			rep.Repaired++
+		}
+	}
+	rep.Elapsed = time.Since(start)
+	return rep
+}
+
+// bridge joins one peer from outside the giant component through a
+// member of it. Returns false when the overlay is already connected (or
+// too small to bridge).
+func (o *Overlay) bridge() bool {
+	g, idx := o.Snapshot()
+	if g.N() <= 1 {
+		return false
+	}
+	giant := g.GiantComponent()
+	if len(giant) == g.N() {
+		return false
+	}
+	inGiant := make([]bool, g.N())
+	for _, v := range giant {
+		inGiant[v] = true
+	}
+	addrOf := make([]string, g.N())
+	for a, id := range idx {
+		addrOf[id] = a
+	}
+	target := addrOf[giant[0]]
+	for id := 0; id < g.N(); id++ {
+		if inGiant[id] {
+			continue
+		}
+		joiner := o.Peer(addrOf[id])
+		if joiner == nil || target == joiner.Addr() {
+			continue
+		}
+		if _, err := joiner.Join(target, o.cfg.Strategy); err == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// giantFraction is the fraction of live peers inside the snapshot's
+// largest connected component (1 for an empty or single-peer overlay).
+func (o *Overlay) giantFraction() float64 {
+	g, _ := o.Snapshot()
+	if g.N() <= 1 {
+		return 1
+	}
+	return float64(len(g.GiantComponent())) / float64(g.N())
 }
 
 // Snapshot freezes the overlay topology into a graph.Graph for analysis.

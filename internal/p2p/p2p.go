@@ -97,6 +97,12 @@ type Config struct {
 	// drop messages and increment Stats.Dropped (unstructured overlays
 	// tolerate loss; searches are best-effort by design).
 	InboxSize int
+	// OutboxSize bounds the send queue drained by the peer's writer
+	// goroutine; 0 means DefaultOutboxSize. Under pressure the oldest
+	// queued message is shed and Stats.Shed incremented — old protocol
+	// traffic ages out fastest, and the dispatcher never blocks on a slow
+	// transport.
+	OutboxSize int
 	// DiscoverWindow is how long a discovery or query collects replies;
 	// 0 means DefaultDiscoverWindow.
 	DiscoverWindow time.Duration
@@ -152,6 +158,7 @@ func (b Behavior) Uncooperative() bool {
 // Defaults for optional Config fields.
 const (
 	DefaultInboxSize      = 4096
+	DefaultOutboxSize     = 4096
 	DefaultDiscoverWindow = 200 * time.Millisecond
 	DefaultMaxTTL         = 32
 )
@@ -178,6 +185,9 @@ type Stats struct {
 	Sent, Received int64
 	// Dropped counts messages lost to inbox overrun.
 	Dropped int64
+	// Shed counts outbound messages evicted from a full outbox (oldest
+	// first) before they reached the transport.
+	Shed int64
 	// QueriesSeen counts distinct query GUIDs processed.
 	QueriesSeen int64
 	// QueriesForwarded counts query transmissions initiated by this peer.

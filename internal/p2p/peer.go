@@ -24,6 +24,18 @@ type Peer struct {
 	stop  chan struct{}
 	done  chan struct{}
 
+	// Outbound path: send() enqueues, a single writer goroutine drains to
+	// the transport. A full outbox sheds its oldest entry (Stats.Shed), so
+	// the dispatcher and API callers never block on a slow transport (a
+	// TCP dial to a dead peer takes seconds; an in-memory send never
+	// should).
+	outMu      sync.Mutex
+	outCond    *sync.Cond
+	outbox     []Envelope
+	outHead    int
+	outClosed  bool
+	writerDone chan struct{}
+
 	mu        sync.Mutex
 	closed    bool
 	neighbors map[string]int      // addr -> last advertised degree
@@ -38,7 +50,7 @@ type Peer struct {
 
 // peerStats mirrors Stats with atomic counters.
 type peerStats struct {
-	sent, received, dropped          atomic.Int64
+	sent, received, dropped, shed    atomic.Int64
 	queriesSeen, queriesForwarded    atomic.Int64
 	hitsServed                       atomic.Int64
 	connectsAccepted, connectsDenied atomic.Int64
@@ -58,6 +70,9 @@ func NewPeer(cfg Config, net Network) (*Peer, error) {
 	if cfg.InboxSize <= 0 {
 		cfg.InboxSize = DefaultInboxSize
 	}
+	if cfg.OutboxSize <= 0 {
+		cfg.OutboxSize = DefaultOutboxSize
+	}
 	if cfg.DiscoverWindow <= 0 {
 		cfg.DiscoverWindow = DefaultDiscoverWindow
 	}
@@ -65,18 +80,20 @@ func NewPeer(cfg Config, net Network) (*Peer, error) {
 		cfg.MaxTTL = DefaultMaxTTL
 	}
 	p := &Peer{
-		cfg:       cfg,
-		net:       net,
-		inbox:     make(chan Envelope, cfg.InboxSize),
-		stop:      make(chan struct{}),
-		done:      make(chan struct{}),
-		neighbors: make(map[string]int),
-		keys:      make(map[string]struct{}, len(cfg.Keys)),
-		seen:      make(map[string]time.Time),
-		hitSent:   make(map[string]time.Time),
-		pending:   make(map[string]chan Message),
-		rng:       xrand.New(cfg.Seed),
+		cfg:        cfg,
+		net:        net,
+		inbox:      make(chan Envelope, cfg.InboxSize),
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+		writerDone: make(chan struct{}),
+		neighbors:  make(map[string]int),
+		keys:       make(map[string]struct{}, len(cfg.Keys)),
+		seen:       make(map[string]time.Time),
+		hitSent:    make(map[string]time.Time),
+		pending:    make(map[string]chan Message),
+		rng:        xrand.New(cfg.Seed),
 	}
+	p.outCond = sync.NewCond(&p.outMu)
 	for _, k := range cfg.Keys {
 		p.keys[k] = struct{}{}
 	}
@@ -84,6 +101,7 @@ func NewPeer(cfg Config, net Network) (*Peer, error) {
 		return nil, fmt.Errorf("register %s: %w", cfg.Addr, err)
 	}
 	go p.loop()
+	go p.writer()
 	return p, nil
 }
 
@@ -137,6 +155,7 @@ func (p *Peer) Stats() Stats {
 		Sent:             p.stats.sent.Load(),
 		Received:         p.stats.received.Load(),
 		Dropped:          p.stats.dropped.Load(),
+		Shed:             p.stats.shed.Load(),
 		QueriesSeen:      p.stats.queriesSeen.Load(),
 		QueriesForwarded: p.stats.queriesForwarded.Load(),
 		HitsServed:       p.stats.hitsServed.Load(),
@@ -146,7 +165,9 @@ func (p *Peer) Stats() Stats {
 }
 
 // Close shuts the peer down without notifying neighbors (a crash, in
-// protocol terms). Idempotent.
+// protocol terms). Idempotent. Messages already queued in the outbox
+// (e.g. Leave's disconnect notices) are flushed before the writer exits;
+// sends enqueued after Close begins are silently discarded.
 func (p *Peer) Close() {
 	p.mu.Lock()
 	if p.closed {
@@ -158,6 +179,11 @@ func (p *Peer) Close() {
 	p.net.Unregister(p.cfg.Addr)
 	close(p.stop)
 	<-p.done
+	p.outMu.Lock()
+	p.outClosed = true
+	p.outCond.Broadcast()
+	p.outMu.Unlock()
+	<-p.writerDone
 }
 
 // Leave departs gracefully: it tells every neighbor to drop the link
@@ -175,15 +201,68 @@ func (p *Peer) Leave() {
 	p.Close()
 }
 
-// send routes one message, counting and tolerating failures (best-effort
-// delivery; unstructured overlays are loss-tolerant).
+// send enqueues one message for the writer goroutine, shedding the
+// oldest queued message when the outbox is full (best-effort delivery;
+// unstructured overlays are loss-tolerant, and fresh traffic is worth
+// more than stale traffic).
 func (p *Peer) send(to string, msg Message) {
 	env := Envelope{From: p.cfg.Addr, To: to, Msg: msg}
-	if err := p.net.Send(env); err != nil {
-		p.stats.dropped.Add(1)
+	p.outMu.Lock()
+	if p.outClosed {
+		p.outMu.Unlock()
 		return
 	}
-	p.stats.sent.Add(1)
+	if len(p.outbox)-p.outHead >= p.cfg.OutboxSize {
+		p.outbox[p.outHead] = Envelope{}
+		p.outHead++
+		p.stats.shed.Add(1)
+	}
+	if p.outHead >= p.cfg.OutboxSize {
+		// Compact the consumed prefix so sustained shedding reuses the
+		// backing array instead of growing it without bound.
+		n := copy(p.outbox, p.outbox[p.outHead:])
+		for i := n; i < len(p.outbox); i++ {
+			p.outbox[i] = Envelope{}
+		}
+		p.outbox = p.outbox[:n]
+		p.outHead = 0
+	}
+	p.outbox = append(p.outbox, env)
+	p.outCond.Signal()
+	p.outMu.Unlock()
+}
+
+// writer is the single outbound goroutine: it drains the outbox to the
+// transport in FIFO order, counting successes and failures. It exits
+// only once the outbox is closed AND empty, so queued farewells flush on
+// Close.
+func (p *Peer) writer() {
+	defer close(p.writerDone)
+	for {
+		p.outMu.Lock()
+		for p.outHead == len(p.outbox) && !p.outClosed {
+			p.outCond.Wait()
+		}
+		if p.outHead == len(p.outbox) {
+			p.outMu.Unlock()
+			return // closed and drained
+		}
+		env := p.outbox[p.outHead]
+		p.outbox[p.outHead] = Envelope{}
+		p.outHead++
+		if p.outHead == len(p.outbox) {
+			// Reset the queue so the backing array is reused instead of
+			// growing without bound.
+			p.outbox = p.outbox[:0]
+			p.outHead = 0
+		}
+		p.outMu.Unlock()
+		if err := p.net.Send(env); err != nil {
+			p.stats.dropped.Add(1)
+			continue
+		}
+		p.stats.sent.Add(1)
+	}
 }
 
 // newID mints a request GUID unique across the peer's lifetime.
@@ -295,6 +374,18 @@ func (p *Peer) advertisedDegree(real int) int {
 		return fd
 	}
 	return real
+}
+
+// forgetNeighbor removes a link unilaterally — the neighbor is presumed
+// dead, so no Disconnect is sent. Reports whether a link was removed.
+func (p *Peer) forgetNeighbor(addr string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.neighbors[addr]; !ok {
+		return false
+	}
+	delete(p.neighbors, addr)
+	return true
 }
 
 func (p *Peer) refreshNeighborDegree(addr string, degree int) {

@@ -6,7 +6,10 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"scalefree/internal/xrand"
 )
 
 // TCPNetwork implements Network over real TCP sockets with newline-
@@ -17,6 +20,23 @@ import (
 type TCPNetwork struct {
 	// DialTimeout bounds connection establishment (default 2s).
 	DialTimeout time.Duration
+	// WriteTimeout bounds each frame write (default 2s); a peer that
+	// stops reading cannot wedge senders forever.
+	WriteTimeout time.Duration
+	// RetryMax is how many additional attempts Send makes after the first
+	// failure, re-dialing broken connections between attempts (default 2).
+	// Set negative for no retries.
+	RetryMax int
+	// BackoffBase and BackoffMax bound the capped exponential backoff
+	// between attempts (defaults 5ms and 250ms); each wait is jittered by
+	// a deterministic factor in [0.5, 1.0) drawn from a seeded stream.
+	BackoffBase, BackoffMax time.Duration
+
+	retries    atomic.Int64 // send attempts beyond the first
+	reconnects atomic.Int64 // broken connections dropped for re-dial
+
+	jitterMu sync.Mutex
+	jitter   *xrand.RNG
 
 	mu        sync.Mutex
 	listeners map[string]net.Listener
@@ -49,13 +69,33 @@ var _ Network = (*TCPNetwork)(nil)
 // NewTCPNetwork returns an empty TCP transport.
 func NewTCPNetwork() *TCPNetwork {
 	return &TCPNetwork{
-		DialTimeout: 2 * time.Second,
-		listeners:   make(map[string]net.Listener),
-		inboxes:     make(map[string]chan<- Envelope),
-		conns:       make(map[string]*tcpConn),
-		aliases:     make(map[string]string),
-		inbound:     make(map[net.Conn]string),
+		DialTimeout:  2 * time.Second,
+		WriteTimeout: 2 * time.Second,
+		RetryMax:     2,
+		BackoffBase:  5 * time.Millisecond,
+		BackoffMax:   250 * time.Millisecond,
+		jitter:       xrand.New(0x7463702d6a697474), // "tcp-jitt"
+		listeners:    make(map[string]net.Listener),
+		inboxes:      make(map[string]chan<- Envelope),
+		conns:        make(map[string]*tcpConn),
+		aliases:      make(map[string]string),
+		inbound:      make(map[net.Conn]string),
 	}
+}
+
+// TCPStats reports the transport's resilience activity.
+type TCPStats struct {
+	// Retries counts send attempts beyond the first (failed dial or
+	// failed write, followed by backoff).
+	Retries int64
+	// Reconnects counts cached connections dropped after a write failure,
+	// each re-dialed on the next attempt to that address.
+	Reconnects int64
+}
+
+// Stats returns a snapshot of the resilience counters.
+func (t *TCPNetwork) Stats() TCPStats {
+	return TCPStats{Retries: t.retries.Load(), Reconnects: t.reconnects.Load()}
 }
 
 // Register implements Network: it binds a TCP listener on addr (which may
@@ -211,27 +251,70 @@ func (t *TCPNetwork) Unregister(addr string) {
 }
 
 // Send implements Network: it reuses or dials a connection to env.To and
-// writes one JSON line. A stale cached connection is re-dialed once. An
-// unreachable peer surfaces as ErrUnknownPeer (from the dial); a write
-// that keeps failing on a freshly dialed connection surfaces the actual
-// encode error, so callers can tell the two apart.
+// writes one JSON line under a write deadline. Failed attempts — dial or
+// write — are retried up to RetryMax times with capped exponential
+// backoff and deterministic jitter; a broken cached connection is
+// dropped between attempts, so the retry path doubles as automatic
+// reconnect. An unreachable peer surfaces as ErrUnknownPeer (from the
+// last dial); a write that keeps failing on freshly dialed connections
+// surfaces the actual encode error, so callers can tell the two apart.
 func (t *TCPNetwork) Send(env Envelope) error {
 	var lastErr error
-	for attempt := 0; attempt < 2; attempt++ {
+	attempts := t.RetryMax + 1
+	if attempts < 1 {
+		attempts = 1
+	}
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			t.retries.Add(1)
+			t.backoff(attempt)
+		}
 		c, err := t.connTo(env.To)
 		if err != nil {
-			return err
+			if err == ErrPeerClosed {
+				return err
+			}
+			lastErr = err
+			continue
 		}
 		c.mu.Lock()
+		if t.WriteTimeout > 0 {
+			_ = c.conn.SetWriteDeadline(time.Now().Add(t.WriteTimeout))
+		}
 		err = c.enc.Encode(env)
 		c.mu.Unlock()
 		if err == nil {
 			return nil
 		}
-		lastErr = err
+		lastErr = fmt.Errorf("send %s: %w", env.To, err)
 		t.dropConn(env.To, c)
+		t.reconnects.Add(1)
 	}
-	return fmt.Errorf("send %s: %w", env.To, lastErr)
+	return lastErr
+}
+
+// backoff sleeps the capped exponential delay before retry `attempt`
+// (1-based), jittered by a factor in [0.5, 1.0) from a seeded stream so
+// backoff schedules are reproducible run to run.
+func (t *TCPNetwork) backoff(attempt int) {
+	d := t.BackoffBase
+	if d <= 0 {
+		return
+	}
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if t.BackoffMax > 0 && d >= t.BackoffMax {
+			d = t.BackoffMax
+			break
+		}
+	}
+	if t.BackoffMax > 0 && d > t.BackoffMax {
+		d = t.BackoffMax
+	}
+	t.jitterMu.Lock()
+	factor := 0.5 + 0.5*t.jitter.Float64()
+	t.jitterMu.Unlock()
+	time.Sleep(time.Duration(float64(d) * factor))
 }
 
 func (t *TCPNetwork) connTo(addr string) (*tcpConn, error) {

@@ -317,6 +317,77 @@ func TestTCPUnregisterClosesInbound(t *testing.T) {
 	}
 }
 
+// TestTCPReconnectAfterRemoteRestart pins the automatic-reconnect path:
+// a cached outbound connection broken by a remote restart must be
+// re-dialed by Send's retry loop, with the resilience counters showing
+// the reconnect.
+func TestTCPReconnectAfterRemoteRestart(t *testing.T) {
+	t.Parallel()
+	sender := NewTCPNetwork()
+	t.Cleanup(sender.Close)
+
+	remote := NewTCPNetwork()
+	inbox := make(chan Envelope, 16)
+	if err := remote.Register("127.0.0.1:0", inbox); err != nil {
+		t.Fatal(err)
+	}
+	addr := remote.ListenAddr("127.0.0.1:0")
+	if err := sender.Send(Envelope{From: "x", To: addr, Msg: Message{Kind: KindPing}}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-inbox:
+	case <-time.After(2 * time.Second):
+		t.Fatal("first envelope not delivered")
+	}
+
+	// Restart the remote on the same address: the sender's cached conn is
+	// now broken and must be replaced by the retry loop.
+	remote.Close()
+	restarted := NewTCPNetwork()
+	t.Cleanup(restarted.Close)
+	inbox2 := make(chan Envelope, 16)
+	if err := restarted.Register(addr, inbox2); err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+
+	// The first post-restart write may be absorbed by the kernel before
+	// the reset arrives, so send until one lands.
+	deadline := time.Now().Add(5 * time.Second)
+	delivered := false
+	for time.Now().Before(deadline) && !delivered {
+		_ = sender.Send(Envelope{From: "x", To: addr, Msg: Message{Kind: KindPing}})
+		select {
+		case <-inbox2:
+			delivered = true
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+	if !delivered {
+		t.Fatal("sender never reconnected to the restarted remote")
+	}
+	if st := sender.Stats(); st.Reconnects == 0 {
+		t.Fatalf("reconnect not recorded: %+v", st)
+	}
+}
+
+// TestTCPSendRetriesCountRetries pins that failed attempts increment the
+// retry counter and still surface the dial error.
+func TestTCPSendRetriesCountRetries(t *testing.T) {
+	t.Parallel()
+	tn := NewTCPNetwork()
+	t.Cleanup(tn.Close)
+	tn.BackoffBase = time.Millisecond
+	if err := tn.Send(Envelope{To: "127.0.0.1:1"}); err == nil {
+		t.Fatal("send to a dead address should fail")
+	} else if !errors.Is(err, ErrUnknownPeer) {
+		t.Fatalf("dial failure should surface as ErrUnknownPeer: %v", err)
+	}
+	if st := tn.Stats(); st.Retries != int64(tn.RetryMax) {
+		t.Fatalf("retries %d, want %d", st.Retries, tn.RetryMax)
+	}
+}
+
 // TestTCPRegisterAfterClose verifies the closed network rejects new
 // registrations instead of leaking listeners.
 func TestTCPRegisterAfterClose(t *testing.T) {

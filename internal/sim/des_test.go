@@ -48,6 +48,7 @@ func TestDESSpecsScheduleInvariant(t *testing.T) {
 	}{
 		{"desflood", DESFlood},
 		{"deskwalk", DESKWalk},
+		{"desfail", DESFail},
 	} {
 		spec := spec
 		t.Run(spec.name, func(t *testing.T) {

@@ -82,6 +82,14 @@ type Scale struct {
 	// DESLoss, when positive, pins the DES specs to that single message
 	// loss rate; zero sweeps the default series {0, 0.02, 0.10}.
 	DESLoss float64
+	// DESFailFrac, when positive, pins the desfail spec to that single
+	// failure fraction; zero sweeps the default series {0, 0.10, 0.20,
+	// 0.30}.
+	DESFailFrac float64
+	// DESFailMTBF sets the mean time before a selected element's
+	// down-window starts in the desfail spec; zero selects the default of
+	// 2 time units (mid-flight under the default unit-latency model).
+	DESFailMTBF float64
 }
 
 // PaperScale reproduces the paper's simulation parameters.
@@ -205,6 +213,7 @@ func Registry() []Spec {
 		{ID: "churn", Paper: "§VI (ext)", Description: "Join/leave dynamics: repair vs no-repair under balanced churn with kc", Run: Churn},
 		{ID: "desflood", Paper: "§V-A (DES ext)", Description: "Message-level DES flooding: coverage, latency-vs-hops, and message cost under per-edge latency and loss", Run: DESFlood},
 		{ID: "deskwalk", Paper: "§V-B1 (DES ext)", Description: "Message-level DES k-walkers: coverage vs steps under per-edge latency and loss", Run: DESKWalk},
+		{ID: "desfail", Paper: "§III/§V (DES ext)", Description: "Message-level DES robustness: flood and k-walk coverage under deterministic node-crash and link-partition schedules", Run: DESFail},
 	}
 }
 

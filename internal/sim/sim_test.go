@@ -25,7 +25,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
 		"table1", "table2", "messaging",
 		"attack", "delivery", "kwalk", "fairness", "strategies", "replication", "churn",
-		"desflood", "deskwalk",
+		"desflood", "deskwalk", "desfail",
 	}
 	reg := Registry()
 	if len(reg) != len(want) {

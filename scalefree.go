@@ -386,6 +386,38 @@ func NewInMemoryNetwork() *p2p.InMemoryNetwork { return p2p.NewInMemoryNetwork()
 // NewTCPNetwork returns a TCP transport (newline-delimited JSON frames).
 func NewTCPNetwork() *p2p.TCPNetwork { return p2p.NewTCPNetwork() }
 
+// Fault injection and self-healing (see internal/p2p).
+type (
+	// FaultyNetwork wraps any Network and injects drops, delays,
+	// duplicates, reorders, and named partitions from a deterministic
+	// seeded schedule. A zero FaultConfig is byte-transparent.
+	FaultyNetwork = p2p.FaultyNetwork
+	// FaultConfig parameterizes a FaultyNetwork.
+	FaultConfig = p2p.FaultConfig
+	// FaultStats counts what a FaultyNetwork did to the traffic.
+	FaultStats = p2p.FaultStats
+	// MaintainerConfig parameterizes heartbeat-driven maintenance.
+	MaintainerConfig = p2p.MaintainerConfig
+	// MaintainerReport is the maintenance loop's failure-detection and
+	// recovery metrics (time-to-reconnect, prune/repair counts).
+	MaintainerReport = p2p.MaintainerReport
+	// RecoveryReport is Overlay.Heal's outcome: rounds, repairs, and the
+	// coverage-recovery curve back to one connected component.
+	RecoveryReport = p2p.RecoveryReport
+)
+
+// NewFaultyNetwork wraps inner with the given fault schedule.
+func NewFaultyNetwork(inner Network, cfg FaultConfig) *FaultyNetwork {
+	return p2p.NewFaultyNetwork(inner, cfg)
+}
+
+// NewMaintainerWith starts background maintenance with explicit
+// failure-detection knobs (heartbeat interval, consecutive-miss
+// threshold); NewMaintainer is the legacy single-miss form.
+func NewMaintainerWith(p *Peer, cfg MaintainerConfig) *Maintainer {
+	return p2p.NewMaintainerWith(p, cfg)
+}
+
 // Content layer: items, Zipf popularity, and the Cohen–Shenker replication
 // strategies (paper refs [22], [23]), with random-walk expected-search-size
 // and flooding success-rate measurements.

@@ -3,7 +3,7 @@
 # the performance trajectory (benchmark name -> ns/op, B/op, allocs/op).
 #
 # Usage:
-#   scripts/bench.sh                 # writes BENCH_PR6.json
+#   scripts/bench.sh                 # writes BENCH_PR7.json
 #   scripts/bench.sh out.json        # custom output path
 #   BENCHTIME=2s scripts/bench.sh    # longer sampling (default 0.5s)
 #
@@ -18,6 +18,9 @@
 #   internal/des      message-level DES flood/k-walk vs the CSR flood
 #                     baseline on the same topology (0 allocs/op steady
 #                     state)
+#   internal/p2p      fault-injection overhead: raw InMemoryNetwork send
+#                     vs the zero-fault FaultyNetwork fast path (must sit
+#                     within noise) vs the full lossy draw path
 #   .                 end-to-end search throughput + the three-stage
 #                     (workers x source-shards x gen-workers) scheduler
 #                     grid
@@ -35,7 +38,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR6.json}"
+OUT="${1:-BENCH_PR7.json}"
 BENCHTIME="${BENCHTIME:-0.5s}"
 
 raw="$(mktemp)"
@@ -50,6 +53,7 @@ run ./internal/graph .
 run ./internal/search .
 run ./internal/metrics .
 run ./internal/des .
+run ./internal/p2p 'BenchmarkInMemorySend|BenchmarkFaultySend'
 run . 'BenchmarkSearches|BenchmarkWorkersScaling|BenchmarkExtDES'
 
 # The build pair runs a fixed iteration count instead of a time budget:

@@ -15,6 +15,8 @@
 //	experiments -mode des                                # message-level DES specs
 //	experiments -mode des -loss 0.05 -latency-jitter 2   # single loss rate, wider jitter
 //	experiments -mode des -exp desfail -fail-frac 0.2    # 20% failure sweep
+//	experiments -exp all -scale paper -resume            # continue a killed run
+//	experiments -exp fig9 -retries 2 -max-failed 1       # tolerate flaky realizations
 //
 // -workers bounds how many realizations are swept concurrently within
 // each experiment (default 0 = GOMAXPROCS), -source-shards bounds how many
@@ -36,6 +38,18 @@
 // MTBF 2). With -mode des and no explicit -exp, the DES spec family runs;
 // -exp still selects any spec.
 //
+// Crash safety (see EXPERIMENTS.md "Checkpoint / resume"): by default each
+// spec checkpoints completed realizations to <outdir>/<exp>.journal;
+// -resume replays them and produces byte-identical CSVs to an
+// uninterrupted run. -retries re-attempts failed realizations
+// deterministically, -max-failed absorbs permanent failures into partial
+// figures with explicit accounting, and -stall-timeout arms a watchdog
+// that dumps all goroutine stacks when no realization progresses.
+// SIGINT/SIGTERM stops at the next realization boundary, flushes the
+// journal and profiles, and exits with status 3 (distinct from status 1
+// errors); journals of interrupted or partial specs are kept, and clean
+// journals are removed only after the whole run succeeds.
+//
 // The xl scale runs an order of magnitude past the paper (10⁶-node degree
 // distributions, 10⁵-node search topologies) on the CSR-frozen read path;
 // with -exp left at its default it runs the degree-distribution flagship
@@ -43,18 +57,24 @@
 // superlinear in N.
 //
 // -cpuprofile and -memprofile write pprof profiles covering the selected
-// experiments, so performance PRs can attach flame-graph evidence.
+// experiments, so performance PRs can attach flame-graph evidence. All
+// artifacts — CSVs and profiles — are written to a temp file and renamed
+// into place, so no exit path can leave a truncated file.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"scalefree/internal/sim"
@@ -63,6 +83,9 @@ import (
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
+		if errors.Is(err, sim.ErrInterrupted) {
+			os.Exit(3) // partial run, resumable — distinct from hard failure
+		}
 		os.Exit(1)
 	}
 }
@@ -88,6 +111,11 @@ func run(args []string, stdout io.Writer) error {
 		loss       = fs.Float64("loss", 0, "DES message loss rate in [0,1); 0 sweeps the default series {0, 0.02, 0.10}")
 		failFrac   = fs.Float64("fail-frac", 0, "desfail failure fraction in [0,1); 0 sweeps the default series {0, 0.10, 0.20, 0.30}")
 		failMTBF   = fs.Float64("fail-mtbf", 0, "desfail mean time before a selected element goes down (0 = default 2 time units)")
+		checkpoint = fs.Bool("checkpoint", true, "journal completed realizations to <outdir>/<exp>.journal for -resume")
+		resume     = fs.Bool("resume", false, "resume from an existing journal: replay completed realizations, recompute the rest; output is byte-identical to an uninterrupted run")
+		retries    = fs.Int("retries", 1, "deterministic re-attempts per failed realization (panic or error) before it counts as permanently failed")
+		maxFailed  = fs.Int("max-failed", 0, "permanently failed realizations tolerated per experiment before aborting; survivors produce partial figures with explicit accounting")
+		stall      = fs.Duration("stall-timeout", 10*time.Minute, "dump all goroutine stacks if no realization progresses for this long (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -144,43 +172,54 @@ func run(args []string, stdout io.Writer) error {
 	default:
 		return fmt.Errorf("unknown mode %q (want csr or des)", *mode)
 	}
+	if *retries < 0 {
+		return fmt.Errorf("-retries %d must be >= 0", *retries)
+	}
+	if *maxFailed < 0 {
+		return fmt.Errorf("-max-failed %d must be >= 0", *maxFailed)
+	}
 
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
-		if err != nil {
-			return fmt.Errorf("cpuprofile: %w", err)
+	// Signals interrupt cooperatively: the first one cancels the run
+	// context, which the engines observe at realization boundaries so the
+	// journal stays a clean prefix; the second force-quits. The done
+	// channel unhooks everything on return — run() is also called from
+	// tests, which must not leak handlers.
+	ctx, cancel := context.WithCancelCause(context.Background())
+	defer cancel(nil)
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case s := <-sigc:
+			fmt.Fprintf(os.Stderr, "experiments: received %v; stopping at the next realization boundary (journal kept for -resume; repeat to force quit)\n", s)
+			cancel(fmt.Errorf("received %v", s))
+		case <-done:
+			return
 		}
-		defer func() {
-			if cerr := f.Close(); cerr != nil {
-				fmt.Fprintln(os.Stderr, "experiments: close cpuprofile:", cerr)
-			}
-		}()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			return fmt.Errorf("cpuprofile: %w", err)
+		select {
+		case s := <-sigc:
+			fmt.Fprintf(os.Stderr, "experiments: received %v again; forcing exit\n", s)
+			os.Exit(130)
+		case <-done:
 		}
-		defer pprof.StopCPUProfile()
+	}()
+
+	prof, err := startProfiler(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
 	}
-	if *memprofile != "" {
-		defer func() {
-			mf, err := os.Create(*memprofile)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
-				return
-			}
-			defer func() {
-				if cerr := mf.Close(); cerr != nil {
-					fmt.Fprintln(os.Stderr, "experiments: close memprofile:", cerr)
-				}
-			}()
-			runtime.GC() // materialize the steady-state heap before writing
-			if err := pprof.WriteHeapProfile(mf); err != nil {
-				fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
-			}
-		}()
-	}
+	// stop() runs on every exit path — interrupt, spec error, success — so
+	// profiles are finalized (and renamed into place) even when the run
+	// does not reach its happy path.
+	defer prof.stop()
 
 	if *verify {
-		return runVerify(stdout, sc, *seed)
+		scv := sc
+		scv.Run = sim.NewRunControl(ctx, *retries, *maxFailed, nil)
+		return runVerify(stdout, scv, *seed)
 	}
 
 	if *scale == "xl" && !expSet && *mode == "csr" {
@@ -209,12 +248,59 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("mkdir %s: %w", *outdir, err)
 	}
 
+	useJournal := *checkpoint || *resume
+	var cleanJournals []string
+	anyFailures := false
 	for _, spec := range specs {
 		start := time.Now()
 		fmt.Fprintf(os.Stderr, "running %s (%s: %s)...\n", spec.ID, spec.Paper, spec.Description)
-		figs, err := spec.Run(sc, *seed)
+		var j *sim.Journal
+		if useJournal {
+			var err error
+			j, err = sim.OpenJournal(filepath.Join(*outdir, spec.ID+".journal"), spec.ID, *seed, sc, *resume)
+			if err != nil {
+				return err
+			}
+			if n := j.Resumed(); n > 0 {
+				fmt.Fprintf(os.Stderr, "experiments: %s: resuming with %d journaled realization record(s)\n", spec.ID, n)
+			}
+		}
+		rc := sim.NewRunControl(ctx, *retries, *maxFailed, j)
+		stopWatch := rc.StartWatchdog(*stall, os.Stderr)
+		scRun := sc
+		scRun.Run = rc
+		figs, err := spec.Run(scRun, *seed)
+		stopWatch()
+		if cerr := j.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
 		if err != nil {
+			if useJournal && errors.Is(err, sim.ErrInterrupted) {
+				fmt.Fprintf(os.Stderr, "experiments: %s interrupted; journal kept at %s — rerun with -resume to continue\n", spec.ID, j.Path())
+			}
 			return fmt.Errorf("%s: %w", spec.ID, err)
+		}
+		if n := rc.Recovered(); n > 0 {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %d realization(s) recovered by retry\n", spec.ID, n)
+		}
+		if failures := rc.Failures(); len(failures) > 0 {
+			anyFailures = true
+			fmt.Fprintf(os.Stderr, "experiments: %s completed with %d permanently failed realization(s) within the -max-failed budget:\n", spec.ID, len(failures))
+			for _, fr := range failures {
+				fmt.Fprintf(os.Stderr, "  %s\n", fr)
+			}
+			note := fmt.Sprintf("PARTIAL: %d realization(s) failed permanently and are excluded from the averages", len(failures))
+			for i := range figs {
+				if figs[i].Notes != "" {
+					figs[i].Notes += "; "
+				}
+				figs[i].Notes += note
+			}
+			if useJournal {
+				fmt.Fprintf(os.Stderr, "experiments: journal kept at %s (failed realizations re-run on -resume)\n", j.Path())
+			}
+		} else if useJournal {
+			cleanJournals = append(cleanJournals, j.Path())
 		}
 		for _, fig := range figs {
 			path := filepath.Join(*outdir, fig.ID+".csv")
@@ -230,7 +316,77 @@ func run(args []string, stdout io.Writer) error {
 		}
 		fmt.Fprintf(os.Stderr, "%s done in %s (%d panels)\n", spec.ID, time.Since(start).Round(time.Millisecond), len(figs))
 	}
+	// Drop clean journals only now, after every selected spec succeeded:
+	// until this point a crash in spec k still resumes specs 0..k-1 for
+	// free (their journals replay fully). With any partial spec in the
+	// run, everything is kept so -resume can fill the holes.
+	if !anyFailures {
+		for _, p := range cleanJournals {
+			if err := os.Remove(p); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: remove journal:", err)
+			}
+		}
+	}
 	return nil
+}
+
+// profiler owns the pprof artifacts. Both profiles stream/land in a temp
+// file first and are renamed into place by stop(), which every exit path
+// reaches via defer — a crash or interrupt can leave a stray .tmp-* at
+// worst, never a truncated profile under the requested name.
+type profiler struct {
+	cpuPath, memPath string
+	cpuTmp           *os.File
+	stopped          bool
+}
+
+func startProfiler(cpuPath, memPath string) (*profiler, error) {
+	p := &profiler{cpuPath: cpuPath, memPath: memPath}
+	if cpuPath != "" {
+		f, err := os.CreateTemp(filepath.Dir(cpuPath), filepath.Base(cpuPath)+".tmp-*")
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			os.Remove(f.Name())
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		p.cpuTmp = f
+	}
+	return p, nil
+}
+
+// stop finalizes the profiles; idempotent so explicit calls and the defer
+// in run() compose.
+func (p *profiler) stop() {
+	if p == nil || p.stopped {
+		return
+	}
+	p.stopped = true
+	if p.cpuTmp != nil {
+		pprof.StopCPUProfile()
+		tmp := p.cpuTmp.Name()
+		err := p.cpuTmp.Sync()
+		if cerr := p.cpuTmp.Close(); err == nil {
+			err = cerr
+		}
+		if err == nil {
+			err = os.Rename(tmp, p.cpuPath)
+		}
+		if err != nil {
+			os.Remove(tmp)
+			fmt.Fprintln(os.Stderr, "experiments: cpuprofile:", err)
+		}
+	}
+	if p.memPath != "" {
+		runtime.GC() // materialize the steady-state heap before writing
+		if err := atomicWrite(p.memPath, func(f *os.File) error {
+			return pprof.WriteHeapProfile(f)
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
+		}
+	}
 }
 
 // runVerify checks every machine-checkable paper claim and reports
@@ -273,15 +429,33 @@ func runVerify(stdout io.Writer, sc sim.Scale, seed uint64) error {
 	return nil
 }
 
-func writeCSV(path string, fig sim.Figure) (err error) {
-	f, err := os.Create(path)
+// atomicWrite fills a temp file in path's directory and renames it into
+// place, so no reader (or crash) ever observes a truncated artifact.
+func atomicWrite(path string, fill func(f *os.File) error) error {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
 	if err != nil {
-		return fmt.Errorf("create %s: %w", path, err)
+		return fmt.Errorf("write %s: %w", path, err)
 	}
-	defer func() {
-		if cerr := f.Close(); cerr != nil && err == nil {
-			err = cerr
-		}
-	}()
-	return sim.WriteCSV(f, fig)
+	tmp := f.Name()
+	err = fill(f)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	return nil
+}
+
+func writeCSV(path string, fig sim.Figure) error {
+	return atomicWrite(path, func(f *os.File) error {
+		return sim.WriteCSV(f, fig)
+	})
 }

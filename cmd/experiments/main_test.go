@@ -128,3 +128,61 @@ func TestRunCommaSeparatedExperiments(t *testing.T) {
 		t.Logf("plot output: %.200s", buf.String())
 	}
 }
+
+func TestRunCleanSuccessLeavesNoJournalOrTemp(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	var buf strings.Builder
+	if err := run([]string{"-exp", "fig1c", "-outdir", dir, "-plot=false"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig1c.csv")); err != nil {
+		t.Fatal(err)
+	}
+	// Checkpointing is on by default, but a clean run must tidy up: no
+	// journals and no half-renamed .tmp-* files left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".journal") || strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("clean run left %s behind", e.Name())
+		}
+	}
+}
+
+func TestRunResumeWithoutJournalIsFreshRun(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	var buf strings.Builder
+	if err := run([]string{"-exp", "fig1c", "-outdir", dir, "-plot=false", "-resume"}, &buf); err != nil {
+		t.Fatalf("-resume on an empty outdir should run fresh: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig1c.csv")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunResumeRejectsCorruptJournal(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "fig1c.journal"), []byte("not a journal at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := run([]string{"-exp", "fig1c", "-outdir", dir, "-plot=false", "-resume"}, &buf); err == nil {
+		t.Fatal("resume from a corrupt journal should fail loudly, not silently recompute")
+	}
+}
+
+func TestRunRejectsNegativeSupervisionFlags(t *testing.T) {
+	t.Parallel()
+	var buf strings.Builder
+	if err := run([]string{"-retries", "-1"}, &buf); err == nil {
+		t.Fatal("-retries -1 should fail")
+	}
+	if err := run([]string{"-max-failed", "-1"}, &buf); err == nil {
+		t.Fatal("-max-failed -1 should fail")
+	}
+}

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -73,6 +74,13 @@ func run(args []string, out io.Writer) error {
 		keyList = strings.Split(*keys, ",")
 	}
 
+	// Arm signal handling before any overlay state exists, so SIGINT or
+	// SIGTERM at ANY point — mid-join, mid-query, or while serving — runs
+	// the deferred peer.Leave, and the flush-on-close outbox delivers the
+	// farewells instead of abandoning neighbors to their probe timeouts.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
 	net := scalefree.NewTCPNetwork()
 	defer net.Close()
 	peer, err := scalefree.NewPeer(scalefree.PeerConfig{
@@ -86,7 +94,9 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "peerd: listening on %s (m=%d kc=%d tau=%d keys=%v)\n", *listen, *m, *kc, *tau, keyList)
 
 	if *bootstrap != "" {
-		made, err := peer.Join(*bootstrap, strategy)
+		made, err := await(ctx, peer, out, func() (int, error) {
+			return peer.Join(*bootstrap, strategy)
+		})
 		if err != nil {
 			return fmt.Errorf("join via %s: %w", *bootstrap, err)
 		}
@@ -94,7 +104,9 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *query != "" {
-		res, err := peer.Query(*query, scalefree.SearchAlg(*alg), *ttl)
+		res, err := await(ctx, peer, out, func() (scalefree.QueryResult, error) {
+			return peer.Query(*query, scalefree.SearchAlg(*alg), *ttl)
+		})
 		if err != nil {
 			return err
 		}
@@ -106,8 +118,6 @@ func run(args []string, out io.Writer) error {
 		return nil
 	}
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	tick := time.NewTicker(*status)
 	defer tick.Stop()
 	for {
@@ -116,9 +126,35 @@ func run(args []string, out io.Writer) error {
 			st := peer.Stats()
 			fmt.Fprintf(out, "peerd: degree=%d sent=%d recv=%d queries=%d hits-served=%d\n",
 				peer.Degree(), st.Sent, st.Received, st.QueriesSeen, st.HitsServed)
-		case s := <-sig:
-			fmt.Fprintf(out, "peerd: %v, leaving overlay\n", s)
+		case <-ctx.Done():
+			fmt.Fprintf(out, "peerd: signal received, leaving overlay\n")
 			return nil
 		}
+	}
+}
+
+// await runs fn while watching for a shutdown signal. On signal it calls
+// peer.Leave — which unblocks an in-flight join or query (the peer stops
+// accepting and the outbox flushes farewells) — then reports the
+// operation's outcome. The fn goroutine always finishes: Leave forces its
+// error return, so nothing leaks past run().
+func await[T any](ctx context.Context, peer *scalefree.Peer, out io.Writer, fn func() (T, error)) (T, error) {
+	type result struct {
+		v   T
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		v, err := fn()
+		ch <- result{v, err}
+	}()
+	select {
+	case res := <-ch:
+		return res.v, res.err
+	case <-ctx.Done():
+		fmt.Fprintf(out, "peerd: signal received, leaving overlay\n")
+		peer.Leave()
+		res := <-ch
+		return res.v, res.err
 	}
 }

@@ -142,7 +142,7 @@ func checkHDSCutoffDependence(sc Scale, seed uint64) (bool, string, error) {
 		steps := sc.NSearch / 2
 		hdsHits := make([]float64, sc.Realizations*sc.Sources)
 		rwHits := make([]float64, sc.Realizations*sc.Sources)
-		err := forEachRealizationPipeline(sc.Workers, sc.SourceShards, sc.GenWorkers, sc.Realizations, seed+uint64(kc), func(r int, b *builder) (*graph.Frozen, error) {
+		err := forEachRealizationPipeline(engineOpts{rc: sc.Run}, sc.Workers, sc.SourceShards, sc.GenWorkers, sc.Realizations, seed+uint64(kc), func(r int, b *builder) (*graph.Frozen, error) {
 			return sweepTopo(factory, r, b)
 		}, func(r int, f *graph.Frozen, sw *sweeper) error {
 			return sw.Sources(uint64(r), sc.Sources, func(_, s int, rng *xrand.RNG, scratch *search.Scratch) error {

@@ -90,7 +90,7 @@ func TestDESFloodSweepMatchesCSR(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	curves, err := desSweep(factory, cfg, 0, 0, seed, 2, maxTTL+1,
+	curves, err := desSweep("destest", factory, cfg, 0, 0, seed, 2, maxTTL+1,
 		func(sim *des.Sim, v desTopo, src int, rng *xrand.RNG) (des.Metrics, error) {
 			return sim.Flood(v.f, src, des.Config{MaxTTL: maxTTL, Latency: v.lat}, rng)
 		},
@@ -123,7 +123,7 @@ func TestDESKWalkSweepMatchesCSR(t *testing.T) {
 	factory := paTopo(800, 2, gen.NoCutoff)
 	cfg := searchCfg{alg: algFL, maxTTL: steps, sources: 5, realizations: 2}
 	perSource := make([][]float64, cfg.realizations*cfg.sources)
-	err := forEachRealizationPipeline(cfg.workers, cfg.sourceShards, cfg.genWorkers, cfg.realizations, seed,
+	err := forEachRealizationPipeline(engineOpts{}, cfg.workers, cfg.sourceShards, cfg.genWorkers, cfg.realizations, seed,
 		func(r int, b *builder) (*graph.Frozen, error) {
 			return sweepTopo(factory, r, b)
 		},
@@ -149,7 +149,7 @@ func TestDESKWalkSweepMatchesCSR(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	curves, err := desSweep(factory, cfg, 0, 0, seed, 1, steps+1,
+	curves, err := desSweep("destest", factory, cfg, 0, 0, seed, 1, steps+1,
 		func(sim *des.Sim, v desTopo, src int, rng *xrand.RNG) (des.Metrics, error) {
 			return sim.KWalk(v.f, src, k, steps, des.Config{Latency: v.lat}, rng)
 		},

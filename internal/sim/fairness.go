@@ -48,7 +48,7 @@ func Fairness(sc Scale, seed uint64) ([]Figure, error) {
 			giniVals := make([]float64, sc.Realizations)
 			topVals := make([]float64, sc.Realizations)
 			factory := model.mk(kc)
-			err := forEachRealization(sc.Workers, sc.GenWorkers, sc.Realizations, seed+uint64(mi*1000+ci), func(r int, b *builder) error {
+			err := forEachRealization(engineOpts{rc: sc.Run}, sc.Workers, sc.GenWorkers, sc.Realizations, seed+uint64(mi*1000+ci), func(r int, b *builder) error {
 				g, err := factory(r, b)
 				if err != nil {
 					return err
@@ -83,7 +83,7 @@ func Fairness(sc Scale, seed uint64) ([]Figure, error) {
 		vals := make([]float64, sc.Realizations)
 		factory := paTopo(sc.NSearch, 2, kc)
 		queries := 8 * sc.Sources
-		err := forEachRealizationPipeline(sc.Workers, sc.SourceShards, sc.GenWorkers, sc.Realizations, seed+uint64(9000+ci), func(r int, b *builder) (*graph.Frozen, error) {
+		err := forEachRealizationPipeline(engineOpts{rc: sc.Run}, sc.Workers, sc.SourceShards, sc.GenWorkers, sc.Realizations, seed+uint64(9000+ci), func(r int, b *builder) (*graph.Frozen, error) {
 			return sweepTopo(factory, r, b)
 		}, func(r int, f *graph.Frozen, sw *sweeper) error {
 			// Each shard charges its own Load accumulator; integer merges

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"strings"
 
 	"scalefree/internal/gen"
 	"scalefree/internal/graph"
@@ -99,7 +100,9 @@ func dapaTopo(substrates []*graph.Frozen, nOverlay, m, kc, tauSub int) topoFacto
 // (DAPA's discovery floods), so the sorted ranges stay lazy.
 func makeSubstrates(n int, sc Scale, seed uint64) ([]*graph.Frozen, error) {
 	subs := make([]*graph.Frozen, sc.Realizations)
-	err := forEachRealization(sc.Workers, sc.GenWorkers, sc.Realizations, seed, func(r int, b *builder) error {
+	// Strict supervision (no partial flag): every series of the figure
+	// needs every substrate, so a permanently failed build is fatal.
+	err := forEachRealization(engineOpts{rc: sc.Run}, sc.Workers, sc.GenWorkers, sc.Realizations, seed, func(r int, b *builder) error {
 		f, _, err := gen.GRNFrozen(gen.GRNConfig{N: n, MeanDegree: 10}, b.gen())
 		if err != nil {
 			return err
@@ -120,19 +123,55 @@ func cutoffLabel(kc int) string {
 
 // mergedDegreeDist generates sc.Realizations networks and merges their
 // degree distributions, the paper's averaging procedure ("for every data
-// point 10 different realizations of the network have been used").
-func mergedDegreeDist(factory topoFactory, sc Scale, seed uint64) (stats.DegreeDist, error) {
+// point 10 different realizations of the network have been used"). tag
+// names this sweep in the journal (series label plus any knob that varies
+// under a shared seed); a journaled realization's histogram is replayed
+// verbatim and its build skipped, and realizations that permanently
+// failed within the budget merge with zero weight (MergeDegreeDists
+// weights by node count).
+func mergedDegreeDist(tag string, factory topoFactory, sc Scale, seed uint64) (stats.DegreeDist, error) {
+	rc := sc.Run
+	sub := journalTag(tag)
+	if err := rc.journalClaim(recDegreeHist, seed, sub, tag); err != nil {
+		return stats.DegreeDist{}, err
+	}
 	dists := make([]stats.DegreeDist, sc.Realizations)
-	err := forEachRealization(sc.Workers, sc.GenWorkers, sc.Realizations, seed, func(r int, b *builder) error {
+	var skip func(int) bool
+	if rc.journaling() {
+		done := make(map[int]bool, sc.Realizations)
+		for r := 0; r < sc.Realizations; r++ {
+			p, ok := rc.journalPayload(recDegreeHist, seed, sub, r)
+			if !ok {
+				continue
+			}
+			hist, ok := decodeHistogram(p)
+			if !ok {
+				continue // shape drift: treat as not completed, rebuild
+			}
+			dists[r] = stats.NewDegreeDist(hist)
+			done[r] = true
+		}
+		if len(done) > 0 {
+			skip = func(r int) bool { return done[r] }
+		}
+	}
+	err := forEachRealization(engineOpts{rc: rc, skip: skip, partial: true}, sc.Workers, sc.GenWorkers, sc.Realizations, seed, func(r int, b *builder) error {
 		f, err := factory(r, b)
 		if err != nil {
 			return err
 		}
-		dists[r] = stats.NewDegreeDist(f.DegreeHistogram())
+		hist := f.DegreeHistogram()
+		dists[r] = stats.NewDegreeDist(hist)
+		if rc.journaling() {
+			rc.journalAppend(recDegreeHist, seed, sub, r, encodeHistogram(hist))
+		}
 		return nil
 	})
 	if err != nil {
 		return stats.DegreeDist{}, err
+	}
+	for r := range rc.failedSet(seed) {
+		dists[r] = stats.DegreeDist{} // zero node weight: drops out of the merge
 	}
 	return stats.MergeDegreeDists(dists), nil
 }
@@ -180,20 +219,31 @@ type searchCfg struct {
 	kMin         int // NF fan-out; the paper uses the prescribed m
 	sources      int
 	realizations int
-	workers      int // concurrent sweeps; 0 = GOMAXPROCS
-	sourceShards int // concurrent sources per realization; 0 = automatic
-	genWorkers   int // pipelined build-stage bound; 0 = match workers
+	workers      int         // concurrent sweeps; 0 = GOMAXPROCS
+	sourceShards int         // concurrent sources per realization; 0 = automatic
+	genWorkers   int         // pipelined build-stage bound; 0 = match workers
+	run          *RunControl // supervision + journal; nil = unsupervised
+	tag          string      // journal-key prefix for panels whose series labels repeat across shared seeds (see sweepSeries)
+}
+
+// withTag returns the config with a journal-key prefix. Required when two
+// series in one spec share both an engine seed and a label format (e.g.
+// fig9's PA and HAPA m=1 panels): the prefix keeps their checkpoint keys
+// distinct so a resume cannot replay one panel's rows into the other.
+func (cfg searchCfg) withTag(tag string) searchCfg {
+	cfg.tag = tag
+	return cfg
 }
 
 // searchCfg wires a series configuration to the scale's workload and
-// scheduler knobs, so every spec passes Workers, SourceShards, and
-// GenWorkers through uniformly.
+// scheduler knobs (plus the run supervisor), so every spec passes
+// Workers, SourceShards, GenWorkers, and Run through uniformly.
 func (sc Scale) searchCfg(alg algKind, maxTTL, kMin int) searchCfg {
 	return searchCfg{
 		alg: alg, maxTTL: maxTTL, kMin: kMin,
 		sources: sc.Sources, realizations: sc.Realizations,
 		workers: sc.Workers, sourceShards: sc.SourceShards,
-		genWorkers: sc.GenWorkers,
+		genWorkers: sc.GenWorkers, run: sc.Run,
 	}
 }
 
@@ -232,8 +282,12 @@ func searchSeries(label string, factory topoFactory, cfg searchCfg, seed uint64)
 }
 
 // messageSeries is searchSeries for messaging complexity: y = mean number
-// of messages per search request at each τ (§V-B2).
+// of messages per search request at each τ (§V-B2). The "msgs" journal
+// prefix keeps its checkpoints apart from a hits series over the same
+// label and seed — Messaging measures both from one configuration, and
+// without the prefix their records would overwrite each other.
 func messageSeries(label string, factory topoFactory, cfg searchCfg, seed uint64) (Series, error) {
+	cfg = cfg.withTag(strings.TrimSpace("msgs " + cfg.tag))
 	return sweepSeries(label, factory, cfg, seed, func(res search.Result, row []float64) {
 		for t := range row {
 			row[t] = float64(res.MessagesAt(t))
@@ -247,43 +301,120 @@ func messageSeries(label string, factory topoFactory, cfg searchCfg, seed uint64
 // fans an earlier realization's sources out across the shard pool; the
 // per-(realization, source) curves land in index slots and reduce
 // deterministically.
+//
+// Under a journaling RunControl each completed realization's source rows
+// are checkpointed keyed by (seed, hash(cfg.tag + label), r) — the label
+// disambiguates series that share an engine seed, and cfg.tag
+// disambiguates panels that share both (journal.claim fails loudly if a
+// collision slips through anyway) — resumed realizations
+// replay those exact bits and skip the engine, and realizations that
+// permanently failed within the budget are dropped from the reduction
+// with explicit accounting upstream.
 func sweepSeries(label string, factory topoFactory, cfg searchCfg, seed uint64, sample func(res search.Result, row []float64)) (Series, error) {
+	rc := cfg.run
+	rowLen := cfg.maxTTL + 1
+	jl := label
+	if cfg.tag != "" {
+		jl = cfg.tag + ": " + label
+	}
+	sub := journalTag(jl)
+	if err := rc.journalClaim(recSweepSlots, seed, sub, jl); err != nil {
+		return Series{}, err
+	}
 	perSource := make([][]float64, cfg.realizations*cfg.sources)
-	err := forEachRealizationPipeline(cfg.workers, cfg.sourceShards, cfg.genWorkers, cfg.realizations, seed,
+	skip := replayRowBlocks(rc, recSweepSlots, seed, sub, cfg.realizations, cfg.sources, rowLen, func(r int, rows [][]float64) {
+		copy(perSource[r*cfg.sources:(r+1)*cfg.sources], rows)
+	})
+	err := forEachRealizationPipeline(engineOpts{rc: rc, skip: skip, partial: true},
+		cfg.workers, cfg.sourceShards, cfg.genWorkers, cfg.realizations, seed,
 		func(r int, b *builder) (*graph.Frozen, error) {
 			return sweepTopo(factory, r, b)
 		},
 		func(r int, f *graph.Frozen, sw *sweeper) error {
-			return sw.Sources(uint64(r), cfg.sources, func(_, s int, rng *xrand.RNG, scratch *search.Scratch) error {
+			err := sw.Sources(uint64(r), cfg.sources, func(_, s int, rng *xrand.RNG, scratch *search.Scratch) error {
 				src := rng.Intn(f.N())
 				res, err := cfg.runSearch(scratch, f, src, rng)
 				if err != nil {
 					return err
 				}
-				row := make([]float64, cfg.maxTTL+1)
+				row := make([]float64, rowLen)
 				sample(res, row)
 				perSource[r*cfg.sources+s] = row
 				return nil
 			})
+			if err != nil {
+				return err
+			}
+			if rc.journaling() {
+				rc.journalAppend(recSweepSlots, seed, sub, r,
+					encodeRowBlock(perSource[r*cfg.sources:(r+1)*cfg.sources], rowLen))
+			}
+			return nil
 		})
 	if err != nil {
 		return Series{}, fmt.Errorf("series %s: %w", label, err)
 	}
+	for r := range rc.failedSet(seed) {
+		for s := 0; s < cfg.sources; s++ {
+			perSource[r*cfg.sources+s] = nil // partial attempt bits must not average in
+		}
+	}
 	return aggregate(label, meanRows(perSource, cfg.realizations, cfg.sources), 1)
+}
+
+// replayRowBlocks restores journaled row-block records into a sweep's
+// slot array and returns the engine skip function covering them; nil when
+// nothing is replayable (not journaling, or no matching records).
+func replayRowBlocks(rc *RunControl, kind uint8, stream, sub uint64, realizations, nRows, rowLen int, restore func(r int, rows [][]float64)) func(int) bool {
+	if !rc.journaling() {
+		return nil
+	}
+	done := make(map[int]bool, realizations)
+	for r := 0; r < realizations; r++ {
+		p, ok := rc.journalPayload(kind, stream, sub, r)
+		if !ok {
+			continue
+		}
+		rows, ok := decodeRowBlock(p, nRows, rowLen)
+		if !ok {
+			continue // shape drift: treat as not completed, recompute
+		}
+		restore(r, rows)
+		done[r] = true
+	}
+	if len(done) == 0 {
+		return nil
+	}
+	return func(r int) bool { return done[r] }
 }
 
 // meanRows reduces per-(realization, source) rows (slot layout
 // r*sources+s) to per-realization means, summing in source order so the
-// result is bit-for-bit independent of how the sweep was scheduled.
+// result is bit-for-bit independent of how the sweep was scheduled. A
+// realization with any nil row (permanently failed within the budget,
+// cleared by the caller) reduces to a nil entry, which aggregate then
+// drops — the accumulation order over surviving rows is unchanged, so a
+// failure-free reduction is bit-identical to the unsupervised one.
 func meanRows(perSource [][]float64, realizations, sources int) [][]float64 {
 	perReal := make([][]float64, realizations)
 	for r := range perReal {
-		sums := make([]float64, len(perSource[r*sources]))
+		var sums []float64
+		dropped := false
 		for s := 0; s < sources; s++ {
 			row := perSource[r*sources+s]
+			if row == nil {
+				dropped = true
+				break
+			}
+			if sums == nil {
+				sums = make([]float64, len(row))
+			}
 			for t := range sums {
 				sums[t] += row[t]
 			}
+		}
+		if dropped || sums == nil {
+			continue
 		}
 		for t := range sums {
 			sums[t] /= float64(sources)
@@ -294,17 +425,26 @@ func meanRows(perSource [][]float64, realizations, sources int) [][]float64 {
 }
 
 // aggregate converts per-realization curves (indexed from 0) into a Series
-// starting at x = firstX, with mean and stddev across realizations.
+// starting at x = firstX, with mean and stddev across realizations. Nil
+// entries are dropped realizations (budgeted permanent failures); the
+// survivors aggregate in realization order, and a run with no failures is
+// bit-identical to the pre-supervision reduction.
 func aggregate(label string, perReal [][]float64, firstX int) (Series, error) {
-	if len(perReal) == 0 || len(perReal[0]) == 0 {
+	rows := make([][]float64, 0, len(perReal))
+	for _, row := range perReal {
+		if row != nil {
+			rows = append(rows, row)
+		}
+	}
+	if len(rows) == 0 || len(rows[0]) == 0 {
 		return Series{}, fmt.Errorf("sim: no data for series %s", label)
 	}
-	n := len(perReal[0])
+	n := len(rows[0])
 	s := Series{Label: label}
-	col := make([]float64, len(perReal))
+	col := make([]float64, len(rows))
 	for t := firstX; t < n; t++ {
-		for r := range perReal {
-			col[r] = perReal[r][t]
+		for r := range rows {
+			col[r] = rows[r][t]
 		}
 		s.Points = append(s.Points, Point{
 			X:   float64(t),
@@ -323,7 +463,7 @@ func aggregate(label string, perReal [][]float64, firstX int) (Series, error) {
 func exponentVsCutoff(label string, mk func(kc int) topoFactory, cutoffs []int, sc Scale, seed uint64) (Series, error) {
 	s := Series{Label: label}
 	for i, kc := range cutoffs {
-		d, err := mergedDegreeDist(mk(kc), sc, seed+uint64(i)*1000)
+		d, err := mergedDegreeDist(fmt.Sprintf("%s kc=%d", label, kc), mk(kc), sc, seed+uint64(i)*1000)
 		if err != nil {
 			return Series{}, fmt.Errorf("%s kc=%d: %w", label, kc, err)
 		}

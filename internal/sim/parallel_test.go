@@ -63,7 +63,7 @@ func TestForEachRealizationWorkerPool(t *testing.T) {
 	t.Parallel()
 	reference := func(n int, seed uint64) []uint64 {
 		out := make([]uint64, n)
-		if err := forEachRealization(1, 1, n, seed, func(r int, b *builder) error {
+		if err := forEachRealization(engineOpts{}, 1, 1, n, seed, func(r int, b *builder) error {
 			out[r] = b.rng.Uint64()
 			return nil
 		}); err != nil {
@@ -82,7 +82,7 @@ func TestForEachRealizationWorkerPool(t *testing.T) {
 			want := reference(tc.n, 42)
 			got := make([]uint64, tc.n)
 			ran := make([]atomic.Int32, tc.n)
-			err := forEachRealization(tc.workers, 0, tc.n, 42, func(r int, b *builder) error {
+			err := forEachRealization(engineOpts{}, tc.workers, 0, tc.n, 42, func(r int, b *builder) error {
 				ran[r].Add(1)
 				got[r] = b.rng.Uint64()
 				return nil
@@ -108,7 +108,7 @@ func TestForEachRealizationConcurrencyBounded(t *testing.T) {
 	t.Parallel()
 	const workers, n = 3, 24
 	var inFlight, peak atomic.Int32
-	err := forEachRealization(workers, 0, n, 7, func(r int, b *builder) error {
+	err := forEachRealization(engineOpts{}, workers, 0, n, 7, func(r int, b *builder) error {
 		cur := inFlight.Add(1)
 		for {
 			p := peak.Load()
@@ -138,7 +138,7 @@ func TestForEachRealizationScratchPerWorker(t *testing.T) {
 	const workers, n = 4, 32
 	var mu sync.Mutex
 	seen := make(map[*search.Scratch]int)
-	err := forEachRealizationPipeline(workers, 1, 1, n, 5,
+	err := forEachRealizationPipeline(engineOpts{}, workers, 1, 1, n, 5,
 		func(r int, b *builder) (int, error) { return r, nil },
 		func(r int, _ int, sw *sweeper) error {
 			scratch := sw.scratches[0]
@@ -171,7 +171,7 @@ func TestForEachRealizationScratchPerWorker(t *testing.T) {
 func TestForEachRealizationReturnsLowestIndexError(t *testing.T) {
 	t.Parallel()
 	errA, errB := errors.New("a"), errors.New("b")
-	err := forEachRealization(4, 0, 8, 1, func(r int, b *builder) error {
+	err := forEachRealization(engineOpts{}, 4, 0, 8, 1, func(r int, b *builder) error {
 		switch r {
 		case 3:
 			return errB

@@ -39,10 +39,40 @@ import (
 // bit-for-bit identical for every (Workers, SourceShards, GenWorkers)
 // combination, including fully serial runs.
 //
+// Supervision (PR 8): both engines take an engineOpts whose *RunControl
+// layers panic recovery, bounded deterministic retries, a
+// permanent-failure budget, and realization-boundary interruption over
+// the same dispatch loops. The zero engineOpts{} is the unsupervised
+// engine exactly as before: panics propagate, the first error aborts.
+// Retries cannot perturb results — a re-attempt re-derives realization
+// r's legacy stream from xrand.New(seed).SplitN(n)[r] (the failed attempt
+// may have consumed stream state) and runs on a fresh arena and a fresh
+// sweeper (the panic may have corrupted the shared scratch buffers
+// mid-write), so a surviving attempt deposits exactly the bits of a
+// never-failed run.
+//
 // Memory: up to 2·GenWorkers + Workers frozen snapshots can be alive at
 // once (building + queued + being swept), versus Workers for the PR 3
 // scheduler. Builds that must stay lean can set GenWorkers=1, which still
 // overlaps one build with the sweeps.
+
+// engineOpts threads supervision into the realization engines.
+type engineOpts struct {
+	// rc supervises the run; nil = unsupervised (pre-PR-8 semantics).
+	rc *RunControl
+	// skip reports realizations already journaled by a previous run; the
+	// engine counts them as progress and never dispatches them. The caller
+	// that supplies skip is responsible for replaying the journaled slots
+	// into its reduction. May be nil.
+	skip func(r int) bool
+	// partial marks a journaled sweep whose reduction drops permanently
+	// failed realizations with explicit accounting, so failures within the
+	// -max-failed budget are absorbed instead of aborting. Strict callers
+	// (everything that averages without a drop path) leave it false and
+	// keep failures fatal — silently averaging a zeroed realization would
+	// corrupt figures.
+	partial bool
+}
 
 // builder carries one realization's build-phase context: the phase-stream
 // derivation root, the legacy per-realization stream, and the
@@ -125,13 +155,24 @@ func newBuilder(seed uint64, r int, rng *xrand.RNG, intra int, arena *graph.CSRA
 	}
 }
 
+// retryRNG re-derives realization r's legacy stream exactly as the
+// dispatch loop derived rngs[r], so a retry starts from pristine stream
+// state no matter how much of it a failed attempt consumed.
+func retryRNG(seed uint64, n, r int) *xrand.RNG {
+	return xrand.New(seed).SplitN(n)[r]
+}
+
 // forEachRealizationPipeline is the pipelined engine for specs with a
 // build/sweep split: build(r) generates and freezes realization r's
 // topology (returning the snapshot value the sweep needs), sweep(r)
 // queries it through the per-worker sweeper. Build errors skip the sweep;
 // the lowest-index error wins, whichever stage it came from, exactly as a
-// sequential run would have reported first.
-func forEachRealizationPipeline[T any](workers, shards, genWorkers, n int, seed uint64,
+// sequential run would have reported first. Under a RunControl, panics
+// become errors, failed realizations are retried end-to-end (a sweep
+// failure rebuilds the topology: the snapshot may carry consumed phase
+// streams), cancellation stops dispatch at realization boundaries, and
+// journaled-complete realizations are skipped.
+func forEachRealizationPipeline[T any](o engineOpts, workers, shards, genWorkers, n int, seed uint64,
 	build func(r int, b *builder) (T, error),
 	sweep func(r int, v T, sw *sweeper) error) error {
 	if n <= 0 {
@@ -169,15 +210,38 @@ func forEachRealizationPipeline[T any](workers, shards, genWorkers, n int, seed 
 			// ever serves two builds at once.
 			arena := graph.NewCSRArena()
 			for {
+				if o.rc.interrupted() != nil {
+					return
+				}
 				r := int(bnext.Add(1)) - 1
 				if r >= n {
 					return
 				}
-				v, err := build(r, newBuilder(seed, r, rngs[r], intra, arena))
-				if err != nil {
-					errs[r] = err
+				if o.skip != nil && o.skip(r) {
+					o.rc.noteProgress()
 					continue
 				}
+				v, err := protectCall(o.rc, func() (T, error) {
+					return build(r, newBuilder(seed, r, rngs[r], intra, arena))
+				})
+				attempts := 1
+				for err != nil && attempts < o.rc.maxAttempts() && o.rc.interrupted() == nil {
+					attempts++
+					v, err = protectCall(o.rc, func() (T, error) {
+						// Fresh stream and fresh arena: the failed attempt
+						// may have consumed rngs[r] or corrupted the shared
+						// buffers mid-panic.
+						return build(r, newBuilder(seed, r, retryRNG(seed, n, r), intra, graph.NewCSRArena()))
+					})
+				}
+				if err != nil {
+					errs[r] = o.rc.absorbFailure(seed, r, attempts, err, o.partial)
+					continue
+				}
+				if attempts > 1 {
+					o.rc.noteRecovered()
+				}
+				o.rc.noteProgress()
 				ready <- snapshot{r: r, v: v}
 			}
 		}()
@@ -194,11 +258,50 @@ func forEachRealizationPipeline[T any](workers, shards, genWorkers, n int, seed 
 			defer swg.Done()
 			sw := newSweeper(seed, shards)
 			for snap := range ready {
-				errs[snap.r] = sweep(snap.r, snap.v, sw)
+				if o.rc.interrupted() != nil {
+					// Keep draining so builders blocked on the bounded
+					// queue can observe the interrupt instead of
+					// deadlocking against it.
+					continue
+				}
+				snap := snap
+				err := protectErr(o.rc, func() error { return sweep(snap.r, snap.v, sw) })
+				attempts := 1
+				if err != nil {
+					// The failed sweep may have corrupted this worker's
+					// sweeper scratches mid-write; replace it before any
+					// other realization touches it.
+					sw = newSweeper(seed, shards)
+				}
+				for err != nil && attempts < o.rc.maxAttempts() && o.rc.interrupted() == nil {
+					attempts++
+					err = protectErr(o.rc, func() error {
+						// Retry the realization end-to-end: the snapshot may
+						// carry phase streams the failed sweep already
+						// consumed, so only a rebuild restores pristine
+						// state. Fresh arena and sweeper for the same reason.
+						v, berr := build(snap.r, newBuilder(seed, snap.r, retryRNG(seed, n, snap.r), intra, graph.NewCSRArena()))
+						if berr != nil {
+							return berr
+						}
+						return sweep(snap.r, v, newSweeper(seed, shards))
+					})
+				}
+				if err != nil {
+					errs[snap.r] = o.rc.absorbFailure(seed, snap.r, attempts, err, o.partial)
+					continue
+				}
+				if attempts > 1 {
+					o.rc.noteRecovered()
+				}
+				o.rc.noteProgress()
 			}
 		}()
 	}
 	swg.Wait()
+	if err := o.rc.interrupted(); err != nil {
+		return err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -216,8 +319,9 @@ func forEachRealizationPipeline[T any](workers, shards, genWorkers, n int, seed 
 // generators parallelize internally when realizations are scarcer than
 // the build budget. Determinism: b.rng is derived solely from (seed, r)
 // and b.phases from (seed, r, phase); results land in per-index slots, so
-// neither worker count nor scheduling order perturbs results.
-func forEachRealization(workers, genWorkers, n int, seed uint64, fn func(r int, b *builder) error) error {
+// neither worker count nor scheduling order perturbs results. Supervision
+// via engineOpts mirrors the pipelined engine's.
+func forEachRealization(o engineOpts, workers, genWorkers, n int, seed uint64, fn func(r int, b *builder) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -247,15 +351,42 @@ func forEachRealization(workers, genWorkers, n int, seed uint64, fn func(r int, 
 			defer wg.Done()
 			arena := graph.NewCSRArena()
 			for {
+				if o.rc.interrupted() != nil {
+					return
+				}
 				r := int(next.Add(1)) - 1
 				if r >= n {
 					return
 				}
-				errs[r] = fn(r, newBuilder(seed, r, rngs[r], intra, arena))
+				if o.skip != nil && o.skip(r) {
+					o.rc.noteProgress()
+					continue
+				}
+				err := protectErr(o.rc, func() error {
+					return fn(r, newBuilder(seed, r, rngs[r], intra, arena))
+				})
+				attempts := 1
+				for err != nil && attempts < o.rc.maxAttempts() && o.rc.interrupted() == nil {
+					attempts++
+					err = protectErr(o.rc, func() error {
+						return fn(r, newBuilder(seed, r, retryRNG(seed, n, r), intra, graph.NewCSRArena()))
+					})
+				}
+				if err != nil {
+					errs[r] = o.rc.absorbFailure(seed, r, attempts, err, o.partial)
+					continue
+				}
+				if attempts > 1 {
+					o.rc.noteRecovered()
+				}
+				o.rc.noteProgress()
 			}
 		}()
 	}
 	wg.Wait()
+	if err := o.rc.interrupted(); err != nil {
+		return err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err

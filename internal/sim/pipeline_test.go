@@ -86,11 +86,11 @@ func TestGenWorkersDeterminismParallelGenerators(t *testing.T) {
 	run := func(genWorkers int) [2]interface{} {
 		s := sc
 		s.GenWorkers = genWorkers
-		cm, err := mergedDegreeDist(cmTopo(s.NDegree, 2, 40, 2.5), s, 77)
+		cm, err := mergedDegreeDist("cm", cmTopo(s.NDegree, 2, 40, 2.5), s, 77)
 		if err != nil {
 			t.Fatal(err)
 		}
-		dapa, err := mergedDegreeDist(dapaTopo(subsFor(genWorkers), s.NOverlay, 2, 40, 6), s, 78)
+		dapa, err := mergedDegreeDist("dapa", dapaTopo(subsFor(genWorkers), s.NOverlay, 2, 40, 6), s, 78)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -111,7 +111,7 @@ func TestGenWorkersDeterminismParallelGenerators(t *testing.T) {
 func TestPipelineLowestIndexError(t *testing.T) {
 	t.Parallel()
 	errBuild, errSweep := errors.New("build"), errors.New("sweep")
-	err := forEachRealizationPipeline(4, 1, 2, 8, 1,
+	err := forEachRealizationPipeline(engineOpts{}, 4, 1, 2, 8, 1,
 		func(r int, b *builder) (int, error) {
 			if r == 5 {
 				return 0, errBuild
@@ -127,7 +127,7 @@ func TestPipelineLowestIndexError(t *testing.T) {
 	if err != errSweep {
 		t.Fatalf("err = %v, want the lowest-index error %v (sweep at r=2 beats build at r=5)", err, errSweep)
 	}
-	err = forEachRealizationPipeline(4, 1, 2, 8, 1,
+	err = forEachRealizationPipeline(engineOpts{}, 4, 1, 2, 8, 1,
 		func(r int, b *builder) (int, error) {
 			if r == 2 {
 				return 0, errBuild
@@ -151,7 +151,7 @@ func TestPipelineErrorSkipsSweep(t *testing.T) {
 	t.Parallel()
 	errBuild := errors.New("build")
 	var swept [8]atomic.Int32
-	err := forEachRealizationPipeline(2, 1, 2, 8, 1,
+	err := forEachRealizationPipeline(engineOpts{}, 2, 1, 2, 8, 1,
 		func(r int, b *builder) (int, error) {
 			if r == 3 {
 				return 0, errBuild
@@ -190,7 +190,7 @@ func TestPipelineConcurrencyBounds(t *testing.T) {
 			}
 		}
 	}
-	err := forEachRealizationPipeline(workers, 1, genWorkers, n, 7,
+	err := forEachRealizationPipeline(engineOpts{}, workers, 1, genWorkers, n, 7,
 		func(r int, b *builder) (int, error) {
 			peak(buildIn.Add(1), &buildPeak)
 			_ = b.rng.Uint64()
@@ -223,7 +223,7 @@ func TestPipelineRunsEachRealizationOnce(t *testing.T) {
 	} {
 		built := make([]atomic.Int32, tc.n)
 		swept := make([]atomic.Int32, tc.n)
-		err := forEachRealizationPipeline(tc.workers, 1, tc.genWorkers, tc.n, 7,
+		err := forEachRealizationPipeline(engineOpts{}, tc.workers, 1, tc.genWorkers, tc.n, 7,
 			func(r int, b *builder) (int, error) {
 				built[r].Add(1)
 				return r, nil
@@ -260,7 +260,7 @@ func TestBuilderContract(t *testing.T) {
 	for r, s := range root.SplitN(n) {
 		wantRNG[r] = s.Uint64()
 	}
-	err := forEachRealization(2, 4, n, seed, func(r int, b *builder) error {
+	err := forEachRealization(engineOpts{}, 2, 4, n, seed, func(r int, b *builder) error {
 		if got := b.rng.Uint64(); got != wantRNG[r] {
 			t.Errorf("realization %d legacy stream is not the r-th root split", r)
 		}
@@ -287,7 +287,7 @@ func TestBuilderContract(t *testing.T) {
 // side must never trigger the lazy init).
 func TestFrozenTopoEagerSorted(t *testing.T) {
 	t.Parallel()
-	err := forEachRealizationPipeline(1, 1, 2, 2, 9,
+	err := forEachRealizationPipeline(engineOpts{}, 1, 1, 2, 2, 9,
 		func(r int, b *builder) (*graph.Frozen, error) {
 			return sweepTopo(paTopo(300, 2, gen.NoCutoff), r, b)
 		},

@@ -90,6 +90,14 @@ type Scale struct {
 	// down-window starts in the desfail spec; zero selects the default of
 	// 2 time units (mid-flight under the default unit-latency model).
 	DESFailMTBF float64
+	// Run supervises the realization engines: panic recovery, bounded
+	// retries, failure budgets, checkpoint/resume via the journal, and
+	// realization-boundary interruption. nil (the default) runs
+	// unsupervised. Run NEVER affects the numbers — retries re-derive
+	// pristine per-realization streams and replayed checkpoints are the
+	// original bits — it only decides whether a run survives failures and
+	// where it may stop.
+	Run *RunControl
 }
 
 // PaperScale reproduces the paper's simulation parameters.

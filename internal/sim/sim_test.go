@@ -56,7 +56,7 @@ func TestForEachRealizationDeterministic(t *testing.T) {
 	t.Parallel()
 	run := func() []uint64 {
 		out := make([]uint64, 8)
-		err := forEachRealization(0, 0, 8, 42, func(r int, b *builder) error {
+		err := forEachRealization(engineOpts{}, 0, 0, 8, 42, func(r int, b *builder) error {
 			out[r] = b.rng.Uint64()
 			return nil
 		})
@@ -75,7 +75,7 @@ func TestForEachRealizationDeterministic(t *testing.T) {
 
 func TestForEachRealizationPropagatesError(t *testing.T) {
 	t.Parallel()
-	err := forEachRealization(2, 0, 4, 1, func(r int, b *builder) error {
+	err := forEachRealization(engineOpts{}, 2, 0, 4, 1, func(r int, b *builder) error {
 		if r == 2 {
 			return errTest
 		}

@@ -45,7 +45,7 @@ func Churn(sc Scale, seed uint64) ([]Figure, error) {
 		hitRows := make([][]float64, sc.Realizations)
 		msgs := make([]float64, sc.Realizations)
 		var xs []float64
-		err := forEachRealization(sc.Workers, sc.GenWorkers, sc.Realizations, seed+uint64(pi)*2713, func(r int, b *builder) error {
+		err := forEachRealization(engineOpts{rc: sc.Run}, sc.Workers, sc.GenWorkers, sc.Realizations, seed+uint64(pi)*2713, func(r int, b *builder) error {
 			// The churn trace is one long event sequence; it draws from the
 			// realization's legacy stream, sequential by nature.
 			rng := b.rng

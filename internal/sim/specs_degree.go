@@ -19,7 +19,7 @@ func Fig1a(sc Scale, seed uint64) ([]Figure, error) {
 		XLabel: "k", YLabel: "P(k)", LogX: true, LogY: true,
 	}
 	for _, m := range []int{1, 2, 3} {
-		d, err := mergedDegreeDist(paTopo(sc.NDegree, m, gen.NoCutoff), sc, seed+uint64(m))
+		d, err := mergedDegreeDist(fmt.Sprintf("fig1a m=%d", m), paTopo(sc.NDegree, m, gen.NoCutoff), sc, seed+uint64(m))
 		if err != nil {
 			return nil, err
 		}
@@ -51,7 +51,7 @@ func Fig1b(sc Scale, seed uint64) ([]Figure, error) {
 		{3, gen.NoCutoff}, {3, 100}, {2, 40}, {2, 20}, {2, 10},
 	}
 	for i, c := range combos {
-		d, err := mergedDegreeDist(paTopo(sc.NDegree, c.m, c.kc), sc, seed+uint64(i)*101)
+		d, err := mergedDegreeDist(fmt.Sprintf("fig1b m=%d %s", c.m, cutoffLabel(c.kc)), paTopo(sc.NDegree, c.m, c.kc), sc, seed+uint64(i)*101)
 		if err != nil {
 			return nil, err
 		}
@@ -101,7 +101,12 @@ func Fig2(sc Scale, seed uint64) ([]Figure, error) {
 		}
 		for _, m := range []int{1, 2, 3} {
 			for _, kc := range []int{gen.NoCutoff, 40, 10} {
+				// The tag is load-bearing here: distinct (pi, m, kc) combos
+				// can collide on the same derived seed (e.g. pi=0,m=1,kc=10
+				// and pi=0,m=2,no-cutoff both give seed+20), so the journal
+				// key needs the legend to tell them apart.
 				d, err := mergedDegreeDist(
+					fmt.Sprintf("%s m=%d %s", fig.ID, m, cutoffLabel(kc)),
 					cmTopo(sc.NDegree, m, kc, gamma),
 					sc, seed+uint64(pi*100+m*10+kc),
 				)
@@ -138,7 +143,7 @@ func Fig3(sc Scale, seed uint64) ([]Figure, error) {
 		}
 		for _, n := range sizes {
 			for _, m := range []int{1, 2, 3} {
-				d, err := mergedDegreeDist(hapaTopo(n, m, kc), sc, seed+uint64(pi*1000+n+m))
+				d, err := mergedDegreeDist(fmt.Sprintf("%s m=%d N=%d", fig.ID, m, n), hapaTopo(n, m, kc), sc, seed+uint64(pi*1000+n+m))
 				if err != nil {
 					return nil, err
 				}
@@ -176,6 +181,7 @@ func Fig4(sc Scale, seed uint64) ([]Figure, error) {
 			panel++
 			for _, tau := range taus {
 				d, err := mergedDegreeDist(
+					fmt.Sprintf("%s tau=%d", fig.ID, tau),
 					dapaTopo(substrates, sc.NOverlay, m, kc, tau),
 					sc, seed+uint64(panel*1000+tau),
 				)

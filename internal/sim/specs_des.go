@@ -62,13 +62,39 @@ type desTopo struct {
 // in slot order. run executes the simulation with the source's stream;
 // sample extracts the curves from the run's Metrics before the next
 // simulation invalidates them.
-func desSweep(factory topoFactory, cfg searchCfg, base, jitter float64, seed uint64, nCurves, rowLen int,
+//
+// tag names this sweep in the journal. It is load-bearing here: the DES
+// specs deliberately share one engine seed across their loss/failure
+// series to isolate the knob against identical topologies, so the seed
+// alone cannot key a checkpoint — the tag carries the knob. A journaled
+// realization replays all nCurves × sources rows bit-for-bit.
+func desSweep(tag string, factory topoFactory, cfg searchCfg, base, jitter float64, seed uint64, nCurves, rowLen int,
 	run func(sim *des.Sim, v desTopo, src int, rng *xrand.RNG) (des.Metrics, error),
 	sample func(m des.Metrics, rows [][]float64),
 ) ([][][]float64, error) {
+	rc := cfg.run
+	sub := journalTag(tag)
+	if err := rc.journalClaim(recDESSlots, seed, sub, tag); err != nil {
+		return nil, err
+	}
 	rs := cfg.realizations * cfg.sources
 	perSource := make([][]float64, nCurves*rs)
-	err := forEachRealizationPipeline(cfg.workers, cfg.sourceShards, cfg.genWorkers, cfg.realizations, seed,
+	// Journal layout: one record per realization holding nCurves × sources
+	// rows, curve-major, matching the slot strides below.
+	gather := func(r int) [][]float64 {
+		rows := make([][]float64, 0, nCurves*cfg.sources)
+		for c := 0; c < nCurves; c++ {
+			rows = append(rows, perSource[c*rs+r*cfg.sources:c*rs+(r+1)*cfg.sources]...)
+		}
+		return rows
+	}
+	skip := replayRowBlocks(rc, recDESSlots, seed, sub, cfg.realizations, nCurves*cfg.sources, rowLen, func(r int, rows [][]float64) {
+		for c := 0; c < nCurves; c++ {
+			copy(perSource[c*rs+r*cfg.sources:c*rs+(r+1)*cfg.sources], rows[c*cfg.sources:(c+1)*cfg.sources])
+		}
+	})
+	err := forEachRealizationPipeline(engineOpts{rc: rc, skip: skip, partial: true},
+		cfg.workers, cfg.sourceShards, cfg.genWorkers, cfg.realizations, seed,
 		func(r int, b *builder) (desTopo, error) {
 			f, err := sweepTopo(factory, r, b)
 			if err != nil {
@@ -77,7 +103,7 @@ func desSweep(factory topoFactory, cfg searchCfg, base, jitter float64, seed uin
 			return desTopo{f: f, lat: des.Latency{Base: base, Jitter: jitter, Phases: b.phases}}, nil
 		},
 		func(r int, v desTopo, sw *sweeper) error {
-			return sw.Sources(uint64(r), cfg.sources, func(shard, s int, rng *xrand.RNG, _ *search.Scratch) error {
+			err := sw.Sources(uint64(r), cfg.sources, func(shard, s int, rng *xrand.RNG, _ *search.Scratch) error {
 				src := rng.Intn(v.f.N())
 				m, err := run(sw.Sim(shard), v, src, rng)
 				if err != nil {
@@ -93,9 +119,23 @@ func desSweep(factory topoFactory, cfg searchCfg, base, jitter float64, seed uin
 				}
 				return nil
 			})
+			if err != nil {
+				return err
+			}
+			if rc.journaling() {
+				rc.journalAppend(recDESSlots, seed, sub, r, encodeRowBlock(gather(r), rowLen))
+			}
+			return nil
 		})
 	if err != nil {
 		return nil, err
+	}
+	for r := range rc.failedSet(seed) {
+		for c := 0; c < nCurves; c++ {
+			for s := 0; s < cfg.sources; s++ {
+				perSource[c*rs+r*cfg.sources+s] = nil
+			}
+		}
 	}
 	out := make([][][]float64, nCurves)
 	for c := range out {
@@ -138,7 +178,7 @@ func DESFlood(sc Scale, seed uint64) ([]Figure, error) {
 	}
 	for _, loss := range sc.desLossRates() {
 		loss := loss
-		curves, err := desSweep(factory, cfg, base, jitter, seed, 3, maxTTL+1,
+		curves, err := desSweep("desflood "+lossLabel(loss), factory, cfg, base, jitter, seed, 3, maxTTL+1,
 			func(sim *des.Sim, v desTopo, src int, rng *xrand.RNG) (des.Metrics, error) {
 				return sim.Flood(v.f, src, des.Config{MaxTTL: maxTTL, Latency: v.lat, Loss: loss}, rng)
 			},
@@ -187,7 +227,7 @@ func DESKWalk(sc Scale, seed uint64) ([]Figure, error) {
 	for _, k := range []int{1, 4, 16} {
 		for _, loss := range sc.desLossRates() {
 			k, loss := k, loss
-			curves, err := desSweep(factory, cfg, base, jitter, seed, 1, steps+1,
+			curves, err := desSweep(fmt.Sprintf("deskwalk k=%d %s", k, lossLabel(loss)), factory, cfg, base, jitter, seed, 1, steps+1,
 				func(sim *des.Sim, v desTopo, src int, rng *xrand.RNG) (des.Metrics, error) {
 					return sim.KWalk(v.f, src, k, steps, des.Config{Latency: v.lat, Loss: loss}, rng)
 				},

@@ -39,7 +39,7 @@ func Attack(sc Scale, seed uint64) ([]Figure, error) {
 			label := fmt.Sprintf("%s, %s", cutoffLabel(kc), strat)
 			curves := make([][]float64, sc.Realizations)
 			var xs []float64
-			err := forEachRealization(sc.Workers, sc.GenWorkers, sc.Realizations, seed+uint64(kc)*31+uint64(strat), func(r int, b *builder) error {
+			err := forEachRealization(engineOpts{rc: sc.Run}, sc.Workers, sc.GenWorkers, sc.Realizations, seed+uint64(kc)*31+uint64(strat), func(r int, b *builder) error {
 				g, _, err := gen.PABuild(gen.PAConfig{N: sc.NSearch, M: 2, KC: kc}, b.gen())
 				if err != nil {
 					return err
@@ -105,7 +105,7 @@ func Delivery(sc Scale, seed uint64) ([]Figure, error) {
 		flFound := make([]bool, sc.Realizations*pairs)
 		rwTimes := make([]int, sc.Realizations*pairs)
 		rwFound := make([]bool, sc.Realizations*pairs)
-		err := forEachRealizationPipeline(sc.Workers, sc.SourceShards, sc.GenWorkers, sc.Realizations, seed+uint64(si)*977, func(r int, b *builder) (*graph.Frozen, error) {
+		err := forEachRealizationPipeline(engineOpts{rc: sc.Run}, sc.Workers, sc.SourceShards, sc.GenWorkers, sc.Realizations, seed+uint64(si)*977, func(r int, b *builder) (*graph.Frozen, error) {
 			f, _, err := gen.CMFrozen(gen.CMConfig{N: n, M: 2, Gamma: 2.2}, b.gen())
 			if err != nil {
 				return nil, err
@@ -243,7 +243,7 @@ func KWalk(sc Scale, seed uint64) ([]Figure, error) {
 	for vi, v := range variants {
 		v := v
 		perSource := make([][]float64, sc.Realizations*sc.Sources)
-		err := forEachRealizationPipeline(sc.Workers, sc.SourceShards, sc.GenWorkers, sc.Realizations, seed+uint64(vi)*4099, func(r int, b *builder) (*graph.Frozen, error) {
+		err := forEachRealizationPipeline(engineOpts{rc: sc.Run}, sc.Workers, sc.SourceShards, sc.GenWorkers, sc.Realizations, seed+uint64(vi)*4099, func(r int, b *builder) (*graph.Frozen, error) {
 			return sweepTopo(factory, r, b)
 		}, func(r int, f *graph.Frozen, sw *sweeper) error {
 			return sw.Sources(uint64(r), sc.Sources, func(_, s int, rng *xrand.RNG, scratch *search.Scratch) error {

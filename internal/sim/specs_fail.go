@@ -92,7 +92,7 @@ func DESFail(sc Scale, seed uint64) ([]Figure, error) {
 		}
 		for _, p := range panels {
 			p := p
-			curves, err := desSweep(factory, cfg, base, jitter, seed, 1, maxTTL+1,
+			curves, err := desSweep(p.fig.ID+" "+failLabel(frac), factory, cfg, base, jitter, seed, 1, maxTTL+1,
 				func(sim *des.Sim, v desTopo, src int, rng *xrand.RNG) (des.Metrics, error) {
 					return sim.Flood(v.f, src, des.Config{MaxTTL: maxTTL, Latency: v.lat, Fail: p.plan(v.lat.Phases)}, rng)
 				},
@@ -110,7 +110,7 @@ func DESFail(sc Scale, seed uint64) ([]Figure, error) {
 			}
 			p.fig.Series = append(p.fig.Series, s)
 		}
-		curves, err := desSweep(factory, cfg, base, jitter, seed, 1, steps+1,
+		curves, err := desSweep("desfail-kwalk "+failLabel(frac), factory, cfg, base, jitter, seed, 1, steps+1,
 			func(sim *des.Sim, v desTopo, src int, rng *xrand.RNG) (des.Metrics, error) {
 				fail := des.FailPlan{NodeFrac: frac, MTBF: mtbf, Phases: v.lat.Phases}
 				return sim.KWalk(v.f, src, 4, steps, des.Config{Latency: v.lat, Fail: fail}, rng)

@@ -56,7 +56,7 @@ func Replication(sc Scale, seed uint64) ([]Figure, error) {
 				fg  *graph.Frozen
 				rep *xrand.RNG
 			}
-			err := forEachRealizationPipeline(sc.Workers, sc.SourceShards, sc.GenWorkers, sc.Realizations, seed+uint64(si)*6151+uint64(kc), func(r int, b *builder) (replTopo, error) {
+			err := forEachRealizationPipeline(engineOpts{rc: sc.Run}, sc.Workers, sc.SourceShards, sc.GenWorkers, sc.Realizations, seed+uint64(si)*6151+uint64(kc), func(r int, b *builder) (replTopo, error) {
 				g, _, err := gen.PABuild(gen.PAConfig{N: sc.NSearch, M: m, KC: kc}, b.gen())
 				if err != nil {
 					return replTopo{}, err

@@ -148,7 +148,11 @@ func nfRwPanels(sc Scale, seed uint64, alg algKind, figBase string, titleAlg str
 				s, err := searchSeries(
 					fmt.Sprintf("m=%d, %s", m, cutoffLabel(kc)),
 					paTopo(sc.NSearch, m, kc),
-					sc.searchCfg(alg, sc.MaxTTLNF, searchKMin(m)),
+					// The panel-id tag keeps the PA and HAPA m=1 panels'
+					// checkpoint keys apart: both use offset 0 into the
+					// shared seed AND the same "m=%d, %s" labels, so
+					// without it a resume would swap their rows.
+					sc.searchCfg(alg, sc.MaxTTLNF, searchKMin(m)).withTag(id),
 					seed+uint64(i*100000+m*1000+kc),
 				)
 				if err != nil {
@@ -172,7 +176,7 @@ func nfRwPanels(sc Scale, seed uint64, alg algKind, figBase string, titleAlg str
 					s, err := searchSeries(
 						fmt.Sprintf("m=%d, gamma=%.1f, %s", m, gamma, cutoffLabel(kc)),
 						cmTopo(sc.NSearch, m, kc, gamma),
-						sc.searchCfg(alg, sc.MaxTTLNF, searchKMin(m)),
+						sc.searchCfg(alg, sc.MaxTTLNF, searchKMin(m)).withTag(id),
 						seed+uint64(i*200000+m*1000+kc+int(gamma*10)),
 					)
 					if err != nil {
@@ -196,7 +200,7 @@ func nfRwPanels(sc Scale, seed uint64, alg algKind, figBase string, titleAlg str
 				s, err := searchSeries(
 					fmt.Sprintf("m=%d, %s", m, cutoffLabel(kc)),
 					hapaTopo(sc.NSearch, m, kc),
-					sc.searchCfg(alg, sc.MaxTTLNF, searchKMin(m)),
+					sc.searchCfg(alg, sc.MaxTTLNF, searchKMin(m)).withTag(id),
 					seed+uint64(i*300000+m*1000+kc),
 				)
 				if err != nil {

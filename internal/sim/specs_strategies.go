@@ -123,7 +123,7 @@ func Strategies(sc Scale, seed uint64) ([]Figure, error) {
 		for vi, v := range variants {
 			v := v
 			perSource := make([][]float64, sc.Realizations*sc.Sources)
-			err := forEachRealizationPipeline(sc.Workers, sc.SourceShards, sc.GenWorkers, sc.Realizations, seed+uint64(vi)*7919+uint64(kc), func(r int, b *builder) (*graph.Frozen, error) {
+			err := forEachRealizationPipeline(engineOpts{rc: sc.Run}, sc.Workers, sc.SourceShards, sc.GenWorkers, sc.Realizations, seed+uint64(vi)*7919+uint64(kc), func(r int, b *builder) (*graph.Frozen, error) {
 				return sweepTopo(factory, r, b)
 			}, func(r int, f *graph.Frozen, sw *sweeper) error {
 				return sw.Sources(uint64(r), sc.Sources, func(_, s int, rng *xrand.RNG, scratch *search.Scratch) error {

@@ -60,7 +60,7 @@ func Table1(sc Scale, seed uint64) ([]Figure, error) {
 		s := Series{Label: reg.label}
 		for _, n := range sizes {
 			means := make([]float64, sc.Realizations)
-			err := forEachRealization(sc.Workers, sc.GenWorkers, sc.Realizations, seed+uint64(ri*1000+n), func(r int, b *builder) error {
+			err := forEachRealization(engineOpts{rc: sc.Run}, sc.Workers, sc.GenWorkers, sc.Realizations, seed+uint64(ri*1000+n), func(r int, b *builder) error {
 				f, err := reg.mk(n)(r, b)
 				if err != nil {
 					return err

@@ -1,0 +1,339 @@
+package sim
+
+// Run supervision for the realization engines: panic recovery, bounded
+// retries, a permanent-failure budget, cooperative interruption, and a
+// stall watchdog. A *RunControl rides into the engines via engineOpts
+// (cmd/experiments threads it through Scale.Run); every method is
+// nil-receiver-safe, so library callers and tests that pass no control
+// get exactly the pre-supervision behavior: panics propagate, the first
+// error aborts, nothing is journaled.
+//
+// Retries are deterministic by construction: a failed realization r is
+// re-attempted from a freshly derived xrand.New(seed).SplitN(n)[r] stream
+// and a fresh arena/sweeper, so a transient failure's surviving attempt
+// produces the same bits the realization would have produced had it never
+// failed — the supervision layer cannot perturb figures, only omit
+// explicitly-accounted realizations from them.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInterrupted marks a run stopped cleanly at a realization boundary by
+// signal/context cancellation. cmd/experiments maps it to a distinct
+// partial-run exit status.
+var ErrInterrupted = errors.New("sim: run interrupted")
+
+// FailureRecord is one permanently failed realization: which sweep
+// (engine seed), which realization, how many attempts were burned, the
+// final error, and — when the failure was a recovered panic — the stack.
+type FailureRecord struct {
+	Stream      uint64
+	Realization int
+	Attempts    int
+	Err         string
+	Stack       string
+}
+
+func (fr FailureRecord) String() string {
+	return fmt.Sprintf("realization %d of stream %#x failed after %d attempt(s): %s",
+		fr.Realization, fr.Stream, fr.Attempts, fr.Err)
+}
+
+// panicError carries a recovered panic value and its stack through the
+// error-returning retry path.
+type panicError struct {
+	val   any
+	stack []byte
+}
+
+func (p *panicError) Error() string { return fmt.Sprintf("panic: %v", p.val) }
+
+// protectCall runs fn, converting a panic into a *panicError. When rc is
+// nil there is no supervisor to hand the failure to, so the panic
+// propagates exactly as before.
+func protectCall[T any](rc *RunControl, fn func() (T, error)) (out T, err error) {
+	if rc == nil {
+		return fn()
+	}
+	defer func() {
+		if v := recover(); v != nil {
+			err = &panicError{val: v, stack: debug.Stack()}
+		}
+	}()
+	return fn()
+}
+
+// protectErr is protectCall for error-only callbacks.
+func protectErr(rc *RunControl, fn func() error) error {
+	_, err := protectCall(rc, func() (struct{}, error) { return struct{}{}, fn() })
+	return err
+}
+
+// RunControl supervises the realization engines of one experiment run.
+type RunControl struct {
+	ctx       context.Context
+	retries   int
+	maxFailed int
+	journal   *Journal
+
+	progress  atomic.Int64
+	recovered atomic.Int64
+
+	mu       sync.Mutex
+	failures []FailureRecord
+	failedBy map[uint64]map[int]bool
+	abort    error
+}
+
+// NewRunControl builds a supervisor: ctx stops the run at realization
+// boundaries, retries is the number of re-attempts per failed realization,
+// maxFailed the budget of permanently failed realizations a journaled
+// sweep may absorb before the run aborts, and j (optional) the journal
+// that checkpoints completed realizations and failure records.
+func NewRunControl(ctx context.Context, retries, maxFailed int, j *Journal) *RunControl {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if retries < 0 {
+		retries = 0
+	}
+	if maxFailed < 0 {
+		maxFailed = 0
+	}
+	return &RunControl{
+		ctx:       ctx,
+		retries:   retries,
+		maxFailed: maxFailed,
+		journal:   j,
+		failedBy:  map[uint64]map[int]bool{},
+	}
+}
+
+// interrupted reports why the run should stop dispatching realizations:
+// a cancelled context or an armed failure-budget abort. Engines check it
+// before every dispatch, so cancellation lands at realization boundaries.
+func (rc *RunControl) interrupted() error {
+	if rc == nil {
+		return nil
+	}
+	rc.mu.Lock()
+	abort := rc.abort
+	rc.mu.Unlock()
+	if abort != nil {
+		return abort
+	}
+	if rc.ctx.Err() != nil {
+		return fmt.Errorf("%w (%v)", ErrInterrupted, context.Cause(rc.ctx))
+	}
+	return nil
+}
+
+// maxAttempts is how many times a realization may run: 1 without a
+// supervisor, retries+1 with one.
+func (rc *RunControl) maxAttempts() int {
+	if rc == nil {
+		return 1
+	}
+	return rc.retries + 1
+}
+
+// noteProgress feeds the stall watchdog: any realization-level step
+// (build done, sweep done, skip, failure) counts as progress.
+func (rc *RunControl) noteProgress() {
+	if rc != nil {
+		rc.progress.Add(1)
+	}
+}
+
+// noteRecovered counts a realization that failed at least once but
+// succeeded on retry.
+func (rc *RunControl) noteRecovered() {
+	if rc != nil {
+		rc.recovered.Add(1)
+	}
+}
+
+// Progress returns the monotone progress counter (exported for tests and
+// external watchdogs).
+func (rc *RunControl) Progress() int64 {
+	if rc == nil {
+		return 0
+	}
+	return rc.progress.Load()
+}
+
+// Recovered reports how many realizations succeeded only after a retry.
+func (rc *RunControl) Recovered() int64 {
+	if rc == nil {
+		return 0
+	}
+	return rc.recovered.Load()
+}
+
+// Failures returns a copy of the permanent failure records accumulated so
+// far (this run only; resumed failure records live on the Journal).
+func (rc *RunControl) Failures() []FailureRecord {
+	if rc == nil {
+		return nil
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return append([]FailureRecord(nil), rc.failures...)
+}
+
+// absorbFailure records a realization that failed all its attempts.
+// For journaled sweeps (partial=true) the failure is absorbed while the
+// permanent-failure count stays within maxFailed — the sweep continues and
+// the reduction drops the realization with explicit accounting; past the
+// budget the run arms an abort. Strict callers (partial=false) and
+// unsupervised runs get the wrapped cause back, which aborts the engine
+// exactly like any realization error always has.
+func (rc *RunControl) absorbFailure(stream uint64, r, attempts int, cause error, partial bool) error {
+	if rc == nil {
+		// Unsupervised engines report the callback's error untouched,
+		// exactly as they always have.
+		return cause
+	}
+	wrapped := fmt.Errorf("sim: realization %d (stream %#x) failed after %d attempt(s): %w", r, stream, attempts, cause)
+	fr := FailureRecord{Stream: stream, Realization: r, Attempts: attempts, Err: cause.Error()}
+	var pe *panicError
+	if errors.As(cause, &pe) {
+		fr.Stack = string(pe.stack)
+	}
+	// Best effort: the failure record is for post-mortems and resume-time
+	// accounting, not correctness (it does not mark the realization done).
+	rc.journal.append(journalKey{kind: recFailure, stream: stream, r: r}, encodeFailure(fr))
+	rc.noteProgress()
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	rc.failures = append(rc.failures, fr)
+	if !partial {
+		return wrapped
+	}
+	set := rc.failedBy[stream]
+	if set == nil {
+		set = map[int]bool{}
+		rc.failedBy[stream] = set
+	}
+	set[r] = true
+	if len(rc.failures) > rc.maxFailed {
+		if rc.abort == nil {
+			rc.abort = fmt.Errorf("sim: %d permanently failed realization(s) exceed the -max-failed budget of %d (last: %w)",
+				len(rc.failures), rc.maxFailed, cause)
+		}
+		return rc.abort
+	}
+	return nil
+}
+
+// failedSet returns the realizations of one sweep that permanently failed
+// within budget, so the sweep's reduction can drop them explicitly.
+func (rc *RunControl) failedSet(stream uint64) map[int]bool {
+	if rc == nil {
+		return nil
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	set := rc.failedBy[stream]
+	if len(set) == 0 {
+		return nil
+	}
+	out := make(map[int]bool, len(set))
+	for r := range set {
+		out[r] = true
+	}
+	return out
+}
+
+// journaling reports whether completed realizations should be checkpointed.
+func (rc *RunControl) journaling() bool {
+	return rc != nil && rc.journal != nil
+}
+
+// journalClaim registers a (kind, stream, sub) record family under its
+// human-readable tag, failing loudly on a collision with a different
+// series (see Journal.claim). No-op when not journaling.
+func (rc *RunControl) journalClaim(kind uint8, stream, sub uint64, tag string) error {
+	if !rc.journaling() {
+		return nil
+	}
+	return rc.journal.claim(journalClaimKey{kind: kind, stream: stream, sub: sub}, tag)
+}
+
+// journalPayload fetches a resumed record for (kind, stream, sub, r).
+func (rc *RunControl) journalPayload(kind uint8, stream, sub uint64, r int) ([]byte, bool) {
+	if !rc.journaling() {
+		return nil, false
+	}
+	p, ok := rc.journal.resumed[journalKey{kind: kind, stream: stream, sub: sub, r: r}]
+	return p, ok
+}
+
+// journalAppend checkpoints one completed realization's contribution. A
+// nil payload (encoder refused) is skipped; append errors are sticky on
+// the journal and surface through Flush/Close in cmd/experiments.
+func (rc *RunControl) journalAppend(kind uint8, stream, sub uint64, r int, payload []byte) {
+	if !rc.journaling() || payload == nil {
+		return
+	}
+	rc.journal.append(journalKey{kind: kind, stream: stream, sub: sub, r: r}, payload)
+}
+
+// StartWatchdog arms a stall watchdog: if the progress counter does not
+// move for a full window, all goroutine stacks are dumped to out (then the
+// watchdog re-arms, so a genuinely stuck run dumps once per window). The
+// returned stop function disarms it. window <= 0 disables the watchdog.
+func (rc *RunControl) StartWatchdog(window time.Duration, out io.Writer) (stop func()) {
+	if rc == nil || window <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	go func() {
+		step := window / 4
+		if step <= 0 {
+			step = time.Millisecond
+		}
+		tick := time.NewTicker(step)
+		defer tick.Stop()
+		last := rc.progress.Load()
+		quietSince := time.Now()
+		for {
+			select {
+			case <-done:
+				return
+			case now := <-tick.C:
+				cur := rc.progress.Load()
+				if cur != last {
+					last = cur
+					quietSince = now
+					continue
+				}
+				if now.Sub(quietSince) < window {
+					continue
+				}
+				buf := make([]byte, 1<<20)
+				for {
+					n := runtime.Stack(buf, true)
+					if n < len(buf) {
+						buf = buf[:n]
+						break
+					}
+					buf = make([]byte, 2*len(buf))
+				}
+				fmt.Fprintf(out, "sim: watchdog: no realization progress for %s; goroutine dump follows\n%s\n", window, buf)
+				quietSince = now // re-arm
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}

@@ -51,10 +51,14 @@
 // journals are removed only after the whole run succeeds.
 //
 // The xl scale runs an order of magnitude past the paper (10⁶-node degree
-// distributions, 10⁵-node search topologies) on the CSR-frozen read path;
-// with -exp left at its default it runs the degree-distribution flagship
-// rather than the full registry, since several extension experiments are
-// superlinear in N.
+// distributions, 10⁵-node search topologies) on the CSR-frozen read path,
+// and covers the full registry: the formerly superlinear specs run on
+// estimators with published uncertainty — batched Brandes–Pich pivot
+// betweenness for the attack spec (-bc-pivots), landmark BFS path
+// statistics for table1 (-path-landmarks/-path-pairs), and capped
+// random-walk delivery budgets with truncation accounting (-walk-cap).
+// See EXPERIMENTS.md "Estimators & budgets" for the agreement-gate
+// contract behind each.
 //
 // -cpuprofile and -memprofile write pprof profiles covering the selected
 // experiments, so performance PRs can attach flame-graph evidence. All
@@ -116,6 +120,10 @@ func run(args []string, stdout io.Writer) error {
 		retries    = fs.Int("retries", 1, "deterministic re-attempts per failed realization (panic or error) before it counts as permanently failed")
 		maxFailed  = fs.Int("max-failed", 0, "permanently failed realizations tolerated per experiment before aborting; survivors produce partial figures with explicit accounting")
 		stall      = fs.Duration("stall-timeout", 10*time.Minute, "dump all goroutine stacks if no realization progresses for this long (0 disables)")
+		bcPivots   = fs.Int("bc-pivots", 0, "attack spec: Brandes-Pich pivots per batched betweenness step (0 = scale default; >= N prices steps with exact Brandes)")
+		pathLand   = fs.Int("path-landmarks", 0, "table1: landmark BFS passes for estimated path stats (0 = scale default; exact sampled BFS when the scale sets none)")
+		pathPairs  = fs.Int("path-pairs", 0, "table1: sampled node pairs per realization for the landmark estimator (0 = scale default)")
+		walkCap    = fs.Int("walk-cap", 0, "delivery spec: cap per-pair random-walk budget at min(200*N, cap) steps (0 = scale default; truncations are reported in figure notes)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -148,6 +156,28 @@ func run(args []string, stdout io.Writer) error {
 	sc.Workers = *workers
 	sc.SourceShards = *shards
 	sc.GenWorkers = *genWorkers
+	for name, v := range map[string]int{
+		"-bc-pivots": *bcPivots, "-path-landmarks": *pathLand,
+		"-path-pairs": *pathPairs, "-walk-cap": *walkCap,
+	} {
+		if v < 0 {
+			return fmt.Errorf("%s %d must be >= 0", name, v)
+		}
+	}
+	// Estimator knobs: explicit flags win over the scale preset (xl sets
+	// estimator defaults; smoke and paper default to exact measurements).
+	if *bcPivots > 0 {
+		sc.BCPivots = *bcPivots
+	}
+	if *pathLand > 0 {
+		sc.PathLandmarks = *pathLand
+	}
+	if *pathPairs > 0 {
+		sc.PathPairs = *pathPairs
+	}
+	if *walkCap > 0 {
+		sc.WalkCap = *walkCap
+	}
 
 	switch *mode {
 	case "csr":
@@ -223,12 +253,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	if *scale == "xl" && !expSet && *mode == "csr" {
-		// The full registry at xl would run for days (several extension
-		// experiments are superlinear in N); the unset default becomes the
-		// degree-distribution flagship, the artifact the xl scale exists
-		// for. An explicit -exp (including `-exp all`) is honored as given.
-		*exp = "fig1a"
-		fmt.Fprintln(os.Stderr, "experiments: xl scale defaults to the degree-distribution flagship (fig1a); pass -exp to select others")
+		fmt.Fprintln(os.Stderr, "experiments: xl runs the full registry; attack/table1/delivery use estimators with published uncertainty (see EXPERIMENTS.md \"Estimators & budgets\")")
 	}
 
 	var specs []sim.Spec

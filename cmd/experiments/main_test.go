@@ -186,3 +186,38 @@ func TestRunRejectsNegativeSupervisionFlags(t *testing.T) {
 		t.Fatal("-max-failed -1 should fail")
 	}
 }
+
+func TestRunRejectsNegativeEstimatorFlags(t *testing.T) {
+	t.Parallel()
+	for _, flag := range []string{"-bc-pivots", "-path-landmarks", "-path-pairs", "-walk-cap"} {
+		var buf strings.Builder
+		if err := run([]string{flag, "-1"}, &buf); err == nil {
+			t.Errorf("%s -1 should fail", flag)
+		}
+	}
+}
+
+func TestRunEstimatorPathSmoke(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	var buf strings.Builder
+	args := []string{
+		"-exp", "table1", "-path-landmarks", "4", "-path-pairs", "50",
+		"-outdir", dir, "-plot=true",
+	}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "table1.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Split(strings.TrimSpace(string(data)), "\n"); len(lines) < 5 {
+		t.Errorf("table1 CSV should have header + data rows:\n%s", data)
+	}
+	// The rendered table carries the figure notes, which must document the
+	// landmark estimator when it is active.
+	if !strings.Contains(buf.String(), "landmark") {
+		t.Errorf("estimator run output missing landmark documentation: %.300s", buf.String())
+	}
+}

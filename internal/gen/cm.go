@@ -151,11 +151,15 @@ func cmShuffledStubs(cfg CMConfig, b Build) ([]int32, error) {
 func powerLawDegreeSequenceChunked(n, kMin, kMax int, gamma float64, b Build) []int {
 	seq := make([]int, n)
 	subtotals := make([]int, chunks(n))
+	// One read-only sampling kernel shared by every chunk worker —
+	// bit-identical to rng.PowerLawInt per draw (see plcache.go), so the
+	// phase contract is untouched.
+	sample := powerLawSampleFunc(n, kMin, kMax, gamma)
 	b.forChunks(n, func(chunk, lo, hi int) {
 		rng := b.Phases.Chunk("cm.degrees", chunk)
 		t := 0
 		for i := lo; i < hi; i++ {
-			seq[i] = rng.PowerLawInt(kMin, kMax, gamma)
+			seq[i] = sample(rng)
 			t += seq[i]
 		}
 		subtotals[chunk] = t
@@ -220,8 +224,9 @@ func stubList(seq []int, b Build) []int32 {
 func PowerLawDegreeSequence(n, kMin, kMax int, gamma float64, rng *xrand.RNG) []int {
 	seq := make([]int, n)
 	total := 0
+	sample := powerLawSampleFunc(n, kMin, kMax, gamma)
 	for i := range seq {
-		seq[i] = rng.PowerLawInt(kMin, kMax, gamma)
+		seq[i] = sample(rng)
 		total += seq[i]
 	}
 	if total%2 == 1 {

@@ -195,3 +195,85 @@ func TestPowerLawDegreeSequenceDegenerate(t *testing.T) {
 		t.Fatalf("odd total %v", seq)
 	}
 }
+
+// TestPowerLawDegreeSequenceTableIdentity pins the acceptance contract of
+// the table-driven sampler at paper scale in the kMax≈N cutoff regime:
+// degree sequences (including the parity repair) are byte-identical to the
+// historical per-draw rng.PowerLawInt loop.
+func TestPowerLawDegreeSequenceTableIdentity(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		n, kMin, kMax int
+		gamma         float64
+	}{
+		{200000, 2, 200000, 2.2}, // paper-scale CM with natural cutoff
+		{50000, 2, 10, 2.2},      // hard cutoff
+		{30000, 1, 30000, 3.5},
+		{100, 2, 100000, 2.5}, // range >> n: sampler path, no table build
+	}
+	for _, c := range cases {
+		rngRef := xrand.New(42)
+		want := make([]int, c.n)
+		total := 0
+		for i := range want {
+			want[i] = rngRef.PowerLawInt(c.kMin, c.kMax, c.gamma)
+			total += want[i]
+		}
+		if total%2 == 1 {
+			i := rngRef.Intn(c.n)
+			if want[i] < c.kMax {
+				want[i]++
+			} else {
+				want[i]--
+			}
+		}
+		got := PowerLawDegreeSequence(c.n, c.kMin, c.kMax, c.gamma, xrand.New(42))
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("(n=%d,%d,%d,%g): degree %d differs: got %d want %d",
+					c.n, c.kMin, c.kMax, c.gamma, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestPowerLawChunkedTableIdentity does the same for the phased chunked
+// path: the shared table must reproduce the per-chunk sub-stream draws of
+// the historical kernel exactly.
+func TestPowerLawChunkedTableIdentity(t *testing.T) {
+	t.Parallel()
+	const n, kMin, kMax = 60000, 2, 60000
+	const gamma = 2.2
+	ph := xrand.Phases{Seed: 7, Realization: 3}
+	b := Build{Phases: &ph, Workers: 3}.normalize()
+	got := powerLawDegreeSequenceChunked(n, kMin, kMax, gamma, b)
+
+	want := make([]int, n)
+	subtotals := make([]int, chunks(n))
+	b.forChunks(n, func(chunk, lo, hi int) {
+		rng := b.Phases.Chunk("cm.degrees", chunk)
+		t := 0
+		for i := lo; i < hi; i++ {
+			want[i] = rng.PowerLawInt(kMin, kMax, gamma)
+			t += want[i]
+		}
+		subtotals[chunk] = t
+	})
+	total := 0
+	for _, s := range subtotals {
+		total += s
+	}
+	if total%2 == 1 {
+		i := b.phase("cm.parity").Intn(n)
+		if want[i] < kMax {
+			want[i]++
+		} else {
+			want[i]--
+		}
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("chunked degree %d differs: got %d want %d", i, got[i], want[i])
+		}
+	}
+}

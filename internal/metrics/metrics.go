@@ -194,21 +194,84 @@ type RobustnessPoint struct {
 	GiantFrac float64
 }
 
+// DefaultBetweennessPivots is the Brandes–Pich pivot budget behind
+// RemoveHighestBetweenness when RobustnessConfig.BetweennessPivots is
+// zero — the historical hardwired value.
+const DefaultBetweennessPivots = 64
+
+// RobustnessConfig parameterizes a removal experiment beyond the core
+// (strategy, stepFrac, maxFrac) triple of Robustness.
+type RobustnessConfig struct {
+	Strategy RemovalStrategy
+	// StepFrac is the fraction of original nodes removed between
+	// measurements; MaxFrac is where the experiment stops. Both in (0,1].
+	StepFrac, MaxFrac float64
+	// BetweennessPivots bounds the pivot sample behind
+	// RemoveHighestBetweenness; 0 selects DefaultBetweennessPivots,
+	// values >= N run exact Brandes. Each pivot's dependency sum is
+	// scaled up by N/pivots (see Frozen.Betweenness), so scores at
+	// different pivot budgets live on the same scale and only their
+	// variance differs.
+	BetweennessPivots int
+	// BatchedBetweenness switches RemoveHighestBetweenness from the
+	// adaptive per-removal recomputation (the historical semantics, cost
+	// pivots·O(V+E) per removed node) to one recomputation per
+	// measurement step: the whole step's nodes are removed in descending
+	// estimated-betweenness order from a single pivot pass, cost
+	// pivots·O(V+E) per step. The batch is the estimator's documented
+	// approximation — scores go stale within a step — and in exchange
+	// the attack spec runs at N=10⁶. Per-step estimator uncertainty is
+	// reported through BetweennessStep.
+	BatchedBetweenness bool
+}
+
+// BetweennessStep reports the estimator accounting of one batched
+// betweenness-attack step: the mean Brandes–Pich score of the nodes the
+// step removed, and the mean standard error of those scores (see
+// Frozen.BetweennessSampled). Steps that fell back to degree order (no
+// positive-betweenness nodes left) report zeros.
+type BetweennessStep struct {
+	// RemovedFrac is the fraction of original nodes removed after this
+	// step completed — aligns with the RobustnessPoint measured then.
+	RemovedFrac float64
+	MeanBC      float64
+	MeanSE      float64
+}
+
 // Robustness removes nodes in steps of stepFrac (e.g. 0.02) up to maxFrac,
 // by the given strategy, measuring the giant-component fraction after each
 // step. For RemoveHighestDegree, degrees are recomputed after every step
 // (adaptive attack, the stronger variant). The input graph is not
 // modified.
 func Robustness(g *graph.Graph, strategy RemovalStrategy, stepFrac, maxFrac float64, rng *xrand.RNG) ([]RobustnessPoint, error) {
+	pts, _, err := RobustnessWith(g, RobustnessConfig{
+		Strategy: strategy, StepFrac: stepFrac, MaxFrac: maxFrac,
+	}, rng)
+	return pts, err
+}
+
+// RobustnessWith is Robustness with the full configuration surface. With a
+// zero-valued extension config it is behavior- and RNG-identical to
+// Robustness. The second return value carries per-step estimator
+// accounting and is non-nil only for the batched betweenness attack.
+func RobustnessWith(g *graph.Graph, cfg RobustnessConfig, rng *xrand.RNG) ([]RobustnessPoint, []BetweennessStep, error) {
+	strategy, stepFrac, maxFrac := cfg.Strategy, cfg.StepFrac, cfg.MaxFrac
+	pivots := cfg.BetweennessPivots
+	if pivots == 0 {
+		pivots = DefaultBetweennessPivots
+	}
 	if stepFrac <= 0 || stepFrac > 1 || maxFrac <= 0 || maxFrac > 1 {
-		return nil, errors.New("metrics: fractions must be in (0,1]")
+		return nil, nil, errors.New("metrics: fractions must be in (0,1]")
+	}
+	if pivots < 0 {
+		return nil, nil, errors.New("metrics: negative betweenness pivots")
 	}
 	if rng == nil {
 		rng = xrand.New(0)
 	}
 	n := g.N()
 	if n == 0 {
-		return nil, errors.New("metrics: empty graph")
+		return nil, nil, errors.New("metrics: empty graph")
 	}
 	work := g.Clone()
 	alive := make([]bool, n)
@@ -254,7 +317,16 @@ func Robustness(g *graph.Graph, strategy RemovalStrategy, stepFrac, maxFrac floa
 	if step < 1 {
 		step = 1
 	}
+	batched := cfg.BatchedBetweenness && strategy == RemoveHighestBetweenness
+	var bcSteps []BetweennessStep
 	for float64(n-aliveCount)/float64(n) < maxFrac && aliveCount > 0 {
+		if batched {
+			bs := removeBetweennessBatch(work, alive, &aliveCount, removeNode, step, pivots, rng)
+			bs.RemovedFrac = float64(n-aliveCount) / float64(n)
+			bcSteps = append(bcSteps, bs)
+			measure()
+			continue
+		}
 		for i := 0; i < step && aliveCount > 0; i++ {
 			u := -1
 			switch strategy {
@@ -263,9 +335,9 @@ func Robustness(g *graph.Graph, strategy RemovalStrategy, stepFrac, maxFrac floa
 			case RemoveHighestDegree:
 				u = highestDegreeAlive(work, alive)
 			case RemoveHighestBetweenness:
-				u = highestBetweennessAlive(work, alive, rng)
+				u = highestBetweennessAlive(work, alive, rng, pivots)
 			default:
-				return nil, errors.New("metrics: unknown removal strategy")
+				return nil, nil, errors.New("metrics: unknown removal strategy")
 			}
 			if u < 0 {
 				break
@@ -274,7 +346,50 @@ func Robustness(g *graph.Graph, strategy RemovalStrategy, stepFrac, maxFrac floa
 		}
 		measure()
 	}
-	return pts, nil
+	return pts, bcSteps, nil
+}
+
+// removeBetweennessBatch runs one batched attack step: a single
+// pivot-sampled Brandes pass prices every live node, the top `step` by
+// estimated score (ties toward lower IDs) are removed in that order, and
+// any shortfall — fewer than `step` live nodes with positive score — falls
+// back to adaptive highest-degree removal, mirroring
+// highestBetweennessAlive's fallback.
+func removeBetweennessBatch(work *graph.Graph, alive []bool, aliveCount *int, removeNode func(int), step, pivots int, rng *xrand.RNG) BetweennessStep {
+	bc, se := work.Freeze().BetweennessSampled(pivots, rng)
+	cand := make([]int32, 0, len(alive))
+	for u, a := range alive {
+		if a && bc[u] > 0 {
+			cand = append(cand, int32(u))
+		}
+	}
+	sort.Slice(cand, func(a, b int) bool {
+		if bc[cand[a]] != bc[cand[b]] {
+			return bc[cand[a]] > bc[cand[b]]
+		}
+		return cand[a] < cand[b]
+	})
+	if len(cand) > step {
+		cand = cand[:step]
+	}
+	var bs BetweennessStep
+	for _, u := range cand {
+		bs.MeanBC += bc[u]
+		bs.MeanSE += se[u]
+		removeNode(int(u))
+	}
+	if len(cand) > 0 {
+		bs.MeanBC /= float64(len(cand))
+		bs.MeanSE /= float64(len(cand))
+	}
+	for i := len(cand); i < step && *aliveCount > 0; i++ {
+		u := highestDegreeAlive(work, alive)
+		if u < 0 {
+			break
+		}
+		removeNode(u)
+	}
+	return bs
 }
 
 func randomAlive(alive []bool, aliveCount int, rng *xrand.RNG) int {
@@ -295,10 +410,10 @@ func randomAlive(alive []bool, aliveCount int, rng *xrand.RNG) int {
 }
 
 // highestBetweennessAlive picks the live node with the largest sampled
-// betweenness (64 pivots balance accuracy and cost inside the removal
-// loop).
-func highestBetweennessAlive(g *graph.Graph, alive []bool, rng *xrand.RNG) int {
-	bc := g.Betweenness(64, rng)
+// betweenness (DefaultBetweennessPivots pivots balance accuracy and cost
+// inside the removal loop; RobustnessConfig.BetweennessPivots overrides).
+func highestBetweennessAlive(g *graph.Graph, alive []bool, rng *xrand.RNG, pivots int) int {
+	bc := g.Betweenness(pivots, rng)
 	best, bestVal := -1, -1.0
 	for u, a := range alive {
 		if !a {

@@ -53,10 +53,10 @@ const (
 )
 
 const (
-	journalVersion    = 1
+	journalVersion    = 2
 	journalMaxBody    = 64 << 20 // sanity bound when scanning; larger = torn
-	journalFsyncBatch = 8       // records between fsyncs on the append path
-	journalKeyLen     = 21      // kind + stream + sub + realization
+	journalFsyncBatch = 8        // records between fsyncs on the append path
+	journalKeyLen     = 21       // kind + stream + sub + realization
 )
 
 var journalMagic = []byte("SFEJ1\n")
@@ -378,6 +378,9 @@ func encodeJournalHeader(spec string, seed uint64, sc Scale) []byte {
 	for _, v := range []int{
 		sc.NDegree, sc.NSearch, sc.NSubstrate, sc.NOverlay,
 		sc.Realizations, sc.Sources, sc.MaxTTLFlood, sc.MaxTTLNF,
+		// Estimator knobs (journal v2): these change published numbers,
+		// so a resume across different budgets must be rejected.
+		sc.BCPivots, sc.PathLandmarks, sc.PathPairs, sc.WalkCap,
 	} {
 		b = binary.LittleEndian.AppendUint64(b, uint64(v))
 	}

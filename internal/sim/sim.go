@@ -90,6 +90,28 @@ type Scale struct {
 	// down-window starts in the desfail spec; zero selects the default of
 	// 2 time units (mid-flight under the default unit-latency model).
 	DESFailMTBF float64
+	// BCPivots bounds the Brandes–Pich pivot sample behind the attack
+	// spec's betweenness-attack series (batched: one pivot pass per
+	// measurement step, nodes removed in descending estimated score). 0
+	// selects metrics.DefaultBetweennessPivots (64); values >= N price
+	// every step with exact Brandes. Like every estimator knob it changes
+	// the published numbers, so it is pinned in the journal header.
+	BCPivots int
+	// PathLandmarks, when positive, switches table1's path-length
+	// measurement from exact sampled-source BFS to the landmark estimator
+	// (graph.LandmarkPathStats): that many hub BFS passes price
+	// PathPairs sampled pairs by triangle inequality. Zero keeps the
+	// exact measurement.
+	PathLandmarks int
+	// PathPairs is the number of sampled node pairs per realization for
+	// the landmark estimator; 0 selects 2000.
+	PathPairs int
+	// WalkCap, when positive, caps the delivery spec's per-pair
+	// random-walk budget at min(200·N, WalkCap) steps. Truncated walks
+	// (budget exhausted before delivery) are excluded from the delivery-
+	// time means and accounted explicitly in the figure notes. Zero keeps
+	// the paper's uncapped 200·N budget.
+	WalkCap int
 	// Run supervises the realization engines: panic recovery, bounded
 	// retries, failure budgets, checkpoint/resume via the journal, and
 	// realization-boundary interruption. nil (the default) runs
@@ -143,6 +165,13 @@ var XLScale = Scale{
 	Sources:      20,
 	MaxTTLFlood:  30,
 	MaxTTLNF:     10,
+	// Estimator budgets that let the superlinear specs (attack, table1,
+	// delivery) cover the full registry at this size; see EXPERIMENTS.md
+	// "Estimators & budgets".
+	BCPivots:      64,
+	PathLandmarks: 16,
+	PathPairs:     2_000,
+	WalkCap:       2_000_000,
 }
 
 // Figure is one regenerated paper artifact: a set of labeled series plus

@@ -15,6 +15,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"scalefree/internal/gen"
 	"scalefree/internal/graph"
@@ -83,6 +84,79 @@ func Attack(sc Scale, seed uint64) ([]Figure, error) {
 			fig.Series = append(fig.Series, s)
 		}
 	}
+	// Betweenness attack — the strongest variant, feasible at scale only
+	// through the batched Brandes–Pich estimator: one pivot-sampled pass
+	// per measurement step prices every node, the step's removals follow
+	// the estimated scores, and each step's mean standard error is
+	// published as its own series (the estimator's uncertainty column).
+	pivots := sc.BCPivots
+	if pivots == 0 {
+		pivots = metrics.DefaultBetweennessPivots
+	}
+	for _, kc := range []int{gen.NoCutoff, 10} {
+		strat := metrics.RemoveHighestBetweenness
+		label := fmt.Sprintf("%s, %s (batched, %d pivots)", cutoffLabel(kc), strat, pivots)
+		curves := make([][]float64, sc.Realizations)
+		seCurves := make([][]float64, sc.Realizations)
+		var xs, seXs []float64
+		err := forEachRealization(engineOpts{rc: sc.Run}, sc.Workers, sc.GenWorkers, sc.Realizations, seed+uint64(kc)*31+uint64(strat), func(r int, b *builder) error {
+			g, _, err := gen.PABuild(gen.PAConfig{N: sc.NSearch, M: 2, KC: kc}, b.gen())
+			if err != nil {
+				return err
+			}
+			pts, steps, err := metrics.RobustnessWith(g, metrics.RobustnessConfig{
+				Strategy: strat, StepFrac: 0.02, MaxFrac: 0.4,
+				BetweennessPivots: pivots, BatchedBetweenness: true,
+			}, b.rng)
+			if err != nil {
+				return err
+			}
+			row := make([]float64, len(pts))
+			for i, p := range pts {
+				row[i] = p.GiantFrac
+			}
+			curves[r] = row
+			seRow := make([]float64, len(steps))
+			for i, s := range steps {
+				seRow[i] = s.MeanSE
+			}
+			seCurves[r] = seRow
+			if r == 0 {
+				xs = make([]float64, len(pts))
+				for i, p := range pts {
+					xs[i] = p.RemovedFrac
+				}
+				seXs = make([]float64, len(steps))
+				for i, s := range steps {
+					seXs[i] = s.RemovedFrac
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("attack %s: %w", label, err)
+		}
+		appendMeanSeries := func(label string, xs []float64, curves [][]float64) {
+			minLen := len(curves[0])
+			for _, row := range curves {
+				if len(row) < minLen {
+					minLen = len(row)
+				}
+			}
+			s := Series{Label: label}
+			col := make([]float64, len(curves))
+			for i := 0; i < minLen; i++ {
+				for r := range curves {
+					col[r] = curves[r][i]
+				}
+				s.Points = append(s.Points, Point{X: xs[i], Y: stats.Mean(col), Err: stats.StdDev(col)})
+			}
+			fig.Series = append(fig.Series, s)
+		}
+		appendMeanSeries(label, xs, curves)
+		appendMeanSeries(fmt.Sprintf("%s, %s stderr (removed nodes)", cutoffLabel(kc), strat), seXs, seCurves)
+	}
+	fig.Notes += fmt.Sprintf("; betweenness series use batched Brandes-Pich estimates (%d pivots, scores scaled N/pivots, recomputed once per 2%% step) with per-step mean stderr of the removed nodes' scores reported as the stderr series", pivots)
 	return []Figure{fig}, nil
 }
 
@@ -99,12 +173,21 @@ func Delivery(sc Scale, seed uint64) ([]Figure, error) {
 	}
 	flSeries := Series{Label: "FL (shortest path)"}
 	rwSeries := Series{Label: "RW (first arrival)"}
+	var truncNotes []string
 	for si, n := range sizes {
 		pairs := sc.Sources
 		flTimes := make([]int, sc.Realizations*pairs)
 		flFound := make([]bool, sc.Realizations*pairs)
 		rwTimes := make([]int, sc.Realizations*pairs)
 		rwFound := make([]bool, sc.Realizations*pairs)
+		rwTried := make([]bool, sc.Realizations*pairs)
+		// The paper's budget is 200·N steps per pair; WalkCap bounds it so
+		// xl sizes stay linear-time. A capped walk that never delivers is
+		// a truncation: excluded from the mean, counted in the notes.
+		budget := 200 * n
+		if sc.WalkCap > 0 && budget > sc.WalkCap {
+			budget = sc.WalkCap
+		}
 		err := forEachRealizationPipeline(engineOpts{rc: sc.Run}, sc.Workers, sc.SourceShards, sc.GenWorkers, sc.Realizations, seed+uint64(si)*977, func(r int, b *builder) (*graph.Frozen, error) {
 			f, _, err := gen.CMFrozen(gen.CMConfig{N: n, M: 2, Gamma: 2.2}, b.gen())
 			if err != nil {
@@ -130,7 +213,8 @@ func Delivery(sc Scale, seed uint64) ([]Figure, error) {
 				if fd.Found {
 					flTimes[r*pairs+i], flFound[r*pairs+i] = fd.Time, true
 				}
-				rd, err := search.RandomWalkDelivery(fsub, src, dst, 200*n, rng)
+				rwTried[r*pairs+i] = true
+				rd, err := search.RandomWalkDelivery(fsub, src, dst, budget, rng)
 				if err != nil {
 					return err
 				}
@@ -164,6 +248,20 @@ func Delivery(sc Scale, seed uint64) ([]Figure, error) {
 			flMeans[r] = flSum / float64(flN)
 			rwMeans[r] = rwSum / float64(rwN)
 		}
+		if sc.WalkCap > 0 {
+			tried, trunc := 0, 0
+			for i := range rwTried {
+				if rwTried[i] {
+					tried++
+					if !rwFound[i] {
+						trunc++
+					}
+				}
+			}
+			if trunc > 0 {
+				truncNotes = append(truncNotes, fmt.Sprintf("N=%d: %d/%d walks truncated at %d steps", n, trunc, tried, budget))
+			}
+		}
 		flSeries.Points = append(flSeries.Points, Point{X: float64(n), Y: stats.Mean(flMeans), Err: stats.StdDev(flMeans)})
 		rwSeries.Points = append(rwSeries.Points, Point{X: float64(n), Y: stats.Mean(rwMeans), Err: stats.StdDev(rwMeans)})
 	}
@@ -180,6 +278,18 @@ func Delivery(sc Scale, seed uint64) ([]Figure, error) {
 	if len(xs) >= 2 {
 		slope := (ys[len(ys)-1] - ys[0]) / (xs[len(xs)-1] - xs[0])
 		fig.Notes = fmt.Sprintf("RW scaling exponent measured %.2f (Eq. 7 predicts 0.79 at gamma=2.1); FL grows ~logN", slope)
+	}
+	if sc.WalkCap > 0 {
+		note := fmt.Sprintf("RW budget capped at min(200*N, %d) steps per pair", sc.WalkCap)
+		if len(truncNotes) > 0 {
+			note += "; truncated walks excluded from means: " + strings.Join(truncNotes, ", ")
+		} else {
+			note += "; no walks truncated"
+		}
+		if fig.Notes != "" {
+			fig.Notes += "; "
+		}
+		fig.Notes += note
 	}
 	return []Figure{fig}, nil
 }

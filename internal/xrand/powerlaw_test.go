@@ -1,0 +1,216 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+)
+
+// plGrid is the (kMin, kMax, gamma) grid shared by the equivalence tests:
+// the registry's real parameters (kMin 1–2, gamma 2.2–3.5), the kMax≈N
+// natural-cutoff regime, degenerate single-degree ranges, and steep/shallow
+// exponents that stress the transform's dynamic range.
+var plGrid = []struct {
+	kMin, kMax int
+	gamma      float64
+}{
+	{1, 2, 2.5},
+	{1, 1, 2.5}, // kMin == kMax: clamps every draw, still consumes one Float64
+	{2, 10, 2.2},
+	{2, 1000, 2.2},
+	{1, 10000, 2.5},
+	{2, 100000, 2.2},  // kMax≈N natural-cutoff regime (paper-scale CM)
+	{2, 1000000, 2.2}, // kMax≈N at xl scale
+	{1, 100000, 3.5},
+	{3, 300, 1.000001}, // a → 0⁻: transform nearly flat
+	{1, 50, 8},         // steep tail
+	{5, 7, 2.0},
+}
+
+func samplersAgree(t *testing.T, kMin, kMax int, gamma float64, draws int) {
+	t.Helper()
+	table := NewPowerLawTable(kMin, kMax, gamma)
+	sampler := NewPowerLawSampler(kMin, kMax, gamma)
+	rExact := New(99)
+	rSamp := New(99)
+	rTab := New(99)
+	for i := 0; i < draws; i++ {
+		want := rExact.PowerLawInt(kMin, kMax, gamma)
+		if got := sampler.Sample(rSamp); got != want {
+			t.Fatalf("(%d,%d,%g) draw %d: sampler %d != PowerLawInt %d",
+				kMin, kMax, gamma, i, got, want)
+		}
+		if got := table.Sample(rTab); got != want {
+			t.Fatalf("(%d,%d,%g) draw %d: table %d != PowerLawInt %d",
+				kMin, kMax, gamma, i, got, want)
+		}
+	}
+	// Identical RNG consumption: all three streams must be in the same
+	// state after the draws.
+	a, b, c := rExact.Uint64(), rSamp.Uint64(), rTab.Uint64()
+	if a != b || a != c {
+		t.Fatalf("(%d,%d,%g): RNG consumption diverged (exact %d, sampler %d, table %d)",
+			kMin, kMax, gamma, a, b, c)
+	}
+}
+
+func TestPowerLawSamplerAndTableMatchPowerLawInt(t *testing.T) {
+	t.Parallel()
+	for _, p := range plGrid {
+		draws := 50_000
+		if p.kMax >= 100000 {
+			draws = 200_000
+		}
+		samplersAgree(t, p.kMin, p.kMax, p.gamma, draws)
+	}
+}
+
+// TestPowerLawTableBoundaryHammer walks every half-integer boundary of
+// small tables and a sample of boundaries of large ones, feeding u values a
+// few ulps on either side of the closed-form threshold — exactly where the
+// table's guard band has to hand off to the exact kernel. Any
+// classification drift shows up here long before a random stream would
+// find it.
+func TestPowerLawTableBoundaryHammer(t *testing.T) {
+	t.Parallel()
+	for _, p := range plGrid {
+		table := NewPowerLawTable(p.kMin, p.kMax, p.gamma)
+		sampler := NewPowerLawSampler(p.kMin, p.kMax, p.gamma)
+		span := sampler.hi - sampler.lo
+		m := p.kMax - p.kMin
+		step := 1
+		if m > 4096 {
+			step = m / 4096
+		}
+		for i := 0; i < m; i += step {
+			// Closed-form u threshold for the boundary between
+			// kMin+i and kMin+i+1.
+			u := (table.bounds[i] - sampler.lo) / span
+			for _, du := range []int{-3, -2, -1, 0, 1, 2, 3} {
+				v := u
+				for s := 0; s < du; s++ {
+					v = math.Nextafter(v, 2)
+				}
+				for s := 0; s > du; s-- {
+					v = math.Nextafter(v, -1)
+				}
+				if v < 0 || v >= 1 {
+					continue
+				}
+				if got, want := table.fromU(v), sampler.fromU(v); got != want {
+					t.Fatalf("(%d,%d,%g) boundary %d, u=%v (%+d ulp): table %d != exact %d",
+						p.kMin, p.kMax, p.gamma, i, v, du, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestPowerLawTableClamping pins the k-clamp behavior at both bounds: u=0
+// maps to the continuous endpoint lo (the exact kernel's k < kMin clamp
+// region) and u→1⁻ maps next to hi (the k > kMax clamp region).
+func TestPowerLawTableClamping(t *testing.T) {
+	t.Parallel()
+	uMax := math.Nextafter(1, 0)
+	for _, p := range plGrid {
+		table := NewPowerLawTable(p.kMin, p.kMax, p.gamma)
+		sampler := NewPowerLawSampler(p.kMin, p.kMax, p.gamma)
+		for _, u := range []float64{0, 5e-324, 1e-17, uMax, math.Nextafter(uMax, 0), 1 - 1e-14} {
+			got, want := table.fromU(u), sampler.fromU(u)
+			if got != want {
+				t.Fatalf("(%d,%d,%g) u=%v: table %d != exact %d",
+					p.kMin, p.kMax, p.gamma, u, got, want)
+			}
+			if got < p.kMin || got > p.kMax {
+				t.Fatalf("(%d,%d,%g) u=%v: %d escaped [kMin,kMax]",
+					p.kMin, p.kMax, p.gamma, u, got)
+			}
+		}
+		if got := table.fromU(0); got != p.kMin {
+			t.Fatalf("(%d,%d,%g): u=0 gave %d, want kMin", p.kMin, p.kMax, p.gamma, got)
+		}
+		// u→1⁻ reaches kMax only when the last degree interval is wider
+		// than the u grid (for steep gamma at large kMax it legitimately
+		// is not — the exact kernel can't reach kMax either); where the
+		// exact kernel reaches it, the table must too.
+		if want := sampler.fromU(uMax); want == p.kMax {
+			if got := table.fromU(uMax); got != p.kMax {
+				t.Fatalf("(%d,%d,%g): u→1 gave %d, want kMax", p.kMin, p.kMax, p.gamma, got)
+			}
+		}
+	}
+}
+
+// TestPowerLawTableDegenerateFallback forces the transform to underflow
+// (gamma so steep that (kMax+1/2)^(1-gamma) rounds to zero): the table must
+// flag itself degenerate and route every draw through the exact kernel.
+func TestPowerLawTableDegenerateFallback(t *testing.T) {
+	t.Parallel()
+	table := NewPowerLawTable(1, 1000, 200)
+	if !table.Degenerate() {
+		t.Fatal("underflowed boundary table not flagged degenerate")
+	}
+	samplersAgree(t, 1, 1000, 200, 10_000)
+}
+
+// FuzzPowerLawTableEquivalence lets the fuzzer roam the parameter space:
+// for every sanitized (kMin, kMax, gamma) it checks a short stream of draws
+// plus the specific u it was handed, against the one-shot kernel.
+func FuzzPowerLawTableEquivalence(f *testing.F) {
+	f.Add(uint64(1), uint(1), uint(10), int64(2200), uint64(1<<52))
+	f.Add(uint64(7), uint(2), uint(5000), int64(3500), uint64(123456789))
+	f.Add(uint64(9), uint(3), uint(0), int64(1001), uint64(0))
+	f.Fuzz(func(t *testing.T, seed uint64, kMinRaw, spanRaw uint, gammaMilli int64, uBits uint64) {
+		kMin := int(kMinRaw%1000) + 1
+		kMax := kMin + int(spanRaw%5000)
+		gamma := 1.001 + float64(gammaMilli%10000)/1000 // (1.001, 11.001)
+		if gamma <= 1 {
+			gamma = 2.5
+		}
+		table := NewPowerLawTable(kMin, kMax, gamma)
+		sampler := NewPowerLawSampler(kMin, kMax, gamma)
+		u := float64(uBits>>11) / (1 << 53)
+		if got, want := table.fromU(u), sampler.fromU(u); got != want {
+			t.Fatalf("(%d,%d,%g) u=%v: table %d != exact %d", kMin, kMax, gamma, u, got, want)
+		}
+		rExact, rTab := New(seed), New(seed)
+		for i := 0; i < 64; i++ {
+			want := rExact.PowerLawInt(kMin, kMax, gamma)
+			if got := table.Sample(rTab); got != want {
+				t.Fatalf("(%d,%d,%g) draw %d: table %d != PowerLawInt %d",
+					kMin, kMax, gamma, i, got, want)
+			}
+		}
+		if rExact.Uint64() != rTab.Uint64() {
+			t.Fatalf("(%d,%d,%g): RNG consumption diverged", kMin, kMax, gamma)
+		}
+	})
+}
+
+func BenchmarkPowerLawSampler(b *testing.B) {
+	s := NewPowerLawSampler(1, 10000, 2.5)
+	r := New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Sample(r)
+	}
+}
+
+func BenchmarkPowerLawTable(b *testing.B) {
+	t := NewPowerLawTable(1, 10000, 2.5)
+	r := New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = t.Sample(r)
+	}
+}
+
+// BenchmarkPowerLawTableXLCutoff measures the xl CM regime (kMax = N =
+// 10⁶): the table is ~8 MB and draws concentrate in the linear prefix.
+func BenchmarkPowerLawTableXLCutoff(b *testing.B) {
+	t := NewPowerLawTable(2, 1_000_000, 2.2)
+	r := New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = t.Sample(r)
+	}
+}

@@ -191,26 +191,13 @@ func (r *RNG) Exp() float64 {
 // Hill/MLE estimator used in internal/stats. It is the sampler behind
 // configuration-model degree sequences.
 // It panics if kMin < 1, kMax < kMin, or gamma <= 1.
+//
+// Each call rebuilds the transform's constants (two of its three math.Pow
+// calls). Loop callers should hoist them with NewPowerLawSampler (one Pow
+// per draw) or NewPowerLawTable (no Pow per draw); both are bit-identical
+// to this method with identical RNG consumption.
 func (r *RNG) PowerLawInt(kMin, kMax int, gamma float64) int {
-	if kMin < 1 || kMax < kMin {
-		panic("xrand: PowerLawInt called with invalid bounds")
-	}
-	if gamma <= 1 {
-		panic("xrand: PowerLawInt called with gamma <= 1")
-	}
-	a := 1 - gamma
-	lo := math.Pow(float64(kMin)-0.5, a)
-	hi := math.Pow(float64(kMax)+0.5, a)
-	u := r.Float64()
-	x := math.Pow(lo+u*(hi-lo), 1/a)
-	k := int(x + 0.5)
-	if k < kMin {
-		k = kMin
-	}
-	if k > kMax {
-		k = kMax
-	}
-	return k
+	return NewPowerLawSampler(kMin, kMax, gamma).Sample(r)
 }
 
 // Choose returns a uniformly random element index from a slice of length n

@@ -3,12 +3,17 @@
 # the performance trajectory (benchmark name -> ns/op, B/op, allocs/op).
 #
 # Usage:
-#   scripts/bench.sh                 # writes BENCH_PR7.json
+#   scripts/bench.sh                 # writes BENCH_PR9.json
 #   scripts/bench.sh out.json        # custom output path
 #   BENCHTIME=2s scripts/bench.sh    # longer sampling (default 0.5s)
 #
 # Covered suites:
-#   internal/graph    Freeze cost, HasEdge map-vs-CSR point probes
+#   internal/xrand    power-law degree sampling: the exact math.Pow kernel
+#                     vs the inverse-CDF threshold table (incl. the xl
+#                     natural-cutoff regime)
+#   internal/graph    Freeze cost, HasEdge map-vs-CSR point probes, and
+#                     the PR 9 estimators (pivot-sampled betweenness with
+#                     stderr, landmark path stats)
 #   internal/search   Reference (pre-CSR) vs Scratch (CSR) kernels,
 #                     including the Scratch strategy kernels (0 allocs/op)
 #                     and the prefetch on/off flood pair
@@ -38,7 +43,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR7.json}"
+OUT="${1:-BENCH_PR9.json}"
 BENCHTIME="${BENCHTIME:-0.5s}"
 
 raw="$(mktemp)"
@@ -49,6 +54,7 @@ run() { # run <pkg> <pattern>
   go test -run '^$' -bench "$2" -benchtime "$BENCHTIME" -benchmem "$1" | tee -a "$raw" >&2
 }
 
+run ./internal/xrand 'BenchmarkPowerLaw'
 run ./internal/graph .
 run ./internal/search .
 run ./internal/metrics .

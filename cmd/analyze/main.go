@@ -10,6 +10,12 @@
 //	topogen -model dapa -n 10000 -o overlay.edges
 //	analyze -in overlay.edges
 //	analyze -n 10000 -m 2 -kc 40          # inline PA
+//	analyze journal results/fig9.journal  # inspect an experiment journal
+//
+// The "journal" subcommand dumps an experiment journal's header, record
+// inventory, completion markers, and torn-tail diagnostics read-only —
+// the post-mortem for interrupted local runs and distributed coordinator
+// sessions (see EXPERIMENTS.md "Distributed runs").
 package main
 
 import (
@@ -30,6 +36,11 @@ func main() {
 }
 
 func run(args []string, out io.Writer) error {
+	// Subcommand dispatch before flag parsing: "analyze journal <file>"
+	// inspects experiment journals instead of topologies.
+	if len(args) > 0 && args[0] == "journal" {
+		return runJournal(args[1:], out)
+	}
 	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
 	var (
 		in       = fs.String("in", "", "edge-list file (empty: generate PA inline)")

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"scalefree"
+	"scalefree/internal/sim"
 )
 
 func TestRunInlineReport(t *testing.T) {
@@ -83,4 +84,93 @@ func TestRunBadFlag(t *testing.T) {
 	if err := run([]string{"-bogus"}, &buf); err == nil {
 		t.Fatal("bad flag should fail")
 	}
+}
+
+func TestRunJournalSubcommand(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fig9.journal")
+	j, err := sim.OpenJournal(path, "fig9", 7, sim.Scale{Realizations: 2}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := sim.SlotRecord{Kind: 1, Stream: 0xABC, Sub: 0xDEF, Realization: 0, Payload: []byte{1, 2, 3, 4}}
+	if _, err := j.Accept(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.MarkRealizationDone(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf strings.Builder
+	if err := run([]string{"journal", "-keys", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"spec=fig9 seed=7",
+		"records=1 sweep-slots=1",
+		"realization 0: 1 record(s) done",
+		"done markers: [0]",
+		"clean:",
+		"(kind=sweep-slots, stream=0xabc, sub=0xdef, r=0) 4B",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("journal report missing %q in:\n%s", want, out)
+		}
+	}
+
+	// Tear the tail: the report must call it out without repairing it.
+	full := rec.MarshalBinary()
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(full[:len(full)/2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sizeBefore := fileSize(t, path)
+	buf.Reset()
+	if err := run([]string{"journal", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "TORN TAIL") {
+		t.Errorf("torn journal not flagged:\n%s", buf.String())
+	}
+	if got := fileSize(t, path); got != sizeBefore {
+		t.Errorf("inspection changed the file size: %d -> %d", sizeBefore, got)
+	}
+}
+
+func TestRunJournalSubcommandErrors(t *testing.T) {
+	t.Parallel()
+	var buf strings.Builder
+	if err := run([]string{"journal"}, &buf); err == nil {
+		t.Fatal("journal with no file should fail")
+	}
+	if err := run([]string{"journal", filepath.Join(t.TempDir(), "missing.journal")}, &buf); err == nil {
+		t.Fatal("journal on a missing file should fail")
+	}
+	notJournal := filepath.Join(t.TempDir(), "x.journal")
+	if err := os.WriteFile(notJournal, []byte("not a journal"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"journal", notJournal}, &buf); err == nil {
+		t.Fatal("journal on a non-journal file should fail")
+	}
+}
+
+func fileSize(t *testing.T, path string) int64 {
+	t.Helper()
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st.Size()
 }

@@ -17,6 +17,8 @@
 //	experiments -mode des -exp desfail -fail-frac 0.2    # 20% failure sweep
 //	experiments -exp all -scale paper -resume            # continue a killed run
 //	experiments -exp fig9 -retries 2 -max-failed 1       # tolerate flaky realizations
+//	experiments -mode coordinator -coord-addr :9009 -exp fig9   # serve work leases
+//	experiments -mode worker -coord-addr host:9009              # claim and execute leases
 //
 // -workers bounds how many realizations are swept concurrently within
 // each experiment (default 0 = GOMAXPROCS), -source-shards bounds how many
@@ -60,6 +62,18 @@
 // See EXPERIMENTS.md "Estimators & budgets" for the agreement-gate
 // contract behind each.
 //
+// Distributed runs (see EXPERIMENTS.md "Distributed runs"): -mode
+// coordinator serves (spec, realization) work leases on -coord-addr and
+// journals the records workers stream back; -mode worker claims leases
+// from -coord-addr, executes each leased realization under the shared
+// (seed, realization, phase) stream contract, and streams the records
+// home. Leases expire after -lease-ttl without a heartbeat (interval
+// -heartbeat, default ttl/5) and are reissued, so crashed or partitioned
+// workers only cost time. The coordinator's final reduction replays its
+// journal and recomputes anything the fleet never delivered — CSVs are
+// byte-identical to a local run no matter how many workers ran, died, or
+// straggled. A killed coordinator resumes with -resume.
+//
 // -cpuprofile and -memprofile write pprof profiles covering the selected
 // experiments, so performance PRs can attach flame-graph evidence. All
 // artifacts — CSVs and profiles — are written to a temp file and renamed
@@ -81,6 +95,8 @@ import (
 	"syscall"
 	"time"
 
+	"scalefree/internal/coord"
+	"scalefree/internal/p2p"
 	"scalefree/internal/sim"
 )
 
@@ -120,6 +136,10 @@ func run(args []string, stdout io.Writer) error {
 		retries    = fs.Int("retries", 1, "deterministic re-attempts per failed realization (panic or error) before it counts as permanently failed")
 		maxFailed  = fs.Int("max-failed", 0, "permanently failed realizations tolerated per experiment before aborting; survivors produce partial figures with explicit accounting")
 		stall      = fs.Duration("stall-timeout", 10*time.Minute, "dump all goroutine stacks if no realization progresses for this long (0 disables)")
+		coordAddr  = fs.String("coord-addr", "", "coordinator endpoint: the listen address in -mode coordinator, the coordinator's address in -mode worker")
+		listenAddr = fs.String("listen", "127.0.0.1:0", "-mode worker: this worker's reply/listen address (port 0 = ephemeral)")
+		leaseTTL   = fs.Duration("lease-ttl", 10*time.Second, "-mode coordinator: lease expiry without a heartbeat before a realization is reissued")
+		heartbeat  = fs.Duration("heartbeat", 0, "-mode coordinator: lease renewal interval workers are told to use (0 = lease-ttl/5)")
 		bcPivots   = fs.Int("bc-pivots", 0, "attack spec: Brandes-Pich pivots per batched betweenness step (0 = scale default; >= N prices steps with exact Brandes)")
 		pathLand   = fs.Int("path-landmarks", 0, "table1: landmark BFS passes for estimated path stats (0 = scale default; exact sampled BFS when the scale sets none)")
 		pathPairs  = fs.Int("path-pairs", 0, "table1: sampled node pairs per realization for the landmark estimator (0 = scale default)")
@@ -179,9 +199,7 @@ func run(args []string, stdout io.Writer) error {
 		sc.WalkCap = *walkCap
 	}
 
-	switch *mode {
-	case "csr":
-	case "des":
+	applyDES := func() error {
 		if *loss < 0 || *loss >= 1 {
 			return fmt.Errorf("-loss %v out of range [0, 1)", *loss)
 		}
@@ -196,11 +214,39 @@ func run(args []string, stdout io.Writer) error {
 		sc.DESLoss = *loss
 		sc.DESFailFrac = *failFrac
 		sc.DESFailMTBF = *failMTBF
+		return nil
+	}
+	switch *mode {
+	case "csr":
+	case "des":
+		if err := applyDES(); err != nil {
+			return err
+		}
 		if !expSet {
 			*exp = "desflood,deskwalk,desfail"
 		}
+	case "coordinator":
+		// The coordinator accepts the DES knobs too: its -exp selection may
+		// include DES specs, and the workload (knobs included) ships to the
+		// fleet inside every lease.
+		if *coordAddr == "" {
+			return errors.New("-mode coordinator requires -coord-addr (the listen address for worker claims)")
+		}
+		if *leaseTTL <= 0 {
+			return fmt.Errorf("-lease-ttl %v must be > 0", *leaseTTL)
+		}
+		if *heartbeat < 0 {
+			return fmt.Errorf("-heartbeat %v must be >= 0", *heartbeat)
+		}
+		if err := applyDES(); err != nil {
+			return err
+		}
+	case "worker":
+		if *coordAddr == "" {
+			return errors.New("-mode worker requires -coord-addr (the coordinator's address)")
+		}
 	default:
-		return fmt.Errorf("unknown mode %q (want csr or des)", *mode)
+		return fmt.Errorf("unknown mode %q (want csr, des, coordinator, or worker)", *mode)
 	}
 	if *retries < 0 {
 		return fmt.Errorf("-retries %d must be >= 0", *retries)
@@ -252,6 +298,26 @@ func run(args []string, stdout io.Writer) error {
 		return runVerify(stdout, scv, *seed)
 	}
 
+	if *mode == "worker" {
+		return runWorkerMode(ctx, *coordAddr, *listenAddr, *retries)
+	}
+
+	// Coordinator mode: one lease server spans every selected spec; the
+	// fleet survives across specs and is dismissed when the session ends.
+	var distSrv *coord.Server
+	if *mode == "coordinator" {
+		tnet := p2p.NewTCPNetwork()
+		defer tnet.Close()
+		srv, err := coord.NewServer(tnet, *coordAddr)
+		if err != nil {
+			return err
+		}
+		distSrv = srv
+		defer srv.Close()
+		defer srv.ShutdownWorkers()
+		fmt.Fprintf(os.Stderr, "experiments: coordinator serving leases on %s\n", srv.Addr())
+	}
+
 	if *scale == "xl" && !expSet && *mode == "csr" {
 		fmt.Fprintln(os.Stderr, "experiments: xl runs the full registry; attack/table1/delivery use estimators with published uncertainty (see EXPERIMENTS.md \"Estimators & budgets\")")
 	}
@@ -273,7 +339,10 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("mkdir %s: %w", *outdir, err)
 	}
 
-	useJournal := *checkpoint || *resume
+	// Coordinator mode journals unconditionally: the journal is where the
+	// fleet's streamed records land, the dedup substrate for stolen leases,
+	// and the resume point if the coordinator itself dies.
+	useJournal := *checkpoint || *resume || distSrv != nil
 	var cleanJournals []string
 	anyFailures := false
 	for _, spec := range specs {
@@ -290,6 +359,35 @@ func run(args []string, stdout io.Writer) error {
 				fmt.Fprintf(os.Stderr, "experiments: %s: resuming with %d journaled realization record(s)\n", spec.ID, n)
 			}
 		}
+		if distSrv != nil {
+			if spec.Distributable {
+				dstats, derr := distSrv.RunJob(ctx, coord.JobConfig{
+					Spec: spec.ID, Seed: *seed, Scale: sc,
+					LeaseTTL: *leaseTTL, Heartbeat: *heartbeat, WorkerRetries: *retries,
+				}, j)
+				if derr != nil {
+					if cerr := j.Close(); cerr != nil {
+						fmt.Fprintln(os.Stderr, "experiments: close journal:", cerr)
+					}
+					if errors.Is(derr, context.Canceled) {
+						fmt.Fprintf(os.Stderr, "experiments: %s interrupted; journal kept at %s — rerun with -resume to continue\n", spec.ID, j.Path())
+						return fmt.Errorf("%s: %w", spec.ID, sim.ErrInterrupted)
+					}
+					return fmt.Errorf("%s: %w", spec.ID, derr)
+				}
+				fmt.Fprintf(os.Stderr, "experiments: %s: fleet settled %d/%d realization(s) (%d lease(s) issued, %d stolen, %d record(s) journaled)\n",
+					spec.ID, dstats.Done, sc.Realizations, dstats.LeasesIssued, dstats.Reissued, dstats.Accepted)
+				if dstats.GivenUp > 0 {
+					fmt.Fprintf(os.Stderr, "experiments: %s: %d realization(s) given up by the fleet; recomputing locally in the final reduction\n", spec.ID, dstats.GivenUp)
+				}
+			} else {
+				fmt.Fprintf(os.Stderr, "experiments: %s is not distributable (results bypass the journal); running locally\n", spec.ID)
+			}
+		}
+		// In coordinator mode this local run IS the final reduction: the
+		// journal replays every record the fleet streamed, in index order,
+		// and recomputes anything lost or given up — byte-identical to a
+		// purely local run by the (seed, realization, phase) contract.
 		rc := sim.NewRunControl(ctx, *retries, *maxFailed, j)
 		stopWatch := rc.StartWatchdog(*stall, os.Stderr)
 		scRun := sc
@@ -353,6 +451,26 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// runWorkerMode serves one worker process: claim leases from the
+// coordinator at coordAddr, execute each leased realization, stream the
+// records back, repeat until the coordinator dismisses the fleet. A
+// SIGINT/SIGTERM (cancelled ctx) exits cleanly without a farewell — the
+// coordinator reissues whatever the worker held.
+func runWorkerMode(ctx context.Context, coordAddr, listen string, retries int) error {
+	tnet := p2p.NewTCPNetwork()
+	defer tnet.Close()
+	stats, err := coord.RunWorker(ctx, tnet, coord.WorkerConfig{
+		CoordAddr: coordAddr, Addr: listen, Retries: retries,
+	})
+	fmt.Fprintf(os.Stderr, "experiments: worker exiting: %d lease(s), %d record(s) streamed, %d completion(s), %d failure(s)\n",
+		stats.Leases, stats.Records, stats.Completions, stats.Failures)
+	if err != nil && errors.Is(err, context.Canceled) {
+		// Interrupted by signal: normal fleet operations, not a failure.
+		return nil
+	}
+	return err
 }
 
 // profiler owns the pprof artifacts. Both profiles stream/land in a temp

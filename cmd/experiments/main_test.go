@@ -1,10 +1,13 @@
 package main
 
 import (
+	"bytes"
+	"net"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestRunList(t *testing.T) {
@@ -219,5 +222,92 @@ func TestRunEstimatorPathSmoke(t *testing.T) {
 	// landmark estimator when it is active.
 	if !strings.Contains(buf.String(), "landmark") {
 		t.Errorf("estimator run output missing landmark documentation: %.300s", buf.String())
+	}
+}
+
+func TestRunCoordinatorModeRequiresAddr(t *testing.T) {
+	t.Parallel()
+	var buf strings.Builder
+	if err := run([]string{"-mode", "coordinator"}, &buf); err == nil {
+		t.Fatal("coordinator mode without -coord-addr should fail")
+	}
+	if err := run([]string{"-mode", "worker"}, &buf); err == nil {
+		t.Fatal("worker mode without -coord-addr should fail")
+	}
+	if err := run([]string{"-mode", "coordinator", "-coord-addr", ":0", "-lease-ttl", "-1s"}, &buf); err == nil {
+		t.Fatal("negative -lease-ttl should fail")
+	}
+}
+
+// freeLocalAddr grabs an ephemeral localhost port for a
+// coordinator/worker pair to meet on.
+func freeLocalAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	if err := ln.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return addr
+}
+
+// TestRunDistributedCoordinatorWorkerTCP is the CLI end to end over real
+// TCP: one coordinator process-equivalent and one worker, meeting on a
+// localhost port, distributing fig1c — and the CSVs must be byte-identical
+// to a plain local run, with no journals or temp files left behind.
+func TestRunDistributedCoordinatorWorkerTCP(t *testing.T) {
+	t.Parallel()
+	local := t.TempDir()
+	var buf strings.Builder
+	if err := run([]string{"-exp", "fig1c", "-outdir", local, "-plot=false"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+
+	addr := freeLocalAddr(t)
+	dist := t.TempDir()
+	workerDone := make(chan error, 1)
+	go func() {
+		var wbuf strings.Builder
+		workerDone <- run([]string{"-mode", "worker", "-coord-addr", addr}, &wbuf)
+	}()
+	var cbuf strings.Builder
+	err := run([]string{
+		"-mode", "coordinator", "-coord-addr", addr,
+		"-exp", "fig1c", "-outdir", dist, "-plot=false",
+	}, &cbuf)
+	if err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	select {
+	case werr := <-workerDone:
+		if werr != nil {
+			t.Errorf("worker: %v", werr)
+		}
+	case <-time.After(60 * time.Second):
+		t.Error("worker did not exit after coordinator shutdown")
+	}
+
+	want, err := os.ReadFile(filepath.Join(local, "fig1c.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(dist, "fig1c.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Errorf("distributed fig1c.csv differs from local run (%d vs %d bytes)", len(got), len(want))
+	}
+	entries, err := os.ReadDir(dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".journal") || strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("distributed run left %s behind", e.Name())
+		}
 	}
 }

@@ -39,6 +39,12 @@ const (
 	// KindPing and KindPong probe liveness and refresh degree caches.
 	KindPing Kind = "ping"
 	KindPong Kind = "pong"
+	// KindCoord carries one coordinator/worker protocol message
+	// (internal/coord) as an opaque payload in Data. The experiment
+	// orchestration protocol rides the same transports — and the same
+	// fault injection — as the overlay protocol without this package
+	// knowing its message set.
+	KindCoord Kind = "coord"
 )
 
 // Alg names the live search algorithms carried in queries.
@@ -76,6 +82,8 @@ type Message struct {
 	Degree int `json:"degree,omitempty"`
 	// Accept is the connect verdict.
 	Accept bool `json:"accept,omitempty"`
+	// Data is an opaque payload for embedded protocols (KindCoord).
+	Data []byte `json:"data,omitempty"`
 }
 
 // Envelope is a routed message.

@@ -38,6 +38,10 @@ type TCPNetwork struct {
 	jitterMu sync.Mutex
 	jitter   *xrand.RNG
 
+	// closeCh is closed by Close so retry backoffs in flight bail out
+	// immediately instead of sleeping their full jittered delay.
+	closeCh chan struct{}
+
 	mu        sync.Mutex
 	listeners map[string]net.Listener
 	inboxes   map[string]chan<- Envelope
@@ -75,6 +79,7 @@ func NewTCPNetwork() *TCPNetwork {
 		BackoffBase:  5 * time.Millisecond,
 		BackoffMax:   250 * time.Millisecond,
 		jitter:       xrand.New(0x7463702d6a697474), // "tcp-jitt"
+		closeCh:      make(chan struct{}),
 		listeners:    make(map[string]net.Listener),
 		inboxes:      make(map[string]chan<- Envelope),
 		conns:        make(map[string]*tcpConn),
@@ -255,9 +260,11 @@ func (t *TCPNetwork) Unregister(addr string) {
 // write — are retried up to RetryMax times with capped exponential
 // backoff and deterministic jitter; a broken cached connection is
 // dropped between attempts, so the retry path doubles as automatic
-// reconnect. An unreachable peer surfaces as ErrUnknownPeer (from the
-// last dial); a write that keeps failing on freshly dialed connections
-// surfaces the actual encode error, so callers can tell the two apart.
+// reconnect. When every attempt fails, the error names the peer and the
+// attempt count and wraps the last cause — ErrUnknownPeer for an
+// unreachable peer, the actual encode error for a write that kept
+// failing on freshly dialed connections — so failure records in
+// distributed runs say which peer and how many tries.
 func (t *TCPNetwork) Send(env Envelope) error {
 	var lastErr error
 	attempts := t.RetryMax + 1
@@ -267,7 +274,9 @@ func (t *TCPNetwork) Send(env Envelope) error {
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
 			t.retries.Add(1)
-			t.backoff(attempt)
+			if !t.backoff(attempt) {
+				return ErrPeerClosed // network closed mid-backoff
+			}
 		}
 		c, err := t.connTo(env.To)
 		if err != nil {
@@ -290,16 +299,18 @@ func (t *TCPNetwork) Send(env Envelope) error {
 		t.dropConn(env.To, c)
 		t.reconnects.Add(1)
 	}
-	return lastErr
+	return fmt.Errorf("send to %s failed after %d attempt(s): %w", env.To, attempts, lastErr)
 }
 
-// backoff sleeps the capped exponential delay before retry `attempt`
+// backoff waits the capped exponential delay before retry `attempt`
 // (1-based), jittered by a factor in [0.5, 1.0) from a seeded stream so
-// backoff schedules are reproducible run to run.
-func (t *TCPNetwork) backoff(attempt int) {
+// backoff schedules are reproducible run to run. The wait aborts — and
+// backoff returns false — the moment the network is Closed, so shutdown
+// never stalls behind a sleeping retry.
+func (t *TCPNetwork) backoff(attempt int) bool {
 	d := t.BackoffBase
 	if d <= 0 {
-		return
+		return true
 	}
 	for i := 1; i < attempt; i++ {
 		d *= 2
@@ -314,7 +325,14 @@ func (t *TCPNetwork) backoff(attempt int) {
 	t.jitterMu.Lock()
 	factor := 0.5 + 0.5*t.jitter.Float64()
 	t.jitterMu.Unlock()
-	time.Sleep(time.Duration(float64(d) * factor))
+	timer := time.NewTimer(time.Duration(float64(d) * factor))
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-t.closeCh:
+		return false
+	}
 }
 
 func (t *TCPNetwork) connTo(addr string) (*tcpConn, error) {
@@ -363,6 +381,9 @@ func (t *TCPNetwork) dropConn(addr string, c *tcpConn) {
 // pump goroutines to drain.
 func (t *TCPNetwork) Close() {
 	t.mu.Lock()
+	if !t.closed && t.closeCh != nil {
+		close(t.closeCh) // interrupt any Send sleeping in backoff
+	}
 	t.closed = true
 	for _, ln := range t.listeners {
 		if err := ln.Close(); err != nil {

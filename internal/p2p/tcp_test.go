@@ -398,3 +398,62 @@ func TestTCPRegisterAfterClose(t *testing.T) {
 		t.Fatal("register after close should fail")
 	}
 }
+
+// TestTCPCloseInterruptsBackoff pins the shutdown latency fix: a Send
+// sleeping in retry backoff must bail out the moment the network closes,
+// not after its full jittered delay.
+func TestTCPCloseInterruptsBackoff(t *testing.T) {
+	t.Parallel()
+	tn := NewTCPNetwork()
+	tn.DialTimeout = 50 * time.Millisecond
+	tn.RetryMax = 3
+	tn.BackoffBase = 10 * time.Second // without the fix, Send stalls here
+	tn.BackoffMax = 10 * time.Second
+
+	done := make(chan error, 1)
+	go func() {
+		done <- tn.Send(Envelope{To: "127.0.0.1:1"}) // reserved port, refused
+	}()
+	time.Sleep(100 * time.Millisecond) // let Send fail once and enter backoff
+	start := time.Now()
+	tn.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("send to a dead address should fail")
+		}
+		if elapsed := time.Since(start); elapsed > 2*time.Second {
+			t.Fatalf("Send took %v to observe Close; backoff was not interrupted", elapsed)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Send still sleeping in backoff long after Close")
+	}
+}
+
+// TestTCPSendErrorNamesPeerAndAttempts pins the exhaustion diagnostics:
+// the error must say which peer and how many attempts, and keep the
+// underlying cause (ErrUnknownPeer for dial failures) in the chain.
+func TestTCPSendErrorNamesPeerAndAttempts(t *testing.T) {
+	t.Parallel()
+	tn := NewTCPNetwork()
+	defer tn.Close()
+	tn.DialTimeout = 50 * time.Millisecond
+	tn.RetryMax = 2
+	tn.BackoffBase = time.Millisecond
+	tn.BackoffMax = 2 * time.Millisecond
+
+	const addr = "127.0.0.1:1"
+	err := tn.Send(Envelope{To: addr})
+	if err == nil {
+		t.Fatal("send to a dead address should fail")
+	}
+	if !errors.Is(err, ErrUnknownPeer) {
+		t.Fatalf("cause lost from the chain: %v", err)
+	}
+	if !strings.Contains(err.Error(), addr) {
+		t.Fatalf("error %q does not name the peer", err)
+	}
+	if !strings.Contains(err.Error(), "3 attempt(s)") {
+		t.Fatalf("error %q does not report the attempt count", err)
+	}
+}

@@ -1,0 +1,330 @@
+package sim
+
+// Tests for the distributed-run surface (ISSUE 10 groundwork): the slot
+// record wire codec, first-writer-wins Accept, completion markers that
+// survive resume, worker-restricted runs whose sink records are
+// bit-identical to a local run's journal records, and the read-only
+// journal inspector behind `analyze journal`.
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"scalefree/internal/gen"
+)
+
+func TestSlotRecordCodecRoundTrip(t *testing.T) {
+	t.Parallel()
+	rec := SlotRecord{Kind: recSweepSlots, Stream: 0xdeadbeef, Sub: 42, Realization: 7,
+		Payload: encodeRowBlock([][]float64{{1.5, -0.0, 5e-324}}, 3)}
+	b := rec.MarshalBinary()
+	got, err := DecodeSlotRecord(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, rec) {
+		t.Fatalf("round trip = %+v, want %+v", got, rec)
+	}
+	// A flipped payload bit must fail the CRC.
+	corrupt := append([]byte{}, b...)
+	corrupt[len(corrupt)-1] ^= 1
+	if _, err := DecodeSlotRecord(corrupt); err == nil {
+		t.Fatal("corrupt record decoded")
+	}
+	// A truncated frame must fail, not decode a prefix.
+	if _, err := DecodeSlotRecord(b[:len(b)-3]); err == nil {
+		t.Fatal("truncated record decoded")
+	}
+	// Trailing garbage after a valid frame must be rejected.
+	if _, err := DecodeSlotRecord(append(append([]byte{}, b...), 0xff)); err == nil {
+		t.Fatal("record with trailing bytes decoded")
+	}
+}
+
+func TestJournalAcceptFirstWriterWins(t *testing.T) {
+	t.Parallel()
+	sc := testScaleTiny()
+	path := filepath.Join(t.TempDir(), "a.journal")
+	j, err := OpenJournal(path, "fig9", 2007, sc, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := SlotRecord{Kind: recSweepSlots, Stream: 3, Sub: 9, Realization: 1,
+		Payload: encodeRowBlock([][]float64{{1, 2}}, 2)}
+	if fresh, err := j.Accept(rec); err != nil || !fresh {
+		t.Fatalf("first Accept = (%v, %v), want (true, nil)", fresh, err)
+	}
+	// The late duplicate — a slow stolen-from worker re-sending — drops.
+	dup := rec
+	dup.Payload = encodeRowBlock([][]float64{{99, 99}}, 2)
+	if fresh, err := j.Accept(dup); err != nil || fresh {
+		t.Fatalf("duplicate Accept = (%v, %v), want (false, nil)", fresh, err)
+	}
+	if got := j.RecordCount(1); got != 1 {
+		t.Fatalf("RecordCount(1) = %d, want 1", got)
+	}
+	// Bookkeeping kinds must not ride Accept.
+	if _, err := j.Accept(SlotRecord{Kind: recRealDone, Realization: 0, Payload: []byte{1}}); err == nil {
+		t.Fatal("Accept of a non-slot kind succeeded")
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The accepted bits — not the duplicate's — survive resume, and a
+	// restarted coordinator's Accept dedups against the resumed set too.
+	j2, err := OpenJournal(path, "fig9", 2007, sc, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	p, ok := j2.resumed[journalKey{kind: recSweepSlots, stream: 3, sub: 9, r: 1}]
+	if !ok || !bytes.Equal(p, rec.Payload) {
+		t.Fatal("accepted record did not survive resume intact")
+	}
+	if got := j2.RecordCount(1); got != 1 {
+		t.Fatalf("resumed RecordCount(1) = %d, want 1", got)
+	}
+	if fresh, err := j2.Accept(rec); err != nil || fresh {
+		t.Fatalf("post-resume duplicate Accept = (%v, %v), want (false, nil)", fresh, err)
+	}
+}
+
+func TestMarkRealizationDoneSurvivesResume(t *testing.T) {
+	t.Parallel()
+	sc := testScaleTiny()
+	path := filepath.Join(t.TempDir(), "d.journal")
+	j, err := OpenJournal(path, "fig9", 2007, sc, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []int{0, 2, 2} { // idempotent on the repeat
+		if err := j.MarkRealizationDone(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := j.DoneRealizations(); !reflect.DeepEqual(got, map[int]bool{0: true, 2: true}) {
+		t.Fatalf("DoneRealizations() = %v", got)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := OpenJournal(path, "fig9", 2007, sc, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if got := j2.DoneRealizations(); !reflect.DeepEqual(got, map[int]bool{0: true, 2: true}) {
+		t.Fatalf("resumed DoneRealizations() = %v", got)
+	}
+}
+
+// TestWorkerSinkRecordsBitIdentical is the distribution contract at the
+// sim level: a worker-restricted run of a sweep — realization r only,
+// records to a sink — must emit exactly the records a local journaled run
+// writes for r, byte for byte, and must not build any other realization.
+func TestWorkerSinkRecordsBitIdentical(t *testing.T) {
+	sc := testScaleTiny()
+	const seed, label = 2007, "fl"
+	factory := paTopo(sc.NSearch, 2, gen.NoCutoff)
+	cfg := searchCfg{alg: algFL, maxTTL: sc.MaxTTLFlood, sources: sc.Sources, realizations: sc.Realizations}
+
+	// Local journaled run: the reference records.
+	path := filepath.Join(t.TempDir(), "ref.journal")
+	j, err := OpenJournal(path, "fig", seed, sc, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jcfg := cfg
+	jcfg.run = NewRunControl(context.Background(), 0, 0, j)
+	if _, err := searchSeries(label, factory, jcfg, seed); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen to load the written records (appends don't populate resumed).
+	ref, err := OpenJournal(path, "fig", seed, sc, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+
+	for r := 0; r < sc.Realizations; r++ {
+		var mu sync.Mutex
+		var got []SlotRecord
+		var builds atomic.Int64
+		wcfg := cfg
+		wcfg.run = NewWorkerRunControl(context.Background(), 0, r, func(rec SlotRecord) {
+			mu.Lock()
+			got = append(got, rec)
+			mu.Unlock()
+		})
+		// The restricted run's own reduction only sees realization r; the
+		// records are the product, the figure is not.
+		if _, err := searchSeries(label, countingFactory(factory, &builds), wcfg, seed); err != nil {
+			t.Fatalf("worker run r=%d: %v", r, err)
+		}
+		if builds.Load() != 1 {
+			t.Fatalf("worker for r=%d built %d topologies, want 1", r, builds.Load())
+		}
+		if len(got) != 1 {
+			t.Fatalf("worker for r=%d emitted %d records, want 1", r, len(got))
+		}
+		rec := got[0]
+		if rec.Realization != r || rec.Kind != recSweepSlots {
+			t.Fatalf("worker for r=%d emitted %s", r, rec.Key())
+		}
+		want, ok := ref.resumed[journalKey{kind: rec.Kind, stream: rec.Stream, sub: rec.Sub, r: r}]
+		if !ok {
+			t.Fatalf("no local record under %s", rec.Key())
+		}
+		if !bytes.Equal(rec.Payload, want) {
+			t.Fatalf("worker record for r=%d differs from local journal record", r)
+		}
+		// And the wire round trip preserves the bits.
+		back, err := DecodeSlotRecord(rec.MarshalBinary())
+		if err != nil || !bytes.Equal(back.Payload, want) {
+			t.Fatalf("wire round trip perturbed r=%d (err=%v)", r, err)
+		}
+	}
+}
+
+// Same contract for the histogram records of the degree specs, which run
+// on the build-only engine.
+func TestWorkerSinkHistogramBitIdentical(t *testing.T) {
+	sc := testScaleTiny()
+	const seed = 99
+	factory := paTopo(sc.NDegree, 2, gen.NoCutoff)
+
+	path := filepath.Join(t.TempDir(), "deg.journal")
+	j, err := OpenJournal(path, "fig1a", seed, sc, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsc := sc
+	jsc.Run = NewRunControl(context.Background(), 0, 0, j)
+	if _, err := mergedDegreeDist("tag", factory, jsc, seed); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	refJ, err := OpenJournal(path, "fig1a", seed, sc, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer refJ.Close()
+
+	const r = 1
+	var mu sync.Mutex
+	var got []SlotRecord
+	wsc := sc
+	wsc.Run = NewWorkerRunControl(context.Background(), 0, r, func(rec SlotRecord) {
+		mu.Lock()
+		got = append(got, rec)
+		mu.Unlock()
+	})
+	if _, err := mergedDegreeDist("tag", factory, wsc, seed); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("worker emitted %d records, want 1", len(got))
+	}
+	rec := got[0]
+	want, ok := refJ.resumed[journalKey{kind: rec.Kind, stream: rec.Stream, sub: rec.Sub, r: r}]
+	if !ok || !bytes.Equal(rec.Payload, want) {
+		t.Fatalf("worker histogram record differs from local journal record (found=%v)", ok)
+	}
+}
+
+func TestInspectJournal(t *testing.T) {
+	t.Parallel()
+	sc := testScaleTiny()
+	path := filepath.Join(t.TempDir(), "i.journal")
+	j, err := OpenJournal(path, "fig9", 2007, sc, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Accept(SlotRecord{Kind: recSweepSlots, Stream: 5, Sub: 6, Realization: 0,
+		Payload: encodeRowBlock([][]float64{{1}}, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.MarkRealizationDone(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	clean, err := InspectJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Spec != "fig9" || clean.Seed != 2007 || clean.Version != journalVersion {
+		t.Fatalf("header = %q/%d/v%d", clean.Spec, clean.Seed, clean.Version)
+	}
+	if len(clean.Records) != 1 || clean.Records[0].Realization != 0 || clean.Records[0].KindName != "sweep-slots" {
+		t.Fatalf("records = %+v", clean.Records)
+	}
+	if !reflect.DeepEqual(clean.Done, []int{0}) {
+		t.Fatalf("done = %v", clean.Done)
+	}
+	if clean.TornBytes() != 0 {
+		t.Fatalf("clean journal reports %d torn bytes", clean.TornBytes())
+	}
+
+	// Smear a torn tail on: inspection must report it without mutating.
+	if f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644); err != nil {
+		t.Fatal(err)
+	} else {
+		f.Write([]byte("torn tail bytes"))
+		f.Close()
+	}
+	torn, err := InspectJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if torn.TornBytes() != int64(len("torn tail bytes")) {
+		t.Fatalf("TornBytes() = %d, want %d", torn.TornBytes(), len("torn tail bytes"))
+	}
+	if torn.GoodBytes != clean.GoodBytes || len(torn.Records) != 1 {
+		t.Fatal("torn-tail inspection changed the clean-prefix report")
+	}
+	if st, err := os.Stat(path); err != nil || st.Size() != torn.FileBytes {
+		t.Fatal("InspectJournal mutated the file")
+	}
+}
+
+func TestWorkloadFingerprint(t *testing.T) {
+	t.Parallel()
+	sc := testScaleTiny()
+	base := WorkloadFingerprint("fig9", 2007, sc)
+	// Scheduler knobs must not perturb the fingerprint (a worker may run
+	// with different parallelism than the coordinator).
+	knobs := sc
+	knobs.Workers, knobs.SourceShards, knobs.GenWorkers = 7, 3, 2
+	if !bytes.Equal(base, WorkloadFingerprint("fig9", 2007, knobs)) {
+		t.Fatal("scheduler knobs perturbed the fingerprint")
+	}
+	if !bytes.Equal(base, WorkloadFingerprint("fig9", 2007, sc.WorkloadOnly())) {
+		t.Fatal("WorkloadOnly perturbed the fingerprint")
+	}
+	// Workload changes must.
+	diff := sc
+	diff.NSearch++
+	if bytes.Equal(base, WorkloadFingerprint("fig9", 2007, diff)) {
+		t.Fatal("workload change did not perturb the fingerprint")
+	}
+	if bytes.Equal(base, WorkloadFingerprint("fig10", 2007, sc)) {
+		t.Fatal("spec change did not perturb the fingerprint")
+	}
+	if bytes.Equal(base, WorkloadFingerprint("fig9", 2008, sc)) {
+		t.Fatal("seed change did not perturb the fingerprint")
+	}
+}

@@ -49,11 +49,12 @@ const (
 	recSweepSlots uint8 = 1 // sweepSeries: sources rows of (maxTTL+1) float64s
 	recDegreeHist uint8 = 2 // mergedDegreeDist: one degree histogram
 	recDESSlots   uint8 = 3 // desSweep: nCurves × sources rows
+	recRealDone   uint8 = 4 // coordinator: realization verified complete
 	recFailure    uint8 = 9 // supervisor: permanent realization failure
 )
 
 const (
-	journalVersion    = 2
+	journalVersion    = 3
 	journalMaxBody    = 64 << 20 // sanity bound when scanning; larger = torn
 	journalFsyncBatch = 8        // records between fsyncs on the append path
 	journalKeyLen     = 21       // kind + stream + sub + realization
@@ -97,6 +98,11 @@ type Journal struct {
 	resumed  map[journalKey][]byte
 	failures []FailureRecord
 	claims   map[journalClaimKey]string
+
+	// Distributed-run bookkeeping (see dist.go): realizations verified
+	// complete by the coordinator, and per-realization slot-record counts.
+	done     map[int]bool
+	recCount map[int]int
 }
 
 // journalClaimKey identifies one journaled record family: every record a
@@ -197,6 +203,8 @@ func loadJournal(path string, f *os.File, wantHdr []byte) (*Journal, error) {
 	good += n
 	resumed := map[journalKey][]byte{}
 	var failures []FailureRecord
+	done := map[int]bool{}
+	recCount := map[int]int{}
 scan:
 	for {
 		k, payload, n, ok := readRecord(br)
@@ -208,7 +216,12 @@ scan:
 			if fr, ok := decodeFailure(k, payload); ok {
 				failures = append(failures, fr)
 			}
+		case recRealDone:
+			done[k.r] = true
 		case recSweepSlots, recDegreeHist, recDESSlots:
+			if _, dup := resumed[k]; !dup {
+				recCount[k.r]++
+			}
 			resumed[k] = payload
 		default:
 			// The header pinned the schema version, so an unknown kind is
@@ -224,7 +237,7 @@ scan:
 	if _, err := f.Seek(good, io.SeekStart); err != nil {
 		return nil, fmt.Errorf("sim: seek journal %s: %w", path, err)
 	}
-	return &Journal{path: path, f: f, resumed: resumed, failures: failures}, nil
+	return &Journal{path: path, f: f, resumed: resumed, failures: failures, done: done, recCount: recCount}, nil
 }
 
 // readRecord reads one length-prefixed record; ok=false on EOF, short
@@ -278,9 +291,9 @@ func (j *Journal) append(k journalKey, payload []byte) error {
 	return nil
 }
 
-// writeRecord assembles and writes one record. Caller holds j.mu (or has
-// exclusive access during open).
-func (j *Journal) writeRecord(k journalKey, payload []byte) error {
+// encodeRecord assembles one record's on-disk (and on-wire) bytes:
+// [4B body len][4B CRC32(body)][key][payload].
+func encodeRecord(k journalKey, payload []byte) []byte {
 	body := make([]byte, 0, journalKeyLen+len(payload))
 	body = append(body, k.kind)
 	body = binary.LittleEndian.AppendUint64(body, k.stream)
@@ -290,8 +303,13 @@ func (j *Journal) writeRecord(k journalKey, payload []byte) error {
 	rec := make([]byte, 0, 8+len(body))
 	rec = binary.LittleEndian.AppendUint32(rec, uint32(len(body)))
 	rec = binary.LittleEndian.AppendUint32(rec, crc32.ChecksumIEEE(body))
-	rec = append(rec, body...)
-	_, err := j.f.Write(rec)
+	return append(rec, body...)
+}
+
+// writeRecord assembles and writes one record. Caller holds j.mu (or has
+// exclusive access during open).
+func (j *Journal) writeRecord(k journalKey, payload []byte) error {
+	_, err := j.f.Write(encodeRecord(k, payload))
 	return err
 }
 

@@ -221,6 +221,13 @@ func forEachRealizationPipeline[T any](o engineOpts, workers, shards, genWorkers
 					o.rc.noteProgress()
 					continue
 				}
+				// Distributed-worker restriction: realizations leased to
+				// other workers are simply never dispatched; determinism
+				// holds because rngs[r] and the phase streams depend only
+				// on (seed, r), not on which indices this process ran.
+				if !o.rc.owns(r) {
+					continue
+				}
 				v, err := protectCall(o.rc, func() (T, error) {
 					return build(r, newBuilder(seed, r, rngs[r], intra, arena))
 				})
@@ -360,6 +367,9 @@ func forEachRealization(o engineOpts, workers, genWorkers, n int, seed uint64, f
 				}
 				if o.skip != nil && o.skip(r) {
 					o.rc.noteProgress()
+					continue
+				}
+				if !o.rc.owns(r) {
 					continue
 				}
 				err := protectErr(o.rc, func() error {

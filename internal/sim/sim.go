@@ -218,29 +218,36 @@ type Spec struct {
 	Description string
 	// Run regenerates the artifact.
 	Run SpecFunc
+	// Distributable marks specs whose every result flows through journaled
+	// slot records — the prerequisite for coordinator/worker distribution
+	// (internal/coord): a worker can run one realization and stream the
+	// records back, and the coordinator's journal-driven reduction is
+	// complete. Specs that reduce through raw engines (no journaling) run
+	// locally even in coordinator mode.
+	Distributable bool
 }
 
 // Registry returns all experiment specs in presentation order
 // (figures first, then tables, then extensions).
 func Registry() []Spec {
 	return []Spec{
-		{ID: "fig1a", Paper: "Fig. 1(a)", Description: "PA degree distributions, no cutoff, m=1..3", Run: Fig1a},
-		{ID: "fig1b", Paper: "Fig. 1(b)", Description: "PA degree distributions under hard cutoffs", Run: Fig1b},
-		{ID: "fig1c", Paper: "Fig. 1(c)", Description: "PA degree exponent vs hard cutoff", Run: Fig1c},
-		{ID: "fig2", Paper: "Fig. 2", Description: "CM degree distributions, gamma in {2.2,2.6,3.0}", Run: Fig2},
-		{ID: "fig3", Paper: "Fig. 3", Description: "HAPA degree distributions", Run: Fig3},
-		{ID: "fig4", Paper: "Fig. 4(a-f)", Description: "DAPA degree distributions vs tau_sub", Run: Fig4},
-		{ID: "fig4g", Paper: "Fig. 4(g)", Description: "DAPA degree exponent vs hard cutoff", Run: Fig4g},
-		{ID: "fig6", Paper: "Fig. 6", Description: "Flooding hits on PA and HAPA", Run: Fig6},
-		{ID: "fig7", Paper: "Fig. 7", Description: "Flooding hits on CM", Run: Fig7},
-		{ID: "fig8", Paper: "Fig. 8", Description: "Flooding hits on DAPA", Run: Fig8},
-		{ID: "fig9", Paper: "Fig. 9", Description: "Normalized flooding on PA, CM, HAPA", Run: Fig9},
-		{ID: "fig10", Paper: "Fig. 10", Description: "Normalized flooding on DAPA", Run: Fig10},
-		{ID: "fig11", Paper: "Fig. 11", Description: "Random walk (NF budget) on PA, CM, HAPA", Run: Fig11},
-		{ID: "fig12", Paper: "Fig. 12", Description: "Random walk (NF budget) on DAPA", Run: Fig12},
+		{ID: "fig1a", Paper: "Fig. 1(a)", Description: "PA degree distributions, no cutoff, m=1..3", Run: Fig1a, Distributable: true},
+		{ID: "fig1b", Paper: "Fig. 1(b)", Description: "PA degree distributions under hard cutoffs", Run: Fig1b, Distributable: true},
+		{ID: "fig1c", Paper: "Fig. 1(c)", Description: "PA degree exponent vs hard cutoff", Run: Fig1c, Distributable: true},
+		{ID: "fig2", Paper: "Fig. 2", Description: "CM degree distributions, gamma in {2.2,2.6,3.0}", Run: Fig2, Distributable: true},
+		{ID: "fig3", Paper: "Fig. 3", Description: "HAPA degree distributions", Run: Fig3, Distributable: true},
+		{ID: "fig4", Paper: "Fig. 4(a-f)", Description: "DAPA degree distributions vs tau_sub", Run: Fig4, Distributable: true},
+		{ID: "fig4g", Paper: "Fig. 4(g)", Description: "DAPA degree exponent vs hard cutoff", Run: Fig4g, Distributable: true},
+		{ID: "fig6", Paper: "Fig. 6", Description: "Flooding hits on PA and HAPA", Run: Fig6, Distributable: true},
+		{ID: "fig7", Paper: "Fig. 7", Description: "Flooding hits on CM", Run: Fig7, Distributable: true},
+		{ID: "fig8", Paper: "Fig. 8", Description: "Flooding hits on DAPA", Run: Fig8, Distributable: true},
+		{ID: "fig9", Paper: "Fig. 9", Description: "Normalized flooding on PA, CM, HAPA", Run: Fig9, Distributable: true},
+		{ID: "fig10", Paper: "Fig. 10", Description: "Normalized flooding on DAPA", Run: Fig10, Distributable: true},
+		{ID: "fig11", Paper: "Fig. 11", Description: "Random walk (NF budget) on PA, CM, HAPA", Run: Fig11, Distributable: true},
+		{ID: "fig12", Paper: "Fig. 12", Description: "Random walk (NF budget) on DAPA", Run: Fig12, Distributable: true},
 		{ID: "table1", Paper: "Table I", Description: "Diameter scaling regimes of scale-free networks", Run: Table1},
 		{ID: "table2", Paper: "Table II", Description: "Global-information usage of the four mechanisms", Run: Table2},
-		{ID: "messaging", Paper: "§V-B2", Description: "Messaging complexity: NF vs RW (results omitted from the paper)", Run: Messaging},
+		{ID: "messaging", Paper: "§V-B2", Description: "Messaging complexity: NF vs RW (results omitted from the paper)", Run: Messaging, Distributable: true},
 		{ID: "attack", Paper: "§III (ext)", Description: "Robust-yet-fragile: failures vs hub attacks, with and without cutoffs", Run: Attack},
 		{ID: "delivery", Paper: "Eqs. 6-7 (ext)", Description: "Delivery-time scaling: FL ~ logN, RW ~ N^0.79", Run: Delivery},
 		{ID: "kwalk", Paper: "§V-B1 (ext)", Description: "Multiple random walkers vs NF at equal message budget", Run: KWalk},
@@ -248,9 +255,9 @@ func Registry() []Spec {
 		{ID: "strategies", Paper: "§II/§V-B (ext)", Description: "All search strategies (FL/NF/RW/k-walk/HDS/PF/hybrid) at equal message budget", Run: Strategies},
 		{ID: "replication", Paper: "§II refs [22,23] (ext)", Description: "Cohen-Shenker replication strategies: ESS vs budget on PA overlays", Run: Replication},
 		{ID: "churn", Paper: "§VI (ext)", Description: "Join/leave dynamics: repair vs no-repair under balanced churn with kc", Run: Churn},
-		{ID: "desflood", Paper: "§V-A (DES ext)", Description: "Message-level DES flooding: coverage, latency-vs-hops, and message cost under per-edge latency and loss", Run: DESFlood},
-		{ID: "deskwalk", Paper: "§V-B1 (DES ext)", Description: "Message-level DES k-walkers: coverage vs steps under per-edge latency and loss", Run: DESKWalk},
-		{ID: "desfail", Paper: "§III/§V (DES ext)", Description: "Message-level DES robustness: flood and k-walk coverage under deterministic node-crash and link-partition schedules", Run: DESFail},
+		{ID: "desflood", Paper: "§V-A (DES ext)", Description: "Message-level DES flooding: coverage, latency-vs-hops, and message cost under per-edge latency and loss", Run: DESFlood, Distributable: true},
+		{ID: "deskwalk", Paper: "§V-B1 (DES ext)", Description: "Message-level DES k-walkers: coverage vs steps under per-edge latency and loss", Run: DESKWalk, Distributable: true},
+		{ID: "desfail", Paper: "§III/§V (DES ext)", Description: "Message-level DES robustness: flood and k-walk coverage under deterministic node-crash and link-partition schedules", Run: DESFail, Distributable: true},
 	}
 }
 

@@ -85,13 +85,21 @@ type RunControl struct {
 	maxFailed int
 	journal   *Journal
 
+	// Distributed-worker mode (see dist.go and internal/coord): only
+	// restricts the engines to the realizations this process leases, and
+	// sink — set instead of a journal — receives every record the run
+	// would have journaled, in wire form, for streaming to a coordinator.
+	only func(r int) bool
+	sink func(SlotRecord)
+
 	progress  atomic.Int64
 	recovered atomic.Int64
 
-	mu       sync.Mutex
-	failures []FailureRecord
-	failedBy map[uint64]map[int]bool
-	abort    error
+	mu         sync.Mutex
+	failures   []FailureRecord
+	failedBy   map[uint64]map[int]bool
+	abort      error
+	sinkClaims map[journalClaimKey]string
 }
 
 // NewRunControl builds a supervisor: ctx stops the run at realization
@@ -116,6 +124,29 @@ func NewRunControl(ctx context.Context, retries, maxFailed int, j *Journal) *Run
 		journal:   j,
 		failedBy:  map[uint64]map[int]bool{},
 	}
+}
+
+// NewWorkerRunControl builds the supervisor for one distributed worker's
+// lease: the engines run only realization r (every other index is skipped
+// without building anything), and every record the run would have
+// journaled is handed to sink in wire form instead. Failures are strict
+// (maxFailed=0): a worker that cannot compute its one realization reports
+// the failure to its coordinator rather than papering over it locally —
+// the coordinator owns the -max-failed budget.
+func NewWorkerRunControl(ctx context.Context, retries, r int, sink func(SlotRecord)) *RunControl {
+	rc := NewRunControl(ctx, retries, 0, nil)
+	rc.only = func(i int) bool { return i == r }
+	rc.sink = sink
+	return rc
+}
+
+// owns reports whether this run should compute realization r. Always true
+// outside distributed-worker mode.
+func (rc *RunControl) owns(r int) bool {
+	if rc == nil || rc.only == nil {
+		return true
+	}
+	return rc.only(r)
 }
 
 // interrupted reports why the run should stop dispatching realizations:
@@ -254,24 +285,42 @@ func (rc *RunControl) failedSet(stream uint64) map[int]bool {
 	return out
 }
 
-// journaling reports whether completed realizations should be checkpointed.
+// journaling reports whether completed realizations should be checkpointed
+// — to a journal file, or (worker mode) to a record sink.
 func (rc *RunControl) journaling() bool {
-	return rc != nil && rc.journal != nil
+	return rc != nil && (rc.journal != nil || rc.sink != nil)
 }
 
 // journalClaim registers a (kind, stream, sub) record family under its
 // human-readable tag, failing loudly on a collision with a different
-// series (see Journal.claim). No-op when not journaling.
+// series (see Journal.claim). No-op when not journaling. Sink mode keeps
+// the guard — a collision would make two series' records
+// indistinguishable on the coordinator too — via a RunControl-local map.
 func (rc *RunControl) journalClaim(kind uint8, stream, sub uint64, tag string) error {
 	if !rc.journaling() {
 		return nil
 	}
-	return rc.journal.claim(journalClaimKey{kind: kind, stream: stream, sub: sub}, tag)
+	if rc.journal != nil {
+		return rc.journal.claim(journalClaimKey{kind: kind, stream: stream, sub: sub}, tag)
+	}
+	k := journalClaimKey{kind: kind, stream: stream, sub: sub}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.sinkClaims == nil {
+		rc.sinkClaims = make(map[journalClaimKey]string)
+	}
+	if prev, ok := rc.sinkClaims[k]; ok {
+		return fmt.Errorf("sim: journal key collision: series %q and %q both checkpoint under (kind=%d, stream=%#x, sub=%#x); give one a distinct tag or seed",
+			prev, tag, k.kind, k.stream, k.sub)
+	}
+	rc.sinkClaims[k] = tag
+	return nil
 }
 
 // journalPayload fetches a resumed record for (kind, stream, sub, r).
+// Worker sinks never replay — the coordinator's journal owns resume.
 func (rc *RunControl) journalPayload(kind uint8, stream, sub uint64, r int) ([]byte, bool) {
-	if !rc.journaling() {
+	if rc == nil || rc.journal == nil {
 		return nil, false
 	}
 	p, ok := rc.journal.resumed[journalKey{kind: kind, stream: stream, sub: sub, r: r}]
@@ -280,12 +329,17 @@ func (rc *RunControl) journalPayload(kind uint8, stream, sub uint64, r int) ([]b
 
 // journalAppend checkpoints one completed realization's contribution. A
 // nil payload (encoder refused) is skipped; append errors are sticky on
-// the journal and surface through Flush/Close in cmd/experiments.
+// the journal and surface through Flush/Close in cmd/experiments. In
+// worker mode the record goes to the sink instead — same key, same bits.
 func (rc *RunControl) journalAppend(kind uint8, stream, sub uint64, r int, payload []byte) {
 	if !rc.journaling() || payload == nil {
 		return
 	}
-	rc.journal.append(journalKey{kind: kind, stream: stream, sub: sub, r: r}, payload)
+	if rc.journal != nil {
+		rc.journal.append(journalKey{kind: kind, stream: stream, sub: sub, r: r}, payload)
+		return
+	}
+	rc.sink(SlotRecord{Kind: kind, Stream: stream, Sub: sub, Realization: r, Payload: payload})
 }
 
 // StartWatchdog arms a stall watchdog: if the progress counter does not
